@@ -1,0 +1,37 @@
+// Reproduces Fig. 3d / 3e / 3f of the paper: average reward difference per
+// benchmark algorithm (positive = RL gain), for the three reward
+// functions.
+//
+// Paper reference values: average absolute improvements vs Qiskit/TKET of
+// 4.9%/10.7% (fidelity), 22.6%/22.8% (critical depth), 5.5%/8.5%
+// (combination).
+
+#include <cstdio>
+
+#include "experiment_common.hpp"
+
+int main() {
+  using namespace qrc;
+  using namespace qrc::bench_harness;
+
+  const auto corpus = make_corpus();
+  std::printf("== Fig. 3d/3e/3f: per-benchmark average reward differences ==\n");
+  std::printf("# corpus: %zu circuits\n", corpus.size());
+
+  const struct {
+    reward::RewardKind kind;
+    const char* figure;
+  } experiments[] = {
+      {reward::RewardKind::kFidelity, "Fig. 3d (fidelity)"},
+      {reward::RewardKind::kCriticalDepth, "Fig. 3e (critical depth)"},
+      {reward::RewardKind::kCombination, "Fig. 3f (combination)"},
+  };
+
+  for (const auto& exp : experiments) {
+    std::printf("\n---- %s ----\n", exp.figure);
+    const auto predictor = train_model(exp.kind, corpus, /*seed=*/23);
+    const auto records = evaluate_corpus(predictor, exp.kind, corpus);
+    print_per_family_averages(records, reward::reward_name(exp.kind).data());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Table I of the paper: each of the three trained models
+// (fidelity / critical depth / combination) is evaluated under all three
+// metrics, averaged over the corpus. The paper reports diagonal dominance:
+//
+//                        Average result for...
+//   Model trained for... Fidelity  Critical depth  Combination
+//   Fidelity                 0.48            0.27         0.37
+//   Critical depth           0.18            0.47         0.33
+//   Combination              0.45            0.33         0.39
+
+#include <cstdio>
+
+#include "experiment_common.hpp"
+
+int main() {
+  using namespace qrc;
+  using namespace qrc::bench_harness;
+
+  const auto corpus = make_corpus();
+  std::printf("== Table I: cross-evaluation of trained models ==\n");
+  std::printf("# corpus: %zu circuits\n\n", corpus.size());
+
+  const reward::RewardKind kinds[] = {reward::RewardKind::kFidelity,
+                                      reward::RewardKind::kCriticalDepth,
+                                      reward::RewardKind::kCombination};
+
+  double table[3][3] = {};
+  for (int row = 0; row < 3; ++row) {
+    const auto predictor = train_model(kinds[row], corpus,
+                                       /*seed=*/29 + static_cast<std::uint64_t>(row));
+    // Compile once per circuit, score under every metric.
+    for (const auto& circuit : corpus) {
+      const auto result = predictor.compile(circuit);
+      for (int col = 0; col < 3; ++col) {
+        table[row][col] += predictor.evaluate(result, kinds[col]);
+      }
+    }
+    for (int col = 0; col < 3; ++col) {
+      table[row][col] /= static_cast<double>(corpus.size());
+    }
+  }
+
+  std::printf("\n%-26s %10s %16s %13s\n", "Model trained for...", "Fidelity",
+              "Critical depth", "Combination");
+  const char* row_names[3] = {"Fidelity", "Critical depth", "Combination"};
+  for (int row = 0; row < 3; ++row) {
+    std::printf("%-26s %10.3f %16.3f %13.3f\n", row_names[row], table[row][0],
+                table[row][1], table[row][2]);
+  }
+
+  // Shape check: each metric's best model should be the one trained for it.
+  std::printf("\nshape check (paper: diagonal dominance per column):\n");
+  for (int col = 0; col < 3; ++col) {
+    int best = 0;
+    for (int row = 1; row < 3; ++row) {
+      if (table[row][col] > table[best][col]) {
+        best = row;
+      }
+    }
+    std::printf("  best model for %-15s : %-15s %s\n", row_names[col],
+                row_names[best],
+                best == col ? "(matches paper)" : "(differs from paper)");
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Compares the RL-optimized compiler against the Qiskit-O3-like and
+// TKET-O2-like baseline pipelines on a selection of benchmark circuits —
+// a miniature version of the paper's Fig. 3 experiment.
+//
+//   ./examples/compare_compilers [num_qubits]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/baselines.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "core/predictor.hpp"
+#include "device/library.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qrc;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+  if (n < 2 || n > 20) {
+    std::fprintf(stderr, "usage: %s [num_qubits in 2..20]\n", argv[0]);
+    return 1;
+  }
+
+  // Train a fidelity model (small budget; see bench/ for paper scale).
+  core::PredictorConfig config;
+  config.reward = reward::RewardKind::kFidelity;
+  config.seed = 7;
+  config.ppo.total_timesteps = 16384;
+  core::Predictor predictor(config);
+  std::printf("training RL compiler (16k timesteps)...\n");
+  (void)predictor.train(bench::benchmark_suite(2, 12, 60));
+
+  const auto& washington =
+      device::get_device(device::DeviceId::kIbmqWashington);
+
+  std::printf("\n%-16s %10s %10s %10s   %s\n", "benchmark", "RL", "qiskit-O3",
+              "tket-O2", "(expected fidelity; baselines on ibmq_washington)");
+  for (const auto family :
+       {bench::BenchmarkFamily::kGhz, bench::BenchmarkFamily::kDj,
+        bench::BenchmarkFamily::kQft, bench::BenchmarkFamily::kQaoa,
+        bench::BenchmarkFamily::kVqe, bench::BenchmarkFamily::kWstate}) {
+    const ir::Circuit circuit = bench::make_benchmark(family, n, 1);
+
+    const auto rl = predictor.compile(circuit);
+    const auto qiskit =
+        baselines::compile_qiskit_o3_like(circuit, washington, 1);
+    const auto tket = baselines::compile_tket_o2_like(circuit, washington, 1);
+
+    const double f_rl = rl.reward;
+    const double f_qiskit =
+        reward::expected_fidelity(qiskit.circuit, washington);
+    const double f_tket = reward::expected_fidelity(tket.circuit, washington);
+
+    const char* winner = "tket-O2";
+    if (f_rl >= f_qiskit && f_rl >= f_tket) {
+      winner = "RL";
+    } else if (f_qiskit >= f_tket) {
+      winner = "qiskit-O3";
+    }
+    std::printf("%-16s %10.4f %10.4f %10.4f   best: %s\n",
+                bench::family_name(family).data(), f_rl, f_qiskit, f_tket,
+                winner);
+    std::printf("%-16s   -> RL chose %s\n", "", rl.device->name().c_str());
+  }
+  return 0;
+}

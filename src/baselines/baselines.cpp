@@ -1,0 +1,144 @@
+#include "baselines/baselines.hpp"
+
+#include <stdexcept>
+
+#include "passes/layout/layout.hpp"
+#include "passes/opt/cancellation.hpp"
+#include "passes/opt/clifford_opt.hpp"
+#include "passes/opt/composite.hpp"
+#include "passes/opt/consolidate.hpp"
+#include "passes/opt/one_qubit_opt.hpp"
+#include "passes/routing/routing.hpp"
+#include "passes/synthesis/basis_translator.hpp"
+
+namespace qrc::baselines {
+
+namespace {
+
+using passes::PassContext;
+
+void check_postconditions(const BaselineResult& result,
+                          const device::Device& device) {
+  if (!device.circuit_is_native(result.circuit) ||
+      !device.circuit_respects_topology(result.circuit)) {
+    throw std::logic_error("baseline produced a non-executable circuit");
+  }
+}
+
+/// Shared mapping stage: compute layout, apply, route, re-translate the
+/// inserted SWAPs.
+void map_circuit(BaselineResult& result, const device::Device& device,
+                 passes::LayoutKind layout_kind,
+                 passes::RoutingKind routing_kind, std::uint64_t seed) {
+  const auto layout = passes::compute_layout(layout_kind, result.circuit,
+                                             device, seed);
+  result.circuit = passes::apply_layout(result.circuit, layout, device);
+  result.initial_layout = layout;
+  result.final_layout = layout;
+  const auto outcome =
+      passes::route(routing_kind, result.circuit, device, seed);
+  result.circuit = outcome.routed;
+  for (int l = 0; l < static_cast<int>(result.final_layout.size()); ++l) {
+    result.final_layout[static_cast<std::size_t>(l)] =
+        outcome.permutation[static_cast<std::size_t>(
+            result.final_layout[static_cast<std::size_t>(l)])];
+  }
+}
+
+}  // namespace
+
+BaselineResult compile_qiskit_o3_like(const ir::Circuit& circuit,
+                                      const device::Device& device,
+                                      std::uint64_t seed) {
+  BaselineResult result;
+  result.circuit = circuit;
+
+  const passes::Optimize1qGatesDecomposition opt1q;
+  const passes::CommutativeCancellation commutative;
+  const passes::CXCancellation cx_cancel;
+  const passes::ConsolidateBlocks consolidate;
+  const passes::BasisTranslator translator;
+
+  // Stage 1: device-independent optimization.
+  PassContext logical_ctx;
+  (void)opt1q.run(result.circuit, logical_ctx);
+  (void)commutative.run(result.circuit, logical_ctx);
+
+  // Stage 2: synthesis to the native set.
+  PassContext device_ctx;
+  device_ctx.device = &device;
+  device_ctx.seed = seed;
+  (void)translator.run(result.circuit, device_ctx);
+
+  // Stage 3: SABRE layout + routing, then lower the SWAPs.
+  map_circuit(result, device, passes::LayoutKind::kSabre,
+              passes::RoutingKind::kSabreSwap, seed);
+  (void)translator.run(result.circuit, device_ctx);
+
+  // Stage 4: mapped optimization loop to fixpoint.
+  PassContext mapped_ctx;
+  mapped_ctx.device = &device;
+  mapped_ctx.is_mapped = true;
+  mapped_ctx.seed = seed;
+  for (int round = 0; round < 3; ++round) {
+    bool changed = false;
+    changed |= consolidate.run(result.circuit, mapped_ctx);
+    changed |= translator.run(result.circuit, mapped_ctx);
+    changed |= opt1q.run(result.circuit, mapped_ctx);
+    changed |= cx_cancel.run(result.circuit, mapped_ctx);
+    changed |= commutative.run(result.circuit, mapped_ctx);
+    if (!changed) {
+      break;
+    }
+  }
+  (void)translator.run(result.circuit, device_ctx);
+
+  check_postconditions(result, device);
+  return result;
+}
+
+BaselineResult compile_tket_o2_like(const ir::Circuit& circuit,
+                                    const device::Device& device,
+                                    std::uint64_t seed) {
+  BaselineResult result;
+  result.circuit = circuit;
+
+  const passes::FullPeepholeOptimise full_peephole;
+  const passes::CliffordSimp clifford_simp;
+  const passes::RemoveRedundancies redundancies;
+  const passes::Optimize1qGatesDecomposition opt1q;
+  const passes::BasisTranslator translator;
+
+  // Stage 1: aggressive device-independent peephole optimization.
+  PassContext logical_ctx;
+  (void)full_peephole.run(result.circuit, logical_ctx);
+
+  // Stage 2: placement (graph-style, dense subgraph) + lookahead routing.
+  // Routing requires arity <= 2, so lower 3q gates first.
+  PassContext device_ctx;
+  device_ctx.device = &device;
+  device_ctx.seed = seed;
+  if (!result.circuit.max_gate_arity_at_most(2)) {
+    (void)translator.run(result.circuit, device_ctx);
+  }
+  map_circuit(result, device, passes::LayoutKind::kDense,
+              passes::RoutingKind::kTketRouting, seed);
+
+  // Stage 3: synthesis to the native set.
+  (void)translator.run(result.circuit, device_ctx);
+
+  // Stage 4: mapped cleanup.
+  PassContext mapped_ctx;
+  mapped_ctx.device = &device;
+  mapped_ctx.is_mapped = true;
+  mapped_ctx.seed = seed;
+  (void)clifford_simp.run(result.circuit, mapped_ctx);
+  (void)redundancies.run(result.circuit, mapped_ctx);
+  (void)opt1q.run(result.circuit, mapped_ctx);
+  (void)translator.run(result.circuit, device_ctx);
+
+  check_postconditions(result, device);
+  return result;
+}
+
+}  // namespace qrc::baselines

@@ -1,0 +1,37 @@
+/// \file baselines.hpp
+/// \brief The comparison compilers of Section IV-B: fixed pass pipelines
+///        mirroring Qiskit's -O3 and TKET's -O2 presets, assembled from the
+///        same pass implementations the RL agent draws on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qrc::baselines {
+
+/// Result of a baseline compilation (layouts kept for verification).
+struct BaselineResult {
+  ir::Circuit circuit;
+  std::vector<int> initial_layout;
+  std::vector<int> final_layout;
+};
+
+/// Qiskit-O3-style preset: logical optimization, basis translation, SABRE
+/// layout + routing, re-synthesis, then an optimization loop
+/// (consolidation / cancellation) to fixpoint. Postcondition: native and
+/// mapped on `device`.
+[[nodiscard]] BaselineResult compile_qiskit_o3_like(
+    const ir::Circuit& circuit, const device::Device& device,
+    std::uint64_t seed = 1);
+
+/// TKET-O2-style preset: FullPeepholeOptimise, graph placement (dense),
+/// lookahead routing, basis translation, Clifford simplification and
+/// redundancy removal. Postcondition: native and mapped on `device`.
+[[nodiscard]] BaselineResult compile_tket_o2_like(
+    const ir::Circuit& circuit, const device::Device& device,
+    std::uint64_t seed = 1);
+
+}  // namespace qrc::baselines

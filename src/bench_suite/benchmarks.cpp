@@ -1,0 +1,545 @@
+#include "bench_suite/benchmarks.hpp"
+
+#include <cmath>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "la/complex.hpp"
+
+namespace qrc::bench {
+
+namespace {
+
+using ir::Circuit;
+using la::kPi;
+
+std::uniform_real_distribution<double> angle_dist(-kPi, kPi);
+
+/// Inverse QFT on qubits [0, m) of `c` (no swaps; wires in natural order).
+void inverse_qft(Circuit& c, int m) {
+  for (int j = m - 1; j >= 0; --j) {
+    for (int k = m - 1; k > j; --k) {
+      c.cp(-kPi / std::pow(2.0, k - j), k, j);
+    }
+    c.h(j);
+  }
+}
+
+/// Seeded random graph with approximate degree 3 (or complete for tiny n).
+std::vector<std::pair<int, int>> random_sparse_graph(int n,
+                                                     std::mt19937_64& rng) {
+  std::set<std::pair<int, int>> edges;
+  // Ring backbone keeps it connected.
+  for (int i = 0; i < n; ++i) {
+    edges.insert({std::min(i, (i + 1) % n), std::max(i, (i + 1) % n)});
+  }
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  const int extra = n;  // about one extra edge per qubit
+  for (int e = 0; e < extra; ++e) {
+    const int a = pick(rng);
+    const int b = pick(rng);
+    if (a != b) {
+      edges.insert({std::min(a, b), std::max(a, b)});
+    }
+  }
+  return {edges.begin(), edges.end()};
+}
+
+// ---- individual generators -----------------------------------------------
+
+Circuit make_ae(int n, std::mt19937_64& rng) {
+  // Canonical QAE: objective qubit n-1 prepared by Ry(theta); evaluation
+  // qubits 0..n-2 control powers of the Grover rotation; inverse QFT reads
+  // the amplitude out.
+  Circuit c(n);
+  const double theta = std::abs(angle_dist(rng)) / 2.0 + 0.3;
+  const int obj = n - 1;
+  const int m = n - 1;
+  c.ry(theta, obj);
+  for (int k = 0; k < m; ++k) {
+    c.h(k);
+  }
+  for (int k = 0; k < m; ++k) {
+    c.cry(std::pow(2.0, k + 1) * theta, k, obj);
+  }
+  inverse_qft(c, m);
+  return c;
+}
+
+Circuit make_dj(int n, std::mt19937_64& rng) {
+  // Deutsch-Jozsa with a random balanced oracle: ancilla = qubit n-1.
+  Circuit c(n);
+  const int anc = n - 1;
+  std::uniform_int_distribution<int> bit(0, 1);
+  c.x(anc);
+  for (int q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  for (int q = 0; q + 1 < n; ++q) {
+    if (bit(rng) == 1) {
+      c.x(q);
+    }
+    c.cx(q, anc);
+    if (bit(rng) == 1) {
+      c.x(q);
+    }
+  }
+  for (int q = 0; q + 1 < n; ++q) {
+    c.h(q);
+  }
+  return c;
+}
+
+Circuit make_ghz(int n, std::mt19937_64&) {
+  Circuit c(n);
+  c.h(0);
+  for (int i = 0; i + 1 < n; ++i) {
+    c.cx(i, i + 1);
+  }
+  return c;
+}
+
+Circuit make_graphstate(int n, std::mt19937_64& rng) {
+  Circuit c(n);
+  for (int q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  for (const auto& [a, b] : random_sparse_graph(n, rng)) {
+    c.cz(a, b);
+  }
+  return c;
+}
+
+/// Hardware-efficient layered ansatz shared by the variational families;
+/// the entanglement pattern differentiates them.
+enum class Entanglement { kLinear, kReverseLinear, kCircular, kFull };
+
+void entangle_layer(Circuit& c, Entanglement ent, bool use_cz) {
+  const int n = c.num_qubits();
+  const auto add = [&](int a, int b) {
+    if (use_cz) {
+      c.cz(a, b);
+    } else {
+      c.cx(a, b);
+    }
+  };
+  switch (ent) {
+    case Entanglement::kLinear:
+      for (int i = 0; i + 1 < n; ++i) {
+        add(i, i + 1);
+      }
+      return;
+    case Entanglement::kReverseLinear:
+      for (int i = n - 2; i >= 0; --i) {
+        add(i, i + 1);
+      }
+      return;
+    case Entanglement::kCircular:
+      for (int i = 0; i + 1 < n; ++i) {
+        add(i, i + 1);
+      }
+      if (n > 2) {
+        add(n - 1, 0);
+      }
+      return;
+    case Entanglement::kFull:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          add(i, j);
+        }
+      }
+      return;
+  }
+}
+
+Circuit layered_ansatz(int n, std::mt19937_64& rng, int reps,
+                       Entanglement ent, bool rz_layer, bool use_cz) {
+  Circuit c(n);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int q = 0; q < n; ++q) {
+      c.ry(angle_dist(rng), q);
+      if (rz_layer) {
+        c.rz(angle_dist(rng), q);
+      }
+    }
+    entangle_layer(c, ent, use_cz);
+  }
+  for (int q = 0; q < n; ++q) {
+    c.ry(angle_dist(rng), q);
+    if (rz_layer) {
+      c.rz(angle_dist(rng), q);
+    }
+  }
+  return c;
+}
+
+Circuit make_groundstate(int n, std::mt19937_64& rng) {
+  // Chemistry-inspired: initial X layer on "occupied orbitals" + TwoLocal.
+  Circuit c = layered_ansatz(n, rng, 2, Entanglement::kLinear,
+                             /*rz_layer=*/true, /*use_cz=*/false);
+  Circuit prep(n);
+  for (int q = 0; q < n / 2; ++q) {
+    prep.x(q);
+  }
+  prep.extend(c);
+  return prep;
+}
+
+void qaoa_cost_layer(Circuit& c,
+                     const std::vector<std::pair<int, int>>& edges,
+                     double gamma, std::mt19937_64* weights_rng) {
+  std::uniform_real_distribution<double> weight(0.2, 1.0);
+  for (const auto& [a, b] : edges) {
+    const double w = weights_rng != nullptr ? weight(*weights_rng) : 1.0;
+    c.rzz(2.0 * gamma * w, a, b);
+  }
+}
+
+Circuit qaoa_circuit(int n, std::mt19937_64& rng,
+                     const std::vector<std::pair<int, int>>& edges,
+                     int layers, bool weighted) {
+  Circuit c(n);
+  for (int q = 0; q < n; ++q) {
+    c.h(q);
+  }
+  for (int l = 0; l < layers; ++l) {
+    const double gamma = angle_dist(rng) / 2.0;
+    const double beta = angle_dist(rng) / 2.0;
+    qaoa_cost_layer(c, edges, gamma, weighted ? &rng : nullptr);
+    for (int q = 0; q < n; ++q) {
+      c.rx(2.0 * beta, q);
+    }
+  }
+  return c;
+}
+
+Circuit make_portfolioqaoa(int n, std::mt19937_64& rng) {
+  // Dense covariance cost: every pair interacts.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      edges.emplace_back(i, j);
+    }
+  }
+  return qaoa_circuit(n, rng, edges, /*layers=*/1, /*weighted=*/true);
+}
+
+Circuit make_portfoliovqe(int n, std::mt19937_64& rng) {
+  return layered_ansatz(n, rng, 2, Entanglement::kFull, /*rz_layer=*/false,
+                        /*use_cz=*/false);
+}
+
+Circuit make_pricing(int n, std::mt19937_64& rng, bool call) {
+  // Structure of the MQT pricing benchmarks: an uncertainty model loads a
+  // distribution on qubits 0..n-2, a controlled-rotation cascade encodes
+  // the (piecewise linear) payoff onto the objective qubit n-1.
+  Circuit c(n);
+  const int obj = n - 1;
+  for (int q = 0; q + 1 < n; ++q) {
+    c.ry(std::abs(angle_dist(rng)) / 2.0 + 0.2, q);
+  }
+  for (int q = 0; q + 2 < n; ++q) {
+    c.cx(q, q + 1);
+  }
+  const double slope = (call ? 1.0 : -1.0) * 0.4;
+  c.ry(0.3, obj);
+  for (int q = 0; q + 1 < n; ++q) {
+    c.cry(slope * std::pow(2.0, -q), q, obj);
+  }
+  return c;
+}
+
+Circuit make_qaoa(int n, std::mt19937_64& rng) {
+  const auto edges = random_sparse_graph(n, rng);
+  return qaoa_circuit(n, rng, edges, /*layers=*/2, /*weighted=*/false);
+}
+
+Circuit make_qft(int n, std::mt19937_64&) {
+  Circuit c(n);
+  for (int j = n - 1; j >= 0; --j) {
+    c.h(j);
+    for (int k = j - 1; k >= 0; --k) {
+      c.cp(kPi / std::pow(2.0, j - k), k, j);
+    }
+  }
+  for (int i = 0; i < n / 2; ++i) {
+    c.swap(i, n - 1 - i);
+  }
+  return c;
+}
+
+Circuit make_qftentangled(int n, std::mt19937_64& rng) {
+  Circuit c = make_ghz(n, rng);
+  c.extend(make_qft(n, rng));
+  return c;
+}
+
+Circuit make_qgan(int n, std::mt19937_64& rng) {
+  return layered_ansatz(n, rng, 2, Entanglement::kCircular,
+                        /*rz_layer=*/false, /*use_cz=*/true);
+}
+
+Circuit make_qpe(int n, std::mt19937_64& rng, bool exact) {
+  // Counting qubits 0..n-2, eigenstate qubit n-1 (|1> of the phase gate).
+  Circuit c(n);
+  const int m = n - 1;
+  const int eigen = n - 1;
+  double phase;
+  if (exact) {
+    std::uniform_int_distribution<int> pick(1, std::max(1, (1 << m) - 1));
+    phase = static_cast<double>(pick(rng)) / std::pow(2.0, m);
+  } else {
+    phase = 1.0 / 3.0;  // never representable in binary
+  }
+  c.x(eigen);
+  for (int k = 0; k < m; ++k) {
+    c.h(k);
+  }
+  for (int k = 0; k < m; ++k) {
+    c.cp(2.0 * kPi * phase * std::pow(2.0, k), k, eigen);
+  }
+  inverse_qft(c, m);
+  return c;
+}
+
+Circuit make_realamprandom(int n, std::mt19937_64& rng) {
+  return layered_ansatz(n, rng, 3, Entanglement::kReverseLinear,
+                        /*rz_layer=*/false, /*use_cz=*/false);
+}
+
+Circuit make_routing(int n, std::mt19937_64& rng) {
+  // Vehicle-routing VQE: doubled linear entanglement per repetition.
+  Circuit c(n);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int q = 0; q < n; ++q) {
+      c.ry(angle_dist(rng), q);
+    }
+    entangle_layer(c, Entanglement::kLinear, false);
+    entangle_layer(c, Entanglement::kLinear, false);
+  }
+  for (int q = 0; q < n; ++q) {
+    c.ry(angle_dist(rng), q);
+  }
+  return c;
+}
+
+Circuit make_su2random(int n, std::mt19937_64& rng) {
+  return layered_ansatz(n, rng, 3, Entanglement::kReverseLinear,
+                        /*rz_layer=*/true, /*use_cz=*/false);
+}
+
+Circuit make_tsp(int n, std::mt19937_64& rng) {
+  // Distance-weighted complete-graph QAOA; two layers (the one-hot TSP
+  // encoding needs deeper mixing than portfolio optimisation).
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      edges.emplace_back(i, j);
+    }
+  }
+  return qaoa_circuit(n, rng, edges, /*layers=*/2, /*weighted=*/true);
+}
+
+Circuit make_twolocalrandom(int n, std::mt19937_64& rng) {
+  return layered_ansatz(n, rng, 3, Entanglement::kCircular,
+                        /*rz_layer=*/false, /*use_cz=*/true);
+}
+
+Circuit make_vqe(int n, std::mt19937_64& rng) {
+  return layered_ansatz(n, rng, 1, Entanglement::kLinear, /*rz_layer=*/true,
+                        /*use_cz=*/false);
+}
+
+Circuit make_wstate(int n, std::mt19937_64&) {
+  // Standard recursive W-state construction with controlled-Ry "splits".
+  Circuit c(n);
+  c.x(n - 1);
+  for (int k = n - 1; k >= 1; --k) {
+    const double theta =
+        2.0 * std::acos(std::sqrt(1.0 / static_cast<double>(k + 1)));
+    c.cry(theta, k, k - 1);
+    c.cx(k - 1, k);
+  }
+  return c;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkFamily>& all_families() {
+  static const std::vector<BenchmarkFamily> kAll = {
+      BenchmarkFamily::kAe,           BenchmarkFamily::kDj,
+      BenchmarkFamily::kGhz,          BenchmarkFamily::kGraphState,
+      BenchmarkFamily::kGroundState,  BenchmarkFamily::kPortfolioQaoa,
+      BenchmarkFamily::kPortfolioVqe, BenchmarkFamily::kPricingCall,
+      BenchmarkFamily::kPricingPut,   BenchmarkFamily::kQaoa,
+      BenchmarkFamily::kQft,          BenchmarkFamily::kQftEntangled,
+      BenchmarkFamily::kQgan,         BenchmarkFamily::kQpeExact,
+      BenchmarkFamily::kQpeInexact,   BenchmarkFamily::kRealAmpRandom,
+      BenchmarkFamily::kRouting,      BenchmarkFamily::kSu2Random,
+      BenchmarkFamily::kTsp,          BenchmarkFamily::kTwoLocalRandom,
+      BenchmarkFamily::kVqe,          BenchmarkFamily::kWstate};
+  return kAll;
+}
+
+std::string_view family_name(BenchmarkFamily family) {
+  switch (family) {
+    case BenchmarkFamily::kAe:
+      return "ae";
+    case BenchmarkFamily::kDj:
+      return "dj";
+    case BenchmarkFamily::kGhz:
+      return "ghz";
+    case BenchmarkFamily::kGraphState:
+      return "graphstate";
+    case BenchmarkFamily::kGroundState:
+      return "groundstate";
+    case BenchmarkFamily::kPortfolioQaoa:
+      return "portfolioqaoa";
+    case BenchmarkFamily::kPortfolioVqe:
+      return "portfoliovqe";
+    case BenchmarkFamily::kPricingCall:
+      return "pricingcall";
+    case BenchmarkFamily::kPricingPut:
+      return "pricingput";
+    case BenchmarkFamily::kQaoa:
+      return "qaoa";
+    case BenchmarkFamily::kQft:
+      return "qft";
+    case BenchmarkFamily::kQftEntangled:
+      return "qftentangled";
+    case BenchmarkFamily::kQgan:
+      return "qgan";
+    case BenchmarkFamily::kQpeExact:
+      return "qpeexact";
+    case BenchmarkFamily::kQpeInexact:
+      return "qpeinexact";
+    case BenchmarkFamily::kRealAmpRandom:
+      return "realamprandom";
+    case BenchmarkFamily::kRouting:
+      return "routing";
+    case BenchmarkFamily::kSu2Random:
+      return "su2random";
+    case BenchmarkFamily::kTsp:
+      return "tsp";
+    case BenchmarkFamily::kTwoLocalRandom:
+      return "twolocalrandom";
+    case BenchmarkFamily::kVqe:
+      return "vqe";
+    case BenchmarkFamily::kWstate:
+      return "wstate";
+  }
+  return "unknown";
+}
+
+ir::Circuit make_benchmark(BenchmarkFamily family, int num_qubits,
+                           std::uint64_t seed) {
+  if (num_qubits < 2) {
+    throw std::invalid_argument("make_benchmark: need at least 2 qubits");
+  }
+  std::mt19937_64 rng(seed * 2654435761u + static_cast<std::uint64_t>(family) * 97u +
+                      static_cast<std::uint64_t>(num_qubits));
+  Circuit c;
+  switch (family) {
+    case BenchmarkFamily::kAe:
+      c = make_ae(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kDj:
+      c = make_dj(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kGhz:
+      c = make_ghz(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kGraphState:
+      c = make_graphstate(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kGroundState:
+      c = make_groundstate(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kPortfolioQaoa:
+      c = make_portfolioqaoa(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kPortfolioVqe:
+      c = make_portfoliovqe(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kPricingCall:
+      c = make_pricing(num_qubits, rng, true);
+      break;
+    case BenchmarkFamily::kPricingPut:
+      c = make_pricing(num_qubits, rng, false);
+      break;
+    case BenchmarkFamily::kQaoa:
+      c = make_qaoa(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kQft:
+      c = make_qft(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kQftEntangled:
+      c = make_qftentangled(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kQgan:
+      c = make_qgan(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kQpeExact:
+      c = make_qpe(num_qubits, rng, true);
+      break;
+    case BenchmarkFamily::kQpeInexact:
+      c = make_qpe(num_qubits, rng, false);
+      break;
+    case BenchmarkFamily::kRealAmpRandom:
+      c = make_realamprandom(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kRouting:
+      c = make_routing(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kSu2Random:
+      c = make_su2random(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kTsp:
+      c = make_tsp(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kTwoLocalRandom:
+      c = make_twolocalrandom(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kVqe:
+      c = make_vqe(num_qubits, rng);
+      break;
+    case BenchmarkFamily::kWstate:
+      c = make_wstate(num_qubits, rng);
+      break;
+  }
+  c.measure_all();
+  c.set_name(std::string(family_name(family)) + "_" +
+             std::to_string(num_qubits));
+  return c;
+}
+
+std::vector<ir::Circuit> benchmark_suite(int min_qubits, int max_qubits,
+                                         int count, std::uint64_t seed) {
+  if (min_qubits < 2 || max_qubits < min_qubits || count < 1) {
+    throw std::invalid_argument("benchmark_suite: bad arguments");
+  }
+  std::vector<ir::Circuit> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const auto& families = all_families();
+  int n = min_qubits;
+  std::size_t family_idx = 0;
+  std::uint64_t instance = 0;
+  while (static_cast<int>(out.size()) < count) {
+    out.push_back(
+        make_benchmark(families[family_idx], n, seed + instance));
+    ++family_idx;
+    if (family_idx == families.size()) {
+      family_idx = 0;
+      ++n;
+      if (n > max_qubits) {
+        n = min_qubits;
+        ++instance;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qrc::bench

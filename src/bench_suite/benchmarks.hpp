@@ -1,0 +1,64 @@
+/// \file benchmarks.hpp
+/// \brief MQT-Bench-style benchmark circuit generators: the 22 algorithm
+///        families of the paper's evaluation (Fig. 3), parameterised by
+///        qubit count, at the target-independent level (with final
+///        measurements). Generators are structurally faithful rebuilds of
+///        the MQT Bench families; variational families use seeded random
+///        parameters.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qrc::bench {
+
+/// The 22 benchmark families named in Fig. 3 of the paper.
+enum class BenchmarkFamily : std::uint8_t {
+  kAe,              ///< amplitude estimation
+  kDj,              ///< Deutsch-Jozsa
+  kGhz,             ///< GHZ state preparation
+  kGraphState,      ///< graph state on a random 3-regular graph
+  kGroundState,     ///< chemistry-inspired VQE ansatz
+  kPortfolioQaoa,   ///< QAOA with dense ZZ cost (portfolio optimisation)
+  kPortfolioVqe,    ///< fully-entangled RealAmplitudes VQE
+  kPricingCall,     ///< option-pricing estimation (call payoff)
+  kPricingPut,      ///< option-pricing estimation (put payoff)
+  kQaoa,            ///< max-cut QAOA on a sparse random graph
+  kQft,             ///< quantum Fourier transform
+  kQftEntangled,    ///< QFT applied to a GHZ input
+  kQgan,            ///< GAN-style layered ansatz
+  kQpeExact,        ///< phase estimation, exactly representable phase
+  kQpeInexact,      ///< phase estimation, non-representable phase
+  kRealAmpRandom,   ///< RealAmplitudes ansatz, random parameters
+  kRouting,         ///< vehicle-routing VQE ansatz
+  kSu2Random,       ///< EfficientSU2 ansatz, random parameters
+  kTsp,             ///< travelling-salesman QAOA
+  kTwoLocalRandom,  ///< TwoLocal ansatz, random parameters
+  kVqe,             ///< generic VQE ansatz
+  kWstate,          ///< W state preparation
+};
+
+inline constexpr int kNumFamilies = 22;
+
+[[nodiscard]] const std::vector<BenchmarkFamily>& all_families();
+[[nodiscard]] std::string_view family_name(BenchmarkFamily family);
+
+/// Builds one instance. Preconditions: num_qubits >= 2.
+/// The circuit ends with measurements on all qubits and is named
+/// "<family>_<n>".
+[[nodiscard]] ir::Circuit make_benchmark(BenchmarkFamily family,
+                                         int num_qubits,
+                                         std::uint64_t seed = 0);
+
+/// The paper's evaluation corpus: `count` circuits cycling through all
+/// families and qubit sizes in [min_qubits, max_qubits] (paper: 200
+/// circuits, 2..20 qubits).
+[[nodiscard]] std::vector<ir::Circuit> benchmark_suite(int min_qubits,
+                                                       int max_qubits,
+                                                       int count,
+                                                       std::uint64_t seed = 7);
+
+}  // namespace qrc::bench

@@ -1,0 +1,86 @@
+/// \file tableau.hpp
+/// \brief Aaronson-Gottesman stabilizer tableau: simulation of Clifford
+///        circuits and canonical resynthesis. Powers the OptimizeCliffords
+///        and CliffordSimp passes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qrc::clifford {
+
+/// Stabilizer tableau over n qubits: 2n rows (destabilizers then
+/// stabilizers), each a signed Pauli stored as x/z bit rows plus a sign bit.
+class Tableau {
+ public:
+  /// Identity tableau (destabilizer i = X_i, stabilizer i = Z_i).
+  explicit Tableau(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const { return n_; }
+
+  // Primitive generators (Aaronson-Gottesman update rules).
+  void apply_h(int q);
+  void apply_s(int q);
+  void apply_cx(int control, int target);
+
+  // Composites, expressed via the primitives.
+  void apply_sdg(int q);
+  void apply_x(int q);
+  void apply_y(int q);
+  void apply_z(int q);
+  void apply_sx(int q);
+  void apply_sxdg(int q);
+  void apply_cz(int a, int b);
+  void apply_cy(int control, int target);
+  void apply_swap(int a, int b);
+  void apply_iswap(int a, int b);
+  void apply_ecr(int a, int b);
+
+  /// Applies any Clifford operation; returns false (tableau unchanged) if
+  /// the operation is not Clifford.
+  [[nodiscard]] bool apply(const ir::Operation& op);
+
+  /// Builds the tableau of a circuit. Returns std::nullopt if any gate is
+  /// not Clifford (rotation gates at multiples of pi/2 count as Clifford).
+  [[nodiscard]] static std::optional<Tableau> from_circuit(
+      const ir::Circuit& circuit);
+
+  /// Synthesises a circuit implementing this tableau (up to global phase)
+  /// using {H, S, Sdg, SX, X, Z, CX, CZ} — O(n^2) gates via symplectic
+  /// Gaussian elimination.
+  [[nodiscard]] ir::Circuit to_circuit() const;
+
+  [[nodiscard]] bool operator==(const Tableau& rhs) const;
+
+  // Row accessors (row < n: destabilizer, row >= n: stabilizer).
+  [[nodiscard]] bool x(int row, int col) const {
+    return x_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+  }
+  [[nodiscard]] bool z(int row, int col) const {
+    return z_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+  }
+  [[nodiscard]] bool r(int row) const {
+    return r_[static_cast<std::size_t>(row)];
+  }
+
+ private:
+  int n_;
+  // 2n rows; x_[row][col], z_[row][col], sign r_[row].
+  std::vector<std::vector<bool>> x_;
+  std::vector<std::vector<bool>> z_;
+  std::vector<bool> r_;
+};
+
+/// If `op` is Clifford (including rotations at multiples of pi/2), returns
+/// an equivalent sequence of primitive Clifford gates from
+/// {H, S, Sdg, X, Y, Z, SX, SXdg, CX, CZ, SWAP} (up to global phase).
+/// Otherwise std::nullopt.
+[[nodiscard]] std::optional<std::vector<ir::Operation>> as_clifford_ops(
+    const ir::Operation& op);
+
+/// True if the whole circuit is Clifford (per as_clifford_ops).
+[[nodiscard]] bool is_clifford_circuit(const ir::Circuit& circuit);
+
+}  // namespace qrc::clifford

@@ -1,0 +1,78 @@
+#include "core/compilation_env.hpp"
+
+#include <stdexcept>
+
+#include "features/features.hpp"
+
+namespace qrc::core {
+
+CompilationEnv::CompilationEnv(std::vector<ir::Circuit> circuits,
+                               CompilationEnvConfig config)
+    : circuits_(std::move(circuits)),
+      config_(config),
+      registry_(ActionRegistry::instance()),
+      rng_(config.seed * 40503 + 11) {
+  if (circuits_.empty()) {
+    throw std::invalid_argument("CompilationEnv: need training circuits");
+  }
+}
+
+int CompilationEnv::observation_size() const {
+  return features::kNumFeatures;
+}
+
+int CompilationEnv::num_actions() const { return registry_.size(); }
+
+std::vector<double> CompilationEnv::observe() const {
+  const auto obs = features::extract_features(state_.circuit).observation();
+  return {obs.begin(), obs.end()};
+}
+
+std::vector<double> CompilationEnv::reset() {
+  std::uniform_int_distribution<std::size_t> pick(0, circuits_.size() - 1);
+  return reset_with(circuits_[pick(rng_)]);
+}
+
+std::vector<double> CompilationEnv::reset_with(const ir::Circuit& circuit) {
+  state_ = CompilationState{};
+  state_.circuit = circuit;
+  steps_in_episode_ = 0;
+  ++episode_counter_;
+  return observe();
+}
+
+std::vector<bool> CompilationEnv::action_mask() const {
+  return registry_.mask(state_);
+}
+
+rl::StepResult CompilationEnv::step(int action) {
+  if (action < 0 || action >= registry_.size()) {
+    throw std::out_of_range("CompilationEnv::step: bad action id");
+  }
+  const Action& act = registry_.at(action);
+  if (!act.valid(state_)) {
+    throw std::logic_error("CompilationEnv::step: invalid action '" +
+                           act.name() + "' in state " +
+                           std::string(mdp_state_name(state_.state())));
+  }
+  // Deterministic per-step seed so stochastic passes are reproducible.
+  const std::uint64_t step_seed =
+      config_.seed * 1000003 + episode_counter_ * 101 +
+      static_cast<std::uint64_t>(steps_in_episode_);
+  act.apply(state_, step_seed);
+  ++steps_in_episode_;
+
+  rl::StepResult result;
+  result.observation = observe();
+  if (state_.state() == MdpState::kDone) {
+    result.done = true;
+    result.reward =
+        reward::compute_reward(config_.reward, state_.circuit, *state_.device);
+  } else if (steps_in_episode_ >= config_.max_steps) {
+    result.truncated = true;
+    result.reward = 0.0;
+  }
+  return result;
+}
+
+}  // namespace qrc::core

@@ -1,0 +1,54 @@
+/// \file compilation_env.hpp
+/// \brief The Gym-style environment for the compilation MDP: observations
+///        are the seven circuit features, actions come from the registry,
+///        and the sparse reward is paid on reaching Done (Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/actions.hpp"
+#include "core/compilation_state.hpp"
+#include "reward/reward.hpp"
+#include "rl/env.hpp"
+
+namespace qrc::core {
+
+struct CompilationEnvConfig {
+  reward::RewardKind reward = reward::RewardKind::kFidelity;
+  int max_steps = 40;  ///< truncation horizon (reward 0)
+  std::uint64_t seed = 1;
+};
+
+/// Samples a training circuit per episode and walks the Fig. 2 MDP.
+class CompilationEnv final : public rl::Env {
+ public:
+  CompilationEnv(std::vector<ir::Circuit> circuits,
+                 CompilationEnvConfig config);
+
+  [[nodiscard]] int observation_size() const override;
+  [[nodiscard]] int num_actions() const override;
+
+  std::vector<double> reset() override;
+  [[nodiscard]] std::vector<bool> action_mask() const override;
+  rl::StepResult step(int action) override;
+
+  /// Starts an episode on a *specific* circuit (used at inference time).
+  std::vector<double> reset_with(const ir::Circuit& circuit);
+
+  [[nodiscard]] const CompilationState& state() const { return state_; }
+
+ private:
+  [[nodiscard]] std::vector<double> observe() const;
+
+  std::vector<ir::Circuit> circuits_;
+  CompilationEnvConfig config_;
+  const ActionRegistry& registry_;
+  CompilationState state_;
+  std::mt19937_64 rng_;
+  int steps_in_episode_ = 0;
+  std::uint64_t episode_counter_ = 0;
+};
+
+}  // namespace qrc::core

@@ -1,0 +1,51 @@
+/// \file compilation_state.hpp
+/// \brief The state carried through the compilation MDP of Fig. 2: the
+///        circuit plus platform/device/layout bookkeeping, with the
+///        constraint checks ("native", "mapped") that identify the MDP
+///        state.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "device/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qrc::core {
+
+/// The MDP states of Fig. 2. OnlyNativeGates and Done are *discovered* by
+/// constraint checks, not tracked imperatively.
+enum class MdpState : std::uint8_t {
+  kStart,
+  kPlatformChosen,
+  kDeviceChosen,
+  kOnlyNativeGates,
+  kDone,
+};
+
+[[nodiscard]] std::string_view mdp_state_name(MdpState state);
+
+/// Mutable compilation state. The circuit stays on logical qubits until a
+/// layout action rewrites it onto the device's physical qubits.
+struct CompilationState {
+  ir::Circuit circuit;
+  std::optional<device::Platform> platform;
+  const device::Device* device = nullptr;
+
+  /// logical -> physical placement chosen by the layout action.
+  std::optional<std::vector<int>> initial_layout;
+  /// logical -> physical after routing (= initial until a router runs).
+  std::vector<int> final_layout;
+  bool layout_applied = false;
+
+  /// Constraint 1: every unitary gate is native on the chosen platform.
+  [[nodiscard]] bool is_native() const;
+
+  /// Constraint 2: the circuit lives on physical qubits and every
+  /// multi-qubit gate acts on a coupled pair.
+  [[nodiscard]] bool is_mapped() const;
+
+  [[nodiscard]] MdpState state() const;
+};
+
+}  // namespace qrc::core

@@ -1,0 +1,178 @@
+#include "core/predictor.hpp"
+
+#include <istream>
+#include <set>
+#include <tuple>
+#include <ostream>
+#include <stdexcept>
+
+#include "features/features.hpp"
+
+namespace qrc::core {
+
+Predictor::Predictor(PredictorConfig config) : config_(std::move(config)) {
+  config_.ppo.seed = config_.seed;
+}
+
+std::vector<rl::PpoUpdateStats> Predictor::train(
+    const std::vector<ir::Circuit>& circuits) {
+  CompilationEnvConfig env_config;
+  env_config.reward = config_.reward;
+  env_config.max_steps = config_.env_max_steps;
+  env_config.seed = config_.seed;
+  CompilationEnv env(circuits, env_config);
+  std::vector<rl::PpoUpdateStats> stats;
+  agent_.emplace(rl::train_ppo(env, config_.ppo, &stats));
+  return stats;
+}
+
+CompilationResult Predictor::compile(const ir::Circuit& circuit) const {
+  return compile_with_masked_feature(circuit, -1);
+}
+
+CompilationResult Predictor::compile_with_masked_feature(
+    const ir::Circuit& circuit, int feature_index) const {
+  if (!agent_.has_value()) {
+    throw std::logic_error("Predictor::compile: train or load a model first");
+  }
+  const ActionRegistry& registry = ActionRegistry::instance();
+
+  CompilationEnvConfig env_config;
+  env_config.reward = config_.reward;
+  env_config.max_steps = config_.env_max_steps;
+  env_config.seed = config_.seed;
+  CompilationEnv env({circuit}, env_config);
+
+  CompilationResult result;
+  std::vector<double> obs = env.reset_with(circuit);
+  bool done = false;
+  // Deterministic greedy rollouts can cycle: through single no-op actions,
+  // or through pass pairs that keep rewriting each other's output. Ban an
+  // action whenever it lands on an already-visited state; unban everything
+  // on genuine progress.
+  std::set<int> exhausted;
+  using Fingerprint = std::tuple<std::size_t, int, int, double, int, bool,
+                                 const device::Device*>;
+  const auto fingerprint = [&]() -> Fingerprint {
+    const auto& s = env.state();
+    return {s.circuit.size(),  s.circuit.two_qubit_gate_count(),
+            s.circuit.gate_count(), s.circuit.global_phase(),
+            static_cast<int>(s.state()), s.layout_applied, s.device};
+  };
+  std::set<Fingerprint> visited{fingerprint()};
+  for (int step = 0; step < config_.env_max_steps && !done; ++step) {
+    if (feature_index >= 0 &&
+        feature_index < static_cast<int>(obs.size())) {
+      obs[static_cast<std::size_t>(feature_index)] = 0.0;
+    }
+    const auto mask = env.action_mask();
+    const auto probs = agent_->action_probabilities(obs, mask);
+    int action = -1;
+    for (int i = 0; i < static_cast<int>(probs.size()); ++i) {
+      if (!mask[static_cast<std::size_t>(i)] || exhausted.contains(i)) {
+        continue;
+      }
+      if (action < 0 || probs[static_cast<std::size_t>(i)] >
+                            probs[static_cast<std::size_t>(action)]) {
+        action = i;
+      }
+    }
+    if (action < 0) {
+      break;  // every valid action proved ineffective: fall back
+    }
+    result.action_trace.push_back(registry.at(action).name());
+    const auto outcome = env.step(action);
+    obs = outcome.observation;
+    done = outcome.done;
+    if (!visited.insert(fingerprint()).second) {
+      exhausted.insert(action);  // landed on a known state: no progress
+    } else {
+      exhausted.clear();
+    }
+    if (done) {
+      result.reward = outcome.reward;
+    }
+  }
+
+  CompilationState state = env.state();
+  if (!done) {
+    // Deterministic fallback: force the flow to completion.
+    result.used_fallback = true;
+    const auto force = [&](std::string_view name) {
+      const int id = registry.index_of(name);
+      if (registry.at(id).valid(state)) {
+        registry.at(id).apply(state, config_.seed);
+        result.action_trace.push_back(std::string(name) + "(fallback)");
+      }
+    };
+    if (!state.platform.has_value()) {
+      force("platform_ibm");
+    }
+    if (state.device == nullptr) {
+      force("device_ibmq_washington");
+    }
+    if (state.device == nullptr) {
+      // The policy locked in a platform with no device wide enough for the
+      // circuit; restart the flow on IBM (whose 127-qubit machine fits
+      // every supported circuit).
+      state = CompilationState{};
+      state.circuit = circuit;
+      force("platform_ibm");
+      force("device_ibmq_washington");
+    }
+    force("BasisTranslator");
+    force("SabreLayout");
+    force("SabreSwap");
+    force("BasisTranslator");
+    force("Optimize1qGatesDecomposition");
+    if (state.state() != MdpState::kDone) {
+      throw std::logic_error(
+          "Predictor::compile: fallback failed to reach Done");
+    }
+    result.reward =
+        reward::compute_reward(config_.reward, state.circuit, *state.device);
+  }
+
+  result.circuit = state.circuit;
+  result.device = state.device;
+  if (state.initial_layout.has_value()) {
+    result.initial_layout = *state.initial_layout;
+  }
+  result.final_layout = state.final_layout;
+  return result;
+}
+
+double Predictor::evaluate(const CompilationResult& result,
+                           reward::RewardKind metric) const {
+  if (result.device == nullptr) {
+    return 0.0;
+  }
+  return reward::compute_reward(metric, result.circuit, *result.device);
+}
+
+void Predictor::save(std::ostream& os) const {
+  if (!agent_.has_value()) {
+    throw std::logic_error("Predictor::save: nothing trained");
+  }
+  os << "qrc_predictor 1 " << static_cast<int>(config_.reward) << " "
+     << config_.env_max_steps << " " << config_.seed << "\n";
+  agent_->save(os);
+}
+
+Predictor Predictor::load(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  int reward_kind = 0;
+  PredictorConfig config;
+  is >> tag >> version >> reward_kind >> config.env_max_steps >> config.seed;
+  if (tag != "qrc_predictor" || version != 1 || reward_kind < 0 ||
+      reward_kind > 4) {
+    throw std::runtime_error("Predictor::load: bad header");
+  }
+  config.reward = static_cast<reward::RewardKind>(reward_kind);
+  Predictor out(config);
+  out.agent_.emplace(rl::PpoAgent::load(is));
+  return out;
+}
+
+}  // namespace qrc::core

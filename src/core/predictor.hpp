@@ -1,0 +1,76 @@
+/// \file predictor.hpp
+/// \brief The user-facing optimized compiler: trains one PPO model per
+///        reward function on a circuit corpus, then compiles arbitrary
+///        circuits by greedy policy rollout (Section III-B). This is the
+///        library's primary public API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compilation_env.hpp"
+#include "reward/reward.hpp"
+#include "rl/ppo.hpp"
+
+namespace qrc::core {
+
+/// Outcome of compiling one circuit with a trained policy.
+struct CompilationResult {
+  ir::Circuit circuit;                    ///< executable circuit
+  const device::Device* device = nullptr; ///< chosen target
+  std::vector<std::string> action_trace;  ///< applied action names in order
+  std::vector<int> initial_layout;        ///< logical -> physical
+  std::vector<int> final_layout;          ///< logical -> physical after routing
+  double reward = 0.0;                    ///< under the trained objective
+  bool used_fallback = false;  ///< policy failed to finish; the canned
+                               ///< sequence completed the compilation
+};
+
+struct PredictorConfig {
+  reward::RewardKind reward = reward::RewardKind::kFidelity;
+  rl::PpoConfig ppo;        ///< ppo.total_timesteps controls training budget
+  int env_max_steps = 40;
+  std::uint64_t seed = 1;
+};
+
+/// RL-optimized quantum compiler. Train once, compile many.
+class Predictor {
+ public:
+  explicit Predictor(PredictorConfig config);
+
+  /// Trains the policy on `circuits` (the paper: 200 MQT Bench circuits).
+  /// Returns per-update statistics.
+  std::vector<rl::PpoUpdateStats> train(
+      const std::vector<ir::Circuit>& circuits);
+
+  [[nodiscard]] bool is_trained() const { return agent_.has_value(); }
+
+  /// Compiles a circuit by greedy rollout of the trained policy. If the
+  /// policy does not reach Done within the step budget, a deterministic
+  /// fallback sequence (synthesis, SABRE layout/routing, synthesis, 1q
+  /// optimization) completes the flow and the result is flagged.
+  [[nodiscard]] CompilationResult compile(const ir::Circuit& circuit) const;
+
+  /// Ablation hook: compile with observation feature `feature_index`
+  /// zeroed at every inference step (measures how load-bearing each
+  /// feature is for the learned policy).
+  [[nodiscard]] CompilationResult compile_with_masked_feature(
+      const ir::Circuit& circuit, int feature_index) const;
+
+  /// Reward of a compiled result under an arbitrary metric (for Table I).
+  [[nodiscard]] double evaluate(const CompilationResult& result,
+                                reward::RewardKind metric) const;
+
+  void save(std::ostream& os) const;
+  static Predictor load(std::istream& is);
+
+  [[nodiscard]] const PredictorConfig& config() const { return config_; }
+
+ private:
+  PredictorConfig config_;
+  std::optional<rl::PpoAgent> agent_;
+};
+
+}  // namespace qrc::core

@@ -1,0 +1,238 @@
+#include "device/coupling_map.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace qrc::device {
+
+CouplingMap::CouplingMap(int num_qubits,
+                         std::vector<std::pair<int, int>> edges)
+    : num_qubits_(num_qubits), edges_(std::move(edges)) {
+  if (num_qubits < 1) {
+    throw std::invalid_argument("CouplingMap: need at least one qubit");
+  }
+  adj_.assign(static_cast<std::size_t>(num_qubits), {});
+  for (auto& [a, b] : edges_) {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    if (a < 0 || b >= num_qubits || a == b) {
+      throw std::invalid_argument("CouplingMap: bad edge");
+    }
+  }
+  std::sort(edges_.begin(), edges_.end());
+  if (std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw std::invalid_argument("CouplingMap: duplicate edge");
+  }
+  for (const auto& [a, b] : edges_) {
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+  }
+  // All-pairs BFS.
+  dist_.assign(static_cast<std::size_t>(num_qubits),
+               std::vector<int>(static_cast<std::size_t>(num_qubits),
+                                num_qubits));
+  for (int s = 0; s < num_qubits; ++s) {
+    auto& row = dist_[static_cast<std::size_t>(s)];
+    row[static_cast<std::size_t>(s)] = 0;
+    std::deque<int> queue{s};
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (const int v : adj_[static_cast<std::size_t>(u)]) {
+        if (row[static_cast<std::size_t>(v)] > row[static_cast<std::size_t>(
+                                                  u)] + 1) {
+          row[static_cast<std::size_t>(v)] =
+              row[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+bool CouplingMap::are_coupled(int a, int b) const {
+  if (a == b) {
+    return false;
+  }
+  const auto& nbrs = adj_[static_cast<std::size_t>(a)];
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+std::vector<int> CouplingMap::shortest_path(int a, int b) const {
+  std::vector<int> path{a};
+  int cur = a;
+  while (cur != b) {
+    int best = -1;
+    for (const int nbr : neighbors(cur)) {
+      if (distance(nbr, b) == distance(cur, b) - 1) {
+        best = nbr;
+        break;
+      }
+    }
+    if (best < 0) {
+      throw std::runtime_error("shortest_path: qubits disconnected");
+    }
+    path.push_back(best);
+    cur = best;
+  }
+  return path;
+}
+
+bool CouplingMap::connected() const {
+  for (int q = 1; q < num_qubits_; ++q) {
+    if (distance(0, q) >= num_qubits_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CouplingMap::no_isolated_qubits() const {
+  if (num_qubits_ == 1) {
+    return true;
+  }
+  for (const auto& nbrs : adj_) {
+    if (nbrs.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CouplingMap CouplingMap::line(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(i, i + 1);
+  }
+  return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap CouplingMap::ring(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(i, i + 1);
+  }
+  if (n > 2) {
+    edges.emplace_back(0, n - 1);
+  }
+  return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap CouplingMap::grid(int rows, int cols) {
+  std::vector<std::pair<int, int>> edges;
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.emplace_back(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+  return CouplingMap(rows * cols, std::move(edges));
+}
+
+CouplingMap CouplingMap::fully_connected(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      edges.emplace_back(i, j);
+    }
+  }
+  return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap CouplingMap::heavy_hex(int rows, int row_len) {
+  // Row r occupies indices [row_start[r], row_start[r] + len_r) laid out
+  // left to right; the first and last rows are one qubit short (as on the
+  // IBM Eagle). Between consecutive rows, bridge qubits connect column
+  // `c` of both rows, with c in {0, 4, 8, ...} for even gaps and
+  // {2, 6, 10, ...} for odd gaps.
+  if (rows < 2 || row_len < 5) {
+    throw std::invalid_argument("heavy_hex: lattice too small");
+  }
+  std::vector<int> row_start(static_cast<std::size_t>(rows));
+  std::vector<int> row_len_r(static_cast<std::size_t>(rows));
+  std::vector<int> row_offset(static_cast<std::size_t>(rows), 0);
+  int next = 0;
+  std::vector<std::pair<int, int>> edges;
+  for (int r = 0; r < rows; ++r) {
+    int len = row_len;
+    int offset = 0;
+    if (r == 0) {
+      len = row_len - 1;  // first row: drop the right-most qubit
+    } else if (r == rows - 1) {
+      len = row_len - 1;  // last row: drop the left-most qubit
+      offset = 1;
+    }
+    row_start[static_cast<std::size_t>(r)] = next;
+    row_len_r[static_cast<std::size_t>(r)] = len;
+    row_offset[static_cast<std::size_t>(r)] = offset;
+    for (int c = 0; c + 1 < len; ++c) {
+      edges.emplace_back(next + c, next + c + 1);
+    }
+    next += len;
+  }
+  // Bridges.
+  for (int r = 0; r + 1 < rows; ++r) {
+    const int base_col = (r % 2 == 0) ? 0 : 2;
+    for (int c = base_col; c < row_len; c += 4) {
+      // Map the lattice column to indices within each row, skipping rows
+      // that do not contain that column.
+      const auto index_in_row = [&](int row, int col) -> int {
+        const int off = row_offset[static_cast<std::size_t>(row)];
+        const int len = row_len_r[static_cast<std::size_t>(row)];
+        const int local = col - off;
+        if (local < 0 || local >= len) {
+          return -1;
+        }
+        return row_start[static_cast<std::size_t>(row)] + local;
+      };
+      const int top = index_in_row(r, c);
+      const int bottom = index_in_row(r + 1, c);
+      if (top < 0 || bottom < 0) {
+        continue;
+      }
+      const int bridge = next++;
+      edges.emplace_back(top, bridge);
+      edges.emplace_back(bridge, bottom);
+    }
+  }
+  return CouplingMap(next, std::move(edges));
+}
+
+CouplingMap CouplingMap::octagonal(int rows, int cols) {
+  // Each octagon ring has qubits 0..7 (clockwise). Facing octagons share
+  // two couplers: horizontally (1, 2) <-> (6, 5), vertically (3, 4) <->
+  // (0, 7).
+  std::vector<std::pair<int, int>> edges;
+  const auto base = [cols](int r, int c) { return 8 * (r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int b = base(r, c);
+      for (int k = 0; k < 8; ++k) {
+        edges.emplace_back(b + k, b + (k + 1) % 8);
+      }
+      if (c + 1 < cols) {
+        const int right = base(r, c + 1);
+        edges.emplace_back(b + 1, right + 6);
+        edges.emplace_back(b + 2, right + 5);
+      }
+      if (r + 1 < rows) {
+        const int below = base(r + 1, c);
+        edges.emplace_back(b + 3, below + 0);
+        edges.emplace_back(b + 4, below + 7);
+      }
+    }
+  }
+  return CouplingMap(8 * rows * cols, std::move(edges));
+}
+
+}  // namespace qrc::device

@@ -1,0 +1,68 @@
+/// \file coupling_map.hpp
+/// \brief Undirected qubit-connectivity graph of a device, with all-pairs
+///        shortest-path distances for routing heuristics.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace qrc::device {
+
+/// Undirected connectivity graph. Distances are hop counts computed by BFS
+/// over all pairs at construction (devices are <= a few hundred qubits).
+class CouplingMap {
+ public:
+  CouplingMap() = default;
+
+  /// \param num_qubits number of physical qubits.
+  /// \param edges undirected couplings; duplicates and self-loops rejected.
+  CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+  [[nodiscard]] int num_qubits() const { return num_qubits_; }
+  [[nodiscard]] const std::vector<std::pair<int, int>>& edges() const {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<int>& neighbors(int q) const {
+    return adj_[static_cast<std::size_t>(q)];
+  }
+
+  [[nodiscard]] bool are_coupled(int a, int b) const;
+
+  /// Hop distance between two qubits; num_qubits() if disconnected.
+  [[nodiscard]] int distance(int a, int b) const {
+    return dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  }
+
+  /// One shortest path from a to b (inclusive of both endpoints).
+  [[nodiscard]] std::vector<int> shortest_path(int a, int b) const;
+
+  /// True if the graph is connected.
+  [[nodiscard]] bool connected() const;
+
+  /// True if every qubit has at least one coupling (or the device is 1q).
+  [[nodiscard]] bool no_isolated_qubits() const;
+
+  // ---- Topology factories ----
+
+  [[nodiscard]] static CouplingMap line(int n);
+  [[nodiscard]] static CouplingMap ring(int n);
+  [[nodiscard]] static CouplingMap grid(int rows, int cols);
+  [[nodiscard]] static CouplingMap fully_connected(int n);
+
+  /// IBM-style heavy-hex lattice with `rows` qubit rows of `row_len` qubits
+  /// and 4 bridge qubits per row gap; the first and last rows are one qubit
+  /// short, matching the 127-qubit Eagle shape for (7, 15).
+  [[nodiscard]] static CouplingMap heavy_hex(int rows, int row_len);
+
+  /// Rigetti-style lattice of 8-qubit octagon rings arranged in a
+  /// `rows` x `cols` grid with two couplers between facing octagons.
+  [[nodiscard]] static CouplingMap octagonal(int rows, int cols);
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::vector<int>> dist_;
+};
+
+}  // namespace qrc::device

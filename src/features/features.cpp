@@ -1,0 +1,176 @@
+#include "features/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace qrc::features {
+
+namespace {
+
+/// Per-op levelisation over unitary gates only. Returns the level (1-based)
+/// of each unitary op, 0 for non-unitary ops, plus the overall depth.
+struct Levels {
+  std::vector<int> level;  // aligned with circuit.ops()
+  int depth = 0;
+};
+
+Levels levelize(const ir::Circuit& circuit) {
+  Levels out;
+  out.level.assign(circuit.size(), 0);
+  std::vector<int> qubit_level(static_cast<std::size_t>(circuit.num_qubits()),
+                               0);
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const ir::Operation& op = circuit.ops()[i];
+    if (!op.is_unitary()) {
+      continue;
+    }
+    int start = 0;
+    for (const int q : op.qubits()) {
+      start = std::max(start, qubit_level[static_cast<std::size_t>(q)]);
+    }
+    out.level[i] = start + 1;
+    for (const int q : op.qubits()) {
+      qubit_level[static_cast<std::size_t>(q)] = start + 1;
+    }
+    out.depth = std::max(out.depth, start + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+double critical_depth_feature(const ir::Circuit& circuit) {
+  // n_ed / n_e: the maximum number of two-qubit gates lying on any longest
+  // path of the circuit DAG, over the total number of two-qubit gates.
+  const auto& ops = circuit.ops();
+  int n_e = 0;
+  for (const ir::Operation& op : ops) {
+    if (op.is_unitary() && op.num_qubits() >= 2) {
+      ++n_e;
+    }
+  }
+  if (n_e == 0) {
+    return 0.0;
+  }
+
+  // DP over the DAG: for each op, the length of the longest chain ending at
+  // it (len) and the max 2q-gate count over chains of that length (twoq).
+  std::vector<int> qubit_len(static_cast<std::size_t>(circuit.num_qubits()),
+                             0);
+  std::vector<int> qubit_twoq(static_cast<std::size_t>(circuit.num_qubits()),
+                              0);
+  int best_len = 0;
+  int best_twoq = 0;
+  for (const ir::Operation& op : ops) {
+    if (!op.is_unitary()) {
+      continue;
+    }
+    int len = 0;
+    int twoq = 0;
+    for (const int q : op.qubits()) {
+      const int ql = qubit_len[static_cast<std::size_t>(q)];
+      const int qt = qubit_twoq[static_cast<std::size_t>(q)];
+      if (ql > len || (ql == len && qt > twoq)) {
+        len = ql;
+        twoq = qt;
+      }
+    }
+    len += 1;
+    if (op.num_qubits() >= 2) {
+      twoq += 1;
+    }
+    for (const int q : op.qubits()) {
+      qubit_len[static_cast<std::size_t>(q)] = len;
+      qubit_twoq[static_cast<std::size_t>(q)] = twoq;
+    }
+    if (len > best_len || (len == best_len && twoq > best_twoq)) {
+      best_len = len;
+      best_twoq = twoq;
+    }
+  }
+  return static_cast<double>(best_twoq) / static_cast<double>(n_e);
+}
+
+FeatureVector extract_features(const ir::Circuit& circuit) {
+  FeatureVector out;
+  const auto active = circuit.active_qubits();
+  const int n = static_cast<int>(active.size());
+  out.num_qubits = static_cast<double>(n);
+  if (n == 0) {
+    return out;
+  }
+
+  const Levels levels = levelize(circuit);
+  out.depth = static_cast<double>(levels.depth);
+
+  // Interaction graph degrees over active qubits.
+  std::set<std::pair<int, int>> interaction_edges;
+  int n_g = 0;
+  int n_e = 0;
+  int participations = 0;
+  for (const ir::Operation& op : circuit.ops()) {
+    if (!op.is_unitary()) {
+      continue;
+    }
+    ++n_g;
+    participations += op.num_qubits();
+    if (op.num_qubits() >= 2) {
+      ++n_e;
+      for (int i = 0; i < op.num_qubits(); ++i) {
+        for (int j = i + 1; j < op.num_qubits(); ++j) {
+          int a = op.qubit(i);
+          int b = op.qubit(j);
+          if (a > b) {
+            std::swap(a, b);
+          }
+          interaction_edges.insert({a, b});
+        }
+      }
+    }
+  }
+  if (n_g == 0) {
+    return out;
+  }
+
+  // Program communication: mean degree / (n - 1).
+  if (n > 1) {
+    // degree sum = 2 * |edges|.
+    out.program_communication =
+        2.0 * static_cast<double>(interaction_edges.size()) /
+        (static_cast<double>(n) * static_cast<double>(n - 1));
+  }
+
+  out.critical_depth = critical_depth_feature(circuit);
+  out.entanglement_ratio =
+      static_cast<double>(n_e) / static_cast<double>(n_g);
+
+  if (n > 1 && levels.depth > 0) {
+    const double ratio =
+        static_cast<double>(n_g) / static_cast<double>(levels.depth);
+    out.parallelism =
+        std::max(0.0, (ratio - 1.0) / static_cast<double>(n - 1));
+  }
+
+  if (levels.depth > 0) {
+    out.liveness = static_cast<double>(participations) /
+                   (static_cast<double>(n) *
+                    static_cast<double>(levels.depth));
+  }
+  return out;
+}
+
+std::array<double, kNumFeatures> FeatureVector::observation() const {
+  return {
+      std::min(1.0, num_qubits / 20.0),
+      1.0 - std::exp(-depth / 200.0),
+      program_communication,
+      critical_depth,
+      entanglement_ratio,
+      parallelism,
+      liveness,
+  };
+}
+
+}  // namespace qrc::features

@@ -1,0 +1,45 @@
+/// \file features.hpp
+/// \brief Circuit feature extraction for the RL observations: qubit count,
+///        depth, and the five Supermarq composite features (program
+///        communication, critical depth, entanglement ratio, parallelism,
+///        liveness) from Tomesh et al., "Supermarq: A scalable quantum
+///        benchmark suite" (2022).
+///
+/// All features are computed over the *unitary* gates of the circuit and
+/// the *active* qubits only, so they remain meaningful after a circuit has
+/// been laid out onto a much wider device.
+#pragma once
+
+#include <array>
+
+#include "ir/circuit.hpp"
+
+namespace qrc::features {
+
+/// Number of observation features fed to the RL agent.
+inline constexpr int kNumFeatures = 7;
+
+/// The raw (un-normalised where noted) feature values. The five Supermarq
+/// features are in [0, 1] by construction.
+struct FeatureVector {
+  double num_qubits = 0.0;             ///< active qubit count (raw)
+  double depth = 0.0;                  ///< circuit depth (raw)
+  double program_communication = 0.0;  ///< interaction-graph density
+  double critical_depth = 0.0;         ///< 2q gates on critical path / all 2q
+  double entanglement_ratio = 0.0;     ///< 2q gates / all gates
+  double parallelism = 0.0;            ///< gate-per-layer utilisation
+  double liveness = 0.0;               ///< qubit-timestep occupancy
+
+  /// Normalised observation in [0, 1]^7: qubit count scaled by /20 (the
+  /// training range upper bound, clipped), depth squashed by
+  /// 1 - exp(-depth / 200).
+  [[nodiscard]] std::array<double, kNumFeatures> observation() const;
+};
+
+/// Extracts all features in one pass over the circuit.
+[[nodiscard]] FeatureVector extract_features(const ir::Circuit& circuit);
+
+/// The Supermarq critical-depth feature alone (used by the reward).
+[[nodiscard]] double critical_depth_feature(const ir::Circuit& circuit);
+
+}  // namespace qrc::features

@@ -1,0 +1,266 @@
+#include "ir/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "la/complex.hpp"
+
+namespace qrc::ir {
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name)) {
+  if (num_qubits < 0) {
+    throw std::invalid_argument("Circuit: negative qubit count");
+  }
+}
+
+void Circuit::add_global_phase(double phase) {
+  global_phase_ = la::normalize_angle(global_phase_ + phase);
+}
+
+void Circuit::validate(const Operation& op) const {
+  for (const int q : op.qubits()) {
+    if (q < 0 || q >= num_qubits_) {
+      throw std::out_of_range("Circuit: operand qubit " + std::to_string(q) +
+                              " out of range [0, " +
+                              std::to_string(num_qubits_) + ")");
+    }
+  }
+}
+
+void Circuit::append(const Operation& op) {
+  validate(op);
+  ops_.push_back(op);
+}
+
+void Circuit::append(GateKind kind, std::span<const int> qubits,
+                     std::span<const double> params) {
+  append(Operation(kind, qubits, params));
+}
+
+void Circuit::u3(double theta, double phi, double lambda, int q) {
+  const std::array<int, 1> qs{q};
+  const std::array<double, 3> ps{theta, phi, lambda};
+  append(GateKind::kU3, qs, ps);
+}
+
+void Circuit::ccx(int c1, int c2, int target) {
+  const std::array<int, 3> qs{c1, c2, target};
+  append(GateKind::kCCX, qs);
+}
+
+void Circuit::ccz(int a, int b, int c) {
+  const std::array<int, 3> qs{a, b, c};
+  append(GateKind::kCCZ, qs);
+}
+
+void Circuit::cswap(int control, int a, int b) {
+  const std::array<int, 3> qs{control, a, b};
+  append(GateKind::kCSWAP, qs);
+}
+
+void Circuit::measure_all() {
+  for (int q = 0; q < num_qubits_; ++q) {
+    measure(q);
+  }
+}
+
+void Circuit::barrier() {
+  append(Operation(GateKind::kBarrier, {}, {}));
+}
+
+void Circuit::append1(GateKind kind, int q) {
+  const std::array<int, 1> qs{q};
+  append(kind, qs);
+}
+
+void Circuit::append1p(GateKind kind, double p0, int q) {
+  const std::array<int, 1> qs{q};
+  const std::array<double, 1> ps{p0};
+  append(kind, qs, ps);
+}
+
+void Circuit::append2(GateKind kind, int a, int b) {
+  const std::array<int, 2> qs{a, b};
+  append(kind, qs);
+}
+
+void Circuit::append2p(GateKind kind, double p0, int a, int b) {
+  const std::array<int, 2> qs{a, b};
+  const std::array<double, 1> ps{p0};
+  append(kind, qs, ps);
+}
+
+int Circuit::depth() const {
+  std::vector<int> level(static_cast<std::size_t>(num_qubits_), 0);
+  int max_level = 0;
+  for (const Operation& op : ops_) {
+    if (op.kind() == GateKind::kBarrier) {
+      // Synchronise all qubits without consuming a level.
+      const int sync = *std::max_element(level.begin(), level.end());
+      std::fill(level.begin(), level.end(), sync);
+      continue;
+    }
+    int start = 0;
+    for (const int q : op.qubits()) {
+      start = std::max(start, level[static_cast<std::size_t>(q)]);
+    }
+    for (const int q : op.qubits()) {
+      level[static_cast<std::size_t>(q)] = start + 1;
+    }
+    max_level = std::max(max_level, start + 1);
+  }
+  return max_level;
+}
+
+int Circuit::multi_qubit_depth() const {
+  std::vector<int> level(static_cast<std::size_t>(num_qubits_), 0);
+  int max_level = 0;
+  for (const Operation& op : ops_) {
+    if (!op.is_unitary() || op.num_qubits() < 2) {
+      continue;
+    }
+    int start = 0;
+    for (const int q : op.qubits()) {
+      start = std::max(start, level[static_cast<std::size_t>(q)]);
+    }
+    for (const int q : op.qubits()) {
+      level[static_cast<std::size_t>(q)] = start + 1;
+    }
+    max_level = std::max(max_level, start + 1);
+  }
+  return max_level;
+}
+
+int Circuit::gate_count() const {
+  int count = 0;
+  for (const Operation& op : ops_) {
+    if (op.is_unitary()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int Circuit::two_qubit_gate_count() const {
+  int count = 0;
+  for (const Operation& op : ops_) {
+    if (op.is_unitary() && op.num_qubits() >= 2) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::map<std::string, int> Circuit::count_ops() const {
+  std::map<std::string, int> counts;
+  for (const Operation& op : ops_) {
+    ++counts[std::string(gate_name(op.kind()))];
+  }
+  return counts;
+}
+
+bool Circuit::max_gate_arity_at_most(int max_arity) const {
+  for (const Operation& op : ops_) {
+    if (op.is_unitary() && op.num_qubits() > max_arity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Circuit Circuit::inverse() const {
+  Circuit out(num_qubits_, name_.empty() ? "" : name_ + "_dg");
+  out.global_phase_ = la::normalize_angle(-global_phase_);
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    const Operation& op = *it;
+    if (op.kind() == GateKind::kBarrier) {
+      out.barrier();
+      continue;
+    }
+    if (!op.is_unitary()) {
+      continue;  // measure / reset have no adjoint
+    }
+    if (op.kind() == GateKind::kISWAP) {
+      // iSWAP^dag = (Z (x) Z) * iSWAP.
+      out.iswap(op.qubit(0), op.qubit(1));
+      out.z(op.qubit(0));
+      out.z(op.qubit(1));
+      continue;
+    }
+    const InverseGate inv = gate_inverse(op.kind(), op.params());
+    const GateInfo& info = gate_info(inv.kind);
+    out.append(inv.kind, op.qubits(),
+               std::span<const double>(inv.params.data(),
+                                       static_cast<std::size_t>(
+                                           info.num_params)));
+  }
+  return out;
+}
+
+Circuit Circuit::remapped(const std::vector<int>& mapping,
+                          int new_num_qubits) const {
+  if (static_cast<int>(mapping.size()) < num_qubits_) {
+    throw std::invalid_argument("remapped: mapping too small");
+  }
+  Circuit out(new_num_qubits, name_);
+  out.global_phase_ = global_phase_;
+  for (const Operation& op : ops_) {
+    Operation copy = op;
+    for (int i = 0; i < op.num_qubits(); ++i) {
+      copy.set_qubit(i, mapping[static_cast<std::size_t>(op.qubit(i))]);
+    }
+    out.append(copy);
+  }
+  return out;
+}
+
+void Circuit::extend(const Circuit& other) {
+  if (other.num_qubits() > num_qubits_) {
+    throw std::invalid_argument("extend: other circuit is wider");
+  }
+  for (const Operation& op : other.ops()) {
+    append(op);
+  }
+  add_global_phase(other.global_phase());
+}
+
+void Circuit::remove_ops(const std::vector<bool>& to_remove) {
+  if (to_remove.size() != ops_.size()) {
+    throw std::invalid_argument("remove_ops: flag vector size mismatch");
+  }
+  std::vector<Operation> kept;
+  kept.reserve(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (!to_remove[i]) {
+      kept.push_back(ops_[i]);
+    }
+  }
+  ops_ = std::move(kept);
+}
+
+std::vector<int> Circuit::active_qubits() const {
+  std::vector<bool> used(static_cast<std::size_t>(num_qubits_), false);
+  for (const Operation& op : ops_) {
+    for (const int q : op.qubits()) {
+      used[static_cast<std::size_t>(q)] = true;
+    }
+  }
+  std::vector<int> out;
+  for (int q = 0; q < num_qubits_; ++q) {
+    if (used[static_cast<std::size_t>(q)]) {
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+std::string Circuit::summary() const {
+  std::ostringstream os;
+  os << (name_.empty() ? "circuit" : name_) << ": " << num_qubits_
+     << " qubits, " << ops_.size() << " ops, depth " << depth();
+  return os.str();
+}
+
+}  // namespace qrc::ir

@@ -1,0 +1,137 @@
+/// \file circuit.hpp
+/// \brief The quantum circuit: an ordered list of operations on n qubits.
+///        This is the unified interchange format of the framework — every
+///        compilation pass consumes and produces a Circuit.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/operation.hpp"
+
+namespace qrc::ir {
+
+/// Ordered sequence of operations over `num_qubits` qubits. Gate insertion
+/// validates operand ranges eagerly so that passes can assume well-formed
+/// circuits.
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int num_qubits, std::string name = "");
+
+  [[nodiscard]] int num_qubits() const { return num_qubits_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] double global_phase() const { return global_phase_; }
+  void add_global_phase(double phase);
+
+  [[nodiscard]] const std::vector<Operation>& ops() const { return ops_; }
+  [[nodiscard]] std::vector<Operation>& mutable_ops() { return ops_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+
+  /// Appends an operation, validating operand indices against num_qubits().
+  void append(const Operation& op);
+  void append(GateKind kind, std::span<const int> qubits,
+              std::span<const double> params = {});
+
+  // Typed helpers for every gate in the vocabulary.
+  void i(int q) { append1(GateKind::kI, q); }
+  void x(int q) { append1(GateKind::kX, q); }
+  void y(int q) { append1(GateKind::kY, q); }
+  void z(int q) { append1(GateKind::kZ, q); }
+  void h(int q) { append1(GateKind::kH, q); }
+  void s(int q) { append1(GateKind::kS, q); }
+  void sdg(int q) { append1(GateKind::kSdg, q); }
+  void t(int q) { append1(GateKind::kT, q); }
+  void tdg(int q) { append1(GateKind::kTdg, q); }
+  void sx(int q) { append1(GateKind::kSX, q); }
+  void sxdg(int q) { append1(GateKind::kSXdg, q); }
+  void rx(double theta, int q) { append1p(GateKind::kRX, theta, q); }
+  void ry(double theta, int q) { append1p(GateKind::kRY, theta, q); }
+  void rz(double theta, int q) { append1p(GateKind::kRZ, theta, q); }
+  void p(double lambda, int q) { append1p(GateKind::kP, lambda, q); }
+  void u3(double theta, double phi, double lambda, int q);
+  void cx(int control, int target) { append2(GateKind::kCX, control, target); }
+  void cy(int control, int target) { append2(GateKind::kCY, control, target); }
+  void cz(int a, int b) { append2(GateKind::kCZ, a, b); }
+  void ch(int control, int target) { append2(GateKind::kCH, control, target); }
+  void cp(double lambda, int a, int b) { append2p(GateKind::kCP, lambda, a, b); }
+  void crx(double t, int c, int tg) { append2p(GateKind::kCRX, t, c, tg); }
+  void cry(double t, int c, int tg) { append2p(GateKind::kCRY, t, c, tg); }
+  void crz(double t, int c, int tg) { append2p(GateKind::kCRZ, t, c, tg); }
+  void swap(int a, int b) { append2(GateKind::kSWAP, a, b); }
+  void iswap(int a, int b) { append2(GateKind::kISWAP, a, b); }
+  void ecr(int a, int b) { append2(GateKind::kECR, a, b); }
+  void rxx(double t, int a, int b) { append2p(GateKind::kRXX, t, a, b); }
+  void ryy(double t, int a, int b) { append2p(GateKind::kRYY, t, a, b); }
+  void rzz(double t, int a, int b) { append2p(GateKind::kRZZ, t, a, b); }
+  void rzx(double t, int a, int b) { append2p(GateKind::kRZX, t, a, b); }
+  void ccx(int c1, int c2, int target);
+  void ccz(int a, int b, int c);
+  void cswap(int control, int a, int b);
+  void measure(int q) { append1(GateKind::kMeasure, q); }
+  void measure_all();
+  void barrier();
+  void reset(int q) { append1(GateKind::kReset, q); }
+
+  // ---- Analysis ----
+
+  /// Circuit depth by levelisation (barriers synchronise but add no level;
+  /// measures count as one level).
+  [[nodiscard]] int depth() const;
+
+  /// Depth counting only two-qubit(+) gates.
+  [[nodiscard]] int multi_qubit_depth() const;
+
+  /// Number of unitary gates (excludes measure/barrier/reset).
+  [[nodiscard]] int gate_count() const;
+
+  /// Number of unitary gates acting on >= 2 qubits.
+  [[nodiscard]] int two_qubit_gate_count() const;
+
+  /// Histogram of op kinds by mnemonic.
+  [[nodiscard]] std::map<std::string, int> count_ops() const;
+
+  /// True if every unitary op acts on at most `max_arity` qubits.
+  [[nodiscard]] bool max_gate_arity_at_most(int max_arity) const;
+
+  // ---- Transforms ----
+
+  /// The adjoint circuit (unitary part reversed and inverted). Non-unitary
+  /// ops (measure/reset) are dropped; barriers preserved in reverse order.
+  [[nodiscard]] Circuit inverse() const;
+
+  /// A copy with every qubit index i replaced by mapping[i]. The result has
+  /// `new_num_qubits` qubits (>= max mapped index + 1).
+  [[nodiscard]] Circuit remapped(const std::vector<int>& mapping,
+                                 int new_num_qubits) const;
+
+  /// Appends all ops of `other` (must have <= num_qubits() qubits).
+  void extend(const Circuit& other);
+
+  /// Removes ops flagged true in `to_remove` (size must equal size()).
+  void remove_ops(const std::vector<bool>& to_remove);
+
+  /// The set of qubits touched by at least one op.
+  [[nodiscard]] std::vector<int> active_qubits() const;
+
+  /// Compact single-line summary, e.g. "ghz_5: 6 ops, depth 5".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void append1(GateKind kind, int q);
+  void append1p(GateKind kind, double p0, int q);
+  void append2(GateKind kind, int a, int b);
+  void append2p(GateKind kind, double p0, int a, int b);
+  void validate(const Operation& op) const;
+
+  int num_qubits_ = 0;
+  double global_phase_ = 0.0;
+  std::string name_;
+  std::vector<Operation> ops_;
+};
+
+}  // namespace qrc::ir

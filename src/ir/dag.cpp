@@ -1,0 +1,92 @@
+#include "ir/dag.hpp"
+
+#include <stdexcept>
+
+namespace qrc::ir {
+
+DagCircuit::DagCircuit(const Circuit& circuit) : circuit_(&circuit) {
+  const auto& ops = circuit.ops();
+  const int n = circuit.num_qubits();
+  prev_.assign(ops.size(), {-1, -1, -1});
+  next_.assign(ops.size(), {-1, -1, -1});
+  first_.assign(static_cast<std::size_t>(n), -1);
+  last_.assign(static_cast<std::size_t>(n), -1);
+
+  // last_seen[q] = index of the most recent op on qubit q during the sweep.
+  std::vector<int> last_seen(static_cast<std::size_t>(n), -1);
+
+  const auto link = [&](int cur, int qubit, int operand_pos_cur) {
+    const int prev_idx = last_seen[static_cast<std::size_t>(qubit)];
+    if (operand_pos_cur >= 0) {
+      prev_[static_cast<std::size_t>(cur)]
+           [static_cast<std::size_t>(operand_pos_cur)] = prev_idx;
+    } else {
+      barrier_prev_[cur][static_cast<std::size_t>(qubit)] = prev_idx;
+    }
+    if (prev_idx >= 0) {
+      const Operation& pop = ops[static_cast<std::size_t>(prev_idx)];
+      if (pop.kind() == GateKind::kBarrier) {
+        barrier_next_[prev_idx][static_cast<std::size_t>(qubit)] = cur;
+      } else {
+        for (int k = 0; k < pop.num_qubits(); ++k) {
+          if (pop.qubit(k) == qubit) {
+            next_[static_cast<std::size_t>(prev_idx)]
+                 [static_cast<std::size_t>(k)] = cur;
+            break;
+          }
+        }
+      }
+    } else {
+      first_[static_cast<std::size_t>(qubit)] = cur;
+    }
+    last_seen[static_cast<std::size_t>(qubit)] = cur;
+  };
+
+  for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+    const Operation& op = ops[static_cast<std::size_t>(i)];
+    if (op.kind() == GateKind::kBarrier) {
+      barrier_prev_[i].assign(static_cast<std::size_t>(n), -1);
+      barrier_next_[i].assign(static_cast<std::size_t>(n), -1);
+      for (int q = 0; q < n; ++q) {
+        link(i, q, -1);
+      }
+      continue;
+    }
+    for (int k = 0; k < op.num_qubits(); ++k) {
+      link(i, op.qubit(k), k);
+    }
+  }
+  for (int q = 0; q < n; ++q) {
+    last_[static_cast<std::size_t>(q)] = last_seen[static_cast<std::size_t>(q)];
+  }
+}
+
+int DagCircuit::prev_on_qubit(int index, int qubit) const {
+  const Operation& op = circuit_->ops()[static_cast<std::size_t>(index)];
+  if (op.kind() == GateKind::kBarrier) {
+    return barrier_prev_.at(index)[static_cast<std::size_t>(qubit)];
+  }
+  for (int k = 0; k < op.num_qubits(); ++k) {
+    if (op.qubit(k) == qubit) {
+      return prev_[static_cast<std::size_t>(index)]
+                  [static_cast<std::size_t>(k)];
+    }
+  }
+  throw std::invalid_argument("prev_on_qubit: op does not act on qubit");
+}
+
+int DagCircuit::next_on_qubit(int index, int qubit) const {
+  const Operation& op = circuit_->ops()[static_cast<std::size_t>(index)];
+  if (op.kind() == GateKind::kBarrier) {
+    return barrier_next_.at(index)[static_cast<std::size_t>(qubit)];
+  }
+  for (int k = 0; k < op.num_qubits(); ++k) {
+    if (op.qubit(k) == qubit) {
+      return next_[static_cast<std::size_t>(index)]
+                  [static_cast<std::size_t>(k)];
+    }
+  }
+  throw std::invalid_argument("next_on_qubit: op does not act on qubit");
+}
+
+}  // namespace qrc::ir

@@ -1,0 +1,50 @@
+/// \file dag.hpp
+/// \brief Lightweight DAG view over a Circuit: per-qubit predecessor and
+///        successor links for every operation. Used by commutation-aware
+///        passes and the feature extractors.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qrc::ir {
+
+/// Immutable dependency view of a circuit. Barriers depend on all qubits.
+/// Indices refer to positions in circuit.ops().
+class DagCircuit {
+ public:
+  explicit DagCircuit(const Circuit& circuit);
+
+  /// Index of the previous op acting on `qubit` before op `index`, or -1.
+  /// Precondition: op `index` acts on `qubit` (or is a barrier).
+  [[nodiscard]] int prev_on_qubit(int index, int qubit) const;
+
+  /// Index of the next op acting on `qubit` after op `index`, or -1.
+  [[nodiscard]] int next_on_qubit(int index, int qubit) const;
+
+  /// First op acting on `qubit`, or -1.
+  [[nodiscard]] int first_on_qubit(int qubit) const {
+    return first_[static_cast<std::size_t>(qubit)];
+  }
+
+  /// Last op acting on `qubit`, or -1.
+  [[nodiscard]] int last_on_qubit(int qubit) const {
+    return last_[static_cast<std::size_t>(qubit)];
+  }
+
+ private:
+  // Compact per-operand links for regular ops (<= 3 operands); barriers act
+  // on every qubit and keep full rows in a side table.
+  const Circuit* circuit_;
+  std::vector<std::array<int, 3>> prev_;
+  std::vector<std::array<int, 3>> next_;
+  std::unordered_map<int, std::vector<int>> barrier_prev_;
+  std::unordered_map<int, std::vector<int>> barrier_next_;
+  std::vector<int> first_;
+  std::vector<int> last_;
+};
+
+}  // namespace qrc::ir

@@ -1,0 +1,263 @@
+#include "ir/gate.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace qrc::ir {
+
+namespace {
+
+using la::cplx;
+using la::kPi;
+using la::Mat2;
+using la::Mat4;
+
+constexpr std::array<GateInfo, kNumGateKinds> kGateTable = {{
+    // name, nq, np, unitary, diagonal, symmetric, clifford
+    {"id", 1, 0, true, true, false, true},
+    {"x", 1, 0, true, false, false, true},
+    {"y", 1, 0, true, false, false, true},
+    {"z", 1, 0, true, true, false, true},
+    {"h", 1, 0, true, false, false, true},
+    {"s", 1, 0, true, true, false, true},
+    {"sdg", 1, 0, true, true, false, true},
+    {"t", 1, 0, true, true, false, false},
+    {"tdg", 1, 0, true, true, false, false},
+    {"sx", 1, 0, true, false, false, true},
+    {"sxdg", 1, 0, true, false, false, true},
+    {"rx", 1, 1, true, false, false, false},
+    {"ry", 1, 1, true, false, false, false},
+    {"rz", 1, 1, true, true, false, false},
+    {"p", 1, 1, true, true, false, false},
+    {"u3", 1, 3, true, false, false, false},
+    {"cx", 2, 0, true, false, false, true},
+    {"cy", 2, 0, true, false, false, true},
+    {"cz", 2, 0, true, true, true, true},
+    {"ch", 2, 0, true, false, false, false},
+    {"cp", 2, 1, true, true, true, false},
+    {"crx", 2, 1, true, false, false, false},
+    {"cry", 2, 1, true, false, false, false},
+    {"crz", 2, 1, true, true, false, false},
+    {"swap", 2, 0, true, false, true, true},
+    {"iswap", 2, 0, true, false, true, true},
+    {"ecr", 2, 0, true, false, false, true},
+    {"rxx", 2, 1, true, false, true, false},
+    {"ryy", 2, 1, true, false, true, false},
+    {"rzz", 2, 1, true, true, true, false},
+    {"rzx", 2, 1, true, false, false, false},
+    {"ccx", 3, 0, true, false, false, false},
+    {"ccz", 3, 0, true, true, true, false},
+    {"cswap", 3, 0, true, false, false, false},
+    {"measure", 1, 0, false, false, false, false},
+    {"barrier", 0, 0, false, false, false, false},
+    {"reset", 1, 0, false, false, false, false},
+}};
+
+}  // namespace
+
+const GateInfo& gate_info(GateKind kind) {
+  return kGateTable[static_cast<std::size_t>(kind)];
+}
+
+std::string_view gate_name(GateKind kind) { return gate_info(kind).name; }
+
+std::optional<GateKind> gate_from_name(std::string_view name) {
+  for (int i = 0; i < kNumGateKinds; ++i) {
+    if (kGateTable[static_cast<std::size_t>(i)].name == name) {
+      return static_cast<GateKind>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+la::Mat2 gate_matrix_1q(GateKind kind, std::span<const double> params) {
+  switch (kind) {
+    case GateKind::kI:
+      return Mat2::identity();
+    case GateKind::kX:
+      return la::x_mat();
+    case GateKind::kY:
+      return la::y_mat();
+    case GateKind::kZ:
+      return la::z_mat();
+    case GateKind::kH:
+      return la::h_mat();
+    case GateKind::kS:
+      return la::s_mat();
+    case GateKind::kSdg:
+      return la::sdg_mat();
+    case GateKind::kT:
+      return la::t_mat();
+    case GateKind::kTdg:
+      return la::tdg_mat();
+    case GateKind::kSX:
+      return la::sx_mat();
+    case GateKind::kSXdg:
+      return la::sxdg_mat();
+    case GateKind::kRX:
+      return la::rx_mat(params[0]);
+    case GateKind::kRY:
+      return la::ry_mat(params[0]);
+    case GateKind::kRZ:
+      return la::rz_mat(params[0]);
+    case GateKind::kP:
+      return la::p_mat(params[0]);
+    case GateKind::kU3:
+      return la::u3_mat(params[0], params[1], params[2]);
+    default:
+      throw std::invalid_argument("gate_matrix_1q: not a single-qubit gate: " +
+                                  std::string(gate_name(kind)));
+  }
+}
+
+namespace {
+
+/// Controlled version of a 1q gate: control = operand 0 (low bit),
+/// target = operand 1 (high bit).
+Mat4 controlled(const Mat2& u) {
+  Mat4 out = Mat4::identity();
+  // States |q1 q0>: control set means q0 = 1, i.e. columns/rows 1 and 3.
+  out(1, 1) = u(0, 0);
+  out(1, 3) = u(0, 1);
+  out(3, 1) = u(1, 0);
+  out(3, 3) = u(1, 1);
+  return out;
+}
+
+/// exp(-i theta/2 * (sigma_a (x) sigma_b)) with sigma on qubit 1 / qubit 0.
+Mat4 two_pauli_rotation(const Mat2& pa, const Mat2& pb, double theta) {
+  const Mat4 p = la::kron(pa, pb);
+  Mat4 out = Mat4::identity() * cplx{std::cos(theta / 2.0), 0.0};
+  return out + p * cplx{0.0, -std::sin(theta / 2.0)};
+}
+
+}  // namespace
+
+la::Mat4 gate_matrix_2q(GateKind kind, std::span<const double> params) {
+  switch (kind) {
+    case GateKind::kCX:
+      return la::cx01_mat();
+    case GateKind::kCY:
+      return controlled(la::y_mat());
+    case GateKind::kCZ:
+      return la::cz_mat();
+    case GateKind::kCH:
+      return controlled(la::h_mat());
+    case GateKind::kCP:
+      return controlled(la::p_mat(params[0]));
+    case GateKind::kCRX:
+      return controlled(la::rx_mat(params[0]));
+    case GateKind::kCRY:
+      return controlled(la::ry_mat(params[0]));
+    case GateKind::kCRZ:
+      return controlled(la::rz_mat(params[0]));
+    case GateKind::kSWAP:
+      return la::swap_mat();
+    case GateKind::kISWAP:
+      return la::iswap_mat();
+    case GateKind::kECR: {
+      // ECR = (IX - XY) / sqrt(2): echoed cross-resonance, locally
+      // equivalent to CX (operand 0 = low bit).
+      const Mat4 ix = la::kron(Mat2::identity(), la::x_mat());
+      const Mat4 xy = la::kron(la::x_mat(), la::y_mat());
+      return (ix - xy) * cplx{1.0 / std::sqrt(2.0), 0.0};
+    }
+    case GateKind::kRXX:
+      return two_pauli_rotation(la::x_mat(), la::x_mat(), params[0]);
+    case GateKind::kRYY:
+      return two_pauli_rotation(la::y_mat(), la::y_mat(), params[0]);
+    case GateKind::kRZZ:
+      return two_pauli_rotation(la::z_mat(), la::z_mat(), params[0]);
+    case GateKind::kRZX:
+      // Z on operand 0 (low bit), X on operand 1 (high bit).
+      return two_pauli_rotation(la::x_mat(), la::z_mat(), params[0]);
+    default:
+      throw std::invalid_argument("gate_matrix_2q: not a two-qubit gate: " +
+                                  std::string(gate_name(kind)));
+  }
+}
+
+InverseGate gate_inverse(GateKind kind, std::span<const double> params) {
+  InverseGate out{kind, {0.0, 0.0, 0.0}};
+  switch (kind) {
+    case GateKind::kS:
+      out.kind = GateKind::kSdg;
+      return out;
+    case GateKind::kSdg:
+      out.kind = GateKind::kS;
+      return out;
+    case GateKind::kT:
+      out.kind = GateKind::kTdg;
+      return out;
+    case GateKind::kTdg:
+      out.kind = GateKind::kT;
+      return out;
+    case GateKind::kSX:
+      out.kind = GateKind::kSXdg;
+      return out;
+    case GateKind::kSXdg:
+      out.kind = GateKind::kSX;
+      return out;
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kCP:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+    case GateKind::kRZX:
+      out.params[0] = -params[0];
+      return out;
+    case GateKind::kU3:
+      // U3(t, p, l)^-1 = U3(-t, -l, -p).
+      out.params[0] = -params[0];
+      out.params[1] = -params[2];
+      out.params[2] = -params[1];
+      return out;
+    case GateKind::kISWAP:
+      // iSWAP^dag = (Z (x) Z) * iSWAP, not a single gate in the vocabulary;
+      // Circuit::inverse() expands it. The kind returned here is only used
+      // for the entangling part.
+      out.kind = GateKind::kISWAP;
+      return out;
+    default:
+      // Self-inverse gates (paulis, H, CX, CZ, CY, CH, SWAP, ECR, CCX, CCZ,
+      // CSWAP, I) and non-unitary ops map to themselves.
+      return out;
+  }
+}
+
+bool gate_is_identity(GateKind kind, std::span<const double> params,
+                      double atol) {
+  switch (kind) {
+    case GateKind::kI:
+      return true;
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+    case GateKind::kRZX:
+      return la::angle_is_zero(params[0], atol);
+    case GateKind::kP:
+    case GateKind::kCP:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+      return la::angle_is_zero(params[0], atol);
+    case GateKind::kU3:
+      return la::angle_is_zero(params[0], atol) &&
+             la::angle_is_zero(params[1] + params[2], atol);
+    default:
+      return false;
+  }
+}
+
+}  // namespace qrc::ir

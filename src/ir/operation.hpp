@@ -1,0 +1,133 @@
+/// \file operation.hpp
+/// \brief A single circuit instruction: gate kind + operands + parameters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "ir/gate.hpp"
+
+namespace qrc::ir {
+
+/// A gate application. Value type, fixed capacity (<= 3 operands and <= 3
+/// parameters — the whole vocabulary fits), cheap to copy and relocate.
+class Operation {
+ public:
+  static constexpr int kMaxQubits = 3;
+  static constexpr int kMaxParams = 3;
+
+  Operation(GateKind kind, std::span<const int> qubits,
+            std::span<const double> params = {})
+      : kind_(kind) {
+    const GateInfo& info = gate_info(kind);
+    if (kind != GateKind::kBarrier &&
+        static_cast<int>(qubits.size()) != info.num_qubits) {
+      throw std::invalid_argument("Operation: wrong operand count for " +
+                                  std::string(info.name));
+    }
+    if (static_cast<int>(params.size()) != info.num_params) {
+      throw std::invalid_argument("Operation: wrong parameter count for " +
+                                  std::string(info.name));
+    }
+    if (qubits.size() > kMaxQubits) {
+      throw std::invalid_argument("Operation: too many operands");
+    }
+    nq_ = static_cast<std::uint8_t>(qubits.size());
+    np_ = static_cast<std::uint8_t>(params.size());
+    for (int i = 0; i < nq_; ++i) {
+      qubits_[static_cast<std::size_t>(i)] =
+          qubits[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < np_; ++i) {
+      params_[static_cast<std::size_t>(i)] =
+          params[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < nq_; ++i) {
+      for (int j = i + 1; j < nq_; ++j) {
+        if (qubits_[static_cast<std::size_t>(i)] ==
+            qubits_[static_cast<std::size_t>(j)]) {
+          throw std::invalid_argument("Operation: duplicate operand qubit");
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] GateKind kind() const { return kind_; }
+  [[nodiscard]] const GateInfo& info() const { return gate_info(kind_); }
+
+  [[nodiscard]] int num_qubits() const { return nq_; }
+  [[nodiscard]] int num_params() const { return np_; }
+
+  [[nodiscard]] std::span<const int> qubits() const {
+    return {qubits_.data(), static_cast<std::size_t>(nq_)};
+  }
+  [[nodiscard]] std::span<const double> params() const {
+    return {params_.data(), static_cast<std::size_t>(np_)};
+  }
+
+  [[nodiscard]] int qubit(int i) const {
+    return qubits_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] double param(int i) const {
+    return params_[static_cast<std::size_t>(i)];
+  }
+
+  /// Rewrites operand `i` (used by layout application and routing).
+  void set_qubit(int i, int q) { qubits_[static_cast<std::size_t>(i)] = q; }
+  void set_param(int i, double v) {
+    params_[static_cast<std::size_t>(i)] = v;
+  }
+
+  [[nodiscard]] bool is_unitary() const { return info().is_unitary; }
+  [[nodiscard]] bool is_two_qubit_unitary() const {
+    return info().is_unitary && nq_ == 2;
+  }
+  [[nodiscard]] bool acts_on(int q) const {
+    for (int i = 0; i < nq_; ++i) {
+      if (qubits_[static_cast<std::size_t>(i)] == q) {
+        return true;
+      }
+    }
+    return false;
+  }
+  /// True if this operation shares at least one qubit with `other`.
+  [[nodiscard]] bool overlaps(const Operation& other) const {
+    for (int i = 0; i < nq_; ++i) {
+      if (other.acts_on(qubits_[static_cast<std::size_t>(i)])) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool operator==(const Operation& rhs) const {
+    if (kind_ != rhs.kind_ || nq_ != rhs.nq_ || np_ != rhs.np_) {
+      return false;
+    }
+    for (int i = 0; i < nq_; ++i) {
+      if (qubits_[static_cast<std::size_t>(i)] !=
+          rhs.qubits_[static_cast<std::size_t>(i)]) {
+        return false;
+      }
+    }
+    for (int i = 0; i < np_; ++i) {
+      if (params_[static_cast<std::size_t>(i)] !=
+          rhs.params_[static_cast<std::size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  GateKind kind_;
+  std::uint8_t nq_ = 0;
+  std::uint8_t np_ = 0;
+  std::array<int, kMaxQubits> qubits_{};
+  std::array<double, kMaxParams> params_{};
+};
+
+}  // namespace qrc::ir

@@ -1,0 +1,311 @@
+#include "ir/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "la/complex.hpp"
+
+namespace qrc::ir {
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream os;
+  os.precision(15);
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  os << "creg c[" << circuit.num_qubits() << "];\n";
+  for (const Operation& op : circuit.ops()) {
+    if (op.kind() == GateKind::kBarrier) {
+      os << "barrier q;\n";
+      continue;
+    }
+    if (op.kind() == GateKind::kMeasure) {
+      os << "measure q[" << op.qubit(0) << "] -> c[" << op.qubit(0) << "];\n";
+      continue;
+    }
+    if (op.kind() == GateKind::kReset) {
+      os << "reset q[" << op.qubit(0) << "];\n";
+      continue;
+    }
+    os << gate_name(op.kind());
+    if (op.num_params() > 0) {
+      os << "(";
+      for (int i = 0; i < op.num_params(); ++i) {
+        if (i > 0) {
+          os << ",";
+        }
+        os << op.param(i);
+      }
+      os << ")";
+    }
+    os << " ";
+    for (int i = 0; i < op.num_qubits(); ++i) {
+      if (i > 0) {
+        os << ",";
+      }
+      os << "q[" << op.qubit(i) << "]";
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for parameter expressions:
+///   expr := term (('+'|'-') term)*
+///   term := factor (('*'|'/') factor)*
+///   factor := number | 'pi' | '-' factor | '(' expr ')'
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  double parse() {
+    const double v = expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("qasm: trailing characters in expression: " +
+                               std::string(text_));
+    }
+    return v;
+  }
+
+ private:
+  double expr() {
+    double v = term();
+    for (;;) {
+      skip_ws();
+      if (peek() == '+') {
+        ++pos_;
+        v += term();
+      } else if (peek() == '-') {
+        ++pos_;
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double term() {
+    double v = factor();
+    for (;;) {
+      skip_ws();
+      if (peek() == '*') {
+        ++pos_;
+        v *= factor();
+      } else if (peek() == '/') {
+        ++pos_;
+        v /= factor();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double factor() {
+    skip_ws();
+    if (peek() == '-') {
+      ++pos_;
+      return -factor();
+    }
+    if (peek() == '(') {
+      ++pos_;
+      const double v = expr();
+      skip_ws();
+      if (peek() != ')') {
+        throw std::runtime_error("qasm: expected ')'");
+      }
+      ++pos_;
+      return v;
+    }
+    if (std::isalpha(static_cast<unsigned char>(peek())) != 0) {
+      std::string word;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_])) != 0) {
+        word += text_[pos_++];
+      }
+      if (word == "pi") {
+        return la::kPi;
+      }
+      throw std::runtime_error("qasm: unknown identifier '" + word + "'");
+    }
+    std::size_t consumed = 0;
+    const double v = std::stod(std::string(text_.substr(pos_)), &consumed);
+    if (consumed == 0) {
+      throw std::runtime_error("qasm: expected number");
+    }
+    pos_ += consumed;
+    return v;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Parses "q[3]" -> 3.
+int parse_qubit_ref(const std::string& token, const std::string& reg_name) {
+  const std::string t = strip(token);
+  const std::size_t lb = t.find('[');
+  const std::size_t rb = t.find(']');
+  if (lb == std::string::npos || rb == std::string::npos ||
+      t.substr(0, lb) != reg_name) {
+    throw std::runtime_error("qasm: bad qubit reference '" + t + "'");
+  }
+  return std::stoi(t.substr(lb + 1, rb - lb - 1));
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (const char c : s) {
+    if (c == '(') {
+      ++depth;
+    }
+    if (c == ')') {
+      --depth;
+    }
+    if (c == delim && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Circuit from_qasm(const std::string& text) {
+  // Strip comments and split into ';'-terminated statements.
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') {
+        ++i;
+      }
+    }
+    if (i < text.size()) {
+      cleaned += text[i];
+    }
+  }
+
+  Circuit circuit;
+  std::string qreg_name = "q";
+  bool have_qreg = false;
+
+  for (const std::string& raw : split(cleaned, ';')) {
+    const std::string stmt = strip(raw);
+    if (stmt.empty() || stmt.rfind("OPENQASM", 0) == 0 ||
+        stmt.rfind("include", 0) == 0 || stmt.rfind("creg", 0) == 0) {
+      continue;
+    }
+    if (stmt.rfind("qreg", 0) == 0) {
+      const std::size_t lb = stmt.find('[');
+      const std::size_t rb = stmt.find(']');
+      if (lb == std::string::npos || rb == std::string::npos) {
+        throw std::runtime_error("qasm: bad qreg statement");
+      }
+      qreg_name = strip(stmt.substr(4, lb - 4));
+      const int n = std::stoi(stmt.substr(lb + 1, rb - lb - 1));
+      circuit = Circuit(n);
+      have_qreg = true;
+      continue;
+    }
+    if (!have_qreg) {
+      throw std::runtime_error("qasm: statement before qreg: " + stmt);
+    }
+    if (stmt.rfind("barrier", 0) == 0) {
+      circuit.barrier();
+      continue;
+    }
+    if (stmt.rfind("measure", 0) == 0) {
+      const std::size_t arrow = stmt.find("->");
+      const std::string src = strip(
+          stmt.substr(7, (arrow == std::string::npos ? stmt.size() : arrow) -
+                             7));
+      circuit.measure(parse_qubit_ref(src, qreg_name));
+      continue;
+    }
+    if (stmt.rfind("reset", 0) == 0) {
+      circuit.reset(parse_qubit_ref(strip(stmt.substr(5)), qreg_name));
+      continue;
+    }
+
+    // Gate statement: name[(params)] operand[, operand...]
+    std::size_t name_end = 0;
+    while (name_end < stmt.size() &&
+           (std::isalnum(static_cast<unsigned char>(stmt[name_end])) != 0)) {
+      ++name_end;
+    }
+    std::string name = stmt.substr(0, name_end);
+    std::size_t rest_begin = name_end;
+    std::vector<double> params;
+    if (rest_begin < stmt.size() && stmt[rest_begin] == '(') {
+      const std::size_t close = stmt.rfind(')');
+      if (close == std::string::npos) {
+        throw std::runtime_error("qasm: unbalanced parameter list");
+      }
+      for (const std::string& p :
+           split(stmt.substr(rest_begin + 1, close - rest_begin - 1), ',')) {
+        params.push_back(ExprParser(strip(p)).parse());
+      }
+      rest_begin = close + 1;
+    }
+    std::vector<int> qubits;
+    for (const std::string& qref : split(stmt.substr(rest_begin), ',')) {
+      qubits.push_back(parse_qubit_ref(qref, qreg_name));
+    }
+
+    // Aliases.
+    if (name == "u1") {
+      name = "p";
+    } else if (name == "u2") {
+      if (params.size() != 2) {
+        throw std::runtime_error("qasm: u2 needs 2 params");
+      }
+      params = {la::kPi / 2.0, params[0], params[1]};
+      name = "u3";
+    } else if (name == "u") {
+      name = "u3";
+    } else if (name == "cnot") {
+      name = "cx";
+    }
+
+    const auto kind = gate_from_name(name);
+    if (!kind.has_value()) {
+      throw std::runtime_error("qasm: unknown gate '" + name + "'");
+    }
+    circuit.append(*kind, qubits, params);
+  }
+  return circuit;
+}
+
+}  // namespace qrc::ir

@@ -1,0 +1,24 @@
+/// \file qasm.hpp
+/// \brief OpenQASM-2-style text serialisation of circuits: dump any Circuit
+///        and parse back the subset the library emits (plus the common
+///        u1/u2/u aliases). Used by the examples and for interchange.
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qrc::ir {
+
+/// Serialises the circuit as OpenQASM 2.0 text.
+[[nodiscard]] std::string to_qasm(const Circuit& circuit);
+
+/// Parses OpenQASM 2.0 text. Supports the gate vocabulary of this library,
+/// the aliases u1 (-> p), u2(phi, lambda) (-> u3(pi/2, phi, lambda)) and
+/// u (-> u3), a single qreg, an optional creg, measure, barrier and reset.
+/// Parameter expressions may use numbers, "pi", unary minus, + - * / and
+/// parentheses.
+/// \throws std::runtime_error on malformed input.
+[[nodiscard]] Circuit from_qasm(const std::string& text);
+
+}  // namespace qrc::ir

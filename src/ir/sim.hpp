@@ -1,0 +1,78 @@
+/// \file sim.hpp
+/// \brief Dense statevector simulation of circuits, used for equivalence
+///        checking in tests and for validating pass soundness. Practical up
+///        to ~16 qubits; equivalence checks are used on <= 12.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "la/complex.hpp"
+
+namespace qrc::ir {
+
+/// Dense complex statevector over n qubits (qubit 0 = least-significant
+/// bit of the basis index).
+class Statevector {
+ public:
+  /// |0...0> on n qubits.
+  explicit Statevector(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const { return num_qubits_; }
+  [[nodiscard]] const std::vector<la::cplx>& amplitudes() const {
+    return amp_;
+  }
+  [[nodiscard]] std::vector<la::cplx>& mutable_amplitudes() { return amp_; }
+
+  /// Haar-ish random normalized state (Gaussian amplitudes).
+  [[nodiscard]] static Statevector random(int num_qubits,
+                                          std::uint64_t seed);
+
+  /// Applies a unitary operation in place. Measures/resets/barriers are
+  /// ignored (equivalence checking concerns the unitary part).
+  void apply(const Operation& op);
+
+  /// Applies all ops of a circuit, plus its global phase.
+  void apply(const Circuit& circuit);
+
+  /// <this | rhs>.
+  [[nodiscard]] la::cplx inner_product(const Statevector& rhs) const;
+
+  /// ||this||_2.
+  [[nodiscard]] double norm() const;
+
+ private:
+  void apply_1q(const la::Mat2& u, int q);
+  void apply_2q(const la::Mat4& u, int q0, int q1);
+
+  int num_qubits_;
+  std::vector<la::cplx> amp_;
+};
+
+/// Statistical unitary-equivalence check: applies both circuits to
+/// `num_trials` shared random input states and compares the outputs up to a
+/// single global phase (estimated from the first trial and required to be
+/// consistent across all trials). Sound for unitary circuits: agreement on
+/// enough random states implies equality of the unitaries w.h.p.
+///
+/// `final_permutation`, if non-empty, maps output qubit i of `a` to output
+/// qubit final_permutation[i] of `b` (used for routed circuits, whose
+/// final layout differs from the initial one).
+[[nodiscard]] bool circuits_equivalent(const Circuit& a, const Circuit& b,
+                                       int num_trials = 4,
+                                       std::uint64_t seed = 12345,
+                                       const std::vector<int>&
+                                           final_permutation = {},
+                                       double atol = 1e-6);
+
+/// Convenience: checks a (possibly wider, mapped) circuit `b` against the
+/// original `a` given an initial layout (logical -> physical) and final
+/// layout after routing.
+[[nodiscard]] bool mapped_circuit_equivalent(
+    const Circuit& logical, const Circuit& physical,
+    const std::vector<int>& initial_layout,
+    const std::vector<int>& final_layout, int num_trials = 4,
+    std::uint64_t seed = 12345, double atol = 1e-6);
+
+}  // namespace qrc::ir

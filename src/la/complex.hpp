@@ -1,0 +1,50 @@
+/// \file complex.hpp
+/// \brief Scalar complex type and numeric tolerances shared across the
+///        linear-algebra substrate.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace qrc::la {
+
+/// Complex scalar used throughout the library.
+using cplx = std::complex<double>;
+
+/// Default absolute tolerance for floating-point comparisons of matrix
+/// entries and angles. Chosen so that chains of ~100 decompositions stay
+/// well inside the tolerance.
+inline constexpr double kAtol = 1e-9;
+
+/// Looser tolerance for verification after long pass pipelines.
+inline constexpr double kLooseAtol = 1e-7;
+
+inline constexpr double kPi = std::numbers::pi;
+
+/// \returns true if |a - b| <= atol componentwise.
+[[nodiscard]] inline bool approx_equal(cplx a, cplx b, double atol = kAtol) {
+  return std::abs(a - b) <= atol;
+}
+
+/// \returns true if |a| <= atol.
+[[nodiscard]] inline bool approx_zero(cplx a, double atol = kAtol) {
+  return std::abs(a) <= atol;
+}
+
+/// Normalises an angle into the half-open interval (-pi, pi].
+[[nodiscard]] inline double normalize_angle(double theta) {
+  double t = std::remainder(theta, 2.0 * kPi);
+  if (t <= -kPi) {
+    t += 2.0 * kPi;
+  }
+  return t;
+}
+
+/// \returns true if theta is an integer multiple of 2*pi (i.e. the rotation
+/// it parameterises is the identity up to global phase for Rz/Rx/Ry).
+[[nodiscard]] inline bool angle_is_zero(double theta, double atol = kAtol) {
+  return std::abs(normalize_angle(theta)) <= atol;
+}
+
+}  // namespace qrc::la

@@ -1,0 +1,121 @@
+#include "la/euler.hpp"
+
+#include <cmath>
+
+namespace qrc::la {
+
+namespace {
+
+/// Global phase aligning `target` with `candidate` measured on the
+/// largest-magnitude entry of `candidate`.
+double phase_between(const Mat2& target, const Mat2& candidate) {
+  int bi = 0;
+  int bj = 0;
+  double best = -1.0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const double mag = std::abs(candidate(i, j));
+      if (mag > best) {
+        best = mag;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  return std::arg(target(bi, bj) / candidate(bi, bj));
+}
+
+}  // namespace
+
+ZyzAngles zyz_decompose(const Mat2& u) {
+  // Scale to SU(2): su = u / sqrt(det(u)).
+  const cplx d = u.det();
+  const cplx scale = std::exp(cplx{0.0, -std::arg(d) / 2.0}) /
+                     std::sqrt(std::abs(d));
+  const Mat2 su = u * scale;
+
+  ZyzAngles out;
+  const double c = std::abs(su(0, 0));
+  const double s = std::abs(su(1, 0));
+  out.gamma = 2.0 * std::atan2(s, c);
+
+  if (s < kAtol) {
+    // Diagonal: only beta + delta determined. Put everything into beta.
+    out.delta = 0.0;
+    out.beta = 2.0 * std::arg(su(1, 1));
+  } else if (c < kAtol) {
+    // Anti-diagonal: only beta - delta determined.
+    out.delta = 0.0;
+    out.beta = 2.0 * std::arg(su(1, 0));
+  } else {
+    const double sum = 2.0 * std::arg(su(1, 1));   // beta + delta
+    const double diff = 2.0 * std::arg(su(1, 0));  // beta - delta
+    out.beta = normalize_angle((sum + diff) / 2.0);
+    out.delta = normalize_angle((sum - diff) / 2.0);
+  }
+  out.gamma = normalize_angle(out.gamma);
+  out.beta = normalize_angle(out.beta);
+
+  const Mat2 rebuilt = rz_mat(out.beta) * ry_mat(out.gamma) * rz_mat(out.delta);
+  out.phase = phase_between(u, rebuilt);
+  return out;
+}
+
+ZxzAngles zxz_decompose(const Mat2& u) {
+  // Ry(gamma) = Rz(pi/2) Rx(gamma) Rz(-pi/2), so
+  // Rz(b) Ry(g) Rz(d) = Rz(b + pi/2) Rx(g) Rz(d - pi/2).
+  const ZyzAngles zyz = zyz_decompose(u);
+  ZxzAngles out;
+  out.beta = normalize_angle(zyz.beta + kPi / 2.0);
+  out.gamma = zyz.gamma;
+  out.delta = normalize_angle(zyz.delta - kPi / 2.0);
+  const Mat2 rebuilt = rz_mat(out.beta) * rx_mat(out.gamma) * rz_mat(out.delta);
+  out.phase = phase_between(u, rebuilt);
+  return out;
+}
+
+U3Angles u3_decompose(const Mat2& u) {
+  const ZyzAngles zyz = zyz_decompose(u);
+  U3Angles out;
+  out.theta = zyz.gamma;
+  out.phi = zyz.beta;
+  out.lambda = zyz.delta;
+  const Mat2 rebuilt = u3_mat(out.theta, out.phi, out.lambda);
+  out.phase = phase_between(u, rebuilt);
+  return out;
+}
+
+ZxzxzAngles zxzxz_decompose(const Mat2& u) {
+  // U3(theta, phi, lambda) = e^{i g} Rz(phi + pi) SX Rz(theta + pi) SX
+  // Rz(lambda) up to global phase (the standard ZXZXZ identity).
+  const U3Angles u3 = u3_decompose(u);
+  ZxzxzAngles out;
+  out.a1 = normalize_angle(u3.phi + kPi);
+  out.a2 = normalize_angle(u3.theta + kPi);
+  out.a3 = normalize_angle(u3.lambda);
+  const Mat2 rebuilt = rz_mat(out.a1) * sx_mat() * rz_mat(out.a2) * sx_mat() *
+                       rz_mat(out.a3);
+  out.phase = phase_between(u, rebuilt);
+  return out;
+}
+
+Mat2 zyz_compose(const ZyzAngles& a) {
+  return (rz_mat(a.beta) * ry_mat(a.gamma) * rz_mat(a.delta)) *
+         std::exp(cplx{0.0, a.phase});
+}
+
+Mat2 zxz_compose(const ZxzAngles& a) {
+  return (rz_mat(a.beta) * rx_mat(a.gamma) * rz_mat(a.delta)) *
+         std::exp(cplx{0.0, a.phase});
+}
+
+Mat2 u3_compose(const U3Angles& a) {
+  return u3_mat(a.theta, a.phi, a.lambda) * std::exp(cplx{0.0, a.phase});
+}
+
+Mat2 zxzxz_compose(const ZxzxzAngles& a) {
+  return (rz_mat(a.a1) * sx_mat() * rz_mat(a.a2) * sx_mat() * rz_mat(a.a3)) *
+         std::exp(cplx{0.0, a.phase});
+}
+
+}  // namespace qrc::la

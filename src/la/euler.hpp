@@ -1,0 +1,65 @@
+/// \file euler.hpp
+/// \brief Euler-angle decompositions of single-qubit unitaries used by the
+///        synthesis passes: ZYZ, ZXZ, and the rz/sx "ZXZXZ" form native to
+///        IBM- and OQC-style devices.
+#pragma once
+
+#include <array>
+
+#include "la/complex.hpp"
+#include "la/mat2.hpp"
+
+namespace qrc::la {
+
+/// U = e^{i phase} * Rz(beta) * Ry(gamma) * Rz(delta).
+struct ZyzAngles {
+  double phase = 0.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+  double delta = 0.0;
+};
+
+/// U = e^{i phase} * Rz(beta) * Rx(gamma) * Rz(delta).
+struct ZxzAngles {
+  double phase = 0.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+  double delta = 0.0;
+};
+
+/// U = e^{i phase} * U3(theta, phi, lambda).
+struct U3Angles {
+  double phase = 0.0;
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+};
+
+/// U = e^{i phase} * Rz(a1) * SX * Rz(a2) * SX * Rz(a3)
+/// (the decomposition into the IBM native 1q basis).
+struct ZxzxzAngles {
+  double phase = 0.0;
+  double a1 = 0.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+};
+
+/// Decomposes an arbitrary 2x2 unitary. Preconditions: `u` unitary.
+[[nodiscard]] ZyzAngles zyz_decompose(const Mat2& u);
+
+/// Decomposes an arbitrary 2x2 unitary into Rz Rx Rz.
+[[nodiscard]] ZxzAngles zxz_decompose(const Mat2& u);
+
+/// Decomposes an arbitrary 2x2 unitary into the U3 parameterisation.
+[[nodiscard]] U3Angles u3_decompose(const Mat2& u);
+
+/// Decomposes an arbitrary 2x2 unitary into Rz-SX-Rz-SX-Rz.
+[[nodiscard]] ZxzxzAngles zxzxz_decompose(const Mat2& u);
+
+/// Rebuilds the unitary from its ZYZ angles (for verification).
+[[nodiscard]] Mat2 zyz_compose(const ZyzAngles& a);
+[[nodiscard]] Mat2 zxz_compose(const ZxzAngles& a);
+[[nodiscard]] Mat2 u3_compose(const U3Angles& a);
+[[nodiscard]] Mat2 zxzxz_compose(const ZxzxzAngles& a);
+
+}  // namespace qrc::la

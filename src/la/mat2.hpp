@@ -1,0 +1,89 @@
+/// \file mat2.hpp
+/// \brief Dense 2x2 complex matrix with the operations needed for
+///        single-qubit gate algebra (products, adjoints, rotations,
+///        global-phase-insensitive comparison).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "la/complex.hpp"
+
+namespace qrc::la {
+
+/// A 2x2 complex matrix stored row-major. Value type: cheap to copy.
+class Mat2 {
+ public:
+  /// Zero matrix.
+  constexpr Mat2() = default;
+
+  /// Element-wise constructor, row major: [[a, b], [c, d]].
+  constexpr Mat2(cplx a, cplx b, cplx c, cplx d) : m_{a, b, c, d} {}
+
+  [[nodiscard]] static constexpr Mat2 identity() {
+    return Mat2{1.0, 0.0, 0.0, 1.0};
+  }
+
+  [[nodiscard]] cplx operator()(int row, int col) const {
+    return m_[static_cast<std::size_t>(row * 2 + col)];
+  }
+  [[nodiscard]] cplx& operator()(int row, int col) {
+    return m_[static_cast<std::size_t>(row * 2 + col)];
+  }
+
+  [[nodiscard]] Mat2 operator*(const Mat2& rhs) const;
+  [[nodiscard]] Mat2 operator*(cplx scalar) const;
+  [[nodiscard]] Mat2 operator+(const Mat2& rhs) const;
+  [[nodiscard]] Mat2 operator-(const Mat2& rhs) const;
+
+  /// Conjugate transpose.
+  [[nodiscard]] Mat2 adjoint() const;
+
+  [[nodiscard]] cplx det() const;
+  [[nodiscard]] cplx trace() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm() const;
+
+  /// \returns true if this * adjoint() == identity within atol.
+  [[nodiscard]] bool is_unitary(double atol = kAtol) const;
+
+  /// Exact element-wise comparison within atol.
+  [[nodiscard]] bool approx_equal(const Mat2& rhs, double atol = kAtol) const;
+
+  /// Comparison up to a global phase factor e^{i phi}.
+  [[nodiscard]] bool equal_up_to_phase(const Mat2& rhs,
+                                       double atol = kAtol) const;
+
+  /// Human-readable multi-line form for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<cplx, 4> m_{};
+};
+
+/// Rotation about Z: exp(-i theta Z / 2) = diag(e^{-i theta/2}, e^{+i theta/2}).
+[[nodiscard]] Mat2 rz_mat(double theta);
+/// Rotation about Y: exp(-i theta Y / 2).
+[[nodiscard]] Mat2 ry_mat(double theta);
+/// Rotation about X: exp(-i theta X / 2).
+[[nodiscard]] Mat2 rx_mat(double theta);
+/// Phase gate diag(1, e^{i lambda}).
+[[nodiscard]] Mat2 p_mat(double lambda);
+/// The generic single-qubit gate U3(theta, phi, lambda).
+[[nodiscard]] Mat2 u3_mat(double theta, double phi, double lambda);
+
+[[nodiscard]] Mat2 x_mat();
+[[nodiscard]] Mat2 y_mat();
+[[nodiscard]] Mat2 z_mat();
+[[nodiscard]] Mat2 h_mat();
+[[nodiscard]] Mat2 s_mat();
+[[nodiscard]] Mat2 sdg_mat();
+[[nodiscard]] Mat2 t_mat();
+[[nodiscard]] Mat2 tdg_mat();
+/// Square root of X with sx*sx == X (principal branch, global phase e^{i pi/4}
+/// relative to Rx(pi/2)).
+[[nodiscard]] Mat2 sx_mat();
+[[nodiscard]] Mat2 sxdg_mat();
+
+}  // namespace qrc::la

@@ -1,0 +1,76 @@
+/// \file mat4.hpp
+/// \brief Dense 4x4 complex matrix used for two-qubit gate algebra:
+///        products, Kronecker composition, magic-basis transforms and
+///        global-phase-insensitive comparison.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "la/complex.hpp"
+#include "la/mat2.hpp"
+
+namespace qrc::la {
+
+/// A 4x4 complex matrix stored row-major. The basis convention is
+/// |q1 q0>, i.e. qubit 0 is the least-significant bit of the row/column
+/// index. kron(a, b) therefore places `a` on qubit 1 and `b` on qubit 0.
+class Mat4 {
+ public:
+  constexpr Mat4() = default;
+
+  [[nodiscard]] static Mat4 identity();
+
+  [[nodiscard]] cplx operator()(int row, int col) const {
+    return m_[static_cast<std::size_t>(row * 4 + col)];
+  }
+  [[nodiscard]] cplx& operator()(int row, int col) {
+    return m_[static_cast<std::size_t>(row * 4 + col)];
+  }
+
+  [[nodiscard]] Mat4 operator*(const Mat4& rhs) const;
+  [[nodiscard]] Mat4 operator*(cplx scalar) const;
+  [[nodiscard]] Mat4 operator+(const Mat4& rhs) const;
+  [[nodiscard]] Mat4 operator-(const Mat4& rhs) const;
+
+  [[nodiscard]] Mat4 adjoint() const;
+  [[nodiscard]] Mat4 transpose() const;
+
+  [[nodiscard]] cplx trace() const;
+  [[nodiscard]] cplx det() const;
+
+  [[nodiscard]] double norm() const;
+
+  [[nodiscard]] bool is_unitary(double atol = kAtol) const;
+  [[nodiscard]] bool approx_equal(const Mat4& rhs, double atol = kAtol) const;
+  [[nodiscard]] bool equal_up_to_phase(const Mat4& rhs,
+                                       double atol = kAtol) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<cplx, 16> m_{};
+};
+
+/// Kronecker product: result acts as `a` on qubit 1 (high bit) and `b` on
+/// qubit 0 (low bit).
+[[nodiscard]] Mat4 kron(const Mat2& a, const Mat2& b);
+
+/// Attempts to factor `m` as kron(a, b) with 2x2 unitaries. Succeeds (returns
+/// true) iff `m` is a tensor product up to numerical tolerance; the factors
+/// are normalised so that each has unit determinant magnitude.
+[[nodiscard]] bool decompose_tensor_product(const Mat4& m, Mat2& a, Mat2& b,
+                                            double atol = 1e-7);
+
+/// CNOT with control qubit 0 (low bit) and target qubit 1 (high bit).
+[[nodiscard]] Mat4 cx01_mat();
+/// CNOT with control qubit 1 (high bit) and target qubit 0 (low bit).
+[[nodiscard]] Mat4 cx10_mat();
+[[nodiscard]] Mat4 cz_mat();
+[[nodiscard]] Mat4 swap_mat();
+[[nodiscard]] Mat4 iswap_mat();
+
+/// exp(i (x XX + y YY + z ZZ)) — the canonical two-qubit interaction.
+[[nodiscard]] Mat4 canonical_gate(double x, double y, double z);
+
+}  // namespace qrc::la

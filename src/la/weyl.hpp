@@ -1,0 +1,66 @@
+/// \file weyl.hpp
+/// \brief KAK (Cartan) decomposition of two-qubit unitaries via the magic
+///        basis, plus Weyl-chamber canonicalisation and Makhlin local
+///        invariants. This powers block consolidation and two-qubit
+///        resynthesis.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "la/complex.hpp"
+#include "la/mat2.hpp"
+#include "la/mat4.hpp"
+
+namespace qrc::la {
+
+/// U = e^{i phase} * (k1_q1 (x) k1_q0) * canonical_gate(x, y, z)
+///   * (k2_q1 (x) k2_q0)
+/// where (x) is the Kronecker product with qubit 1 on the high bit.
+struct KakDecomposition {
+  double phase = 0.0;
+  Mat2 k1_q1;  ///< post-interaction local on qubit 1
+  Mat2 k1_q0;  ///< post-interaction local on qubit 0
+  Mat2 k2_q1;  ///< pre-interaction local on qubit 1
+  Mat2 k2_q0;  ///< pre-interaction local on qubit 0
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  /// Rebuilds the 4x4 unitary (for verification).
+  [[nodiscard]] Mat4 reconstruct() const;
+
+  /// Applies Weyl-chamber moves until pi/4 >= x >= y >= |z| while keeping
+  /// reconstruct() invariant. Locals and phase are updated accordingly.
+  void canonicalize();
+};
+
+/// Computes the KAK decomposition of an arbitrary two-qubit unitary.
+/// Returns std::nullopt if the joint diagonalisation fails to converge or
+/// the reconstruction check fails (callers must keep the original circuit
+/// in that case).
+[[nodiscard]] std::optional<KakDecomposition> kak_decompose(const Mat4& u);
+
+/// Makhlin-style local invariants (g1, g2, g3) of a two-qubit unitary:
+/// two unitaries are locally equivalent iff their invariants agree.
+struct LocalInvariants {
+  double g1 = 0.0;
+  double g2 = 0.0;
+  double g3 = 0.0;
+
+  [[nodiscard]] bool approx_equal(const LocalInvariants& rhs,
+                                  double atol = 1e-6) const;
+};
+
+[[nodiscard]] LocalInvariants local_invariants(const Mat4& u);
+
+/// Joint diagonalisation of two commuting real symmetric 4x4 matrices by
+/// Jacobi rotations (Cardoso-Souloumiac style). On success, q^T * a * q and
+/// q^T * b * q are diagonal. Exposed for testing.
+/// \returns true on convergence.
+bool joint_diagonalize(std::array<std::array<double, 4>, 4>& a,
+                       std::array<std::array<double, 4>, 4>& b,
+                       std::array<std::array<double, 4>, 4>& q,
+                       int max_sweeps = 64, double tol = 1e-22);
+
+}  // namespace qrc::la

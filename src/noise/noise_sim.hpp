@@ -1,0 +1,48 @@
+/// \file noise_sim.hpp
+/// \brief Monte-Carlo Pauli-noise simulation: validates the analytic
+///        expected-fidelity reward against trajectory-sampled state
+///        fidelity under a depolarizing error model driven by the device
+///        calibration. (Stochastic Pauli channels are simulated exactly by
+///        trajectory averaging.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qrc::noise {
+
+/// Result of a trajectory-sampling run.
+struct NoisyFidelityEstimate {
+  double mean = 0.0;    ///< average |<ideal|noisy>|^2 over trajectories
+  double std_err = 0.0; ///< standard error of the mean
+  int trajectories = 0;
+};
+
+/// Estimates the state fidelity of `circuit` executed on `device` under a
+/// depolarizing Pauli-error model: after every unitary gate, with
+/// probability equal to the calibrated error rate, a uniformly random
+/// non-identity Pauli is applied to each operand qubit; measurement errors
+/// contribute an X flip with the readout error probability just before the
+/// measure.
+///
+/// The circuit is compacted onto its active qubits, which must number at
+/// most `max_sim_qubits` (statevector simulation). Gate error rates are
+/// looked up on the *original* (physical) qubit indices.
+///
+/// \param error_scale multiplies every error probability (1.0 = calibrated;
+///        0.0 = noiseless).
+[[nodiscard]] NoisyFidelityEstimate simulate_noisy_fidelity(
+    const ir::Circuit& circuit, const device::Device& device, int trajectories,
+    std::uint64_t seed, double error_scale = 1.0, int max_sim_qubits = 14);
+
+/// The analytic proxy restricted to the same error model (unitary gates and
+/// measures only, no readout asymmetry) — used to compare against the
+/// Monte-Carlo estimate on equal terms.
+[[nodiscard]] double analytic_success_probability(
+    const ir::Circuit& circuit, const device::Device& device,
+    double error_scale = 1.0);
+
+}  // namespace qrc::noise

@@ -1,0 +1,212 @@
+#include "passes/blocks.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "clifford/tableau.hpp"
+
+namespace qrc::passes {
+
+std::vector<OneQubitRun> collect_1q_runs(const ir::Circuit& circuit) {
+  std::vector<OneQubitRun> out;
+  std::vector<OneQubitRun> open(
+      static_cast<std::size_t>(circuit.num_qubits()));
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    open[static_cast<std::size_t>(q)].qubit = q;
+  }
+  const auto close = [&](int q) {
+    auto& run = open[static_cast<std::size_t>(q)];
+    if (run.op_indices.size() >= 1) {
+      out.push_back(run);
+    }
+    run.op_indices.clear();
+  };
+  for (int i = 0; i < static_cast<int>(circuit.size()); ++i) {
+    const ir::Operation& op = circuit.ops()[static_cast<std::size_t>(i)];
+    if (op.is_unitary() && op.num_qubits() == 1) {
+      open[static_cast<std::size_t>(op.qubit(0))].op_indices.push_back(i);
+      continue;
+    }
+    if (op.kind() == ir::GateKind::kBarrier) {
+      for (int q = 0; q < circuit.num_qubits(); ++q) {
+        close(q);
+      }
+      continue;
+    }
+    for (const int q : op.qubits()) {
+      close(q);
+    }
+  }
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    close(q);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OneQubitRun& a, const OneQubitRun& b) {
+              return a.op_indices.front() < b.op_indices.front();
+            });
+  return out;
+}
+
+la::Mat2 run_matrix(const ir::Circuit& circuit, const OneQubitRun& run) {
+  la::Mat2 m = la::Mat2::identity();
+  for (const int idx : run.op_indices) {
+    const ir::Operation& op = circuit.ops()[static_cast<std::size_t>(idx)];
+    m = ir::gate_matrix_1q(op.kind(), op.params()) * m;
+  }
+  return m;
+}
+
+std::vector<TwoQubitBlock> collect_2q_blocks(const ir::Circuit& circuit) {
+  std::vector<TwoQubitBlock> out;
+  // Active block per qubit (index into `blocks` arena), -1 if none.
+  std::vector<TwoQubitBlock> arena;
+  std::vector<int> active(static_cast<std::size_t>(circuit.num_qubits()), -1);
+  // Buffered leading 1q gates per qubit.
+  std::vector<std::vector<int>> buffer(
+      static_cast<std::size_t>(circuit.num_qubits()));
+
+  const auto close_block = [&](int block_id) {
+    if (block_id < 0) {
+      return;
+    }
+    TwoQubitBlock& blk = arena[static_cast<std::size_t>(block_id)];
+    if (blk.two_qubit_count >= 1) {
+      out.push_back(blk);
+    }
+    active[static_cast<std::size_t>(blk.qubit_a)] = -1;
+    active[static_cast<std::size_t>(blk.qubit_b)] = -1;
+  };
+
+  for (int i = 0; i < static_cast<int>(circuit.size()); ++i) {
+    const ir::Operation& op = circuit.ops()[static_cast<std::size_t>(i)];
+    if (op.kind() == ir::GateKind::kBarrier) {
+      for (int q = 0; q < circuit.num_qubits(); ++q) {
+        close_block(active[static_cast<std::size_t>(q)]);
+        buffer[static_cast<std::size_t>(q)].clear();
+      }
+      continue;
+    }
+    if (op.is_unitary() && op.num_qubits() == 1) {
+      const int q = op.qubit(0);
+      const int blk = active[static_cast<std::size_t>(q)];
+      if (blk >= 0) {
+        arena[static_cast<std::size_t>(blk)].op_indices.push_back(i);
+      } else {
+        buffer[static_cast<std::size_t>(q)].push_back(i);
+      }
+      continue;
+    }
+    if (op.is_unitary() && op.num_qubits() == 2) {
+      int a = op.qubit(0);
+      int b = op.qubit(1);
+      if (a > b) {
+        std::swap(a, b);
+      }
+      const int blk_a = active[static_cast<std::size_t>(a)];
+      const int blk_b = active[static_cast<std::size_t>(b)];
+      if (blk_a >= 0 && blk_a == blk_b) {
+        TwoQubitBlock& blk = arena[static_cast<std::size_t>(blk_a)];
+        blk.op_indices.push_back(i);
+        blk.two_qubit_count += 1;
+        continue;
+      }
+      close_block(blk_a);
+      if (blk_b != blk_a) {
+        close_block(blk_b);
+      }
+      TwoQubitBlock blk;
+      blk.qubit_a = a;
+      blk.qubit_b = b;
+      // Absorb buffered leading 1q gates (they precede `i`).
+      auto& ba = buffer[static_cast<std::size_t>(a)];
+      auto& bb = buffer[static_cast<std::size_t>(b)];
+      blk.op_indices.reserve(ba.size() + bb.size() + 1);
+      std::merge(ba.begin(), ba.end(), bb.begin(), bb.end(),
+                 std::back_inserter(blk.op_indices));
+      ba.clear();
+      bb.clear();
+      blk.op_indices.push_back(i);
+      blk.two_qubit_count = 1;
+      arena.push_back(std::move(blk));
+      const int id = static_cast<int>(arena.size()) - 1;
+      active[static_cast<std::size_t>(a)] = id;
+      active[static_cast<std::size_t>(b)] = id;
+      continue;
+    }
+    // Non-unitary or 3+ qubit op: closes blocks and buffers on its qubits.
+    for (const int q : op.qubits()) {
+      close_block(active[static_cast<std::size_t>(q)]);
+      buffer[static_cast<std::size_t>(q)].clear();
+    }
+  }
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    close_block(active[static_cast<std::size_t>(q)]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TwoQubitBlock& a, const TwoQubitBlock& b) {
+              return a.op_indices.front() < b.op_indices.front();
+            });
+  return out;
+}
+
+std::vector<CliffordBlock> collect_clifford_blocks(const ir::Circuit& circuit,
+                                                   int max_qubits) {
+  std::vector<CliffordBlock> out;
+  CliffordBlock current;
+  std::set<int> support;
+
+  const auto close = [&]() {
+    if (current.two_qubit_count >= 1 && current.op_indices.size() >= 2) {
+      current.qubits.assign(support.begin(), support.end());
+      out.push_back(current);
+    }
+    current = CliffordBlock{};
+    support.clear();
+  };
+
+  for (int i = 0; i < static_cast<int>(circuit.size()); ++i) {
+    const ir::Operation& op = circuit.ops()[static_cast<std::size_t>(i)];
+    const bool touches = std::any_of(
+        op.qubits().begin(), op.qubits().end(),
+        [&](int q) { return support.contains(q); });
+    const bool is_barrier = op.kind() == ir::GateKind::kBarrier;
+    const bool clifford = !is_barrier &&
+                          clifford::as_clifford_ops(op).has_value();
+    if (clifford) {
+      std::set<int> grown = support;
+      for (const int q : op.qubits()) {
+        grown.insert(q);
+      }
+      if (static_cast<int>(grown.size()) <= max_qubits) {
+        support = std::move(grown);
+        current.op_indices.push_back(i);
+        if (op.num_qubits() >= 2) {
+          current.two_qubit_count += 1;
+        }
+        continue;
+      }
+      // Would exceed the support cap.
+      if (touches) {
+        close();
+        // Start fresh with this op.
+        for (const int q : op.qubits()) {
+          support.insert(q);
+        }
+        current.op_indices.push_back(i);
+        if (op.num_qubits() >= 2) {
+          current.two_qubit_count += 1;
+        }
+      }
+      // Disjoint over-cap op: leave it outside any block.
+      continue;
+    }
+    if (is_barrier || touches) {
+      close();
+    }
+  }
+  close();
+  return out;
+}
+
+}  // namespace qrc::passes

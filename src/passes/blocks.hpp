@@ -1,0 +1,54 @@
+/// \file blocks.hpp
+/// \brief Collection of maximal gate runs and blocks used by the fusion and
+///        consolidation passes: single-qubit runs, two-qubit blocks (the
+///        Collect2qBlocks analysis), and Clifford segments.
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "la/mat2.hpp"
+
+namespace qrc::passes {
+
+/// A maximal run of consecutive single-qubit unitary gates on one qubit
+/// (no other op touches the qubit in between). Indices into circuit.ops().
+struct OneQubitRun {
+  int qubit = 0;
+  std::vector<int> op_indices;
+};
+
+/// All maximal 1q runs, in circuit order of their first gate.
+[[nodiscard]] std::vector<OneQubitRun> collect_1q_runs(
+    const ir::Circuit& circuit);
+
+/// Product matrix of a 1q run (later gates multiplied on the left).
+[[nodiscard]] la::Mat2 run_matrix(const ir::Circuit& circuit,
+                                  const OneQubitRun& run);
+
+/// A maximal block of ops acting entirely on one pair of qubits: 2q gates
+/// on (a, b) plus interleaved 1q gates on a or b, contiguous per wire.
+struct TwoQubitBlock {
+  int qubit_a = 0;  ///< lower index
+  int qubit_b = 0;
+  std::vector<int> op_indices;  ///< in circuit order
+  int two_qubit_count = 0;
+};
+
+/// Greedy maximal 2q-block collection (Collect2qBlocks): walks the circuit,
+/// growing a block per active pair; blocks never overlap.
+[[nodiscard]] std::vector<TwoQubitBlock> collect_2q_blocks(
+    const ir::Circuit& circuit);
+
+/// A contiguous segment of Clifford ops (per clifford::as_clifford_ops)
+/// whose joint support has at most `max_qubits` qubits.
+struct CliffordBlock {
+  std::vector<int> qubits;      ///< sorted support
+  std::vector<int> op_indices;  ///< contiguous range in circuit order
+  int two_qubit_count = 0;
+};
+
+[[nodiscard]] std::vector<CliffordBlock> collect_clifford_blocks(
+    const ir::Circuit& circuit, int max_qubits = 8);
+
+}  // namespace qrc::passes

@@ -1,0 +1,16 @@
+/// \file commutation.hpp
+/// \brief Numerical commutation oracle for pairs of operations, used by the
+///        commutative-cancellation passes. Exact matrix check on the union
+///        of operands (up to 3 qubits); conservative `false` beyond that.
+#pragma once
+
+#include "ir/operation.hpp"
+
+namespace qrc::passes {
+
+/// True if the two unitary operations commute as operators. Operations on
+/// disjoint qubits always commute; otherwise the commutator is evaluated
+/// numerically on the joint support. Non-unitary ops never commute.
+[[nodiscard]] bool ops_commute(const ir::Operation& a, const ir::Operation& b);
+
+}  // namespace qrc::passes

@@ -1,0 +1,39 @@
+/// \file layout.hpp
+/// \brief Layout passes: choose an initial placement of logical qubits onto
+///        physical qubits. Three algorithms per the paper's action set:
+///        TrivialLayout, DenseLayout and SabreLayout (bidirectional routing
+///        refinement per Li et al.).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "device/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qrc::passes {
+
+enum class LayoutKind : std::uint8_t {
+  kTrivial,
+  kDense,
+  kSabre,
+};
+
+[[nodiscard]] std::string_view layout_name(LayoutKind kind);
+
+/// Computes a placement: result[logical] = physical, injective, size =
+/// circuit.num_qubits(). Precondition: the device has at least as many
+/// qubits as the circuit.
+[[nodiscard]] std::vector<int> compute_layout(LayoutKind kind,
+                                              const ir::Circuit& circuit,
+                                              const device::Device& device,
+                                              std::uint64_t seed = 1);
+
+/// Applies a placement: returns the circuit rewritten onto the device's
+/// physical qubits (width = device.num_qubits()).
+[[nodiscard]] ir::Circuit apply_layout(const ir::Circuit& circuit,
+                                       const std::vector<int>& layout,
+                                       const device::Device& device);
+
+}  // namespace qrc::passes

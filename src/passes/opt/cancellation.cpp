@@ -1,0 +1,402 @@
+#include "passes/opt/cancellation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/dag.hpp"
+#include "la/mat4.hpp"
+#include "passes/commutation.hpp"
+#include "passes/two_qubit_decomp.hpp"
+
+namespace qrc::passes {
+
+namespace {
+
+using ir::Circuit;
+using ir::DagCircuit;
+using ir::GateKind;
+using ir::Operation;
+
+/// True if `b` comes immediately after `a` on every qubit of `a`, and the
+/// two ops act on the same qubit set.
+bool strictly_adjacent(const DagCircuit& dag, const Circuit& c, int ia,
+                       int ib) {
+  const Operation& a = c.ops()[static_cast<std::size_t>(ia)];
+  const Operation& b = c.ops()[static_cast<std::size_t>(ib)];
+  if (a.num_qubits() != b.num_qubits()) {
+    return false;
+  }
+  for (const int q : a.qubits()) {
+    if (!b.acts_on(q) || dag.next_on_qubit(ia, q) != ib) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Kind-level structural inverse check (operands already known to match as
+/// sets; `ordered_equal` distinguishes directed gates).
+bool is_structural_inverse(const Operation& a, const Operation& b) {
+  const auto inv = ir::gate_inverse(a.kind(), a.params());
+  if (inv.kind != b.kind()) {
+    return false;
+  }
+  if (a.kind() == GateKind::kISWAP) {
+    return false;  // iSWAP's inverse is not a single gate
+  }
+  // Operand order: symmetric gates may be flipped.
+  bool same_order = true;
+  for (int i = 0; i < a.num_qubits(); ++i) {
+    if (a.qubit(i) != b.qubit(i)) {
+      same_order = false;
+      break;
+    }
+  }
+  if (!same_order && !a.info().is_symmetric) {
+    return false;
+  }
+  for (int i = 0; i < b.num_params(); ++i) {
+    const double diff = la::normalize_angle(
+        inv.params[static_cast<std::size_t>(i)] - b.param(i));
+    if (std::abs(diff) > 1e-10) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Matrix-level inverse check on ops with identical qubit sets (1q or 2q).
+bool is_matrix_inverse(const Operation& a, const Operation& b) {
+  if (a.num_qubits() != b.num_qubits() || a.num_qubits() > 2) {
+    return false;
+  }
+  if (a.num_qubits() == 1) {
+    if (a.qubit(0) != b.qubit(0)) {
+      return false;
+    }
+    const la::Mat2 prod = ir::gate_matrix_1q(b.kind(), b.params()) *
+                          ir::gate_matrix_1q(a.kind(), a.params());
+    return prod.equal_up_to_phase(la::Mat2::identity(), 1e-10);
+  }
+  // Two-qubit: build both on a local 2-qubit register.
+  const int qa0 = a.qubit(0);
+  const int qa1 = a.qubit(1);
+  if (!b.acts_on(qa0) || !b.acts_on(qa1)) {
+    return false;
+  }
+  Circuit mini(2);
+  Operation la_op = a;
+  la_op.set_qubit(0, 0);
+  la_op.set_qubit(1, 1);
+  Operation lb_op = b;
+  lb_op.set_qubit(0, b.qubit(0) == qa0 ? 0 : 1);
+  lb_op.set_qubit(1, b.qubit(1) == qa1 ? 1 : 0);
+  mini.append(la_op);
+  mini.append(lb_op);
+  const la::Mat4 prod = two_qubit_circuit_unitary(mini);
+  return prod.equal_up_to_phase(la::Mat4::identity(), 1e-10);
+}
+
+/// Same rotation axis and operands: returns true and the merged op.
+bool try_merge_rotations(const Operation& a, const Operation& b,
+                         Operation& merged) {
+  if (a.kind() != b.kind() || a.num_params() != 1) {
+    return false;
+  }
+  switch (a.kind()) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kP:
+    case GateKind::kRXX:
+    case GateKind::kRYY:
+    case GateKind::kRZZ:
+    case GateKind::kRZX:
+    case GateKind::kCP:
+    case GateKind::kCRX:
+    case GateKind::kCRY:
+    case GateKind::kCRZ:
+      break;
+    default:
+      return false;
+  }
+  bool same_order = true;
+  for (int i = 0; i < a.num_qubits(); ++i) {
+    if (a.qubit(i) != b.qubit(i)) {
+      same_order = false;
+      break;
+    }
+  }
+  if (!same_order) {
+    if (!a.info().is_symmetric || !b.acts_on(a.qubit(0)) ||
+        !b.acts_on(a.qubit(1))) {
+      return false;
+    }
+  }
+  merged = a;
+  merged.set_param(0, a.param(0) + b.param(0));
+  return true;
+}
+
+/// Shared skeleton: for each op, search forward for a partner with the same
+/// qubit set; intermediates sharing qubits must commute with the op.
+/// `match` decides cancellation (return 2: remove both; 1: replace a with
+/// `merged`, remove b; 0: no match).
+template <typename MatchFn>
+bool commuting_pair_pass(Circuit& circuit, const MatchFn& match,
+                         bool require_adjacent) {
+  constexpr int kWindow = 32;
+  bool any_change = false;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 16) {
+    changed = false;
+    const auto& ops = circuit.ops();
+    std::vector<bool> removed(ops.size(), false);
+    std::vector<std::pair<int, Operation>> replacements;
+
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      if (removed[static_cast<std::size_t>(i)]) {
+        continue;
+      }
+      const Operation& a = ops[static_cast<std::size_t>(i)];
+      if (!a.is_unitary()) {
+        continue;
+      }
+      int encounters = 0;
+      for (int j = i + 1;
+           j < static_cast<int>(ops.size()) && encounters < kWindow; ++j) {
+        if (removed[static_cast<std::size_t>(j)]) {
+          continue;
+        }
+        const Operation& b = ops[static_cast<std::size_t>(j)];
+        if (b.kind() == GateKind::kBarrier) {
+          break;  // barriers block reordering across them
+        }
+        if (!a.overlaps(b)) {
+          continue;
+        }
+        ++encounters;
+        // Candidate partner: unitary with the same qubit set.
+        const bool same_set =
+            b.is_unitary() && a.num_qubits() == b.num_qubits() &&
+            std::all_of(a.qubits().begin(), a.qubits().end(),
+                        [&](int q) { return b.acts_on(q); });
+        if (same_set) {
+          Operation merged = a;
+          const int verdict = match(a, b, merged);
+          if (verdict == 2) {
+            removed[static_cast<std::size_t>(i)] = true;
+            removed[static_cast<std::size_t>(j)] = true;
+            changed = true;
+            break;
+          }
+          if (verdict == 1) {
+            replacements.emplace_back(i, merged);
+            removed[static_cast<std::size_t>(j)] = true;
+            changed = true;
+            break;
+          }
+        }
+        if (require_adjacent) {
+          break;  // only immediate neighbours count
+        }
+        if (!b.is_unitary() || !ops_commute(a, b)) {
+          break;
+        }
+      }
+    }
+
+    if (changed) {
+      std::vector<Operation> kept;
+      kept.reserve(ops.size());
+      for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+        if (removed[static_cast<std::size_t>(i)]) {
+          continue;
+        }
+        const auto rep = std::find_if(
+            replacements.begin(), replacements.end(),
+            [i](const auto& r) { return r.first == i; });
+        if (rep != replacements.end()) {
+          if (!ir::gate_is_identity(rep->second.kind(),
+                                    rep->second.params())) {
+            kept.push_back(rep->second);
+          }
+        } else {
+          kept.push_back(ops[static_cast<std::size_t>(i)]);
+        }
+      }
+      Circuit rebuilt(circuit.num_qubits(), circuit.name());
+      rebuilt.add_global_phase(circuit.global_phase());
+      for (const Operation& op : kept) {
+        rebuilt.append(op);
+      }
+      circuit = std::move(rebuilt);
+      any_change = true;
+    }
+  }
+  return any_change;
+}
+
+bool drop_identity_gates(Circuit& circuit) {
+  const auto& ops = circuit.ops();
+  std::vector<bool> remove(ops.size(), false);
+  bool changed = false;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (op.is_unitary() &&
+        (op.kind() == GateKind::kI ||
+         ir::gate_is_identity(op.kind(), op.params()))) {
+      remove[i] = true;
+      changed = true;
+    }
+  }
+  if (changed) {
+    circuit.remove_ops(remove);
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool CXCancellation::run(ir::Circuit& circuit, const PassContext&) const {
+  bool any = false;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 16) {
+    changed = false;
+    const DagCircuit dag(circuit);
+    const auto& ops = circuit.ops();
+    std::vector<bool> removed(ops.size(), false);
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      if (removed[static_cast<std::size_t>(i)] ||
+          ops[static_cast<std::size_t>(i)].kind() != GateKind::kCX) {
+        continue;
+      }
+      const int j = dag.next_on_qubit(i, ops[static_cast<std::size_t>(i)]
+                                             .qubit(0));
+      if (j < 0 || removed[static_cast<std::size_t>(j)]) {
+        continue;
+      }
+      const Operation& a = ops[static_cast<std::size_t>(i)];
+      const Operation& b = ops[static_cast<std::size_t>(j)];
+      if (b.kind() == GateKind::kCX && b.qubit(0) == a.qubit(0) &&
+          b.qubit(1) == a.qubit(1) && strictly_adjacent(dag, circuit, i, j)) {
+        removed[static_cast<std::size_t>(i)] = true;
+        removed[static_cast<std::size_t>(j)] = true;
+        changed = true;
+      }
+    }
+    if (changed) {
+      circuit.remove_ops(removed);
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool InverseCancellation::run(ir::Circuit& circuit, const PassContext&) const {
+  return commuting_pair_pass(
+      circuit,
+      [](const Operation& a, const Operation& b, Operation&) {
+        return is_structural_inverse(a, b) ? 2 : 0;
+      },
+      /*require_adjacent=*/true);
+}
+
+bool CommutativeCancellation::run(ir::Circuit& circuit,
+                                  const PassContext&) const {
+  return commuting_pair_pass(
+      circuit,
+      [](const Operation& a, const Operation& b, Operation& merged) {
+        if (is_structural_inverse(a, b)) {
+          return 2;
+        }
+        if (try_merge_rotations(a, b, merged)) {
+          return 1;
+        }
+        return 0;
+      },
+      /*require_adjacent=*/false);
+}
+
+bool CommutativeInverseCancellation::run(ir::Circuit& circuit,
+                                         const PassContext&) const {
+  return commuting_pair_pass(
+      circuit,
+      [](const Operation& a, const Operation& b, Operation&) {
+        return is_matrix_inverse(a, b) ? 2 : 0;
+      },
+      /*require_adjacent=*/false);
+}
+
+bool RemoveDiagonalGatesBeforeMeasure::run(ir::Circuit& circuit,
+                                           const PassContext&) const {
+  bool any = false;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 16) {
+    changed = false;
+    const DagCircuit dag(circuit);
+    const auto& ops = circuit.ops();
+    std::vector<bool> removed(ops.size(), false);
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      const Operation& op = ops[static_cast<std::size_t>(i)];
+      if (!op.is_unitary() || !op.info().is_diagonal) {
+        continue;
+      }
+      bool all_measured = true;
+      for (const int q : op.qubits()) {
+        const int nxt = dag.next_on_qubit(i, q);
+        if (nxt < 0 ||
+            ops[static_cast<std::size_t>(nxt)].kind() != GateKind::kMeasure) {
+          all_measured = false;
+          break;
+        }
+      }
+      if (all_measured) {
+        removed[static_cast<std::size_t>(i)] = true;
+        changed = true;
+      }
+    }
+    if (changed) {
+      circuit.remove_ops(removed);
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool RemoveRedundancies::run(ir::Circuit& circuit,
+                             const PassContext& ctx) const {
+  bool any = false;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 8) {
+    changed = false;
+    if (drop_identity_gates(circuit)) {
+      changed = true;
+    }
+    if (commuting_pair_pass(
+            circuit,
+            [](const Operation& a, const Operation& b, Operation& merged) {
+              if (is_structural_inverse(a, b)) {
+                return 2;
+              }
+              if (try_merge_rotations(a, b, merged)) {
+                return 1;
+              }
+              return 0;
+            },
+            /*require_adjacent=*/true)) {
+      changed = true;
+    }
+    if (changed) {
+      any = true;
+    }
+  }
+  (void)ctx;
+  return any;
+}
+
+}  // namespace qrc::passes

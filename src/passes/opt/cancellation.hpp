@@ -1,0 +1,71 @@
+/// \file cancellation.hpp
+/// \brief Gate-cancellation passes from the paper's action list:
+///        CXCancellation, InverseCancellation, CommutativeCancellation,
+///        CommutativeInverseCancellation, RemoveDiagonalGatesBeforeMeasure
+///        and TKET-style RemoveRedundancies.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace qrc::passes {
+
+/// Cancels immediately adjacent identical CX pairs.
+class CXCancellation final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "CXCancellation";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+/// Cancels immediately adjacent gate/inverse pairs (kind-level: h-h, x-x,
+/// cx-cx, s-sdg, t-tdg, sx-sxdg, rot(t)-rot(-t), ...).
+class InverseCancellation final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "InverseCancellation";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+/// Cancels or merges gate pairs separated by gates they commute with
+/// (commutation checked by the numerical oracle).
+class CommutativeCancellation final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "CommutativeCancellation";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+/// Like CommutativeCancellation but matches partners whose matrix product
+/// is the identity up to phase (catches cross-kind inverses).
+class CommutativeInverseCancellation final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "CommutativeInverseCancellation";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+/// Removes diagonal gates whose every qubit is immediately measured
+/// afterwards (they cannot affect Z-basis outcomes).
+class RemoveDiagonalGatesBeforeMeasure final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "RemoveDiagonalGatesBeforeMeasure";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+/// TKET-style RemoveRedundancies: drops identity-angle rotations, cancels
+/// adjacent inverses and merges adjacent same-axis rotations, to fixpoint.
+class RemoveRedundancies final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "RemoveRedundancies";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+}  // namespace qrc::passes

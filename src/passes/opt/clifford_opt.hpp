@@ -1,0 +1,32 @@
+/// \file clifford_opt.hpp
+/// \brief Clifford-segment resynthesis passes: Qiskit-style
+///        OptimizeCliffords and TKET-style CliffordSimp. Both collect
+///        Clifford blocks, resynthesise them canonically through the
+///        stabilizer tableau, and keep improvements only. On mapped
+///        circuits, replacements that would violate the coupling map are
+///        rejected.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace qrc::passes {
+
+class OptimizeCliffords final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "OptimizeCliffords";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+/// Stricter variant: only blocks with >= 2 two-qubit gates, replaced only
+/// on a strict two-qubit-count reduction.
+class CliffordSimp final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "CliffordSimp";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+}  // namespace qrc::passes

@@ -1,0 +1,31 @@
+#include "passes/opt/composite.hpp"
+
+#include "passes/opt/cancellation.hpp"
+#include "passes/opt/consolidate.hpp"
+#include "passes/opt/one_qubit_opt.hpp"
+
+namespace qrc::passes {
+
+bool FullPeepholeOptimise::run(ir::Circuit& circuit,
+                               const PassContext& ctx) const {
+  const Optimize1qGatesDecomposition opt1q;
+  const PeepholeOptimise2Q peephole;
+  const CommutativeCancellation commutative;
+  const RemoveRedundancies redundancies;
+
+  bool any = false;
+  for (int round = 0; round < 3; ++round) {
+    bool changed = false;
+    changed |= opt1q.run(circuit, ctx);
+    changed |= peephole.run(circuit, ctx);
+    changed |= commutative.run(circuit, ctx);
+    changed |= redundancies.run(circuit, ctx);
+    if (!changed) {
+      break;
+    }
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace qrc::passes

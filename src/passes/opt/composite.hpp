@@ -1,0 +1,19 @@
+/// \file composite.hpp
+/// \brief TKET-style FullPeepholeOptimise: an iterated composition of
+///        single-qubit fusion, two-qubit peephole resynthesis, commutative
+///        cancellation and redundancy removal.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace qrc::passes {
+
+class FullPeepholeOptimise final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "FullPeepholeOptimise";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+}  // namespace qrc::passes

@@ -1,0 +1,33 @@
+/// \file consolidate.hpp
+/// \brief Two-qubit block consolidation: Qiskit-style Collect2qBlocks +
+///        ConsolidateBlocks, and the TKET-style PeepholeOptimise2Q. Both
+///        rebuild two-qubit blocks through the KAK decomposition and keep
+///        the replacement only when it reduces cost.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace qrc::passes {
+
+/// Collects maximal blocks over a qubit pair and resynthesises blocks with
+/// at least two 2q gates; replaces when the CX count strictly drops (or
+/// ties with fewer total gates).
+class ConsolidateBlocks final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "Collect2qBlocks+ConsolidateBlocks";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+/// TKET-style peephole: also attacks single-2q-gate blocks, normalising
+/// them through the KAK form; same strict cost gate as ConsolidateBlocks.
+class PeepholeOptimise2Q final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "PeepholeOptimise2Q";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+}  // namespace qrc::passes

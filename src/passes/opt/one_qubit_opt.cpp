@@ -1,0 +1,81 @@
+#include "passes/opt/one_qubit_opt.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "passes/blocks.hpp"
+#include "passes/synthesis/euler_synth.hpp"
+
+namespace qrc::passes {
+
+bool Optimize1qGatesDecomposition::run(ir::Circuit& circuit,
+                                       const PassContext& ctx) const {
+  const auto runs = collect_1q_runs(circuit);
+  if (runs.empty()) {
+    return false;
+  }
+
+  // Decide replacements per run.
+  std::vector<bool> removed(circuit.size(), false);
+  // Insertion anchored at the run's last op index.
+  std::vector<std::pair<int, std::vector<ir::Operation>>> insertions;
+  double phase = 0.0;
+  bool changed = false;
+
+  for (const OneQubitRun& run : runs) {
+    const la::Mat2 u = run_matrix(circuit, run);
+    double run_phase = 0.0;
+    std::vector<ir::Operation> synth;
+    if (ctx.device != nullptr) {
+      synth = synthesize_1q_native(u, run.qubit, ctx.device->platform(),
+                                   run_phase);
+    } else {
+      synth = synthesize_1q_u3(u, run.qubit, run_phase);
+    }
+    const int old_count = static_cast<int>(run.op_indices.size());
+    const int new_count = static_cast<int>(synth.size());
+    bool non_native = false;
+    if (ctx.device != nullptr) {
+      for (const int idx : run.op_indices) {
+        if (!ctx.device->is_native(
+                circuit.ops()[static_cast<std::size_t>(idx)].kind())) {
+          non_native = true;
+          break;
+        }
+      }
+    }
+    // Substitute when strictly shorter, or whenever the run leaves the
+    // device's native set (mirrors Qiskit's substitution rule).
+    if (new_count < old_count || non_native) {
+      for (const int idx : run.op_indices) {
+        removed[static_cast<std::size_t>(idx)] = true;
+      }
+      insertions.emplace_back(run.op_indices.back(), std::move(synth));
+      phase += run_phase;
+      changed = true;
+    }
+  }
+  if (!changed) {
+    return false;
+  }
+
+  ir::Circuit rebuilt(circuit.num_qubits(), circuit.name());
+  rebuilt.add_global_phase(circuit.global_phase() + phase);
+  for (int i = 0; i < static_cast<int>(circuit.size()); ++i) {
+    const auto ins = std::find_if(
+        insertions.begin(), insertions.end(),
+        [i](const auto& e) { return e.first == i; });
+    if (ins != insertions.end()) {
+      for (const ir::Operation& op : ins->second) {
+        rebuilt.append(op);
+      }
+    }
+    if (!removed[static_cast<std::size_t>(i)]) {
+      rebuilt.append(circuit.ops()[static_cast<std::size_t>(i)]);
+    }
+  }
+  circuit = std::move(rebuilt);
+  return true;
+}
+
+}  // namespace qrc::passes

@@ -1,0 +1,19 @@
+/// \file one_qubit_opt.hpp
+/// \brief Optimize1qGatesDecomposition: fuses runs of single-qubit gates
+///        and resynthesises them minimally (into the device-native basis if
+///        a device is fixed, otherwise into a single u3).
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace qrc::passes {
+
+class Optimize1qGatesDecomposition final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "Optimize1qGatesDecomposition";
+  }
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+}  // namespace qrc::passes

@@ -1,0 +1,40 @@
+/// \file pass.hpp
+/// \brief The unified pass interface of the framework ("all actions use a
+///        quantum circuit as the main representation for their input and
+///        output", Section III). Optimization and synthesis passes
+///        implement Pass; layout and routing have dedicated typed entry
+///        points in layout/ and routing/.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "device/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qrc::passes {
+
+/// Context shared by all passes. `device` is null until the MDP has fixed
+/// a device; `is_mapped` is true once the circuit lives on physical qubits
+/// (passes must then preserve connectivity).
+struct PassContext {
+  const device::Device* device = nullptr;
+  bool is_mapped = false;
+  std::uint64_t seed = 1;  ///< for stochastic passes; fixed => deterministic
+};
+
+/// A circuit-to-circuit transformation.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  Pass() = default;
+  Pass(const Pass&) = delete;
+  Pass& operator=(const Pass&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Transforms `circuit` in place. \returns true if anything changed.
+  virtual bool run(ir::Circuit& circuit, const PassContext& ctx) const = 0;
+};
+
+}  // namespace qrc::passes

@@ -1,0 +1,485 @@
+#include "passes/routing/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <random>
+#include <stdexcept>
+
+namespace qrc::passes {
+
+namespace {
+
+using device::CouplingMap;
+using ir::Circuit;
+using ir::GateKind;
+using ir::Operation;
+
+/// Mutable placement: tau[slot] = physical qubit currently holding slot's
+/// state; inv[physical] = slot.
+struct Placement {
+  std::vector<int> tau;
+  std::vector<int> inv;
+
+  explicit Placement(int n) {
+    tau.resize(static_cast<std::size_t>(n));
+    inv.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      tau[static_cast<std::size_t>(i)] = i;
+      inv[static_cast<std::size_t>(i)] = i;
+    }
+  }
+
+  [[nodiscard]] int phys(int slot) const {
+    return tau[static_cast<std::size_t>(slot)];
+  }
+
+  /// Swaps the contents of two physical qubits.
+  void swap_physical(int pa, int pb) {
+    const int sa = inv[static_cast<std::size_t>(pa)];
+    const int sb = inv[static_cast<std::size_t>(pb)];
+    std::swap(inv[static_cast<std::size_t>(pa)],
+              inv[static_cast<std::size_t>(pb)]);
+    std::swap(tau[static_cast<std::size_t>(sa)],
+              tau[static_cast<std::size_t>(sb)]);
+  }
+};
+
+/// Emits `op` with operands translated through the placement.
+void emit(Circuit& out, const Operation& op, const Placement& p) {
+  Operation copy = op;
+  for (int i = 0; i < op.num_qubits(); ++i) {
+    copy.set_qubit(i, p.phys(op.qubit(i)));
+  }
+  out.append(copy);
+}
+
+void emit_swap(Circuit& out, Placement& p, int pa, int pb, int& swap_count) {
+  out.swap(pa, pb);
+  p.swap_physical(pa, pb);
+  ++swap_count;
+}
+
+void check_preconditions(const Circuit& circuit,
+                         const device::Device& device) {
+  if (circuit.num_qubits() != device.num_qubits()) {
+    throw std::invalid_argument(
+        "route: circuit must be laid out onto the device first");
+  }
+  if (!circuit.max_gate_arity_at_most(2)) {
+    throw std::invalid_argument("route: synthesise 3+ qubit gates first");
+  }
+}
+
+// ---------------------------------------------------------- BasicSwap ----
+
+/// In-order router: moves one operand along a shortest path until coupled.
+RoutingOutcome route_basic(const Circuit& circuit,
+                           const device::Device& device) {
+  const CouplingMap& cm = device.coupling();
+  RoutingOutcome out{Circuit(circuit.num_qubits(), circuit.name()), {}, 0};
+  out.routed.add_global_phase(circuit.global_phase());
+  Placement p(circuit.num_qubits());
+  for (const Operation& op : circuit.ops()) {
+    if (op.is_unitary() && op.num_qubits() == 2) {
+      int pa = p.phys(op.qubit(0));
+      int pb = p.phys(op.qubit(1));
+      if (!cm.are_coupled(pa, pb)) {
+        const auto path = cm.shortest_path(pa, pb);
+        // Walk pa toward pb, stopping one hop short.
+        for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+          emit_swap(out.routed, p, path[i], path[i + 1], out.swap_count);
+        }
+      }
+    }
+    emit(out.routed, op, p);
+  }
+  out.permutation = p.tau;
+  return out;
+}
+
+// ------------------------------------------------------ StochasticSwap ----
+
+/// Randomised variant: several trials; per blocked gate, a random endpoint
+/// walks a randomised shortest path. Keeps the trial with fewest swaps.
+RoutingOutcome route_stochastic(const Circuit& circuit,
+                                const device::Device& device,
+                                std::uint64_t seed, int trials = 8) {
+  const CouplingMap& cm = device.coupling();
+  std::optional<RoutingOutcome> best;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::mt19937_64 rng(seed * 7919 + static_cast<std::uint64_t>(trial));
+    RoutingOutcome out{Circuit(circuit.num_qubits(), circuit.name()), {}, 0};
+    out.routed.add_global_phase(circuit.global_phase());
+    Placement p(circuit.num_qubits());
+    for (const Operation& op : circuit.ops()) {
+      if (op.is_unitary() && op.num_qubits() == 2) {
+        int slot_a = op.qubit(0);
+        int slot_b = op.qubit(1);
+        while (!cm.are_coupled(p.phys(slot_a), p.phys(slot_b))) {
+          // Random endpoint walks one random distance-reducing step.
+          const bool move_a = std::uniform_int_distribution<int>(0, 1)(rng);
+          const int src = move_a ? p.phys(slot_a) : p.phys(slot_b);
+          const int dst = move_a ? p.phys(slot_b) : p.phys(slot_a);
+          std::vector<int> closer;
+          for (const int nbr : cm.neighbors(src)) {
+            if (cm.distance(nbr, dst) < cm.distance(src, dst)) {
+              closer.push_back(nbr);
+            }
+          }
+          const int step =
+              closer[std::uniform_int_distribution<std::size_t>(
+                  0, closer.size() - 1)(rng)];
+          emit_swap(out.routed, p, src, step, out.swap_count);
+        }
+      }
+      emit(out.routed, op, p);
+    }
+    out.permutation = p.tau;
+    if (!best.has_value() || out.swap_count < best->swap_count) {
+      best = std::move(out);
+    }
+  }
+  return *best;
+}
+
+// ----------------------------------------------- dependency scaffolding ----
+
+/// Per-op wire dependencies for the lookahead routers.
+struct OpDag {
+  std::vector<int> indegree;               // unresolved wire predecessors
+  std::vector<std::vector<int>> children;  // ops unlocked by this op
+};
+
+OpDag build_op_dag(const Circuit& circuit) {
+  OpDag dag;
+  const auto n_ops = circuit.size();
+  dag.indegree.assign(n_ops, 0);
+  dag.children.assign(n_ops, {});
+  std::vector<int> last_on_wire(
+      static_cast<std::size_t>(circuit.num_qubits()), -1);
+  for (int i = 0; i < static_cast<int>(n_ops); ++i) {
+    const Operation& op = circuit.ops()[static_cast<std::size_t>(i)];
+    if (op.kind() == GateKind::kBarrier) {
+      for (int q = 0; q < circuit.num_qubits(); ++q) {
+        auto& last = last_on_wire[static_cast<std::size_t>(q)];
+        if (last >= 0) {
+          dag.children[static_cast<std::size_t>(last)].push_back(i);
+          ++dag.indegree[static_cast<std::size_t>(i)];
+        }
+        last = i;
+      }
+      continue;
+    }
+    for (const int q : op.qubits()) {
+      auto& last = last_on_wire[static_cast<std::size_t>(q)];
+      if (last >= 0) {
+        dag.children[static_cast<std::size_t>(last)].push_back(i);
+        ++dag.indegree[static_cast<std::size_t>(i)];
+      }
+      last = i;
+    }
+  }
+  return dag;
+}
+
+/// True if the op needs adjacent operands to execute.
+bool needs_coupling(const Operation& op) {
+  return op.is_unitary() && op.num_qubits() == 2;
+}
+
+// ----------------------------------------------------------- SabreSwap ----
+
+RoutingOutcome route_sabre(const Circuit& circuit,
+                           const device::Device& device, std::uint64_t seed) {
+  const CouplingMap& cm = device.coupling();
+  const auto& ops = circuit.ops();
+  OpDag dag = build_op_dag(circuit);
+
+  RoutingOutcome out{Circuit(circuit.num_qubits(), circuit.name()), {}, 0};
+  out.routed.add_global_phase(circuit.global_phase());
+  Placement p(circuit.num_qubits());
+  std::mt19937_64 rng(seed * 104729 + 17);
+
+  std::deque<int> ready;
+  for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+    if (dag.indegree[static_cast<std::size_t>(i)] == 0) {
+      ready.push_back(i);
+    }
+  }
+
+  std::vector<double> decay(static_cast<std::size_t>(circuit.num_qubits()),
+                            1.0);
+  constexpr double kDecayStep = 0.001;
+  constexpr int kDecayResetInterval = 5;
+  constexpr double kExtendedWeight = 0.5;
+  constexpr int kExtendedSize = 20;
+  int swaps_since_progress = 0;
+
+  std::vector<int> front;  // blocked 2q ops
+  const auto release = [&](int idx) {
+    for (const int child : dag.children[static_cast<std::size_t>(idx)]) {
+      if (--dag.indegree[static_cast<std::size_t>(child)] == 0) {
+        ready.push_back(child);
+      }
+    }
+  };
+
+  std::size_t executed = 0;
+  const std::size_t total = ops.size();
+  while (executed < total) {
+    // Drain the ready queue: execute everything executable.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::deque<int> still_blocked;
+      while (!ready.empty()) {
+        const int idx = ready.front();
+        ready.pop_front();
+        const Operation& op = ops[static_cast<std::size_t>(idx)];
+        if (needs_coupling(op) &&
+            !cm.are_coupled(p.phys(op.qubit(0)), p.phys(op.qubit(1)))) {
+          still_blocked.push_back(idx);
+          continue;
+        }
+        emit(out.routed, op, p);
+        ++executed;
+        release(idx);
+        progress = true;
+        swaps_since_progress = 0;
+        std::fill(decay.begin(), decay.end(), 1.0);
+      }
+      ready = std::move(still_blocked);
+    }
+    if (executed >= total) {
+      break;
+    }
+
+    // Front layer = currently blocked 2q ops; extended set = their
+    // descendants (best-effort, by op order).
+    front.assign(ready.begin(), ready.end());
+    std::vector<int> extended;
+    {
+      std::deque<int> frontier(front.begin(), front.end());
+      std::vector<bool> seen(ops.size(), false);
+      while (!frontier.empty() &&
+             static_cast<int>(extended.size()) < kExtendedSize) {
+        const int idx = frontier.front();
+        frontier.pop_front();
+        for (const int child : dag.children[static_cast<std::size_t>(idx)]) {
+          if (seen[static_cast<std::size_t>(child)]) {
+            continue;
+          }
+          seen[static_cast<std::size_t>(child)] = true;
+          if (needs_coupling(ops[static_cast<std::size_t>(child)])) {
+            extended.push_back(child);
+          }
+          frontier.push_back(child);
+        }
+      }
+    }
+
+    // Candidate swaps: edges touching any physical qubit involved in the
+    // front layer.
+    std::vector<std::pair<int, int>> candidates;
+    for (const int idx : front) {
+      const Operation& op = ops[static_cast<std::size_t>(idx)];
+      for (const int slot : op.qubits()) {
+        const int phys = p.phys(slot);
+        for (const int nbr : cm.neighbors(phys)) {
+          candidates.emplace_back(std::min(phys, nbr), std::max(phys, nbr));
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    const auto score_swap = [&](std::pair<int, int> sw) {
+      // Evaluate distances as if sw were applied.
+      const auto dist_after = [&](int pa, int pb) {
+        const auto remap = [&](int q) {
+          if (q == sw.first) {
+            return sw.second;
+          }
+          if (q == sw.second) {
+            return sw.first;
+          }
+          return q;
+        };
+        return cm.distance(remap(pa), remap(pb));
+      };
+      double basic = 0.0;
+      for (const int idx : front) {
+        const Operation& op = ops[static_cast<std::size_t>(idx)];
+        basic += dist_after(p.phys(op.qubit(0)), p.phys(op.qubit(1)));
+      }
+      basic /= static_cast<double>(front.size());
+      double ext = 0.0;
+      if (!extended.empty()) {
+        for (const int idx : extended) {
+          const Operation& op = ops[static_cast<std::size_t>(idx)];
+          ext += dist_after(p.phys(op.qubit(0)), p.phys(op.qubit(1)));
+        }
+        ext /= static_cast<double>(extended.size());
+      }
+      const double d = std::max(decay[static_cast<std::size_t>(sw.first)],
+                                decay[static_cast<std::size_t>(sw.second)]);
+      return d * (basic + kExtendedWeight * ext);
+    };
+
+    double best_score = 0.0;
+    int best_idx = -1;
+    for (int ci = 0; ci < static_cast<int>(candidates.size()); ++ci) {
+      const double s = score_swap(candidates[static_cast<std::size_t>(ci)]);
+      if (best_idx < 0 || s < best_score - 1e-12) {
+        best_score = s;
+        best_idx = ci;
+      }
+    }
+    if (best_idx < 0) {
+      throw std::logic_error("sabre: no candidate swaps");
+    }
+    const auto chosen = candidates[static_cast<std::size_t>(best_idx)];
+    emit_swap(out.routed, p, chosen.first, chosen.second, out.swap_count);
+    decay[static_cast<std::size_t>(chosen.first)] += kDecayStep;
+    decay[static_cast<std::size_t>(chosen.second)] += kDecayStep;
+    if (++swaps_since_progress % kDecayResetInterval == 0) {
+      std::fill(decay.begin(), decay.end(), 1.0);
+    }
+    // Defensive bound against pathological non-progress.
+    if (swaps_since_progress > 10 * circuit.num_qubits() + 100) {
+      // Fall back to a forced shortest-path move for the first blocked op.
+      const Operation& op = ops[static_cast<std::size_t>(front.front())];
+      const auto path =
+          cm.shortest_path(p.phys(op.qubit(0)), p.phys(op.qubit(1)));
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        emit_swap(out.routed, p, path[i], path[i + 1], out.swap_count);
+      }
+      swaps_since_progress = 0;
+    }
+    (void)rng;
+  }
+  out.permutation = p.tau;
+  return out;
+}
+
+// -------------------------------------------------- TKET-style router ----
+
+/// In-order router with geometric lookahead over the next pending 2q gates
+/// (structurally mirrors tket's LexiRoute-style swap selection).
+RoutingOutcome route_tket(const Circuit& circuit,
+                          const device::Device& device) {
+  const CouplingMap& cm = device.coupling();
+  const auto& ops = circuit.ops();
+  RoutingOutcome out{Circuit(circuit.num_qubits(), circuit.name()), {}, 0};
+  out.routed.add_global_phase(circuit.global_phase());
+  Placement p(circuit.num_qubits());
+  constexpr int kLookahead = 12;
+  constexpr double kDiscount = 0.7;
+
+  for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+    const Operation& op = ops[static_cast<std::size_t>(i)];
+    if (needs_coupling(op)) {
+      int guard = 0;
+      while (!cm.are_coupled(p.phys(op.qubit(0)), p.phys(op.qubit(1)))) {
+        // Candidate swaps: edges adjacent to either endpoint.
+        std::vector<std::pair<int, int>> candidates;
+        for (const int slot : {op.qubit(0), op.qubit(1)}) {
+          const int phys = p.phys(slot);
+          for (const int nbr : cm.neighbors(phys)) {
+            candidates.emplace_back(std::min(phys, nbr),
+                                    std::max(phys, nbr));
+          }
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+
+        double best_score = 0.0;
+        int best = -1;
+        for (int ci = 0; ci < static_cast<int>(candidates.size()); ++ci) {
+          const auto sw = candidates[static_cast<std::size_t>(ci)];
+          const auto remap = [&](int q) {
+            if (q == sw.first) {
+              return sw.second;
+            }
+            if (q == sw.second) {
+              return sw.first;
+            }
+            return q;
+          };
+          // Weighted distance over this gate and the next pending 2q gates.
+          double score = 0.0;
+          double weight = 1.0;
+          int counted = 0;
+          for (int j = i; j < static_cast<int>(ops.size()) &&
+                          counted < kLookahead;
+               ++j) {
+            const Operation& future = ops[static_cast<std::size_t>(j)];
+            if (!needs_coupling(future)) {
+              continue;
+            }
+            const int pa = remap(p.phys(future.qubit(0)));
+            const int pb = remap(p.phys(future.qubit(1)));
+            score += weight * static_cast<double>(cm.distance(pa, pb) - 1);
+            weight *= kDiscount;
+            ++counted;
+          }
+          if (best < 0 || score < best_score - 1e-12) {
+            best_score = score;
+            best = ci;
+          }
+        }
+        const auto chosen = candidates[static_cast<std::size_t>(best)];
+        emit_swap(out.routed, p, chosen.first, chosen.second,
+                  out.swap_count);
+        // Defensive: guarantee progress eventually.
+        if (++guard > 4 * circuit.num_qubits() + 16) {
+          const auto path =
+              cm.shortest_path(p.phys(op.qubit(0)), p.phys(op.qubit(1)));
+          for (std::size_t k = 0; k + 2 < path.size(); ++k) {
+            emit_swap(out.routed, p, path[k], path[k + 1], out.swap_count);
+          }
+        }
+      }
+    }
+    emit(out.routed, op, p);
+  }
+  out.permutation = p.tau;
+  return out;
+}
+
+}  // namespace
+
+std::string_view routing_name(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kBasicSwap:
+      return "BasicSwap";
+    case RoutingKind::kStochasticSwap:
+      return "StochasticSwap";
+    case RoutingKind::kSabreSwap:
+      return "SabreSwap";
+    case RoutingKind::kTketRouting:
+      return "TketRouting";
+  }
+  return "unknown";
+}
+
+RoutingOutcome route(RoutingKind kind, const ir::Circuit& circuit,
+                     const device::Device& device, std::uint64_t seed) {
+  check_preconditions(circuit, device);
+  switch (kind) {
+    case RoutingKind::kBasicSwap:
+      return route_basic(circuit, device);
+    case RoutingKind::kStochasticSwap:
+      return route_stochastic(circuit, device, seed);
+    case RoutingKind::kSabreSwap:
+      return route_sabre(circuit, device, seed);
+    case RoutingKind::kTketRouting:
+      return route_tket(circuit, device);
+  }
+  throw std::invalid_argument("route: unknown kind");
+}
+
+}  // namespace qrc::passes

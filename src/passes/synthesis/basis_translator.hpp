@@ -1,0 +1,25 @@
+/// \file basis_translator.hpp
+/// \brief Qiskit-style BasisTranslator: rewrites every non-native gate into
+///        the target platform's native set via a rule system (multi-qubit
+///        gates lower through CX, CX converts to the platform entangler,
+///        single-qubit remainders re-synthesise through Euler angles).
+///        Equivalences hold up to global phase.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace qrc::passes {
+
+class BasisTranslator final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "BasisTranslator";
+  }
+
+  /// Requires ctx.device (the platform fixes the native set). Two-qubit
+  /// decompositions keep both operands on the same qubit pair, so a mapped
+  /// circuit stays mapped.
+  bool run(ir::Circuit& circuit, const PassContext& ctx) const override;
+};
+
+}  // namespace qrc::passes

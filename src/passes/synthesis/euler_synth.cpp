@@ -1,0 +1,119 @@
+#include "passes/synthesis/euler_synth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/euler.hpp"
+
+namespace qrc::passes {
+
+namespace {
+
+using ir::GateKind;
+using ir::Operation;
+
+Operation g1(GateKind kind, int q) {
+  const std::array<int, 1> qs{q};
+  return Operation(kind, qs);
+}
+
+Operation g1p(GateKind kind, double p, int q) {
+  const std::array<int, 1> qs{q};
+  const std::array<double, 1> ps{p};
+  return Operation(kind, qs, ps);
+}
+
+}  // namespace
+
+std::vector<Operation> synthesize_1q_native(const la::Mat2& u, int q,
+                                            device::Platform platform,
+                                            double& phase_out) {
+  std::vector<Operation> out;
+  // Diagonal shortcut: a single rz (all platforms have rz native).
+  if (la::approx_zero(u(0, 1)) && la::approx_zero(u(1, 0))) {
+    const double angle = std::arg(u(1, 1) / u(0, 0));
+    // u = e^{i phase} Rz(angle).
+    phase_out += std::arg(u(0, 0)) + angle / 2.0;
+    if (!la::angle_is_zero(angle)) {
+      out.push_back(g1p(GateKind::kRZ, angle, q));
+    }
+    return out;
+  }
+  switch (platform) {
+    case device::Platform::kIBM:
+    case device::Platform::kOQC: {
+      // Anti-diagonal shortcut: rz then X.
+      if (la::approx_zero(u(0, 0)) && la::approx_zero(u(1, 1))) {
+        // u = X * diag(u(1,0)? ...) — recompute: X * u = diag(u10, u01).
+        const double angle = std::arg(u(0, 1) / u(1, 0));
+        // X * u = e^{i p} Rz(angle) with p = arg(u10) + angle/2.
+        phase_out += std::arg(u(1, 0)) + angle / 2.0;
+        if (!la::angle_is_zero(angle)) {
+          out.push_back(g1p(GateKind::kRZ, angle, q));
+        }
+        out.push_back(g1(GateKind::kX, q));
+        return out;
+      }
+      const auto zx = la::zxzxz_decompose(u);
+      phase_out += zx.phase;
+      if (!la::angle_is_zero(zx.a3)) {
+        out.push_back(g1p(GateKind::kRZ, zx.a3, q));
+      }
+      out.push_back(g1(GateKind::kSX, q));
+      if (!la::angle_is_zero(zx.a2)) {
+        out.push_back(g1p(GateKind::kRZ, zx.a2, q));
+      }
+      out.push_back(g1(GateKind::kSX, q));
+      if (!la::angle_is_zero(zx.a1)) {
+        out.push_back(g1p(GateKind::kRZ, zx.a1, q));
+      }
+      return out;
+    }
+    case device::Platform::kRigetti: {
+      const auto zx = la::zxz_decompose(u);
+      phase_out += zx.phase;
+      if (!la::angle_is_zero(zx.delta)) {
+        out.push_back(g1p(GateKind::kRZ, zx.delta, q));
+      }
+      if (!la::angle_is_zero(zx.gamma)) {
+        out.push_back(g1p(GateKind::kRX, zx.gamma, q));
+      }
+      if (!la::angle_is_zero(zx.beta)) {
+        out.push_back(g1p(GateKind::kRZ, zx.beta, q));
+      }
+      return out;
+    }
+    case device::Platform::kIonQ: {
+      const auto zyz = la::zyz_decompose(u);
+      phase_out += zyz.phase;
+      if (!la::angle_is_zero(zyz.delta)) {
+        out.push_back(g1p(GateKind::kRZ, zyz.delta, q));
+      }
+      if (!la::angle_is_zero(zyz.gamma)) {
+        out.push_back(g1p(GateKind::kRY, zyz.gamma, q));
+      }
+      if (!la::angle_is_zero(zyz.beta)) {
+        out.push_back(g1p(GateKind::kRZ, zyz.beta, q));
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("synthesize_1q_native: unknown platform");
+}
+
+std::vector<Operation> synthesize_1q_u3(const la::Mat2& u, int q,
+                                        double& phase_out) {
+  std::vector<Operation> out;
+  const auto a = la::u3_decompose(u);
+  phase_out += a.phase;
+  const la::Mat2 body = la::u3_mat(a.theta, a.phi, a.lambda);
+  if (body.approx_equal(la::Mat2::identity(), 1e-10)) {
+    return out;
+  }
+  const std::array<int, 1> qs{q};
+  const std::array<double, 3> ps{a.theta, a.phi, a.lambda};
+  out.push_back(Operation(GateKind::kU3, qs, ps));
+  return out;
+}
+
+}  // namespace qrc::passes

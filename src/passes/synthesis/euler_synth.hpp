@@ -1,0 +1,28 @@
+/// \file euler_synth.hpp
+/// \brief Shared single-qubit resynthesis: rewrite an arbitrary 2x2 unitary
+///        as a minimal native gate sequence for a platform, or as a single
+///        u3. Used by BasisTranslator and Optimize1qGatesDecomposition.
+#pragma once
+
+#include <vector>
+
+#include "device/device.hpp"
+#include "ir/operation.hpp"
+#include "la/mat2.hpp"
+
+namespace qrc::passes {
+
+/// Rewrites `u` on qubit `q` into the platform's native 1q basis
+/// (IBM/OQC: rz-sx; Rigetti: rz-rx; IonQ: rz-ry-rz). Returns the gate list
+/// in circuit order; `phase_out` accumulates the dropped global phase.
+/// Identity (up to phase) yields an empty list. Diagonal and anti-diagonal
+/// shortcuts keep sequences minimal.
+[[nodiscard]] std::vector<ir::Operation> synthesize_1q_native(
+    const la::Mat2& u, int q, device::Platform platform, double& phase_out);
+
+/// Rewrites `u` as at most one u3 gate (empty if identity up to phase).
+[[nodiscard]] std::vector<ir::Operation> synthesize_1q_u3(const la::Mat2& u,
+                                                          int q,
+                                                          double& phase_out);
+
+}  // namespace qrc::passes

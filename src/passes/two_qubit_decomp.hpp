@@ -1,0 +1,26 @@
+/// \file two_qubit_decomp.hpp
+/// \brief Resynthesis of arbitrary two-qubit unitaries into {1q, CX}
+///        circuits via the KAK decomposition, with a CX-count ladder:
+///        0 (local), 1 (CX class), 2 (z = 0 Weyl slice), 3 (SWAP class),
+///        4 (generic). Every result is verified against the input matrix
+///        before being returned.
+#pragma once
+
+#include <optional>
+
+#include "ir/circuit.hpp"
+#include "la/mat4.hpp"
+
+namespace qrc::passes {
+
+/// Resynthesises `u` (a 4x4 unitary in the |q1 q0> basis) as a circuit on
+/// two qubits {0, 1} using u3 and cx gates only. Returns std::nullopt if
+/// the KAK decomposition fails or the rebuilt matrix does not verify.
+[[nodiscard]] std::optional<ir::Circuit> decompose_two_qubit_unitary(
+    const la::Mat4& u);
+
+/// Computes the unitary of a circuit over exactly 2 qubits (all ops must
+/// act on qubits 0/1 and be unitary).
+[[nodiscard]] la::Mat4 two_qubit_circuit_unitary(const ir::Circuit& circuit);
+
+}  // namespace qrc::passes

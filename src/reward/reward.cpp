@@ -1,0 +1,79 @@
+#include "reward/reward.hpp"
+
+#include <stdexcept>
+
+#include "features/features.hpp"
+
+namespace qrc::reward {
+
+std::string_view reward_name(RewardKind kind) {
+  switch (kind) {
+    case RewardKind::kFidelity:
+      return "fidelity";
+    case RewardKind::kCriticalDepth:
+      return "critical_depth";
+    case RewardKind::kCombination:
+      return "combination";
+    case RewardKind::kGateCount:
+      return "gate_count";
+    case RewardKind::kDepth:
+      return "depth";
+  }
+  return "unknown";
+}
+
+double expected_fidelity(const ir::Circuit& circuit,
+                         const device::Device& device) {
+  if (circuit.num_qubits() > device.num_qubits()) {
+    return 0.0;
+  }
+  double fidelity = 1.0;
+  for (const ir::Operation& op : circuit.ops()) {
+    fidelity *= 1.0 - device.op_error(op);
+    if (fidelity <= 0.0) {
+      return 0.0;
+    }
+  }
+  return fidelity;
+}
+
+double critical_depth_reward(const ir::Circuit& circuit) {
+  return 1.0 - features::critical_depth_feature(circuit);
+}
+
+double combination_reward(const ir::Circuit& circuit,
+                          const device::Device& device) {
+  return (expected_fidelity(circuit, device) +
+          critical_depth_reward(circuit)) /
+         2.0;
+}
+
+double gate_count_reward(const ir::Circuit& circuit) {
+  const double weighted =
+      static_cast<double>(circuit.gate_count()) +
+      2.0 * static_cast<double>(circuit.two_qubit_gate_count());
+  return 1.0 / (1.0 + weighted / 50.0);
+}
+
+double depth_reward(const ir::Circuit& circuit) {
+  return 1.0 / (1.0 + static_cast<double>(circuit.depth()) / 50.0);
+}
+
+double compute_reward(RewardKind kind, const ir::Circuit& circuit,
+                      const device::Device& device) {
+  switch (kind) {
+    case RewardKind::kFidelity:
+      return expected_fidelity(circuit, device);
+    case RewardKind::kCriticalDepth:
+      return critical_depth_reward(circuit);
+    case RewardKind::kCombination:
+      return combination_reward(circuit, device);
+    case RewardKind::kGateCount:
+      return gate_count_reward(circuit);
+    case RewardKind::kDepth:
+      return depth_reward(circuit);
+  }
+  throw std::invalid_argument("compute_reward: unknown kind");
+}
+
+}  // namespace qrc::reward

@@ -1,0 +1,55 @@
+/// \file reward.hpp
+/// \brief The three optimisation objectives from the paper's Section IV-A:
+///        expected fidelity, critical depth (as 1 - feature), and their
+///        combination. All rewards live in [0, 1]; higher is better.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "device/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qrc::reward {
+
+/// Objective selector. The paper evaluates the first three; gate count and
+/// depth are the further target metrics Section III-B names, provided as
+/// extension objectives.
+enum class RewardKind : std::uint8_t {
+  kFidelity,
+  kCriticalDepth,
+  kCombination,
+  kGateCount,  ///< extension: fewer gates is better
+  kDepth,      ///< extension: shallower is better
+};
+
+[[nodiscard]] std::string_view reward_name(RewardKind kind);
+
+/// Expected fidelity: the product over all operations of the success
+/// probability (1 - error rate), using the device calibration. Gates on
+/// uncoupled pairs or non-native 3+ qubit gates contribute probability 0,
+/// so inexecutable circuits score 0.
+[[nodiscard]] double expected_fidelity(const ir::Circuit& circuit,
+                                       const device::Device& device);
+
+/// 1 - critical_depth feature: rewards circuits whose two-qubit gates are
+/// spread off the critical path.
+[[nodiscard]] double critical_depth_reward(const ir::Circuit& circuit);
+
+/// (fidelity + critical-depth) / 2.
+[[nodiscard]] double combination_reward(const ir::Circuit& circuit,
+                                        const device::Device& device);
+
+/// 1 / (1 + gates/50): bounded in (0, 1], strictly decreasing in the
+/// unitary gate count (two-qubit gates weighted 3x, reflecting their cost).
+[[nodiscard]] double gate_count_reward(const ir::Circuit& circuit);
+
+/// 1 / (1 + depth/50): bounded in (0, 1], strictly decreasing in depth.
+[[nodiscard]] double depth_reward(const ir::Circuit& circuit);
+
+/// Dispatch on `kind`.
+[[nodiscard]] double compute_reward(RewardKind kind,
+                                    const ir::Circuit& circuit,
+                                    const device::Device& device);
+
+}  // namespace qrc::reward

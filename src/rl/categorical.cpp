@@ -1,0 +1,109 @@
+#include "rl/categorical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qrc::rl {
+
+MaskedCategorical::MaskedCategorical(std::span<const double> logits,
+                                     const std::vector<bool>& mask) {
+  if (logits.size() != mask.size() || logits.empty()) {
+    throw std::invalid_argument("MaskedCategorical: size mismatch");
+  }
+  valid_.assign(mask.begin(), mask.end());
+  // Stable softmax over valid entries.
+  double max_logit = -1e300;
+  bool any = false;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (valid_[i]) {
+      max_logit = std::max(max_logit, logits[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    throw std::invalid_argument("MaskedCategorical: no valid action");
+  }
+  probs_.assign(logits.size(), 0.0);
+  double z = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (valid_[i]) {
+      probs_[i] = std::exp(logits[i] - max_logit);
+      z += probs_[i];
+    }
+  }
+  for (double& p : probs_) {
+    p /= z;
+  }
+}
+
+int MaskedCategorical::sample(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double u = uniform(rng);
+  double acc = 0.0;
+  int last_valid = -1;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (!valid_[i]) {
+      continue;
+    }
+    last_valid = static_cast<int>(i);
+    acc += probs_[i];
+    if (u <= acc) {
+      return static_cast<int>(i);
+    }
+  }
+  return last_valid;  // numerical tail
+}
+
+int MaskedCategorical::argmax() const {
+  int best = -1;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (valid_[i] && (best < 0 || probs_[i] > probs_[static_cast<std::size_t>(
+                                                  best)])) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+double MaskedCategorical::log_prob(int action) const {
+  const double p = probs_[static_cast<std::size_t>(action)];
+  if (!valid_[static_cast<std::size_t>(action)] || p <= 0.0) {
+    return -1e30;
+  }
+  return std::log(p);
+}
+
+double MaskedCategorical::entropy() const {
+  double h = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (valid_[i] && probs_[i] > 0.0) {
+      h -= probs_[i] * std::log(probs_[i]);
+    }
+  }
+  return h;
+}
+
+std::vector<double> MaskedCategorical::log_prob_grad(int action) const {
+  std::vector<double> grad(probs_.size(), 0.0);
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (valid_[i]) {
+      grad[i] = -probs_[i];
+    }
+  }
+  grad[static_cast<std::size_t>(action)] += 1.0;
+  return grad;
+}
+
+std::vector<double> MaskedCategorical::entropy_grad() const {
+  const double h = entropy();
+  std::vector<double> grad(probs_.size(), 0.0);
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (valid_[i] && probs_[i] > 0.0) {
+      grad[i] = -probs_[i] * (std::log(probs_[i]) + h);
+    }
+  }
+  return grad;
+}
+
+}  // namespace qrc::rl

@@ -1,0 +1,44 @@
+/// \file categorical.hpp
+/// \brief Masked categorical distribution over action logits: sampling,
+///        log-probabilities, entropy and the gradient of log pi wrt the
+///        logits — the glue between the policy net and PPO.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace qrc::rl {
+
+/// A categorical distribution over `n` actions where invalid actions
+/// (mask false) have probability exactly zero. At least one action must be
+/// valid.
+class MaskedCategorical {
+ public:
+  MaskedCategorical(std::span<const double> logits,
+                    const std::vector<bool>& mask);
+
+  [[nodiscard]] int num_actions() const {
+    return static_cast<int>(probs_.size());
+  }
+  [[nodiscard]] const std::vector<double>& probs() const { return probs_; }
+
+  [[nodiscard]] int sample(std::mt19937_64& rng) const;
+  [[nodiscard]] int argmax() const;
+  [[nodiscard]] double log_prob(int action) const;
+  [[nodiscard]] double entropy() const;
+
+  /// d log pi(action) / d logits_j = (j == action) - p_j on valid actions,
+  /// 0 on masked ones.
+  [[nodiscard]] std::vector<double> log_prob_grad(int action) const;
+
+  /// d entropy / d logits_j = -p_j (log p_j + H) on valid actions.
+  [[nodiscard]] std::vector<double> entropy_grad() const;
+
+ private:
+  std::vector<double> probs_;
+  std::vector<bool> valid_;
+};
+
+}  // namespace qrc::rl

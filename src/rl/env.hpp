@@ -1,0 +1,40 @@
+/// \file env.hpp
+/// \brief Gym-style environment interface with action masking, implemented
+///        by the compilation MDP (core/) and the toy environments in tests.
+#pragma once
+
+#include <vector>
+
+namespace qrc::rl {
+
+/// Result of one environment step.
+struct StepResult {
+  std::vector<double> observation;
+  double reward = 0.0;
+  bool done = false;       ///< reached a terminal state
+  bool truncated = false;  ///< cut off by a step limit
+};
+
+/// Episodic environment with a discrete, maskable action space.
+class Env {
+ public:
+  virtual ~Env() = default;
+  Env() = default;
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  [[nodiscard]] virtual int observation_size() const = 0;
+  [[nodiscard]] virtual int num_actions() const = 0;
+
+  /// Starts a new episode and returns the initial observation.
+  virtual std::vector<double> reset() = 0;
+
+  /// Valid actions in the current state (at least one must be valid).
+  [[nodiscard]] virtual std::vector<bool> action_mask() const = 0;
+
+  /// Applies an action. Precondition: the action is valid and the episode
+  /// is not over.
+  virtual StepResult step(int action) = 0;
+};
+
+}  // namespace qrc::rl

@@ -1,0 +1,189 @@
+#include "rl/mlp.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <random>
+#include <stdexcept>
+
+namespace qrc::rl {
+
+Mlp::Mlp(std::vector<int> sizes, std::uint64_t seed)
+    : sizes_(std::move(sizes)) {
+  if (sizes_.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output sizes");
+  }
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (std::size_t i = 0; i + 1 < sizes_.size(); ++i) {
+    Layer layer;
+    layer.in = sizes_[i];
+    layer.out = sizes_[i + 1];
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    layer.w.resize(static_cast<std::size_t>(layer.in * layer.out));
+    for (double& v : layer.w) {
+      v = gauss(rng) * scale;
+    }
+    layer.b.assign(static_cast<std::size_t>(layer.out), 0.0);
+    layer.gw.assign(layer.w.size(), 0.0);
+    layer.gb.assign(layer.b.size(), 0.0);
+    layers_.push_back(std::move(layer));
+  }
+  acts_.resize(layers_.size() + 1);
+}
+
+std::vector<double> Mlp::forward(std::span<const double> input) const {
+  if (static_cast<int>(input.size()) != input_size()) {
+    throw std::invalid_argument("Mlp::forward: input size mismatch");
+  }
+  std::vector<double> cur(input.begin(), input.end());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    std::vector<double> next(static_cast<std::size_t>(layer.out));
+    for (int o = 0; o < layer.out; ++o) {
+      double acc = layer.b[static_cast<std::size_t>(o)];
+      const double* row = &layer.w[static_cast<std::size_t>(o * layer.in)];
+      for (int i = 0; i < layer.in; ++i) {
+        acc += row[i] * cur[static_cast<std::size_t>(i)];
+      }
+      next[static_cast<std::size_t>(o)] =
+          (li + 1 < layers_.size()) ? std::tanh(acc) : acc;
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<double> Mlp::forward_cached(std::span<const double> input) {
+  if (static_cast<int>(input.size()) != input_size()) {
+    throw std::invalid_argument("Mlp::forward_cached: input size mismatch");
+  }
+  acts_[0].assign(input.begin(), input.end());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    auto& out = acts_[li + 1];
+    out.assign(static_cast<std::size_t>(layer.out), 0.0);
+    const auto& in = acts_[li];
+    for (int o = 0; o < layer.out; ++o) {
+      double acc = layer.b[static_cast<std::size_t>(o)];
+      const double* row = &layer.w[static_cast<std::size_t>(o * layer.in)];
+      for (int i = 0; i < layer.in; ++i) {
+        acc += row[i] * in[static_cast<std::size_t>(i)];
+      }
+      out[static_cast<std::size_t>(o)] =
+          (li + 1 < layers_.size()) ? std::tanh(acc) : acc;
+    }
+  }
+  return acts_.back();
+}
+
+void Mlp::backward(std::span<const double> grad_output) {
+  if (static_cast<int>(grad_output.size()) != output_size()) {
+    throw std::invalid_argument("Mlp::backward: gradient size mismatch");
+  }
+  std::vector<double> grad(grad_output.begin(), grad_output.end());
+  for (int li = static_cast<int>(layers_.size()) - 1; li >= 0; --li) {
+    Layer& layer = layers_[static_cast<std::size_t>(li)];
+    const auto& in = acts_[static_cast<std::size_t>(li)];
+    const auto& out = acts_[static_cast<std::size_t>(li) + 1];
+    // For hidden layers the stored activation is tanh(z); d tanh = 1 - a^2.
+    std::vector<double> dz(static_cast<std::size_t>(layer.out));
+    const bool is_output = li == static_cast<int>(layers_.size()) - 1;
+    for (int o = 0; o < layer.out; ++o) {
+      const double a = out[static_cast<std::size_t>(o)];
+      dz[static_cast<std::size_t>(o)] =
+          grad[static_cast<std::size_t>(o)] *
+          (is_output ? 1.0 : (1.0 - a * a));
+    }
+    std::vector<double> grad_in(static_cast<std::size_t>(layer.in), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      const double d = dz[static_cast<std::size_t>(o)];
+      double* grow = &layer.gw[static_cast<std::size_t>(o * layer.in)];
+      const double* wrow = &layer.w[static_cast<std::size_t>(o * layer.in)];
+      for (int i = 0; i < layer.in; ++i) {
+        grow[i] += d * in[static_cast<std::size_t>(i)];
+        grad_in[static_cast<std::size_t>(i)] += d * wrow[i];
+      }
+      layer.gb[static_cast<std::size_t>(o)] += d;
+    }
+    grad = std::move(grad_in);
+  }
+}
+
+void Mlp::zero_grad() {
+  for (Layer& layer : layers_) {
+    std::fill(layer.gw.begin(), layer.gw.end(), 0.0);
+    std::fill(layer.gb.begin(), layer.gb.end(), 0.0);
+  }
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const Layer& layer : layers_) {
+    n += layer.w.size() + layer.b.size();
+  }
+  return n;
+}
+
+void Mlp::collect_parameters(std::vector<double*>& params,
+                             std::vector<double*>& grads) {
+  for (Layer& layer : layers_) {
+    for (std::size_t i = 0; i < layer.w.size(); ++i) {
+      params.push_back(&layer.w[i]);
+      grads.push_back(&layer.gw[i]);
+    }
+    for (std::size_t i = 0; i < layer.b.size(); ++i) {
+      params.push_back(&layer.b[i]);
+      grads.push_back(&layer.gb[i]);
+    }
+  }
+}
+
+void Mlp::save(std::ostream& os) const {
+  os << "mlp " << sizes_.size() << "\n";
+  for (const int s : sizes_) {
+    os << s << " ";
+  }
+  os << "\n";
+  os.precision(17);
+  for (const Layer& layer : layers_) {
+    for (const double v : layer.w) {
+      os << v << " ";
+    }
+    for (const double v : layer.b) {
+      os << v << " ";
+    }
+    os << "\n";
+  }
+}
+
+Mlp Mlp::load(std::istream& is) {
+  std::string tag;
+  std::size_t n_sizes = 0;
+  is >> tag >> n_sizes;
+  if (tag != "mlp" || n_sizes < 2 || n_sizes > 64) {
+    throw std::runtime_error("Mlp::load: bad header");
+  }
+  std::vector<int> sizes(n_sizes);
+  for (int& s : sizes) {
+    is >> s;
+    if (s < 1 || s > 65536) {
+      throw std::runtime_error("Mlp::load: bad layer size");
+    }
+  }
+  Mlp out(sizes, 0);
+  for (Layer& layer : out.layers_) {
+    for (double& v : layer.w) {
+      is >> v;
+    }
+    for (double& v : layer.b) {
+      is >> v;
+    }
+  }
+  if (!is) {
+    throw std::runtime_error("Mlp::load: truncated parameter data");
+  }
+  return out;
+}
+
+}  // namespace qrc::rl

@@ -1,0 +1,68 @@
+/// \file mlp.hpp
+/// \brief Minimal dense network with tanh hidden activations, manual
+///        backpropagation and text serialisation — the function
+///        approximator behind the PPO policy and value heads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace qrc::rl {
+
+/// Fully connected network: linear layers with tanh on all hidden layers
+/// and a linear output layer. Parameters and gradients are stored per
+/// layer; backward() accumulates gradients (call zero_grad() between
+/// batches).
+class Mlp {
+ public:
+  /// \param sizes layer widths, e.g. {7, 64, 64, 30}.
+  /// \param seed weight initialisation seed (orthogonal-ish scaled normal).
+  Mlp(std::vector<int> sizes, std::uint64_t seed);
+
+  [[nodiscard]] int input_size() const { return sizes_.front(); }
+  [[nodiscard]] int output_size() const { return sizes_.back(); }
+
+  /// Plain inference (no caching).
+  [[nodiscard]] std::vector<double> forward(
+      std::span<const double> input) const;
+
+  /// Forward pass that caches activations for a following backward().
+  [[nodiscard]] std::vector<double> forward_cached(
+      std::span<const double> input);
+
+  /// Backpropagates dL/d(output) for the sample of the last
+  /// forward_cached() call, accumulating parameter gradients.
+  void backward(std::span<const double> grad_output);
+
+  void zero_grad();
+
+  /// Parameter and gradient access for the optimizer (flat order:
+  /// layer 0 weights, layer 0 biases, layer 1 weights, ...).
+  [[nodiscard]] std::size_t num_parameters() const;
+  void collect_parameters(std::vector<double*>& params,
+                          std::vector<double*>& grads);
+
+  /// Text (de)serialisation; layout validated on read.
+  void save(std::ostream& os) const;
+  static Mlp load(std::istream& is);
+
+ private:
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    std::vector<double> w;   // out x in, row major
+    std::vector<double> b;   // out
+    std::vector<double> gw;  // gradient accumulators
+    std::vector<double> gb;
+  };
+
+  std::vector<int> sizes_;
+  std::vector<Layer> layers_;
+  // Cached activations: acts_[0] = input, acts_[k] = post-activation of
+  // layer k-1; preacts_[k] = pre-activation of layer k.
+  std::vector<std::vector<double>> acts_;
+};
+
+}  // namespace qrc::rl

@@ -1,0 +1,266 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "rl/categorical.hpp"
+
+namespace qrc::rl {
+
+namespace {
+
+std::vector<int> network_sizes(int obs, const std::vector<int>& hidden,
+                               int out) {
+  std::vector<int> sizes{obs};
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(out);
+  return sizes;
+}
+
+/// One transition of the rollout buffer.
+struct Transition {
+  std::vector<double> obs;
+  std::vector<bool> mask;
+  int action = 0;
+  double log_prob = 0.0;
+  double value = 0.0;
+  double reward = 0.0;
+  bool episode_end = false;   ///< done or truncated after this step
+  double bootstrap = 0.0;     ///< value of the next state when truncated
+};
+
+}  // namespace
+
+PpoAgent::PpoAgent(int obs_size, int num_actions, const PpoConfig& config)
+    : config_(config),
+      policy_(network_sizes(obs_size, config.hidden_sizes, num_actions),
+              config.seed * 2 + 1),
+      value_(network_sizes(obs_size, config.hidden_sizes, 1),
+             config.seed * 2 + 2) {}
+
+int PpoAgent::act_greedy(std::span<const double> observation,
+                         const std::vector<bool>& mask) const {
+  const auto logits = policy_.forward(observation);
+  const MaskedCategorical dist(logits, mask);
+  return dist.argmax();
+}
+
+std::vector<double> PpoAgent::action_probabilities(
+    std::span<const double> observation,
+    const std::vector<bool>& mask) const {
+  const auto logits = policy_.forward(observation);
+  const MaskedCategorical dist(logits, mask);
+  return dist.probs();
+}
+
+int PpoAgent::act_sample(std::span<const double> observation,
+                         const std::vector<bool>& mask,
+                         std::mt19937_64& rng) const {
+  const auto logits = policy_.forward(observation);
+  const MaskedCategorical dist(logits, mask);
+  return dist.sample(rng);
+}
+
+double PpoAgent::value(std::span<const double> observation) const {
+  return value_.forward(observation)[0];
+}
+
+void PpoAgent::save(std::ostream& os) const {
+  os << "ppo_agent 1\n";
+  os << config_.gamma << " " << config_.gae_lambda << " "
+     << config_.clip_range << " " << config_.learning_rate << "\n";
+  policy_.save(os);
+  value_.save(os);
+}
+
+PpoAgent PpoAgent::load(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  is >> tag >> version;
+  if (tag != "ppo_agent" || version != 1) {
+    throw std::runtime_error("PpoAgent::load: bad header");
+  }
+  PpoConfig config;
+  is >> config.gamma >> config.gae_lambda >> config.clip_range >>
+      config.learning_rate;
+  Mlp policy = Mlp::load(is);
+  Mlp value = Mlp::load(is);
+  PpoAgent agent(policy.input_size(), policy.output_size(), config);
+  agent.policy_ = std::move(policy);
+  agent.value_ = std::move(value);
+  return agent;
+}
+
+PpoAgent train_ppo(Env& env, const PpoConfig& config,
+                   std::vector<PpoUpdateStats>* stats_out,
+                   const std::function<void(const PpoUpdateStats&)>& progress) {
+  PpoAgent agent(env.observation_size(), env.num_actions(), config);
+  Mlp& policy = agent.policy();
+  Mlp& value_net = agent.value_net();
+
+  std::vector<double*> params;
+  std::vector<double*> grads;
+  policy.collect_parameters(params, grads);
+  value_net.collect_parameters(params, grads);
+  Adam optimizer(params, grads, {.lr = config.learning_rate});
+
+  std::mt19937_64 rng(config.seed * 9176 + 3);
+
+  std::vector<double> obs = env.reset();
+  std::vector<bool> mask = env.action_mask();
+  double episode_reward = 0.0;
+
+  int timesteps_done = 0;
+  while (timesteps_done < config.total_timesteps) {
+    // ---- Rollout collection ----
+    std::vector<Transition> buffer;
+    buffer.reserve(static_cast<std::size_t>(config.steps_per_update));
+    double reward_sum = 0.0;
+    int episodes = 0;
+    for (int t = 0; t < config.steps_per_update; ++t) {
+      const auto logits = policy.forward(obs);
+      const MaskedCategorical dist(logits, mask);
+      const int action = dist.sample(rng);
+
+      Transition tr;
+      tr.obs = obs;
+      tr.mask = mask;
+      tr.action = action;
+      tr.log_prob = dist.log_prob(action);
+      tr.value = value_net.forward(obs)[0];
+
+      const StepResult result = env.step(action);
+      tr.reward = result.reward;
+      episode_reward += result.reward;
+      tr.episode_end = result.done || result.truncated;
+      if (result.truncated && !result.done) {
+        tr.bootstrap = value_net.forward(result.observation)[0];
+      }
+      buffer.push_back(std::move(tr));
+
+      if (result.done || result.truncated) {
+        reward_sum += episode_reward;
+        episode_reward = 0.0;
+        ++episodes;
+        obs = env.reset();
+      } else {
+        obs = result.observation;
+      }
+      mask = env.action_mask();
+      ++timesteps_done;
+    }
+
+    // ---- GAE(lambda) ----
+    const std::size_t n = buffer.size();
+    std::vector<double> advantages(n, 0.0);
+    std::vector<double> returns(n, 0.0);
+    double next_value = buffer.back().episode_end
+                            ? buffer.back().bootstrap
+                            : value_net.forward(obs)[0];
+    double gae = 0.0;
+    for (std::size_t i = n; i-- > 0;) {
+      const Transition& tr = buffer[i];
+      if (tr.episode_end) {
+        next_value = tr.bootstrap;  // 0 unless truncated
+        gae = 0.0;
+      }
+      const double delta =
+          tr.reward + config.gamma * next_value - tr.value;
+      gae = delta + config.gamma * config.gae_lambda * gae;
+      advantages[i] = gae;
+      returns[i] = gae + tr.value;
+      next_value = tr.value;
+    }
+    // Advantage normalisation.
+    double mean = std::accumulate(advantages.begin(), advantages.end(), 0.0) /
+                  static_cast<double>(n);
+    double var = 0.0;
+    for (const double a : advantages) {
+      var += (a - mean) * (a - mean);
+    }
+    const double stddev = std::sqrt(var / static_cast<double>(n)) + 1e-8;
+    for (double& a : advantages) {
+      a = (a - mean) / stddev;
+    }
+
+    // ---- PPO epochs ----
+    PpoUpdateStats stats;
+    stats.timesteps = timesteps_done;
+    stats.episodes = episodes;
+    stats.mean_episode_reward =
+        episodes > 0 ? reward_sum / static_cast<double>(episodes) : 0.0;
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    int loss_samples = 0;
+    for (int epoch = 0; epoch < config.epochs_per_update; ++epoch) {
+      std::shuffle(order.begin(), order.end(), rng);
+      for (std::size_t start = 0; start < n;
+           start += static_cast<std::size_t>(config.minibatch_size)) {
+        const std::size_t end = std::min(
+            n, start + static_cast<std::size_t>(config.minibatch_size));
+        policy.zero_grad();
+        value_net.zero_grad();
+        const double inv_batch = 1.0 / static_cast<double>(end - start);
+        for (std::size_t k = start; k < end; ++k) {
+          const Transition& tr = buffer[order[k]];
+          const double adv = advantages[order[k]];
+          const double ret = returns[order[k]];
+
+          // Policy forward/backward.
+          const auto logits = policy.forward_cached(tr.obs);
+          const MaskedCategorical dist(logits, tr.mask);
+          const double logp = dist.log_prob(tr.action);
+          const double ratio = std::exp(logp - tr.log_prob);
+          const double clipped = std::clamp(ratio, 1.0 - config.clip_range,
+                                            1.0 + config.clip_range);
+          const bool use_unclipped = ratio * adv <= clipped * adv;
+          // Loss = -min(r*A, clip(r)*A) - ent_coef * H.
+          const double dl_dratio = use_unclipped ? -adv : 0.0;
+          const auto logp_grad = dist.log_prob_grad(tr.action);
+          const auto ent_grad = dist.entropy_grad();
+          std::vector<double> grad_logits(logits.size(), 0.0);
+          for (std::size_t j = 0; j < logits.size(); ++j) {
+            grad_logits[j] =
+                (dl_dratio * ratio * logp_grad[j] -
+                 config.entropy_coef * ent_grad[j]) *
+                inv_batch;
+          }
+          policy.backward(grad_logits);
+
+          // Value forward/backward.
+          const double v = value_net.forward_cached(tr.obs)[0];
+          const double dv =
+              config.value_coef * (v - ret) * inv_batch;
+          const std::array<double, 1> vgrad{dv};
+          value_net.backward(vgrad);
+
+          stats.policy_loss +=
+              -std::min(ratio * adv, clipped * adv);
+          stats.value_loss += 0.5 * (v - ret) * (v - ret);
+          stats.entropy += dist.entropy();
+          ++loss_samples;
+        }
+        optimizer.step(config.max_grad_norm);
+      }
+    }
+    if (loss_samples > 0) {
+      stats.policy_loss /= loss_samples;
+      stats.value_loss /= loss_samples;
+      stats.entropy /= loss_samples;
+    }
+    if (stats_out != nullptr) {
+      stats_out->push_back(stats);
+    }
+    if (progress) {
+      progress(stats);
+    }
+  }
+  return agent;
+}
+
+}  // namespace qrc::rl

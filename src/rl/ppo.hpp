@@ -1,0 +1,90 @@
+/// \file ppo.hpp
+/// \brief Proximal Policy Optimization (Schulman et al., 2017) with the
+///        clipped surrogate objective, GAE(lambda) advantages, entropy
+///        regularisation and action masking — the learner the paper drives
+///        through Stable-Baselines3, rebuilt natively.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rl/adam.hpp"
+#include "rl/env.hpp"
+#include "rl/mlp.hpp"
+
+namespace qrc::rl {
+
+struct PpoConfig {
+  int total_timesteps = 100000;
+  int steps_per_update = 1024;  ///< rollout horizon
+  int minibatch_size = 64;
+  int epochs_per_update = 10;
+  double gamma = 0.99;
+  double gae_lambda = 0.95;
+  double clip_range = 0.2;
+  double learning_rate = 3e-4;
+  double entropy_coef = 0.01;
+  double value_coef = 0.5;
+  double max_grad_norm = 0.5;
+  std::vector<int> hidden_sizes = {64, 64};
+  std::uint64_t seed = 1;
+};
+
+/// Per-update training statistics.
+struct PpoUpdateStats {
+  int timesteps = 0;
+  double mean_episode_reward = 0.0;
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+  int episodes = 0;
+};
+
+/// The trained agent: policy and value networks plus the config used.
+class PpoAgent {
+ public:
+  PpoAgent(int obs_size, int num_actions, const PpoConfig& config);
+
+  /// Greedy (deterministic) action for inference.
+  [[nodiscard]] int act_greedy(std::span<const double> observation,
+                               const std::vector<bool>& mask) const;
+
+  /// Action probabilities under the masked policy (for ranked selection).
+  [[nodiscard]] std::vector<double> action_probabilities(
+      std::span<const double> observation,
+      const std::vector<bool>& mask) const;
+
+  /// Stochastic action (used during training).
+  [[nodiscard]] int act_sample(std::span<const double> observation,
+                               const std::vector<bool>& mask,
+                               std::mt19937_64& rng) const;
+
+  [[nodiscard]] double value(std::span<const double> observation) const;
+
+  void save(std::ostream& os) const;
+  static PpoAgent load(std::istream& is);
+
+  [[nodiscard]] Mlp& policy() { return policy_; }
+  [[nodiscard]] Mlp& value_net() { return value_; }
+  [[nodiscard]] const PpoConfig& config() const { return config_; }
+
+ private:
+  PpoConfig config_;
+  Mlp policy_;
+  Mlp value_;
+};
+
+/// Runs PPO on `env` and returns the trained agent plus per-update stats.
+/// `progress` (optional) is invoked after every update.
+PpoAgent train_ppo(
+    Env& env, const PpoConfig& config,
+    std::vector<PpoUpdateStats>* stats_out = nullptr,
+    const std::function<void(const PpoUpdateStats&)>& progress = {});
+
+}  // namespace qrc::rl

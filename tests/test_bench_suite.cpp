@@ -1,0 +1,166 @@
+// Tests for the benchmark circuit generators: well-formedness across the
+// full size range, determinism, family coverage and semantic spot checks
+// (GHZ/W-state amplitudes, QPE readout).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "bench_suite/benchmarks.hpp"
+#include "ir/sim.hpp"
+
+namespace {
+
+using qrc::bench::BenchmarkFamily;
+using qrc::bench::make_benchmark;
+using qrc::ir::Circuit;
+
+TEST(BenchSuiteTest, AllFamiliesListed) {
+  EXPECT_EQ(qrc::bench::all_families().size(),
+            static_cast<std::size_t>(qrc::bench::kNumFamilies));
+  std::set<std::string_view> names;
+  for (const auto f : qrc::bench::all_families()) {
+    names.insert(qrc::bench::family_name(f));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(qrc::bench::kNumFamilies));
+  EXPECT_TRUE(names.contains("ae"));
+  EXPECT_TRUE(names.contains("wstate"));
+  EXPECT_TRUE(names.contains("qftentangled"));
+}
+
+TEST(BenchSuiteTest, AllFamiliesBuildAcrossSizes) {
+  for (const auto family : qrc::bench::all_families()) {
+    for (const int n : {2, 3, 5, 11, 20}) {
+      const Circuit c = make_benchmark(family, n, 1);
+      EXPECT_EQ(c.num_qubits(), n) << qrc::bench::family_name(family);
+      EXPECT_GT(c.gate_count(), 0) << qrc::bench::family_name(family);
+      // Target-independent level: measured on every qubit.
+      EXPECT_EQ(c.count_ops().at("measure"), n)
+          << qrc::bench::family_name(family);
+      // Everything stays within 2-qubit gates (no MCX needed downstream).
+      EXPECT_TRUE(c.max_gate_arity_at_most(2))
+          << qrc::bench::family_name(family);
+    }
+  }
+}
+
+TEST(BenchSuiteTest, GeneratorsAreDeterministic) {
+  for (const auto family : qrc::bench::all_families()) {
+    const Circuit a = make_benchmark(family, 6, 3);
+    const Circuit b = make_benchmark(family, 6, 3);
+    ASSERT_EQ(a.size(), b.size()) << qrc::bench::family_name(family);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a.ops()[i] == b.ops()[i])
+          << qrc::bench::family_name(family);
+    }
+  }
+}
+
+TEST(BenchSuiteTest, SeedsChangeVariationalFamilies) {
+  const Circuit a = make_benchmark(BenchmarkFamily::kVqe, 5, 1);
+  const Circuit b = make_benchmark(BenchmarkFamily::kVqe, 5, 2);
+  bool differs = false;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.ops()[i] == b.ops()[i])) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BenchSuiteTest, GhzStateIsCorrect) {
+  const Circuit c = make_benchmark(BenchmarkFamily::kGhz, 5, 1);
+  qrc::ir::Statevector s(5);
+  s.apply(c);  // measures are ignored by the simulator
+  const auto& amp = s.amplitudes();
+  EXPECT_NEAR(std::abs(amp[0]), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(std::abs(amp[31]), 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(BenchSuiteTest, WstateHasUniformSingleExcitation) {
+  const int n = 4;
+  const Circuit c = make_benchmark(BenchmarkFamily::kWstate, n, 1);
+  qrc::ir::Statevector s(n);
+  s.apply(c);
+  const auto& amp = s.amplitudes();
+  const double expected = 1.0 / std::sqrt(static_cast<double>(n));
+  for (int q = 0; q < n; ++q) {
+    EXPECT_NEAR(std::abs(amp[std::size_t{1} << q]), expected, 1e-9)
+        << "qubit " << q;
+  }
+  EXPECT_NEAR(std::abs(amp[0]), 0.0, 1e-9);
+}
+
+TEST(BenchSuiteTest, QpeExactRecoversPhase) {
+  // With an exactly representable phase, the counting register collapses
+  // onto a single basis state k with phase = k / 2^m.
+  const int n = 5;
+  const int m = n - 1;
+  const Circuit c = make_benchmark(BenchmarkFamily::kQpeExact, n, 4);
+  qrc::ir::Statevector s(n);
+  s.apply(c);
+  const auto& amp = s.amplitudes();
+  int peaked = -1;
+  for (std::size_t i = 0; i < amp.size(); ++i) {
+    if (std::abs(amp[i]) > 0.99) {
+      peaked = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(peaked, 0) << "no sharp peak in QPE output";
+  // Eigenstate qubit must still be |1>.
+  EXPECT_TRUE((peaked >> m) & 1);
+}
+
+TEST(BenchSuiteTest, QftOfZeroIsUniform) {
+  const Circuit c = make_benchmark(BenchmarkFamily::kQft, 4, 1);
+  qrc::ir::Statevector s(4);
+  s.apply(c);
+  for (const auto& a : s.amplitudes()) {
+    EXPECT_NEAR(std::abs(a), 1.0 / 4.0, 1e-9);
+  }
+}
+
+TEST(BenchSuiteTest, FamiliesAreStructurallyDistinct) {
+  // Distinct families should produce different op-count signatures for the
+  // same size and seed (coarse check that no two generators alias).
+  std::set<std::string> signatures;
+  for (const auto family : qrc::bench::all_families()) {
+    const Circuit c = make_benchmark(family, 7, 1);
+    std::string sig;
+    for (const auto& [k, v] : c.count_ops()) {
+      sig += k + ":" + std::to_string(v) + ",";
+    }
+    sig += "d" + std::to_string(c.depth());
+    signatures.insert(sig);
+  }
+  // pricingcall/pricingput and qpeexact/qpeinexact are intentionally
+  // structure-identical pairs (they differ in angles only), so 20 distinct
+  // signatures out of 22 families is the expected count.
+  EXPECT_GE(signatures.size(), 20U);
+}
+
+TEST(BenchSuiteTest, SuiteCyclesFamiliesAndSizes) {
+  const auto suite = qrc::bench::benchmark_suite(2, 20, 200);
+  EXPECT_EQ(suite.size(), 200U);
+  std::set<std::string> names;
+  int min_q = 1000;
+  int max_q = 0;
+  for (const auto& c : suite) {
+    names.insert(c.name());
+    min_q = std::min(min_q, c.num_qubits());
+    max_q = std::max(max_q, c.num_qubits());
+  }
+  EXPECT_EQ(min_q, 2);
+  EXPECT_GE(max_q, 10);
+  EXPECT_GT(names.size(), 150U);  // mostly unique instances
+}
+
+TEST(BenchSuiteTest, RejectsTooFewQubits) {
+  EXPECT_THROW((void)make_benchmark(BenchmarkFamily::kGhz, 1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,296 @@
+// Tests for the stabilizer tableau: gate update rules against the
+// statevector simulator, Clifford recognition, and canonical resynthesis.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "clifford/tableau.hpp"
+#include "ir/circuit.hpp"
+#include "ir/sim.hpp"
+
+namespace {
+
+using qrc::clifford::as_clifford_ops;
+using qrc::clifford::Tableau;
+using qrc::ir::Circuit;
+using qrc::ir::GateKind;
+using qrc::ir::Operation;
+using qrc::la::kPi;
+
+/// Random Clifford circuit from the primitive generator set.
+Circuit random_clifford_circuit(int n, int length, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> gate_pick(0, 7);
+  std::uniform_int_distribution<int> qubit_pick(0, n - 1);
+  Circuit c(n, "random_clifford");
+  for (int i = 0; i < length; ++i) {
+    const int q = qubit_pick(rng);
+    switch (gate_pick(rng)) {
+      case 0:
+        c.h(q);
+        break;
+      case 1:
+        c.s(q);
+        break;
+      case 2:
+        c.sdg(q);
+        break;
+      case 3:
+        c.x(q);
+        break;
+      case 4:
+        c.sx(q);
+        break;
+      case 5:
+        c.z(q);
+        break;
+      default: {
+        if (n < 2) {
+          c.h(q);
+          break;
+        }
+        int q2 = qubit_pick(rng);
+        while (q2 == q) {
+          q2 = qubit_pick(rng);
+        }
+        c.cx(q, q2);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+/// Checks that the decomposition returned by as_clifford_ops matches the
+/// original operation's unitary up to global phase (via the simulator).
+void expect_decomposition_equivalent(const Operation& op, int n) {
+  const auto ops = as_clifford_ops(op);
+  ASSERT_TRUE(ops.has_value());
+  Circuit original(n);
+  original.append(op);
+  Circuit decomposed(n);
+  for (const Operation& g : *ops) {
+    decomposed.append(g);
+  }
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, decomposed))
+      << qrc::ir::gate_name(op.kind());
+}
+
+// ------------------------------------------------------- tableau rules ----
+
+TEST(TableauTest, IdentityTableau) {
+  const Tableau t(3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(t.x(i, i));
+    EXPECT_TRUE(t.z(3 + i, i));
+    EXPECT_FALSE(t.r(i));
+    EXPECT_FALSE(t.r(3 + i));
+  }
+}
+
+TEST(TableauTest, HSwapsXAndZ) {
+  Tableau t(1);
+  t.apply_h(0);
+  // destabilizer X -> Z, stabilizer Z -> X.
+  EXPECT_FALSE(t.x(0, 0));
+  EXPECT_TRUE(t.z(0, 0));
+  EXPECT_TRUE(t.x(1, 0));
+  EXPECT_FALSE(t.z(1, 0));
+}
+
+TEST(TableauTest, STurnsXIntoY) {
+  Tableau t(1);
+  t.apply_s(0);
+  EXPECT_TRUE(t.x(0, 0));
+  EXPECT_TRUE(t.z(0, 0));  // Y = x & z set
+  EXPECT_FALSE(t.r(0));
+  // Z unchanged.
+  EXPECT_TRUE(t.z(1, 0));
+  EXPECT_FALSE(t.x(1, 0));
+}
+
+TEST(TableauTest, XFlipsStabilizerSign) {
+  Tableau t(1);
+  t.apply_x(0);
+  EXPECT_TRUE(t.r(1));   // X Z X = -Z
+  EXPECT_FALSE(t.r(0));  // X X X = X
+}
+
+TEST(TableauTest, CxPropagatesX) {
+  Tableau t(2);
+  t.apply_cx(0, 1);
+  // destab X_0 -> X_0 X_1.
+  EXPECT_TRUE(t.x(0, 0));
+  EXPECT_TRUE(t.x(0, 1));
+  // stab Z_1 -> Z_0 Z_1.
+  EXPECT_TRUE(t.z(3, 0));
+  EXPECT_TRUE(t.z(3, 1));
+}
+
+TEST(TableauTest, HshEqualsSx) {
+  // Validated indirectly: sx via composite must equal rx(pi/2) conjugation.
+  Tableau a(1);
+  a.apply_sx(0);
+  Tableau b(1);
+  b.apply_h(0);
+  b.apply_s(0);
+  b.apply_h(0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(TableauTest, SwapExchangesColumns) {
+  Tableau t(2);
+  t.apply_swap(0, 1);
+  EXPECT_TRUE(t.x(0, 1));
+  EXPECT_FALSE(t.x(0, 0));
+  EXPECT_TRUE(t.z(2, 1));
+}
+
+// ------------------------------------- decomposition (vs statevector) ----
+
+TEST(CliffordOpsTest, PrimitiveGatesPassThrough) {
+  const std::array<int, 1> q0{0};
+  const std::array<int, 2> q01{0, 1};
+  for (const GateKind kind :
+       {GateKind::kX, GateKind::kY, GateKind::kZ, GateKind::kH, GateKind::kS,
+        GateKind::kSdg, GateKind::kSX, GateKind::kSXdg}) {
+    expect_decomposition_equivalent(Operation(kind, q0), 1);
+  }
+  for (const GateKind kind : {GateKind::kCX, GateKind::kCY, GateKind::kCZ,
+                              GateKind::kSWAP, GateKind::kISWAP,
+                              GateKind::kECR}) {
+    expect_decomposition_equivalent(Operation(kind, q01), 2);
+  }
+}
+
+TEST(CliffordOpsTest, RotationsAtQuarterTurns) {
+  const std::array<int, 1> q0{0};
+  for (const GateKind kind : {GateKind::kRZ, GateKind::kRX, GateKind::kRY,
+                              GateKind::kP}) {
+    for (const double angle : {0.0, kPi / 2.0, kPi, 3.0 * kPi / 2.0,
+                               -kPi / 2.0, 2.0 * kPi}) {
+      const std::array<double, 1> params{angle};
+      expect_decomposition_equivalent(Operation(kind, q0, params), 1);
+    }
+  }
+}
+
+TEST(CliffordOpsTest, TwoQubitRotationsAtQuarterTurns) {
+  const std::array<int, 2> q01{0, 1};
+  for (const GateKind kind : {GateKind::kRZZ, GateKind::kRXX, GateKind::kRYY,
+                              GateKind::kRZX}) {
+    for (const double angle : {0.0, kPi / 2.0, kPi, -kPi / 2.0}) {
+      const std::array<double, 1> params{angle};
+      expect_decomposition_equivalent(Operation(kind, q01, params), 2);
+    }
+  }
+}
+
+TEST(CliffordOpsTest, ControlledPhaseAtPi) {
+  const std::array<int, 2> q01{0, 1};
+  const std::array<double, 1> pi_param{kPi};
+  expect_decomposition_equivalent(Operation(GateKind::kCP, q01, pi_param), 2);
+  const std::array<double, 1> crz_params[] = {{kPi}, {-kPi}, {2.0 * kPi},
+                                              {3.0 * kPi}};
+  for (const auto& p : crz_params) {
+    expect_decomposition_equivalent(Operation(GateKind::kCRZ, q01, p), 2);
+  }
+}
+
+TEST(CliffordOpsTest, NonCliffordRejected) {
+  const std::array<int, 1> q0{0};
+  const std::array<int, 2> q01{0, 1};
+  const std::array<double, 1> eighth{kPi / 4.0};
+  EXPECT_FALSE(as_clifford_ops(Operation(GateKind::kT, q0)).has_value());
+  EXPECT_FALSE(
+      as_clifford_ops(Operation(GateKind::kRZ, q0, eighth)).has_value());
+  EXPECT_FALSE(
+      as_clifford_ops(Operation(GateKind::kCP, q01, eighth)).has_value());
+  const std::array<int, 3> q012{0, 1, 2};
+  EXPECT_FALSE(as_clifford_ops(Operation(GateKind::kCCX, q012)).has_value());
+  EXPECT_FALSE(
+      as_clifford_ops(Operation(GateKind::kMeasure, q0)).has_value());
+}
+
+TEST(CliffordOpsTest, CliffordCircuitRecognition) {
+  Circuit clifford(2);
+  clifford.h(0);
+  clifford.cx(0, 1);
+  clifford.rz(kPi / 2.0, 1);
+  EXPECT_TRUE(qrc::clifford::is_clifford_circuit(clifford));
+  clifford.t(0);
+  EXPECT_FALSE(qrc::clifford::is_clifford_circuit(clifford));
+}
+
+// ----------------------------------------------------------- synthesis ----
+
+TEST(TableauSynthesisTest, IdentityGivesEmptyCircuit) {
+  const Tableau t(4);
+  const Circuit c = t.to_circuit();
+  EXPECT_EQ(c.gate_count(), 0);
+}
+
+TEST(TableauSynthesisTest, RoundTripTableauEquality) {
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + trial % 4;
+    const Circuit original = random_clifford_circuit(
+        n, 30, 1000 + static_cast<std::uint64_t>(trial));
+    const auto t = Tableau::from_circuit(original);
+    ASSERT_TRUE(t.has_value());
+    const Circuit resynth = t->to_circuit();
+    const auto t2 = Tableau::from_circuit(resynth);
+    ASSERT_TRUE(t2.has_value());
+    EXPECT_TRUE(*t == *t2) << "trial " << trial;
+  }
+}
+
+TEST(TableauSynthesisTest, RoundTripStatevectorEquivalence) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 2 + trial % 3;
+    const Circuit original = random_clifford_circuit(
+        n, 25, 2000 + static_cast<std::uint64_t>(trial));
+    const auto t = Tableau::from_circuit(original);
+    ASSERT_TRUE(t.has_value());
+    const Circuit resynth = t->to_circuit();
+    EXPECT_TRUE(qrc::ir::circuits_equivalent(original, resynth))
+        << "trial " << trial;
+  }
+}
+
+TEST(TableauSynthesisTest, GhzPreparationRoundTrip) {
+  Circuit ghz(4);
+  ghz.h(0);
+  ghz.cx(0, 1);
+  ghz.cx(1, 2);
+  ghz.cx(2, 3);
+  const auto t = Tableau::from_circuit(ghz);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(ghz, t->to_circuit()));
+}
+
+TEST(TableauSynthesisTest, ResynthesisCompressesRedundantCircuit) {
+  // A long circuit that is secretly the identity on 3 qubits.
+  Circuit c(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.h(0);
+    c.s(2);
+    c.sdg(2);
+  }
+  const auto t = Tableau::from_circuit(c);
+  ASSERT_TRUE(t.has_value());
+  const Circuit resynth = t->to_circuit();
+  EXPECT_EQ(resynth.gate_count(), 0);
+}
+
+TEST(TableauSynthesisTest, FromCircuitRejectsNonClifford) {
+  Circuit c(2);
+  c.h(0);
+  c.t(0);
+  EXPECT_FALSE(Tableau::from_circuit(c).has_value());
+}
+
+}  // namespace

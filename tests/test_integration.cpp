@@ -1,0 +1,97 @@
+// End-to-end integration sweeps: every benchmark family walks the full
+// Fig. 2 flow (scripted action sequence) onto real devices and through
+// both baseline pipelines; executability invariants must hold everywhere.
+// Parameterized over (family x device) per the TEST_P sweep style.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "core/actions.hpp"
+#include "device/library.hpp"
+
+namespace {
+
+using qrc::bench::BenchmarkFamily;
+using qrc::core::ActionRegistry;
+using qrc::core::CompilationState;
+using qrc::core::MdpState;
+using qrc::device::DeviceId;
+
+/// Scripted "sensible" flow: synthesis, sabre layout, routing if needed,
+/// re-synthesis, cleanup.
+void scripted_flow(CompilationState& state, const char* platform,
+                   const char* device) {
+  const auto& registry = ActionRegistry::instance();
+  const auto apply = [&](std::string_view name) {
+    const int id = registry.index_of(name);
+    if (registry.at(id).valid(state)) {
+      registry.at(id).apply(state, 5);
+    }
+  };
+  apply(platform);
+  apply(device);
+  apply("BasisTranslator");
+  apply("SabreLayout");
+  apply("SabreSwap");
+  apply("BasisTranslator");
+  apply("Optimize1qGatesDecomposition");
+  apply("RemoveRedundancies");
+}
+
+struct Target {
+  DeviceId id;
+  const char* platform_action;
+  const char* device_action;
+};
+
+class FamilyDeviceIntegrationTest
+    : public ::testing::TestWithParam<std::tuple<BenchmarkFamily, int>> {};
+
+TEST_P(FamilyDeviceIntegrationTest, ScriptedFlowReachesDone) {
+  static constexpr Target kTargets[] = {
+      {DeviceId::kIbmqMontreal, "platform_ibm", "device_ibmq_montreal"},
+      {DeviceId::kIonqHarmony, "platform_ionq", "device_ionq_harmony"},
+      {DeviceId::kRigettiAspenM2, "platform_rigetti",
+       "device_rigetti_aspen_m2"},
+  };
+  const auto [family, target_idx] = GetParam();
+  const Target& target = kTargets[target_idx];
+  const auto& dev = qrc::device::get_device(target.id);
+
+  CompilationState state;
+  state.circuit = qrc::bench::make_benchmark(family, 5, 1);
+  scripted_flow(state, target.platform_action, target.device_action);
+
+  ASSERT_EQ(state.state(), MdpState::kDone)
+      << qrc::bench::family_name(family) << " on " << dev.name();
+  EXPECT_TRUE(dev.circuit_is_native(state.circuit));
+  EXPECT_TRUE(dev.circuit_respects_topology(state.circuit));
+  // Measurements survive the flow.
+  EXPECT_EQ(state.circuit.count_ops().at("measure"), 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesTimesDevices, FamilyDeviceIntegrationTest,
+    ::testing::Combine(::testing::ValuesIn(qrc::bench::all_families()),
+                       ::testing::Values(0, 1, 2)));
+
+class FamilyBaselineIntegrationTest
+    : public ::testing::TestWithParam<BenchmarkFamily> {};
+
+TEST_P(FamilyBaselineIntegrationTest, BothBaselinesCompileEveryFamily) {
+  const auto family = GetParam();
+  const auto& montreal = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  const auto circuit = qrc::bench::make_benchmark(family, 6, 2);
+  const auto o3 = qrc::baselines::compile_qiskit_o3_like(circuit, montreal, 2);
+  EXPECT_TRUE(montreal.circuit_is_native(o3.circuit));
+  EXPECT_TRUE(montreal.circuit_respects_topology(o3.circuit));
+  const auto o2 = qrc::baselines::compile_tket_o2_like(circuit, montreal, 2);
+  EXPECT_TRUE(montreal.circuit_is_native(o2.circuit));
+  EXPECT_TRUE(montreal.circuit_respects_topology(o2.circuit));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyBaselineIntegrationTest,
+                         ::testing::ValuesIn(qrc::bench::all_families()));
+
+}  // namespace

@@ -1,0 +1,546 @@
+// Tests for the circuit IR: gate metadata and matrices, Operation/Circuit
+// invariants, DAG links, statevector simulation, equivalence checking and
+// QASM round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ir/circuit.hpp"
+#include "ir/dag.hpp"
+#include "ir/gate.hpp"
+#include "ir/qasm.hpp"
+#include "ir/sim.hpp"
+#include "la/weyl.hpp"
+
+namespace {
+
+using qrc::ir::Circuit;
+using qrc::ir::GateKind;
+using qrc::ir::Operation;
+using qrc::ir::Statevector;
+using qrc::la::cplx;
+using qrc::la::kPi;
+
+// ---------------------------------------------------------------- Gate ----
+
+TEST(GateTest, NamesRoundTrip) {
+  for (int i = 0; i < qrc::ir::kNumGateKinds; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    const auto back = qrc::ir::gate_from_name(qrc::ir::gate_name(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+}
+
+TEST(GateTest, UnknownNameRejected) {
+  EXPECT_FALSE(qrc::ir::gate_from_name("notagate").has_value());
+}
+
+TEST(GateTest, AllSingleQubitMatricesUnitary) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  for (int i = 0; i < qrc::ir::kNumGateKinds; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    const auto& info = qrc::ir::gate_info(kind);
+    if (!info.is_unitary || info.num_qubits != 1) {
+      continue;
+    }
+    std::vector<double> params;
+    for (int p = 0; p < info.num_params; ++p) {
+      params.push_back(ang(rng));
+    }
+    EXPECT_TRUE(qrc::ir::gate_matrix_1q(kind, params).is_unitary())
+        << info.name;
+  }
+}
+
+TEST(GateTest, AllTwoQubitMatricesUnitary) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  for (int i = 0; i < qrc::ir::kNumGateKinds; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    const auto& info = qrc::ir::gate_info(kind);
+    if (!info.is_unitary || info.num_qubits != 2) {
+      continue;
+    }
+    std::vector<double> params;
+    for (int p = 0; p < info.num_params; ++p) {
+      params.push_back(ang(rng));
+    }
+    EXPECT_TRUE(qrc::ir::gate_matrix_2q(kind, params).is_unitary())
+        << info.name;
+  }
+}
+
+TEST(GateTest, DiagonalFlagMatchesMatrix) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  for (int i = 0; i < qrc::ir::kNumGateKinds; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    const auto& info = qrc::ir::gate_info(kind);
+    if (!info.is_unitary || !info.is_diagonal || info.num_qubits > 2) {
+      continue;
+    }
+    std::vector<double> params;
+    for (int p = 0; p < info.num_params; ++p) {
+      params.push_back(ang(rng));
+    }
+    if (info.num_qubits == 1) {
+      const auto m = qrc::ir::gate_matrix_1q(kind, params);
+      EXPECT_NEAR(std::abs(m(0, 1)), 0.0, 1e-12) << info.name;
+      EXPECT_NEAR(std::abs(m(1, 0)), 0.0, 1e-12) << info.name;
+    } else {
+      const auto m = qrc::ir::gate_matrix_2q(kind, params);
+      for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+          if (r != c) {
+            EXPECT_NEAR(std::abs(m(r, c)), 0.0, 1e-12) << info.name;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GateTest, InverseComposesToIdentity1q) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  for (int i = 0; i < qrc::ir::kNumGateKinds; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    const auto& info = qrc::ir::gate_info(kind);
+    if (!info.is_unitary || info.num_qubits != 1) {
+      continue;
+    }
+    std::vector<double> params;
+    for (int p = 0; p < info.num_params; ++p) {
+      params.push_back(ang(rng));
+    }
+    const auto inv = qrc::ir::gate_inverse(kind, params);
+    const auto m = qrc::ir::gate_matrix_1q(kind, params);
+    const auto mi = qrc::ir::gate_matrix_1q(
+        inv.kind,
+        std::span<const double>(inv.params.data(),
+                                static_cast<std::size_t>(
+                                    qrc::ir::gate_info(inv.kind).num_params)));
+    EXPECT_TRUE((m * mi).equal_up_to_phase(qrc::la::Mat2::identity(), 1e-9))
+        << info.name;
+  }
+}
+
+TEST(GateTest, InverseComposesToIdentity2q) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  for (int i = 0; i < qrc::ir::kNumGateKinds; ++i) {
+    const auto kind = static_cast<GateKind>(i);
+    const auto& info = qrc::ir::gate_info(kind);
+    if (!info.is_unitary || info.num_qubits != 2 ||
+        kind == GateKind::kISWAP) {
+      continue;  // iSWAP handled by Circuit::inverse specially
+    }
+    std::vector<double> params;
+    for (int p = 0; p < info.num_params; ++p) {
+      params.push_back(ang(rng));
+    }
+    const auto inv = qrc::ir::gate_inverse(kind, params);
+    const auto m = qrc::ir::gate_matrix_2q(kind, params);
+    const auto mi = qrc::ir::gate_matrix_2q(
+        inv.kind,
+        std::span<const double>(inv.params.data(),
+                                static_cast<std::size_t>(
+                                    qrc::ir::gate_info(inv.kind).num_params)));
+    EXPECT_TRUE((m * mi).equal_up_to_phase(qrc::la::Mat4::identity(), 1e-9))
+        << info.name;
+  }
+}
+
+TEST(GateTest, EcrLocallyEquivalentToCx) {
+  const auto ecr = qrc::ir::gate_matrix_2q(GateKind::kECR, {});
+  EXPECT_TRUE(ecr.is_unitary());
+  EXPECT_TRUE(qrc::la::local_invariants(ecr).approx_equal(
+      qrc::la::local_invariants(qrc::la::cx01_mat()), 1e-6));
+}
+
+TEST(GateTest, RxxAtHalfPiLocallyEquivalentToCx) {
+  const std::array<double, 1> half_pi{kPi / 2.0};
+  const auto rxx = qrc::ir::gate_matrix_2q(GateKind::kRXX, half_pi);
+  EXPECT_TRUE(qrc::la::local_invariants(rxx).approx_equal(
+      qrc::la::local_invariants(qrc::la::cx01_mat()), 1e-6));
+}
+
+TEST(GateTest, IdentityDetection) {
+  const std::array<double, 1> zero{0.0};
+  const std::array<double, 1> two_pi{2.0 * kPi};
+  const std::array<double, 1> half{0.5};
+  EXPECT_TRUE(qrc::ir::gate_is_identity(GateKind::kRZ, zero));
+  EXPECT_TRUE(qrc::ir::gate_is_identity(GateKind::kRZ, two_pi));
+  EXPECT_FALSE(qrc::ir::gate_is_identity(GateKind::kRZ, half));
+  EXPECT_FALSE(qrc::ir::gate_is_identity(GateKind::kX, {}));
+}
+
+// ----------------------------------------------------------- Operation ----
+
+TEST(OperationTest, RejectsWrongArity) {
+  const std::array<int, 1> one{0};
+  EXPECT_THROW(Operation(GateKind::kCX, one), std::invalid_argument);
+}
+
+TEST(OperationTest, RejectsWrongParamCount) {
+  const std::array<int, 1> one{0};
+  EXPECT_THROW(Operation(GateKind::kRZ, one), std::invalid_argument);
+}
+
+TEST(OperationTest, RejectsDuplicateQubits) {
+  const std::array<int, 2> dup{1, 1};
+  EXPECT_THROW(Operation(GateKind::kCX, dup), std::invalid_argument);
+}
+
+TEST(OperationTest, OverlapDetection) {
+  const std::array<int, 2> q01{0, 1};
+  const std::array<int, 2> q12{1, 2};
+  const std::array<int, 2> q23{2, 3};
+  const Operation a(GateKind::kCX, q01);
+  const Operation b(GateKind::kCX, q12);
+  const Operation c(GateKind::kCX, q23);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+// ------------------------------------------------------------- Circuit ----
+
+TEST(CircuitTest, AppendValidatesRange) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), std::out_of_range);
+  EXPECT_THROW(c.cx(0, 5), std::out_of_range);
+}
+
+TEST(CircuitTest, DepthOfSerialAndParallel) {
+  Circuit serial(1);
+  serial.h(0);
+  serial.x(0);
+  serial.z(0);
+  EXPECT_EQ(serial.depth(), 3);
+
+  Circuit parallel(3);
+  parallel.h(0);
+  parallel.h(1);
+  parallel.h(2);
+  EXPECT_EQ(parallel.depth(), 1);
+}
+
+TEST(CircuitTest, DepthWithTwoQubitGates) {
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  EXPECT_EQ(c.depth(), 3);
+  EXPECT_EQ(c.multi_qubit_depth(), 2);
+}
+
+TEST(CircuitTest, BarrierSynchronisesWithoutLevel) {
+  Circuit c(2);
+  c.h(0);
+  c.barrier();
+  c.h(1);
+  // h(1) must start after the barrier, i.e. at level of h(0).
+  EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(CircuitTest, GateCountsExcludeNonUnitary) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  c.barrier();
+  EXPECT_EQ(c.gate_count(), 2);
+  EXPECT_EQ(c.two_qubit_gate_count(), 1);
+  const auto counts = c.count_ops();
+  EXPECT_EQ(counts.at("h"), 1);
+  EXPECT_EQ(counts.at("cx"), 1);
+  EXPECT_EQ(counts.at("measure"), 2);
+}
+
+TEST(CircuitTest, InverseIsUnitaryInverse) {
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  Circuit c(3);
+  c.h(0);
+  c.rz(ang(rng), 1);
+  c.cx(0, 1);
+  c.u3(ang(rng), ang(rng), ang(rng), 2);
+  c.iswap(1, 2);
+  c.t(0);
+  c.ecr(2, 0);
+  c.rxx(ang(rng), 0, 1);
+
+  Circuit combined(3);
+  combined.extend(c);
+  combined.extend(c.inverse());
+
+  Circuit empty(3);
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(combined, empty));
+}
+
+TEST(CircuitTest, RemapMovesOperands) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const Circuit r = c.remapped({3, 1}, 4);
+  EXPECT_EQ(r.num_qubits(), 4);
+  EXPECT_EQ(r.ops()[0].qubit(0), 3);
+  EXPECT_EQ(r.ops()[1].qubit(0), 3);
+  EXPECT_EQ(r.ops()[1].qubit(1), 1);
+}
+
+TEST(CircuitTest, ActiveQubits) {
+  Circuit c(5);
+  c.h(1);
+  c.cx(1, 3);
+  const auto active = c.active_qubits();
+  ASSERT_EQ(active.size(), 2U);
+  EXPECT_EQ(active[0], 1);
+  EXPECT_EQ(active[1], 3);
+}
+
+TEST(CircuitTest, RemoveOpsKeepsOrder) {
+  Circuit c(1);
+  c.h(0);
+  c.x(0);
+  c.z(0);
+  c.remove_ops({false, true, false});
+  ASSERT_EQ(c.size(), 2U);
+  EXPECT_EQ(c.ops()[0].kind(), GateKind::kH);
+  EXPECT_EQ(c.ops()[1].kind(), GateKind::kZ);
+}
+
+// ----------------------------------------------------------------- DAG ----
+
+TEST(DagTest, LinearChainLinks) {
+  Circuit c(2);
+  c.h(0);       // 0
+  c.cx(0, 1);   // 1
+  c.x(1);       // 2
+  const qrc::ir::DagCircuit dag(c);
+  EXPECT_EQ(dag.first_on_qubit(0), 0);
+  EXPECT_EQ(dag.first_on_qubit(1), 1);
+  EXPECT_EQ(dag.next_on_qubit(0, 0), 1);
+  EXPECT_EQ(dag.prev_on_qubit(1, 0), 0);
+  EXPECT_EQ(dag.prev_on_qubit(1, 1), -1);
+  EXPECT_EQ(dag.next_on_qubit(1, 1), 2);
+  EXPECT_EQ(dag.last_on_qubit(1), 2);
+  EXPECT_EQ(dag.next_on_qubit(2, 1), -1);
+}
+
+TEST(DagTest, BarrierBlocksAllQubits) {
+  Circuit c(2);
+  c.h(0);      // 0
+  c.barrier(); // 1
+  c.x(1);      // 2
+  const qrc::ir::DagCircuit dag(c);
+  EXPECT_EQ(dag.next_on_qubit(0, 0), 1);
+  EXPECT_EQ(dag.prev_on_qubit(2, 1), 1);
+  EXPECT_EQ(dag.prev_on_qubit(1, 0), 0);
+  EXPECT_EQ(dag.prev_on_qubit(1, 1), -1);
+  EXPECT_EQ(dag.next_on_qubit(1, 1), 2);
+}
+
+// ----------------------------------------------------------- Simulator ----
+
+TEST(SimTest, BellState) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  Statevector s(2);
+  s.apply(c);
+  const auto& amp = s.amplitudes();
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(amp[0]), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(amp[3]), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(amp[1]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(amp[2]), 0.0, 1e-12);
+}
+
+TEST(SimTest, GhzState) {
+  Circuit c(4);
+  c.h(0);
+  for (int i = 0; i < 3; ++i) {
+    c.cx(i, i + 1);
+  }
+  Statevector s(4);
+  s.apply(c);
+  const auto& amp = s.amplitudes();
+  EXPECT_NEAR(std::abs(amp[0]), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(amp[15]), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(SimTest, CcxTruthTable) {
+  // |110> (q0=0? operands: ccx(0,1,2) with controls 0,1, target 2).
+  Circuit c(3);
+  c.x(0);
+  c.x(1);
+  c.ccx(0, 1, 2);
+  Statevector s(3);
+  s.apply(c);
+  // Expect |111> = index 7.
+  EXPECT_NEAR(std::abs(s.amplitudes()[7]), 1.0, 1e-12);
+}
+
+TEST(SimTest, CswapExchangesTargets) {
+  // control q0 = 1, q1 = 1, q2 = 0 -> after cswap(0,1,2): q1 = 0, q2 = 1.
+  Circuit c(3);
+  c.x(0);
+  c.x(1);
+  c.cswap(0, 1, 2);
+  Statevector s(3);
+  s.apply(c);
+  // Expect |101> = q2=1,q1=0,q0=1 = index 5.
+  EXPECT_NEAR(std::abs(s.amplitudes()[5]), 1.0, 1e-12);
+}
+
+TEST(SimTest, SwapEqualsThreeCx) {
+  Circuit a(2);
+  a.swap(0, 1);
+  Circuit b(2);
+  b.cx(0, 1);
+  b.cx(1, 0);
+  b.cx(0, 1);
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(a, b));
+}
+
+TEST(SimTest, HZHEqualsX) {
+  Circuit a(1);
+  a.h(0);
+  a.z(0);
+  a.h(0);
+  Circuit b(1);
+  b.x(0);
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(a, b));
+}
+
+TEST(SimTest, InequivalentCircuitsDetected) {
+  Circuit a(2);
+  a.cx(0, 1);
+  Circuit b(2);
+  b.cx(1, 0);
+  EXPECT_FALSE(qrc::ir::circuits_equivalent(a, b));
+}
+
+TEST(SimTest, GlobalPhaseConsistencyEnforced) {
+  // rz(t) differs from p(t) by a global phase: still equivalent.
+  Circuit a(1);
+  a.rz(0.7, 0);
+  Circuit b(1);
+  b.p(0.7, 0);
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(a, b));
+  // But s followed by rz(-pi/2) is identity only up to phase; compare
+  // against true identity.
+  Circuit c(1);
+  c.s(0);
+  c.rz(-kPi / 2.0, 0);
+  Circuit empty(1);
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(c, empty));
+}
+
+TEST(SimTest, PermutationAwareEquivalence) {
+  // The permutation semantics match routing: U_b == P * U_a where P
+  // relabels output qubit q of `a` to final_permutation[q]. A circuit that
+  // ends in an explicit SWAP is equivalent to the swap-free circuit under
+  // the {1, 0} permutation.
+  Circuit a(2);
+  a.h(0);
+  a.t(1);
+  Circuit b(2);
+  b.h(0);
+  b.t(1);
+  b.swap(0, 1);
+  EXPECT_FALSE(qrc::ir::circuits_equivalent(a, b));
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(a, b, 4, 12345, {1, 0}));
+}
+
+TEST(SimTest, MappedEquivalenceWithLayout) {
+  // Logical bell pair on (0, 1) mapped to physical (2, 0) of a 3-qubit
+  // device, no routing (final layout = initial layout).
+  Circuit logical(2);
+  logical.h(0);
+  logical.cx(0, 1);
+  Circuit physical(3);
+  physical.h(2);
+  physical.cx(2, 0);
+  EXPECT_TRUE(qrc::ir::mapped_circuit_equivalent(logical, physical, {2, 0},
+                                                 {2, 0}));
+  EXPECT_FALSE(qrc::ir::mapped_circuit_equivalent(logical, physical, {0, 1},
+                                                  {0, 1}));
+}
+
+TEST(SimTest, RandomStateIsNormalised) {
+  const Statevector s = Statevector::random(6, 99);
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- QASM ----
+
+TEST(QasmTest, RoundTripSmallCircuit) {
+  Circuit c(3, "demo");
+  c.h(0);
+  c.cx(0, 1);
+  c.rz(kPi / 3.0, 2);
+  c.u3(0.1, 0.2, 0.3, 1);
+  c.ccx(0, 1, 2);
+  c.swap(0, 2);
+  c.measure_all();
+  const std::string text = qrc::ir::to_qasm(c);
+  const Circuit back = qrc::ir::from_qasm(text);
+  ASSERT_EQ(back.num_qubits(), 3);
+  ASSERT_EQ(back.size(), c.size());
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(c, back));
+}
+
+TEST(QasmTest, ParsesPiExpressions) {
+  const std::string text = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+rz(pi/2) q[0];
+rz(-pi/4) q[0];
+rz(2*pi/3) q[0];
+rz((pi+1)/2) q[0];
+)";
+  const Circuit c = qrc::ir::from_qasm(text);
+  ASSERT_EQ(c.size(), 4U);
+  EXPECT_NEAR(c.ops()[0].param(0), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(c.ops()[1].param(0), -kPi / 4.0, 1e-12);
+  EXPECT_NEAR(c.ops()[2].param(0), 2.0 * kPi / 3.0, 1e-12);
+  EXPECT_NEAR(c.ops()[3].param(0), (kPi + 1.0) / 2.0, 1e-12);
+}
+
+TEST(QasmTest, ParsesAliases) {
+  const std::string text = R"(OPENQASM 2.0;
+qreg q[2];
+u1(0.5) q[0];
+u2(0.1,0.2) q[0];
+u(0.1,0.2,0.3) q[1];
+cnot q[0],q[1];
+)";
+  const Circuit c = qrc::ir::from_qasm(text);
+  ASSERT_EQ(c.size(), 4U);
+  EXPECT_EQ(c.ops()[0].kind(), GateKind::kP);
+  EXPECT_EQ(c.ops()[1].kind(), GateKind::kU3);
+  EXPECT_NEAR(c.ops()[1].param(0), kPi / 2.0, 1e-12);
+  EXPECT_EQ(c.ops()[2].kind(), GateKind::kU3);
+  EXPECT_EQ(c.ops()[3].kind(), GateKind::kCX);
+}
+
+TEST(QasmTest, RejectsUnknownGate) {
+  const std::string text = "qreg q[1];\nfoo q[0];\n";
+  EXPECT_THROW((void)qrc::ir::from_qasm(text), std::runtime_error);
+}
+
+TEST(QasmTest, IgnoresComments) {
+  const std::string text =
+      "// header comment\nqreg q[1];\nh q[0]; // apply hadamard\n";
+  const Circuit c = qrc::ir::from_qasm(text);
+  ASSERT_EQ(c.size(), 1U);
+  EXPECT_EQ(c.ops()[0].kind(), GateKind::kH);
+}
+
+}  // namespace

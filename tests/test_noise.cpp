@@ -1,0 +1,150 @@
+// Tests for the Monte-Carlo Pauli-noise simulator and its relationship to
+// the analytic expected-fidelity proxy.
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "device/library.hpp"
+#include "noise/noise_sim.hpp"
+#include "reward/reward.hpp"
+
+namespace {
+
+using qrc::device::CouplingMap;
+using qrc::device::Device;
+using qrc::device::DeviceId;
+using qrc::device::Platform;
+using qrc::ir::Circuit;
+
+Circuit ghz(int n) {
+  Circuit c(n, "ghz");
+  c.h(0);
+  for (int i = 0; i + 1 < n; ++i) {
+    c.cx(i, i + 1);
+  }
+  c.measure_all();
+  return c;
+}
+
+TEST(NoiseSimTest, NoiselessScaleGivesUnitFidelity) {
+  const Device line5("noise_line5", Platform::kIBM, CouplingMap::line(5), 75);
+  const auto est =
+      qrc::noise::simulate_noisy_fidelity(ghz(4), line5, 50, 1, 0.0);
+  EXPECT_NEAR(est.mean, 1.0, 1e-9);
+  EXPECT_NEAR(est.std_err, 0.0, 1e-6);
+}
+
+TEST(NoiseSimTest, FidelityDecreasesWithErrorScale) {
+  // Note: the circuit must be executable on the device (coupled 2q pairs),
+  // otherwise op_error reports certain failure — the line topology matches
+  // the GHZ chain exactly.
+  const Device line5("noise_line5", Platform::kIBM, CouplingMap::line(5), 75);
+  const Circuit c = ghz(5);
+  double last = 1.01;
+  for (const double scale : {0.5, 2.0, 8.0}) {
+    const auto est =
+        qrc::noise::simulate_noisy_fidelity(c, line5, 400, 7, scale);
+    EXPECT_LT(est.mean, last) << "scale " << scale;
+    last = est.mean;
+  }
+}
+
+TEST(NoiseSimTest, DeterministicGivenSeed) {
+  const Device line5("noise_line5", Platform::kIBM, CouplingMap::line(5), 75);
+  const auto a =
+      qrc::noise::simulate_noisy_fidelity(ghz(4), line5, 100, 3, 4.0);
+  const auto b =
+      qrc::noise::simulate_noisy_fidelity(ghz(4), line5, 100, 3, 4.0);
+  EXPECT_EQ(a.mean, b.mean);
+}
+
+TEST(NoiseSimTest, WorksOnWideDeviceViaCompaction) {
+  // A 5-active-qubit circuit living on the 127-qubit register.
+  const auto& washington = qrc::device::get_device(DeviceId::kIbmqWashington);
+  Circuit c(127);
+  c.h(30);
+  c.cx(30, 31);
+  c.cx(31, 32);
+  c.measure(30);
+  c.measure(31);
+  const auto est =
+      qrc::noise::simulate_noisy_fidelity(c, washington, 100, 5, 1.0);
+  EXPECT_GT(est.mean, 0.8);
+  EXPECT_LE(est.mean, 1.0);
+}
+
+TEST(NoiseSimTest, RejectsTooManyActiveQubits) {
+  const auto& dev = qrc::device::get_device(DeviceId::kIbmqWashington);
+  Circuit wide(127);
+  for (int q = 0; q < 20; ++q) {
+    wide.h(q);
+  }
+  EXPECT_THROW(
+      (void)qrc::noise::simulate_noisy_fidelity(wide, dev, 10, 1, 1.0, 14),
+      std::invalid_argument);
+}
+
+TEST(NoiseSimTest, AnalyticProxyMatchesRewardModule) {
+  const auto& dev = qrc::device::get_device(DeviceId::kIonqHarmony);
+  const Circuit c = ghz(5);
+  EXPECT_NEAR(qrc::noise::analytic_success_probability(c, dev),
+              qrc::reward::expected_fidelity(c, dev), 1e-12);
+}
+
+TEST(NoiseSimTest, MonteCarloUpperBoundsAnalyticProxy) {
+  // The proxy assumes every error event destroys the state; in reality some
+  // Pauli errors act trivially (e.g. Z before measurement in the Z basis)
+  // or cancel, so the sampled fidelity must not fall below the proxy by
+  // more than sampling noise.
+  const Device line6("noise_line6", Platform::kIBM, CouplingMap::line(6),
+                     77);
+  for (const int n : {3, 5}) {
+    const Circuit c = ghz(n);
+    const double analytic =
+        qrc::noise::analytic_success_probability(c, line6, 6.0);
+    const auto mc =
+        qrc::noise::simulate_noisy_fidelity(c, line6, 1500, 11, 6.0);
+    EXPECT_GE(mc.mean, analytic - 4.0 * mc.std_err - 0.01) << "n=" << n;
+  }
+}
+
+TEST(NoiseSimTest, ProxyTracksMonteCarloAcrossBenchmarks) {
+  // Correlation sanity: circuits ranked by the analytic proxy should rank
+  // the same way under Monte-Carlo noise (the reward's load-bearing
+  // property for the RL agent).
+  const Device line8("noise_line8", Platform::kIBM, CouplingMap::line(8),
+                     78);
+  std::vector<std::pair<double, double>> points;
+  for (const auto family :
+       {qrc::bench::BenchmarkFamily::kGhz, qrc::bench::BenchmarkFamily::kQft,
+        qrc::bench::BenchmarkFamily::kVqe,
+        qrc::bench::BenchmarkFamily::kWstate}) {
+    for (const int n : {4, 7}) {
+      const Circuit c = qrc::bench::make_benchmark(family, n, 1);
+      const double analytic =
+          qrc::noise::analytic_success_probability(c, line8, 2.0);
+      const auto mc =
+          qrc::noise::simulate_noisy_fidelity(c, line8, 400, 13, 2.0);
+      points.emplace_back(analytic, mc.mean);
+    }
+  }
+  // Pairwise order agreement (Kendall-style) above chance.
+  int concordant = 0;
+  int comparable = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (std::abs(points[i].first - points[j].first) < 0.02) {
+        continue;  // too close to rank reliably
+      }
+      ++comparable;
+      if ((points[i].first < points[j].first) ==
+          (points[i].second < points[j].second)) {
+        ++concordant;
+      }
+    }
+  }
+  ASSERT_GT(comparable, 5);
+  EXPECT_GE(static_cast<double>(concordant) / comparable, 0.8);
+}
+
+}  // namespace

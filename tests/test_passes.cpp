@@ -1,0 +1,783 @@
+// Tests for the compilation passes: commutation oracle, block collection,
+// two-qubit resynthesis, basis translation, layout, routing, and all
+// optimization passes. The load-bearing properties are (1) unitary
+// preservation up to global phase, (2) connectivity of routed circuits,
+// and (3) nativeness after basis translation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "device/library.hpp"
+#include "ir/sim.hpp"
+#include "passes/blocks.hpp"
+#include "passes/commutation.hpp"
+#include "passes/layout/layout.hpp"
+#include "passes/opt/cancellation.hpp"
+#include "passes/opt/clifford_opt.hpp"
+#include "passes/opt/composite.hpp"
+#include "passes/opt/consolidate.hpp"
+#include "passes/opt/one_qubit_opt.hpp"
+#include "passes/routing/routing.hpp"
+#include "passes/synthesis/basis_translator.hpp"
+#include "passes/two_qubit_decomp.hpp"
+
+namespace {
+
+using qrc::device::Device;
+using qrc::device::DeviceId;
+using qrc::device::Platform;
+using qrc::ir::Circuit;
+using qrc::ir::GateKind;
+using qrc::ir::Operation;
+using qrc::la::kPi;
+using qrc::passes::PassContext;
+
+/// Random circuit over the full vocabulary (unitary gates only).
+Circuit random_circuit(int n, int length, std::uint64_t seed,
+                       bool clifford_heavy = false) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  std::uniform_int_distribution<int> qpick(0, n - 1);
+  Circuit c(n, "random");
+  for (int i = 0; i < length; ++i) {
+    const int q = qpick(rng);
+    int q2 = qpick(rng);
+    while (q2 == q) {
+      q2 = qpick(rng);
+    }
+    const int choice = std::uniform_int_distribution<int>(
+        0, clifford_heavy ? 7 : 11)(rng);
+    switch (choice) {
+      case 0:
+        c.h(q);
+        break;
+      case 1:
+        c.s(q);
+        break;
+      case 2:
+        c.cx(q, q2);
+        break;
+      case 3:
+        c.x(q);
+        break;
+      case 4:
+        c.cz(q, q2);
+        break;
+      case 5:
+        c.sdg(q);
+        break;
+      case 6:
+        c.sx(q);
+        break;
+      case 7:
+        c.swap(q, q2);
+        break;
+      case 8:
+        c.rz(ang(rng), q);
+        break;
+      case 9:
+        c.t(q);
+        break;
+      case 10:
+        c.rxx(ang(rng), q, q2);
+        break;
+      default:
+        c.u3(ang(rng), ang(rng), ang(rng), q);
+        break;
+    }
+  }
+  return c;
+}
+
+/// Shared assertion: pass preserves the unitary up to global phase.
+void expect_preserves_unitary(const qrc::passes::Pass& pass, int n,
+                              std::uint64_t seed, bool clifford_heavy = false,
+                              const Device* device = nullptr) {
+  Circuit c = random_circuit(n, 40, seed, clifford_heavy);
+  const Circuit original = c;
+  PassContext ctx;
+  ctx.device = device;
+  (void)pass.run(c, ctx);
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c, 4, seed))
+      << pass.name() << " broke equivalence (seed " << seed << ")";
+}
+
+// ----------------------------------------------------------- commutation --
+
+TEST(CommutationTest, DisjointOpsCommute) {
+  Circuit c(4);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  EXPECT_TRUE(qrc::passes::ops_commute(c.ops()[0], c.ops()[1]));
+}
+
+TEST(CommutationTest, DiagonalGatesCommute) {
+  Circuit c(2);
+  c.rz(0.3, 0);
+  c.cp(0.7, 0, 1);
+  c.t(0);
+  EXPECT_TRUE(qrc::passes::ops_commute(c.ops()[0], c.ops()[1]));
+  EXPECT_TRUE(qrc::passes::ops_commute(c.ops()[1], c.ops()[2]));
+}
+
+TEST(CommutationTest, RzCommutesWithCxControl) {
+  Circuit c(2);
+  c.rz(0.5, 0);
+  c.cx(0, 1);
+  EXPECT_TRUE(qrc::passes::ops_commute(c.ops()[0], c.ops()[1]));
+}
+
+TEST(CommutationTest, RzDoesNotCommuteWithCxTarget) {
+  Circuit c(2);
+  c.rz(0.5, 1);
+  c.cx(0, 1);
+  EXPECT_FALSE(qrc::passes::ops_commute(c.ops()[0], c.ops()[1]));
+}
+
+TEST(CommutationTest, XCommutesWithCxTarget) {
+  Circuit c(2);
+  c.x(1);
+  c.cx(0, 1);
+  EXPECT_TRUE(qrc::passes::ops_commute(c.ops()[0], c.ops()[1]));
+}
+
+TEST(CommutationTest, CxSharedControlCommutes) {
+  Circuit c(3);
+  c.cx(0, 1);
+  c.cx(0, 2);
+  EXPECT_TRUE(qrc::passes::ops_commute(c.ops()[0], c.ops()[1]));
+}
+
+TEST(CommutationTest, CxCrossedDoesNotCommute) {
+  Circuit c(2);
+  c.cx(0, 1);
+  c.cx(1, 0);
+  EXPECT_FALSE(qrc::passes::ops_commute(c.ops()[0], c.ops()[1]));
+}
+
+TEST(CommutationTest, MatchesNumericOracleOnRandomPairs) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  // Sanity sweep: h on shared qubit vs rotations.
+  Circuit c(2);
+  c.h(0);
+  c.rx(ang(rng), 0);
+  c.rz(ang(rng), 0);
+  EXPECT_FALSE(qrc::passes::ops_commute(c.ops()[0], c.ops()[1]));
+  EXPECT_FALSE(qrc::passes::ops_commute(c.ops()[1], c.ops()[2]));
+}
+
+TEST(CommutationTest, MeasureNeverCommutes) {
+  Circuit c(1);
+  c.measure(0);
+  c.z(0);
+  EXPECT_FALSE(qrc::passes::ops_commute(c.ops()[0], c.ops()[1]));
+}
+
+// ----------------------------------------------------------------- blocks --
+
+TEST(BlocksTest, Collect1qRuns) {
+  Circuit c(2);
+  c.h(0);
+  c.t(0);
+  c.cx(0, 1);
+  c.s(0);
+  const auto runs = qrc::passes::collect_1q_runs(c);
+  ASSERT_EQ(runs.size(), 2U);
+  EXPECT_EQ(runs[0].op_indices, (std::vector<int>{0, 1}));
+  EXPECT_EQ(runs[1].op_indices, (std::vector<int>{3}));
+}
+
+TEST(BlocksTest, RunMatrixMultipliesInOrder) {
+  Circuit c(1);
+  c.h(0);
+  c.s(0);
+  const auto runs = qrc::passes::collect_1q_runs(c);
+  ASSERT_EQ(runs.size(), 1U);
+  const auto m = qrc::passes::run_matrix(c, runs[0]);
+  EXPECT_TRUE(m.approx_equal(qrc::la::s_mat() * qrc::la::h_mat()));
+}
+
+TEST(BlocksTest, Collect2qBlocksGroupsPairs) {
+  Circuit c(3);
+  c.h(0);       // leading 1q absorbed
+  c.cx(0, 1);   // block A
+  c.rz(0.2, 1); // inside A
+  c.cx(0, 1);   // A
+  c.cx(1, 2);   // closes A, starts B
+  const auto blocks = qrc::passes::collect_2q_blocks(c);
+  ASSERT_EQ(blocks.size(), 2U);
+  EXPECT_EQ(blocks[0].qubit_a, 0);
+  EXPECT_EQ(blocks[0].qubit_b, 1);
+  EXPECT_EQ(blocks[0].two_qubit_count, 2);
+  EXPECT_EQ(blocks[0].op_indices, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(blocks[1].two_qubit_count, 1);
+}
+
+TEST(BlocksTest, MeasureClosesBlocks) {
+  Circuit c(2);
+  c.cx(0, 1);
+  c.measure(0);
+  c.cx(0, 1);
+  const auto blocks = qrc::passes::collect_2q_blocks(c);
+  ASSERT_EQ(blocks.size(), 2U);
+}
+
+TEST(BlocksTest, CliffordBlocksStopAtNonClifford) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.t(0);      // non-Clifford on support: closes
+  c.cx(0, 1);
+  c.s(1);
+  const auto blocks = qrc::passes::collect_clifford_blocks(c);
+  ASSERT_EQ(blocks.size(), 2U);
+  EXPECT_EQ(blocks[0].op_indices, (std::vector<int>{0, 1}));
+  EXPECT_EQ(blocks[1].op_indices, (std::vector<int>{3, 4}));
+}
+
+// ----------------------------------------------- two-qubit resynthesis ----
+
+TEST(TwoQubitDecompTest, RandomUnitariesRebuildExactly) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  for (int trial = 0; trial < 30; ++trial) {
+    Circuit mini = random_circuit(2, 12, 3000 + trial);
+    const auto u = qrc::passes::two_qubit_circuit_unitary(mini);
+    const auto resynth = qrc::passes::decompose_two_qubit_unitary(u);
+    ASSERT_TRUE(resynth.has_value()) << "trial " << trial;
+    const auto v = qrc::passes::two_qubit_circuit_unitary(*resynth);
+    EXPECT_TRUE(v.equal_up_to_phase(u, 1e-6)) << "trial " << trial;
+    EXPECT_LE(resynth->two_qubit_gate_count(), 4) << "trial " << trial;
+  }
+}
+
+TEST(TwoQubitDecompTest, LocalUnitaryNeedsNoCx) {
+  Circuit mini(2);
+  mini.u3(0.4, 0.8, -0.3, 0);
+  mini.u3(1.1, -0.6, 0.2, 1);
+  const auto u = qrc::passes::two_qubit_circuit_unitary(mini);
+  const auto resynth = qrc::passes::decompose_two_qubit_unitary(u);
+  ASSERT_TRUE(resynth.has_value());
+  EXPECT_EQ(resynth->two_qubit_gate_count(), 0);
+}
+
+TEST(TwoQubitDecompTest, DressedCxNeedsOneCx) {
+  Circuit mini(2);
+  mini.u3(0.4, 0.8, -0.3, 0);
+  mini.cx(0, 1);
+  mini.u3(1.1, -0.6, 0.2, 1);
+  const auto u = qrc::passes::two_qubit_circuit_unitary(mini);
+  const auto resynth = qrc::passes::decompose_two_qubit_unitary(u);
+  ASSERT_TRUE(resynth.has_value());
+  EXPECT_EQ(resynth->two_qubit_gate_count(), 1);
+}
+
+TEST(TwoQubitDecompTest, CzIsCxClass) {
+  Circuit mini(2);
+  mini.cz(0, 1);
+  const auto u = qrc::passes::two_qubit_circuit_unitary(mini);
+  const auto resynth = qrc::passes::decompose_two_qubit_unitary(u);
+  ASSERT_TRUE(resynth.has_value());
+  EXPECT_EQ(resynth->two_qubit_gate_count(), 1);
+}
+
+TEST(TwoQubitDecompTest, ZzInteractionNeedsTwoCx) {
+  Circuit mini(2);
+  mini.rzz(0.8, 0, 1);
+  const auto u = qrc::passes::two_qubit_circuit_unitary(mini);
+  const auto resynth = qrc::passes::decompose_two_qubit_unitary(u);
+  ASSERT_TRUE(resynth.has_value());
+  EXPECT_LE(resynth->two_qubit_gate_count(), 2);
+}
+
+TEST(TwoQubitDecompTest, SwapClassUsesThreeCx) {
+  Circuit mini(2);
+  mini.u3(0.3, 0.1, 0.9, 0);
+  mini.swap(0, 1);
+  mini.u3(0.7, -0.4, 0.5, 1);
+  const auto u = qrc::passes::two_qubit_circuit_unitary(mini);
+  const auto resynth = qrc::passes::decompose_two_qubit_unitary(u);
+  ASSERT_TRUE(resynth.has_value());
+  const auto v = qrc::passes::two_qubit_circuit_unitary(*resynth);
+  EXPECT_TRUE(v.equal_up_to_phase(u, 1e-6));
+  EXPECT_LE(resynth->two_qubit_gate_count(), 3);
+}
+
+// ------------------------------------------------------ basis translator --
+
+TEST(BasisTranslatorTest, TranslatesToAllFourPlatforms) {
+  for (const auto id : {DeviceId::kIbmqMontreal, DeviceId::kRigettiAspenM2,
+                        DeviceId::kIonqHarmony, DeviceId::kOqcLucy}) {
+    const Device& dev = qrc::device::get_device(id);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      Circuit c = random_circuit(4, 30, seed * 13);
+      const Circuit original = c;
+      PassContext ctx;
+      ctx.device = &dev;
+      const qrc::passes::BasisTranslator translator;
+      (void)translator.run(c, ctx);
+      EXPECT_TRUE(dev.circuit_is_native(c)) << dev.name();
+      EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c, 4, seed))
+          << dev.name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(BasisTranslatorTest, ThreeQubitGatesLowered) {
+  const Device& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  Circuit c(3);
+  c.ccx(0, 1, 2);
+  c.ccz(0, 1, 2);
+  c.cswap(0, 1, 2);
+  const Circuit original = c;
+  PassContext ctx;
+  ctx.device = &dev;
+  const qrc::passes::BasisTranslator translator;
+  (void)translator.run(c, ctx);
+  EXPECT_TRUE(dev.circuit_is_native(c));
+  EXPECT_TRUE(c.max_gate_arity_at_most(2));
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c));
+}
+
+TEST(BasisTranslatorTest, KeepsMeasuresAndBarriers) {
+  const Device& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  Circuit c(2);
+  c.h(0);
+  c.barrier();
+  c.measure_all();
+  PassContext ctx;
+  ctx.device = &dev;
+  const qrc::passes::BasisTranslator translator;
+  (void)translator.run(c, ctx);
+  const auto counts = c.count_ops();
+  EXPECT_EQ(counts.at("measure"), 2);
+  EXPECT_EQ(counts.at("barrier"), 1);
+}
+
+TEST(BasisTranslatorTest, TwoQubitDecompositionsStayOnPair) {
+  // Post-mapping safety: every 2q gate in the translation of a 2q gate must
+  // stay on the same pair.
+  const Device& dev = qrc::device::get_device(DeviceId::kRigettiAspenM2);
+  Circuit c(5);
+  c.cx(2, 3);
+  c.swap(0, 1);
+  c.rzz(0.7, 3, 4);
+  PassContext ctx;
+  ctx.device = &dev;
+  const qrc::passes::BasisTranslator translator;
+  (void)translator.run(c, ctx);
+  for (const Operation& op : c.ops()) {
+    if (op.num_qubits() == 2) {
+      const bool pair_23 = op.acts_on(2) && op.acts_on(3);
+      const bool pair_01 = op.acts_on(0) && op.acts_on(1);
+      const bool pair_34 = op.acts_on(3) && op.acts_on(4);
+      EXPECT_TRUE(pair_23 || pair_01 || pair_34);
+    }
+  }
+}
+
+// --------------------------------------------------------------- layout ---
+
+TEST(LayoutTest, TrivialLayoutIsIdentity) {
+  const Device& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  const Circuit c = random_circuit(5, 20, 42);
+  const auto layout = qrc::passes::compute_layout(
+      qrc::passes::LayoutKind::kTrivial, c, dev);
+  EXPECT_EQ(layout, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(LayoutTest, DenseLayoutConnectedSubset) {
+  const Device& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  const Circuit c = random_circuit(6, 30, 43);
+  const auto layout = qrc::passes::compute_layout(
+      qrc::passes::LayoutKind::kDense, c, dev);
+  ASSERT_EQ(layout.size(), 6U);
+  // Injective and in range.
+  std::set<int> used(layout.begin(), layout.end());
+  EXPECT_EQ(used.size(), 6U);
+  for (const int p : layout) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, dev.num_qubits());
+  }
+  // The chosen subset must be internally connected.
+  int internal_edges = 0;
+  for (const int a : used) {
+    for (const int b : used) {
+      if (a < b && dev.coupling().are_coupled(a, b)) {
+        ++internal_edges;
+      }
+    }
+  }
+  EXPECT_GE(internal_edges, 5);  // spanning-tree minimum
+}
+
+TEST(LayoutTest, SabreLayoutValidAndDeterministic) {
+  const Device& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  const Circuit c = random_circuit(5, 25, 44);
+  const auto a = qrc::passes::compute_layout(qrc::passes::LayoutKind::kSabre,
+                                             c, dev, 7);
+  const auto b = qrc::passes::compute_layout(qrc::passes::LayoutKind::kSabre,
+                                             c, dev, 7);
+  EXPECT_EQ(a, b);
+  std::set<int> used(a.begin(), a.end());
+  EXPECT_EQ(used.size(), a.size());
+}
+
+TEST(LayoutTest, ApplyLayoutRejectsNonInjective) {
+  const Device& dev = qrc::device::get_device(DeviceId::kOqcLucy);
+  const Circuit c = random_circuit(3, 10, 45);
+  EXPECT_THROW(qrc::passes::apply_layout(c, {0, 0, 1}, dev),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- routing ---
+
+/// Routing property check on a small synthetic device so that full
+/// statevector verification is possible.
+void expect_routing_sound(qrc::passes::RoutingKind kind, std::uint64_t seed) {
+  // 6-qubit line device (IBM platform).
+  const Device dev("test_line6", Platform::kIBM,
+                   qrc::device::CouplingMap::line(6), 99);
+  Circuit logical = random_circuit(6, 25, seed);
+  const auto outcome = qrc::passes::route(kind, logical, dev, seed);
+  EXPECT_TRUE(dev.circuit_respects_topology(outcome.routed))
+      << qrc::passes::routing_name(kind);
+  // Permutation-aware equivalence.
+  std::vector<int> identity(6);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_TRUE(qrc::ir::mapped_circuit_equivalent(
+      logical, outcome.routed, identity, outcome.permutation, 3, seed))
+      << qrc::passes::routing_name(kind) << " seed " << seed;
+}
+
+TEST(RoutingTest, BasicSwapSound) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    expect_routing_sound(qrc::passes::RoutingKind::kBasicSwap, seed);
+  }
+}
+
+TEST(RoutingTest, StochasticSwapSound) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    expect_routing_sound(qrc::passes::RoutingKind::kStochasticSwap, seed);
+  }
+}
+
+TEST(RoutingTest, SabreSwapSound) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    expect_routing_sound(qrc::passes::RoutingKind::kSabreSwap, seed);
+  }
+}
+
+TEST(RoutingTest, TketRoutingSound) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    expect_routing_sound(qrc::passes::RoutingKind::kTketRouting, seed);
+  }
+}
+
+TEST(RoutingTest, AlreadyRoutedCircuitUnchanged) {
+  const Device dev("test_line4", Platform::kIBM,
+                   qrc::device::CouplingMap::line(4), 99);
+  Circuit c(4);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.cx(2, 3);
+  const auto outcome =
+      qrc::passes::route(qrc::passes::RoutingKind::kSabreSwap, c, dev);
+  EXPECT_EQ(outcome.swap_count, 0);
+  EXPECT_EQ(outcome.routed.size(), c.size());
+}
+
+TEST(RoutingTest, SabreBeatsBasicOnHeavyCircuit) {
+  // On a ring, SABRE's lookahead should use no more swaps than the
+  // oblivious shortest-path router on average.
+  const Device dev("test_ring8", Platform::kIBM,
+                   qrc::device::CouplingMap::ring(8), 99);
+  int basic_total = 0;
+  int sabre_total = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Circuit c = random_circuit(8, 40, 7000 + seed);
+    basic_total +=
+        qrc::passes::route(qrc::passes::RoutingKind::kBasicSwap, c, dev, seed)
+            .swap_count;
+    sabre_total +=
+        qrc::passes::route(qrc::passes::RoutingKind::kSabreSwap, c, dev, seed)
+            .swap_count;
+  }
+  EXPECT_LE(sabre_total, basic_total);
+}
+
+TEST(RoutingTest, RejectsThreeQubitGates) {
+  const Device dev("test_line4", Platform::kIBM,
+                   qrc::device::CouplingMap::line(4), 99);
+  Circuit c(4);
+  c.ccx(0, 1, 2);
+  EXPECT_THROW(
+      (void)qrc::passes::route(qrc::passes::RoutingKind::kBasicSwap, c, dev),
+      std::invalid_argument);
+}
+
+// --------------------------------------------------- optimization passes --
+
+TEST(OptPassTest, AllPassesPreserveUnitary) {
+  const qrc::passes::CXCancellation cx_cancel;
+  const qrc::passes::InverseCancellation inv_cancel;
+  const qrc::passes::CommutativeCancellation comm_cancel;
+  const qrc::passes::CommutativeInverseCancellation comm_inv;
+  const qrc::passes::RemoveRedundancies redundancies;
+  const qrc::passes::Optimize1qGatesDecomposition opt1q;
+  const qrc::passes::ConsolidateBlocks consolidate;
+  const qrc::passes::PeepholeOptimise2Q peephole;
+  const qrc::passes::OptimizeCliffords opt_cliff;
+  const qrc::passes::CliffordSimp cliff_simp;
+  const qrc::passes::FullPeepholeOptimise full_peephole;
+  const std::vector<const qrc::passes::Pass*> passes = {
+      &cx_cancel, &inv_cancel, &comm_cancel,  &comm_inv,
+      &redundancies, &opt1q,   &consolidate,  &peephole,
+      &opt_cliff, &cliff_simp, &full_peephole};
+  for (const auto* pass : passes) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      expect_preserves_unitary(*pass, 4, 500 + seed * 17, seed % 2 == 0);
+    }
+  }
+}
+
+TEST(OptPassTest, CxCancellationRemovesAdjacentPairs) {
+  Circuit c(2);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.h(0);
+  const qrc::passes::CXCancellation pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_EQ(c.two_qubit_gate_count(), 0);
+  EXPECT_EQ(c.gate_count(), 1);
+}
+
+TEST(OptPassTest, CxCancellationKeepsSeparatedPairs) {
+  Circuit c(2);
+  c.cx(0, 1);
+  c.h(1);  // blocks
+  c.cx(0, 1);
+  const qrc::passes::CXCancellation pass;
+  EXPECT_FALSE(pass.run(c, {}));
+  EXPECT_EQ(c.two_qubit_gate_count(), 2);
+}
+
+TEST(OptPassTest, InverseCancellationHandlesNamedPairs) {
+  Circuit c(1);
+  c.h(0);
+  c.h(0);
+  c.s(0);
+  c.sdg(0);
+  c.t(0);
+  c.tdg(0);
+  c.rz(0.4, 0);
+  c.rz(-0.4, 0);
+  const qrc::passes::InverseCancellation pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_EQ(c.gate_count(), 0);
+}
+
+TEST(OptPassTest, CommutativeCancellationThroughCxControl) {
+  // rz(a) [cx] rz(-a) on the control cancels through the CX.
+  Circuit c(2);
+  c.rz(0.8, 0);
+  c.cx(0, 1);
+  c.rz(-0.8, 0);
+  const qrc::passes::CommutativeCancellation pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_EQ(c.gate_count(), 1);
+  EXPECT_EQ(c.ops()[0].kind(), GateKind::kCX);
+}
+
+TEST(OptPassTest, CommutativeCancellationMergesRotations) {
+  Circuit c(2);
+  c.rz(0.3, 0);
+  c.cx(0, 1);
+  c.rz(0.4, 0);
+  const qrc::passes::CommutativeCancellation pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_EQ(c.gate_count(), 2);
+  bool found = false;
+  for (const Operation& op : c.ops()) {
+    if (op.kind() == GateKind::kRZ) {
+      EXPECT_NEAR(op.param(0), 0.7, 1e-12);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OptPassTest, CommutativeInverseCatchesCrossKind) {
+  // s followed (through a commuting cx control) by rz(-pi/2): matrix-level
+  // inverse up to phase.
+  Circuit c(2);
+  c.s(0);
+  c.cx(0, 1);
+  c.rz(-kPi / 2.0, 0);
+  const qrc::passes::CommutativeInverseCancellation pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_EQ(c.gate_count(), 1);
+}
+
+TEST(OptPassTest, RemoveDiagonalBeforeMeasure) {
+  Circuit c(2);
+  c.h(0);
+  c.rz(0.3, 0);
+  c.cz(0, 1);
+  c.measure(0);
+  c.measure(1);
+  const qrc::passes::RemoveDiagonalGatesBeforeMeasure pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  // rz and cz removed (peeled iteratively); h kept.
+  EXPECT_EQ(c.gate_count(), 1);
+  EXPECT_EQ(c.ops()[0].kind(), GateKind::kH);
+}
+
+TEST(OptPassTest, DiagonalKeptWhenOnlyOneQubitMeasured) {
+  Circuit c(2);
+  c.cz(0, 1);
+  c.measure(0);
+  c.h(1);  // qubit 1 not measured right after
+  const qrc::passes::RemoveDiagonalGatesBeforeMeasure pass;
+  EXPECT_FALSE(pass.run(c, {}));
+  EXPECT_EQ(c.two_qubit_gate_count(), 1);
+}
+
+TEST(OptPassTest, Optimize1qFusesRuns) {
+  Circuit c(1);
+  c.h(0);
+  c.t(0);
+  c.h(0);
+  c.s(0);
+  c.rz(0.3, 0);
+  const qrc::passes::Optimize1qGatesDecomposition pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_EQ(c.gate_count(), 1);
+  EXPECT_EQ(c.ops()[0].kind(), GateKind::kU3);
+}
+
+TEST(OptPassTest, Optimize1qUsesNativeBasisWithDevice) {
+  const Device& dev = qrc::device::get_device(DeviceId::kIbmqMontreal);
+  Circuit c(1);
+  c.h(0);
+  c.t(0);
+  c.h(0);
+  PassContext ctx;
+  ctx.device = &dev;
+  const qrc::passes::Optimize1qGatesDecomposition pass;
+  EXPECT_TRUE(pass.run(c, ctx));
+  EXPECT_TRUE(dev.circuit_is_native(c));
+  EXPECT_LE(c.gate_count(), 5);
+}
+
+TEST(OptPassTest, Optimize1qDropsIdentityRun) {
+  Circuit c(1);
+  c.h(0);
+  c.h(0);
+  const qrc::passes::Optimize1qGatesDecomposition pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_EQ(c.gate_count(), 0);
+}
+
+TEST(OptPassTest, ConsolidateReducesLongCxChain) {
+  // Four CX on the same pair = identity-ish structure; at most 4 -> <= 3.
+  Circuit c(2);
+  c.cx(0, 1);
+  c.rz(0.3, 1);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.rx(0.2, 0);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  const Circuit original = c;
+  const qrc::passes::ConsolidateBlocks pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_LT(c.two_qubit_gate_count(), 5);
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c));
+}
+
+TEST(OptPassTest, PeepholeConsolidatesHeavyDressing) {
+  // A single CX dressed with six 1q gates: same CX count but the 1q gates
+  // fuse into at most four u3 locals.
+  Circuit c(2);
+  c.h(0);
+  c.t(0);
+  c.s(0);
+  c.cx(0, 1);
+  c.h(1);
+  c.t(1);
+  c.sx(1);
+  const Circuit original = c;
+  const qrc::passes::PeepholeOptimise2Q pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_LE(c.two_qubit_gate_count(), 1);
+  EXPECT_LT(c.gate_count(), original.gate_count());
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c));
+}
+
+TEST(OptPassTest, PeepholeRecognisesIswapClassNeedsTwoCx) {
+  // swap + cx is iSWAP-class (2 CX), so no 2-gate improvement exists and
+  // the block must be left alone rather than inflated.
+  Circuit c(2);
+  c.swap(0, 1);
+  c.cx(1, 0);
+  const Circuit original = c;
+  const qrc::passes::PeepholeOptimise2Q pass;
+  (void)pass.run(c, {});
+  EXPECT_LE(c.two_qubit_gate_count(), 2);
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c));
+}
+
+TEST(OptPassTest, OptimizeCliffordsCompressesCliffordChunk) {
+  Circuit c(3);
+  for (int rep = 0; rep < 4; ++rep) {
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.s(2);
+    c.cx(0, 1);
+    c.h(1);
+  }
+  const Circuit original = c;
+  const qrc::passes::OptimizeCliffords pass;
+  EXPECT_TRUE(pass.run(c, {}));
+  EXPECT_LT(c.two_qubit_gate_count(), original.two_qubit_gate_count());
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c));
+}
+
+TEST(OptPassTest, CliffordSimpGuardsConnectivityWhenMapped) {
+  // A Clifford chunk on a line device: resynthesised replacement must stay
+  // on coupled pairs or be rejected.
+  const Device dev("test_line4", Platform::kIBM,
+                   qrc::device::CouplingMap::line(4), 99);
+  Circuit c(4);
+  for (int rep = 0; rep < 3; ++rep) {
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(2, 3);
+    c.s(0);
+    c.h(2);
+  }
+  const Circuit original = c;
+  PassContext ctx;
+  ctx.device = &dev;
+  ctx.is_mapped = true;
+  const qrc::passes::CliffordSimp pass;
+  (void)pass.run(c, ctx);
+  EXPECT_TRUE(dev.circuit_respects_topology(c));
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c));
+}
+
+TEST(OptPassTest, FullPeepholeShrinksMessyCircuit) {
+  Circuit c = random_circuit(4, 60, 31415);
+  const Circuit original = c;
+  const int before = c.gate_count();
+  const qrc::passes::FullPeepholeOptimise pass;
+  (void)pass.run(c, {});
+  EXPECT_LE(c.gate_count(), before);
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c));
+}
+
+}  // namespace

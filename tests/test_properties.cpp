@@ -1,0 +1,328 @@
+// Parameterized property-style sweeps (TEST_P) over the invariants that
+// hold across the whole pass/router/reward landscape:
+//  - every optimization pass preserves the circuit unitary (random sweeps)
+//  - every optimization pass is idempotent-or-monotone in gate count
+//  - every router yields coupled circuits with valid permutations on every
+//    topology family
+//  - Euler decompositions round-trip across the angle grid
+//  - rewards are bounded and monotone under gate insertion
+//  - serialization fuzzing: corrupted models and malformed QASM are
+//    rejected, never crash.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/predictor.hpp"
+#include "device/library.hpp"
+#include "ir/qasm.hpp"
+#include "ir/sim.hpp"
+#include "la/euler.hpp"
+#include "passes/opt/cancellation.hpp"
+#include "passes/opt/clifford_opt.hpp"
+#include "passes/opt/composite.hpp"
+#include "passes/opt/consolidate.hpp"
+#include "passes/opt/one_qubit_opt.hpp"
+#include "passes/routing/routing.hpp"
+#include "reward/reward.hpp"
+#include "rl/mlp.hpp"
+
+namespace {
+
+using qrc::device::CouplingMap;
+using qrc::device::Device;
+using qrc::device::Platform;
+using qrc::ir::Circuit;
+using qrc::la::kPi;
+
+Circuit random_circuit(int n, int length, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ang(-kPi, kPi);
+  std::uniform_int_distribution<int> qpick(0, n - 1);
+  Circuit c(n, "random");
+  for (int i = 0; i < length; ++i) {
+    const int q = qpick(rng);
+    int q2 = qpick(rng);
+    while (q2 == q) {
+      q2 = qpick(rng);
+    }
+    switch (std::uniform_int_distribution<int>(0, 10)(rng)) {
+      case 0:
+        c.h(q);
+        break;
+      case 1:
+        c.t(q);
+        break;
+      case 2:
+        c.cx(q, q2);
+        break;
+      case 3:
+        c.rz(ang(rng), q);
+        break;
+      case 4:
+        c.cz(q, q2);
+        break;
+      case 5:
+        c.sx(q);
+        break;
+      case 6:
+        c.swap(q, q2);
+        break;
+      case 7:
+        c.s(q);
+        break;
+      case 8:
+        c.rzz(ang(rng), q, q2);
+        break;
+      case 9:
+        c.ry(ang(rng), q);
+        break;
+      default:
+        c.cp(ang(rng), q, q2);
+        break;
+    }
+  }
+  return c;
+}
+
+// ------------------------------------------------ pass property sweeps ----
+
+/// Factory so each (pass, seed) combination is an independent test case.
+enum class PassId {
+  kCxCancel,
+  kInverseCancel,
+  kCommutativeCancel,
+  kCommutativeInverse,
+  kRemoveRedundancies,
+  kOptimize1q,
+  kConsolidate,
+  kPeephole2q,
+  kOptimizeCliffords,
+  kCliffordSimp,
+  kFullPeephole,
+};
+
+std::unique_ptr<qrc::passes::Pass> make_pass(PassId id) {
+  using namespace qrc::passes;
+  switch (id) {
+    case PassId::kCxCancel:
+      return std::make_unique<CXCancellation>();
+    case PassId::kInverseCancel:
+      return std::make_unique<InverseCancellation>();
+    case PassId::kCommutativeCancel:
+      return std::make_unique<CommutativeCancellation>();
+    case PassId::kCommutativeInverse:
+      return std::make_unique<CommutativeInverseCancellation>();
+    case PassId::kRemoveRedundancies:
+      return std::make_unique<RemoveRedundancies>();
+    case PassId::kOptimize1q:
+      return std::make_unique<Optimize1qGatesDecomposition>();
+    case PassId::kConsolidate:
+      return std::make_unique<ConsolidateBlocks>();
+    case PassId::kPeephole2q:
+      return std::make_unique<PeepholeOptimise2Q>();
+    case PassId::kOptimizeCliffords:
+      return std::make_unique<OptimizeCliffords>();
+    case PassId::kCliffordSimp:
+      return std::make_unique<CliffordSimp>();
+    case PassId::kFullPeephole:
+      return std::make_unique<FullPeepholeOptimise>();
+  }
+  return nullptr;
+}
+
+class PassPropertyTest
+    : public ::testing::TestWithParam<std::tuple<PassId, int>> {};
+
+TEST_P(PassPropertyTest, PreservesUnitaryAndNeverGrowsTwoQubitCount) {
+  const auto [pass_id, seed] = GetParam();
+  const auto pass = make_pass(pass_id);
+  Circuit c = random_circuit(4, 36, 9000 + static_cast<std::uint64_t>(seed));
+  const Circuit original = c;
+  const int original_2q = c.two_qubit_gate_count();
+  (void)pass->run(c, {});
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c, 3,
+                                           static_cast<std::uint64_t>(seed)))
+      << pass->name();
+  EXPECT_LE(c.two_qubit_gate_count(), original_2q) << pass->name();
+}
+
+TEST_P(PassPropertyTest, SecondRunIsFixpoint) {
+  const auto [pass_id, seed] = GetParam();
+  const auto pass = make_pass(pass_id);
+  Circuit c = random_circuit(4, 30, 9500 + static_cast<std::uint64_t>(seed));
+  (void)pass->run(c, {});
+  const int count_after_first = c.gate_count();
+  const int twoq_after_first = c.two_qubit_gate_count();
+  (void)pass->run(c, {});
+  // Passes iterate internally to a fixpoint, so a second invocation must
+  // not find further reductions (strict idempotence of the cost).
+  EXPECT_EQ(c.gate_count(), count_after_first) << pass->name();
+  EXPECT_EQ(c.two_qubit_gate_count(), twoq_after_first) << pass->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPassesSweep, PassPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(PassId::kCxCancel, PassId::kInverseCancel,
+                          PassId::kCommutativeCancel,
+                          PassId::kCommutativeInverse,
+                          PassId::kRemoveRedundancies, PassId::kOptimize1q,
+                          PassId::kConsolidate, PassId::kPeephole2q,
+                          PassId::kOptimizeCliffords, PassId::kCliffordSimp,
+                          PassId::kFullPeephole),
+        ::testing::Range(1, 5)));
+
+// -------------------------------------------------- router x topology -----
+
+struct RoutingCase {
+  qrc::passes::RoutingKind kind;
+  int topology;  // 0 = line, 1 = ring, 2 = grid 2x3, 3 = heavy-hex-ish
+};
+
+class RoutingPropertyTest : public ::testing::TestWithParam<
+                                std::tuple<qrc::passes::RoutingKind, int,
+                                           int>> {};
+
+TEST_P(RoutingPropertyTest, RoutedCircuitCoupledAndEquivalent) {
+  const auto [kind, topology, seed] = GetParam();
+  CouplingMap cm = CouplingMap::line(2);
+  switch (topology) {
+    case 0:
+      cm = CouplingMap::line(6);
+      break;
+    case 1:
+      cm = CouplingMap::ring(6);
+      break;
+    default:
+      cm = CouplingMap::grid(2, 3);
+      break;
+  }
+  const Device dev("prop_dev", Platform::kIBM, cm, 5);
+  Circuit logical = random_circuit(6, 20, 1300 + static_cast<std::uint64_t>(seed));
+  const auto outcome = qrc::passes::route(kind, logical, dev,
+                                          static_cast<std::uint64_t>(seed));
+  EXPECT_TRUE(dev.circuit_respects_topology(outcome.routed));
+  // Permutation must be a bijection.
+  std::vector<bool> seen(6, false);
+  for (const int p : outcome.permutation) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 6);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  std::vector<int> identity(6);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_TRUE(qrc::ir::mapped_circuit_equivalent(
+      logical, outcome.routed, identity, outcome.permutation, 2,
+      static_cast<std::uint64_t>(seed)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RoutersByTopology, RoutingPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(qrc::passes::RoutingKind::kBasicSwap,
+                          qrc::passes::RoutingKind::kStochasticSwap,
+                          qrc::passes::RoutingKind::kSabreSwap,
+                          qrc::passes::RoutingKind::kTketRouting),
+        ::testing::Values(0, 1, 2), ::testing::Values(1, 2)));
+
+// --------------------------------------------------- Euler angle sweep ----
+
+class EulerGridTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(EulerGridTest, AllDecompositionsRoundTripOnAngleGrid) {
+  const auto [i, j] = GetParam();
+  // Grid includes the degenerate axes (0, pi, pi/2) where branch cuts live.
+  const double grid[] = {0.0, kPi / 2, kPi, -kPi / 2, 0.3, -2.7};
+  const double a = grid[i];
+  const double b = grid[j];
+  const auto u = qrc::la::rz_mat(a) * qrc::la::ry_mat(b) *
+                 qrc::la::rz_mat(a / 2 + 0.1);
+  EXPECT_TRUE(qrc::la::zyz_compose(qrc::la::zyz_decompose(u))
+                  .approx_equal(u, 1e-8));
+  EXPECT_TRUE(qrc::la::zxz_compose(qrc::la::zxz_decompose(u))
+                  .approx_equal(u, 1e-8));
+  EXPECT_TRUE(qrc::la::u3_compose(qrc::la::u3_decompose(u))
+                  .approx_equal(u, 1e-8));
+  EXPECT_TRUE(qrc::la::zxzxz_compose(qrc::la::zxzxz_decompose(u))
+                  .approx_equal(u, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(AngleGrid, EulerGridTest,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 6)));
+
+// ------------------------------------------------------- reward sweeps ----
+
+class RewardMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewardMonotonicityTest, InsertingGatesNeverImprovesFidelity) {
+  const int seed = GetParam();
+  const auto& dev =
+      qrc::device::get_device(qrc::device::DeviceId::kIonqHarmony);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+  Circuit c(5);
+  double last = qrc::reward::expected_fidelity(c, dev);
+  std::uniform_int_distribution<int> qpick(0, 4);
+  for (int i = 0; i < 30; ++i) {
+    const int q = qpick(rng);
+    int q2 = qpick(rng);
+    while (q2 == q) {
+      q2 = qpick(rng);
+    }
+    if (i % 3 == 0) {
+      c.rxx(0.5, q, q2);
+    } else {
+      c.rz(0.3, q);
+    }
+    const double now = qrc::reward::expected_fidelity(c, dev);
+    EXPECT_LT(now, last);
+    last = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewardMonotonicityTest,
+                         ::testing::Range(1, 5));
+
+// ------------------------------------------------- failure injection ------
+
+TEST(FailureInjectionTest, CorruptedModelFilesRejected) {
+  // Build a valid serialized agent, then corrupt it at several offsets.
+  qrc::rl::Mlp net({3, 4, 2}, 1);
+  std::stringstream good;
+  net.save(good);
+  const std::string text = good.str();
+
+  for (const std::size_t cut : {std::size_t{0}, text.size() / 2}) {
+    std::stringstream damaged(text.substr(0, cut));
+    EXPECT_THROW((void)qrc::rl::Mlp::load(damaged), std::runtime_error);
+  }
+  std::stringstream wrong_magic("xlp 2\n3 2\n0 0 0 0 0 0 0 0\n");
+  EXPECT_THROW((void)qrc::rl::Mlp::load(wrong_magic), std::runtime_error);
+}
+
+TEST(FailureInjectionTest, MalformedQasmRejected) {
+  const char* cases[] = {
+      "h q[0];",                              // statement before qreg
+      "qreg q[2]; cx q[0];",                  // wrong arity
+      "qreg q[2]; rz() q[0];",                // empty parameter
+      "qreg q[2]; rz(pi q[0];",               // unbalanced parens
+      "qreg q[2]; h q[9];",                   // out of range
+      "qreg q[2]; frobnicate q[0];",          // unknown gate
+  };
+  for (const char* text : cases) {
+    EXPECT_ANY_THROW((void)qrc::ir::from_qasm(text)) << text;
+  }
+}
+
+TEST(FailureInjectionTest, PredictorLoadRejectsGarbage) {
+  std::stringstream ss("qrc_predictor 9 0 40 1\n");
+  EXPECT_THROW((void)qrc::core::Predictor::load(ss), std::runtime_error);
+  std::stringstream ss2("not_a_predictor");
+  EXPECT_THROW((void)qrc::core::Predictor::load(ss2), std::runtime_error);
+}
+
+}  // namespace

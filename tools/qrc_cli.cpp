@@ -1,0 +1,204 @@
+// qrc — command-line interface to the RL quantum compiler.
+//
+//   qrc info
+//       Lists devices, native gate sets and the action registry.
+//   qrc train --reward <fidelity|critical_depth|combination|gate_count|depth>
+//             --out <model.txt> [--steps N] [--count N]
+//             [--min-qubits N] [--max-qubits N] [--seed N]
+//       Trains a model on the built-in benchmark corpus.
+//   qrc compile --model <model.txt> <circuit.qasm> [--out <compiled.qasm>]
+//       Compiles an OpenQASM 2.0 circuit with a trained model.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/actions.hpp"
+#include "core/predictor.hpp"
+#include "device/library.hpp"
+#include "ir/qasm.hpp"
+
+namespace {
+
+using namespace qrc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  qrc info\n"
+               "  qrc train --reward <kind> --out <model.txt> [--steps N]\n"
+               "            [--count N] [--min-qubits N] [--max-qubits N]\n"
+               "            [--seed N]\n"
+               "  qrc compile --model <model.txt> <circuit.qasm>\n"
+               "              [--out <compiled.qasm>]\n");
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start,
+                                               std::string& positional) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("missing value for " + arg);
+      }
+      flags[arg.substr(2)] = argv[++i];
+    } else {
+      positional = arg;
+    }
+  }
+  return flags;
+}
+
+reward::RewardKind parse_reward(const std::string& name) {
+  for (const auto kind :
+       {reward::RewardKind::kFidelity, reward::RewardKind::kCriticalDepth,
+        reward::RewardKind::kCombination, reward::RewardKind::kGateCount,
+        reward::RewardKind::kDepth}) {
+    if (reward::reward_name(kind) == name) {
+      return kind;
+    }
+  }
+  throw std::runtime_error("unknown reward kind '" + name + "'");
+}
+
+int cmd_info() {
+  std::printf("devices:\n");
+  for (const device::Device* dev : device::all_devices()) {
+    std::printf("  %-18s %-9s %3d qubits, %3zu couplers, native:",
+                dev->name().c_str(),
+                device::platform_name(dev->platform()).data(),
+                dev->num_qubits(), dev->coupling().edges().size());
+    for (const auto kind : device::native_gates(dev->platform())) {
+      std::printf(" %s", ir::gate_name(kind).data());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nactions (%d):\n", core::ActionRegistry::instance().size());
+  const auto& registry = core::ActionRegistry::instance();
+  for (int i = 0; i < registry.size(); ++i) {
+    std::printf("  [%2d] %-12s %s\n", i,
+                core::action_type_name(registry.at(i).type()).data(),
+                registry.at(i).name().c_str());
+  }
+  std::printf("\nbenchmark families (%d):", bench::kNumFamilies);
+  for (const auto family : bench::all_families()) {
+    std::printf(" %s", bench::family_name(family).data());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_train(int argc, char** argv) {
+  std::string positional;
+  const auto flags = parse_flags(argc, argv, 2, positional);
+  if (!flags.contains("reward") || !flags.contains("out")) {
+    return usage();
+  }
+  const auto get_int = [&](const char* key, int fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoi(it->second);
+  };
+  core::PredictorConfig config;
+  config.reward = parse_reward(flags.at("reward"));
+  config.seed = static_cast<std::uint64_t>(get_int("seed", 1));
+  config.ppo.total_timesteps = get_int("steps", 100000);
+  config.ppo.steps_per_update = 2048;
+
+  const int min_q = get_int("min-qubits", 2);
+  const int max_q = get_int("max-qubits", 20);
+  const int count = get_int("count", 200);
+  std::printf("training '%s' model: %d timesteps on %d circuits "
+              "(%d-%d qubits)\n",
+              reward::reward_name(config.reward).data(),
+              config.ppo.total_timesteps, count, min_q, max_q);
+  core::Predictor predictor(config);
+  const auto stats =
+      predictor.train(bench::benchmark_suite(min_q, max_q, count));
+  std::printf("done: %zu updates, final mean episode reward %.3f\n",
+              stats.size(), stats.back().mean_episode_reward);
+
+  std::ofstream os(flags.at("out"));
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", flags.at("out").c_str());
+    return 1;
+  }
+  predictor.save(os);
+  std::printf("model written to %s\n", flags.at("out").c_str());
+  return 0;
+}
+
+int cmd_compile(int argc, char** argv) {
+  std::string qasm_path;
+  const auto flags = parse_flags(argc, argv, 2, qasm_path);
+  if (!flags.contains("model") || qasm_path.empty()) {
+    return usage();
+  }
+  std::ifstream model_is(flags.at("model"));
+  if (!model_is) {
+    std::fprintf(stderr, "cannot read model %s\n",
+                 flags.at("model").c_str());
+    return 1;
+  }
+  const auto predictor = core::Predictor::load(model_is);
+
+  std::ifstream qasm_is(qasm_path);
+  if (!qasm_is) {
+    std::fprintf(stderr, "cannot read %s\n", qasm_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << qasm_is.rdbuf();
+  ir::Circuit circuit = ir::from_qasm(buffer.str());
+  circuit.set_name(qasm_path);
+  std::printf("input: %s\n", circuit.summary().c_str());
+
+  const auto result = predictor.compile(circuit);
+  std::printf("target: %s\n", result.device->name().c_str());
+  std::printf("reward (%s): %.4f%s\n",
+              reward::reward_name(predictor.config().reward).data(),
+              result.reward, result.used_fallback ? " [fallback]" : "");
+  std::printf("flow:");
+  for (const auto& a : result.action_trace) {
+    std::printf(" %s", a.c_str());
+  }
+  std::printf("\noutput: %s\n", result.circuit.summary().c_str());
+
+  if (flags.contains("out")) {
+    std::ofstream os(flags.at("out"));
+    os << ir::to_qasm(result.circuit);
+    std::printf("compiled circuit written to %s\n",
+                flags.at("out").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  try {
+    if (std::strcmp(argv[1], "info") == 0) {
+      return cmd_info();
+    }
+    if (std::strcmp(argv[1], "train") == 0) {
+      return cmd_train(argc, argv);
+    }
+    if (std::strcmp(argv[1], "compile") == 0) {
+      return cmd_compile(argc, argv);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
