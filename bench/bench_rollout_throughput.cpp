@@ -1,0 +1,159 @@
+// Rollout-throughput microbench for the vectorized PPO engine: measures
+// environment steps/sec of policy-driven rollouts over the compilation MDP
+// for several (num_envs, num_workers) configurations, plus end-to-end
+// train_ppo timing serial vs vectorized.
+//
+// Knobs (see experiment_common.hpp): QRC_TRAIN_STEPS caps the measured
+// rollout steps per configuration (default 20000); QRC_EVAL_COUNT sizes the
+// corpus. Results are printed and also written to
+// BENCH_rollout_throughput.json in the working directory.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "experiment_common.hpp"
+#include "core/compilation_env.hpp"
+#include "rl/ppo.hpp"
+#include "rl/vec_env.hpp"
+
+namespace {
+
+using namespace qrc;
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  int num_envs = 1;
+  int num_workers = 1;
+  double steps_per_sec = 0.0;
+};
+
+rl::VecEnv make_vec_env(const core::CompilationEnv& prototype, int num_envs,
+                        int num_workers) {
+  return rl::VecEnv(
+      [&](int i) {
+        return prototype.clone_with_seed(
+            17 + 7919 * static_cast<std::uint64_t>(i + 1));
+      },
+      num_envs, num_workers);
+}
+
+/// Policy-driven rollout (sample + step + auto-reset), the hot loop of
+/// train_ppo's collection phase, without the optimizer.
+Measurement measure_rollout(const core::CompilationEnv& prototype,
+                            const rl::PpoConfig& ppo, int num_envs,
+                            int num_workers, int total_steps) {
+  rl::VecEnv envs = make_vec_env(prototype, num_envs, num_workers);
+  const rl::PpoAgent agent(envs.observation_size(), envs.num_actions(), ppo);
+  std::vector<std::mt19937_64> rngs;
+  for (int e = 0; e < num_envs; ++e) {
+    rngs.emplace_back(101 + 31 * static_cast<std::uint64_t>(e));
+  }
+
+  envs.reset();
+  int steps = 0;
+  const auto start = Clock::now();
+  while (steps < total_steps) {
+    envs.step_with([&](int e) {
+      const auto idx = static_cast<std::size_t>(e);
+      return agent.act_sample(envs.observations()[idx],
+                              envs.action_masks()[idx], rngs[idx]);
+    });
+    steps += num_envs;
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return {num_envs, num_workers, static_cast<double>(steps) / seconds};
+}
+
+double measure_train_seconds(const std::vector<ir::Circuit>& corpus,
+                             rl::PpoConfig ppo, int num_envs,
+                             int num_workers) {
+  core::CompilationEnvConfig env_config;
+  env_config.seed = 17;
+  const auto start = Clock::now();
+  if (num_envs <= 1) {
+    core::CompilationEnv env(corpus, env_config);
+    (void)rl::train_ppo(env, ppo);
+  } else {
+    const core::CompilationEnv prototype(corpus, env_config);
+    rl::VecEnv envs = make_vec_env(prototype, num_envs, num_workers);
+    (void)rl::train_ppo_vec(envs, ppo);
+  }
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const int total_steps = bench_harness::env_int("QRC_TRAIN_STEPS", 20000);
+  const int corpus_size =
+      std::max(4, bench_harness::env_int("QRC_EVAL_COUNT", 20));
+  const auto corpus = bench::benchmark_suite(2, 12, corpus_size);
+  std::printf("# rollout throughput: %d steps per config, corpus of %zu "
+              "circuits (2-12 qubits)\n",
+              total_steps, corpus.size());
+
+  core::CompilationEnvConfig env_config;
+  env_config.seed = 17;
+  const core::CompilationEnv prototype(corpus, env_config);
+  rl::PpoConfig ppo;
+  ppo.seed = 17;
+
+  std::vector<Measurement> results;
+  for (const auto [envs, workers] :
+       {std::pair{1, 1}, {4, 1}, {4, 2}, {4, 4}, {8, 4}}) {
+    results.push_back(
+        measure_rollout(prototype, ppo, envs, workers, total_steps));
+    const auto& m = results.back();
+    std::printf("  num_envs=%d workers=%d  %10.1f steps/sec\n", m.num_envs,
+                m.num_workers, m.steps_per_sec);
+    std::fflush(stdout);
+  }
+  const double base = results.front().steps_per_sec;
+  double speedup_4w = 0.0;
+  for (const auto& m : results) {
+    if (m.num_envs == 4 && m.num_workers == 4) {
+      speedup_4w = m.steps_per_sec / base;
+    }
+  }
+  std::printf("  -> 4 envs / 4 workers vs serial: %.2fx (target >= 2x on "
+              ">= 4 hardware threads)\n",
+              speedup_4w);
+
+  // End-to-end PPO wall time on a short budget.
+  rl::PpoConfig train_ppo_cfg;
+  train_ppo_cfg.seed = 17;
+  train_ppo_cfg.total_timesteps = std::min(total_steps, 8192);
+  train_ppo_cfg.steps_per_update = 512;
+  const double serial_s =
+      measure_train_seconds(corpus, train_ppo_cfg, 1, 1);
+  const double vec_s = measure_train_seconds(corpus, train_ppo_cfg, 4, 4);
+  std::printf("  train_ppo %d steps: serial %.2fs, 4 envs/4 workers %.2fs "
+              "(%.2fx)\n",
+              train_ppo_cfg.total_timesteps, serial_s, vec_s,
+              serial_s / vec_s);
+
+  std::FILE* json = std::fopen("BENCH_rollout_throughput.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"rollout_throughput\",\n"
+                       "  \"total_steps\": %d,\n  \"configs\": [\n",
+                 total_steps);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"num_envs\": %d, \"workers\": %d, "
+                   "\"steps_per_sec\": %.1f}%s\n",
+                   results[i].num_envs, results[i].num_workers,
+                   results[i].steps_per_sec,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"speedup_4env_4worker\": %.3f,\n"
+                 "  \"train_serial_sec\": %.3f,\n"
+                 "  \"train_vec_sec\": %.3f\n}\n",
+                 speedup_4w, serial_s, vec_s);
+    std::fclose(json);
+    std::printf("  results written to BENCH_rollout_throughput.json\n");
+  }
+  return 0;
+}

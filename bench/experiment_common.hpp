@@ -4,9 +4,11 @@
 ///        baselines, and table/histogram printers.
 ///
 /// Environment knobs:
-///   QRC_TRAIN_STEPS  PPO timesteps per model (default 100000 = paper scale)
-///   QRC_EVAL_COUNT   evaluation circuits     (default 200, as the paper)
-///   QRC_PAPER_SCALE  =1 forces 100000 timesteps regardless of the above
+///   QRC_TRAIN_STEPS      PPO timesteps per model (default 100000 = paper scale)
+///   QRC_EVAL_COUNT       evaluation circuits     (default 200, as the paper)
+///   QRC_PAPER_SCALE      =1 forces 100000 timesteps regardless of the above
+///   QRC_NUM_ENVS         parallel rollout envs   (default 1 = serial path)
+///   QRC_ROLLOUT_WORKERS  env-stepping threads    (default: one per env)
 #pragma once
 
 #include <cstdio>
@@ -39,6 +41,10 @@ inline int train_steps() {
 
 inline int eval_count() { return env_int("QRC_EVAL_COUNT", 200); }
 
+inline int num_envs() { return env_int("QRC_NUM_ENVS", 1); }
+
+inline int rollout_workers() { return env_int("QRC_ROLLOUT_WORKERS", 0); }
+
 /// The paper's corpus: circuits from all 22 families, 2..20 qubits.
 inline std::vector<ir::Circuit> make_corpus() {
   return bench::benchmark_suite(2, 20, eval_count());
@@ -54,9 +60,11 @@ inline core::Predictor train_model(reward::RewardKind kind,
   config.seed = seed;
   config.ppo.total_timesteps = train_steps();
   config.ppo.steps_per_update = 2048;
+  config.num_envs = num_envs();
+  config.rollout_workers = rollout_workers();
   core::Predictor predictor(config);
-  std::printf("# training %s model (%d timesteps)...\n",
-              reward::reward_name(kind).data(), train_steps());
+  std::printf("# training %s model (%d timesteps, %d env(s))...\n",
+              reward::reward_name(kind).data(), train_steps(), num_envs());
   std::fflush(stdout);
   const auto stats = predictor.train(corpus);
   std::printf("# trained: final mean episode reward %.3f over %zu updates\n",

@@ -25,9 +25,11 @@ int main(int argc, char** argv) {
     config.reward = objective;
     config.seed = 21;
     config.ppo.total_timesteps = 12288;
+    // Collect rollouts from 4 envs in parallel (deterministic per seed).
+    config.num_envs = 4;
     core::Predictor predictor(config);
-    std::printf("training objective '%s'...\n",
-                reward::reward_name(objective).data());
+    std::printf("training objective '%s' (%d parallel envs)...\n",
+                reward::reward_name(objective).data(), config.num_envs);
     (void)predictor.train(corpus);
 
     const auto result = predictor.compile(probe);

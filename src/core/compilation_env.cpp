@@ -8,13 +8,27 @@ namespace qrc::core {
 
 CompilationEnv::CompilationEnv(std::vector<ir::Circuit> circuits,
                                CompilationEnvConfig config)
+    : CompilationEnv(std::make_shared<const std::vector<ir::Circuit>>(
+                         std::move(circuits)),
+                     config) {}
+
+CompilationEnv::CompilationEnv(
+    std::shared_ptr<const std::vector<ir::Circuit>> circuits,
+    CompilationEnvConfig config)
     : circuits_(std::move(circuits)),
       config_(config),
       registry_(ActionRegistry::instance()),
       rng_(config.seed * 40503 + 11) {
-  if (circuits_.empty()) {
+  if (circuits_ == nullptr || circuits_->empty()) {
     throw std::invalid_argument("CompilationEnv: need training circuits");
   }
+}
+
+std::unique_ptr<CompilationEnv> CompilationEnv::clone_with_seed(
+    std::uint64_t seed) const {
+  CompilationEnvConfig config = config_;
+  config.seed = seed;
+  return std::make_unique<CompilationEnv>(circuits_, config);
 }
 
 int CompilationEnv::observation_size() const {
@@ -29,8 +43,8 @@ std::vector<double> CompilationEnv::observe() const {
 }
 
 std::vector<double> CompilationEnv::reset() {
-  std::uniform_int_distribution<std::size_t> pick(0, circuits_.size() - 1);
-  return reset_with(circuits_[pick(rng_)]);
+  std::uniform_int_distribution<std::size_t> pick(0, circuits_->size() - 1);
+  return reset_with((*circuits_)[pick(rng_)]);
 }
 
 std::vector<double> CompilationEnv::reset_with(const ir::Circuit& circuit) {

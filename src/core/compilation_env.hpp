@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <vector>
 
@@ -27,6 +28,16 @@ class CompilationEnv final : public rl::Env {
   CompilationEnv(std::vector<ir::Circuit> circuits,
                  CompilationEnvConfig config);
 
+  /// Shares an existing corpus instead of copying it — the cheap
+  /// construction path behind VecEnv fan-out (N envs, one corpus).
+  CompilationEnv(std::shared_ptr<const std::vector<ir::Circuit>> circuits,
+                 CompilationEnvConfig config);
+
+  /// A fresh env over the same (shared, never copied) corpus with its own
+  /// RNG stream. Use one distinct seed per vectorized env.
+  [[nodiscard]] std::unique_ptr<CompilationEnv> clone_with_seed(
+      std::uint64_t seed) const;
+
   [[nodiscard]] int observation_size() const override;
   [[nodiscard]] int num_actions() const override;
 
@@ -42,7 +53,7 @@ class CompilationEnv final : public rl::Env {
  private:
   [[nodiscard]] std::vector<double> observe() const;
 
-  std::vector<ir::Circuit> circuits_;
+  std::shared_ptr<const std::vector<ir::Circuit>> circuits_;
   CompilationEnvConfig config_;
   const ActionRegistry& registry_;
   CompilationState state_;

@@ -6,9 +6,11 @@
 #include <istream>
 #include <numeric>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 
 #include "rl/categorical.hpp"
+#include "rl/vec_env.hpp"
 
 namespace qrc::rl {
 
@@ -33,6 +35,115 @@ struct Transition {
   bool episode_end = false;   ///< done or truncated after this step
   double bootstrap = 0.0;     ///< value of the next state when truncated
 };
+
+/// GAE(lambda) over one contiguous trajectory segment (one env's slice of
+/// the rollout). `value_after_last` is V(s_{T}) for the state following
+/// the segment's last transition (ignored when that transition ended an
+/// episode — the in-loop reset applies then, exactly as in the serial
+/// path).
+void compute_gae_segment(std::span<const Transition> segment,
+                         double value_after_last, const PpoConfig& config,
+                         std::span<double> advantages,
+                         std::span<double> returns) {
+  const std::size_t n = segment.size();
+  double next_value = value_after_last;
+  double gae = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    const Transition& tr = segment[i];
+    if (tr.episode_end) {
+      next_value = tr.bootstrap;  // 0 unless truncated
+      gae = 0.0;
+    }
+    const double delta = tr.reward + config.gamma * next_value - tr.value;
+    gae = delta + config.gamma * config.gae_lambda * gae;
+    advantages[i] = gae;
+    returns[i] = gae + tr.value;
+    next_value = tr.value;
+  }
+}
+
+void normalize_advantages(std::vector<double>& advantages) {
+  const auto n = static_cast<double>(advantages.size());
+  const double mean =
+      std::accumulate(advantages.begin(), advantages.end(), 0.0) / n;
+  double var = 0.0;
+  for (const double a : advantages) {
+    var += (a - mean) * (a - mean);
+  }
+  const double stddev = std::sqrt(var / n) + 1e-8;
+  for (double& a : advantages) {
+    a = (a - mean) / stddev;
+  }
+}
+
+/// The clipped-surrogate optimization epochs over one rollout buffer.
+/// Identical for the serial and vectorized paths; fills the loss fields
+/// of `stats`.
+void run_ppo_epochs(const std::vector<Transition>& buffer,
+                    const std::vector<double>& advantages,
+                    const std::vector<double>& returns,
+                    const PpoConfig& config, Mlp& policy, Mlp& value_net,
+                    Adam& optimizer, std::mt19937_64& rng,
+                    PpoUpdateStats& stats) {
+  const std::size_t n = buffer.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  int loss_samples = 0;
+  for (int epoch = 0; epoch < config.epochs_per_update; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(config.minibatch_size)) {
+      const std::size_t end = std::min(
+          n, start + static_cast<std::size_t>(config.minibatch_size));
+      policy.zero_grad();
+      value_net.zero_grad();
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t k = start; k < end; ++k) {
+        const Transition& tr = buffer[order[k]];
+        const double adv = advantages[order[k]];
+        const double ret = returns[order[k]];
+
+        // Policy forward/backward.
+        const auto logits = policy.forward_cached(tr.obs);
+        const MaskedCategorical dist(logits, tr.mask);
+        const double logp = dist.log_prob(tr.action);
+        const double ratio = std::exp(logp - tr.log_prob);
+        const double clipped = std::clamp(ratio, 1.0 - config.clip_range,
+                                          1.0 + config.clip_range);
+        const bool use_unclipped = ratio * adv <= clipped * adv;
+        // Loss = -min(r*A, clip(r)*A) - ent_coef * H.
+        const double dl_dratio = use_unclipped ? -adv : 0.0;
+        const auto logp_grad = dist.log_prob_grad(tr.action);
+        const auto ent_grad = dist.entropy_grad();
+        std::vector<double> grad_logits(logits.size(), 0.0);
+        for (std::size_t j = 0; j < logits.size(); ++j) {
+          grad_logits[j] =
+              (dl_dratio * ratio * logp_grad[j] -
+               config.entropy_coef * ent_grad[j]) *
+              inv_batch;
+        }
+        policy.backward(grad_logits);
+
+        // Value forward/backward.
+        const double v = value_net.forward_cached(tr.obs)[0];
+        const double dv = config.value_coef * (v - ret) * inv_batch;
+        const std::array<double, 1> vgrad{dv};
+        value_net.backward(vgrad);
+
+        stats.policy_loss += -std::min(ratio * adv, clipped * adv);
+        stats.value_loss += 0.5 * (v - ret) * (v - ret);
+        stats.entropy += dist.entropy();
+        ++loss_samples;
+      }
+      optimizer.step(config.max_grad_norm);
+    }
+  }
+  if (loss_samples > 0) {
+    stats.policy_loss /= loss_samples;
+    stats.value_loss /= loss_samples;
+    stats.entropy /= loss_samples;
+  }
+}
 
 }  // namespace
 
@@ -159,34 +270,11 @@ PpoAgent train_ppo(Env& env, const PpoConfig& config,
     const std::size_t n = buffer.size();
     std::vector<double> advantages(n, 0.0);
     std::vector<double> returns(n, 0.0);
-    double next_value = buffer.back().episode_end
-                            ? buffer.back().bootstrap
-                            : value_net.forward(obs)[0];
-    double gae = 0.0;
-    for (std::size_t i = n; i-- > 0;) {
-      const Transition& tr = buffer[i];
-      if (tr.episode_end) {
-        next_value = tr.bootstrap;  // 0 unless truncated
-        gae = 0.0;
-      }
-      const double delta =
-          tr.reward + config.gamma * next_value - tr.value;
-      gae = delta + config.gamma * config.gae_lambda * gae;
-      advantages[i] = gae;
-      returns[i] = gae + tr.value;
-      next_value = tr.value;
-    }
-    // Advantage normalisation.
-    double mean = std::accumulate(advantages.begin(), advantages.end(), 0.0) /
-                  static_cast<double>(n);
-    double var = 0.0;
-    for (const double a : advantages) {
-      var += (a - mean) * (a - mean);
-    }
-    const double stddev = std::sqrt(var / static_cast<double>(n)) + 1e-8;
-    for (double& a : advantages) {
-      a = (a - mean) / stddev;
-    }
+    const double tail_value = buffer.back().episode_end
+                                  ? buffer.back().bootstrap
+                                  : value_net.forward(obs)[0];
+    compute_gae_segment(buffer, tail_value, config, advantages, returns);
+    normalize_advantages(advantages);
 
     // ---- PPO epochs ----
     PpoUpdateStats stats;
@@ -194,65 +282,137 @@ PpoAgent train_ppo(Env& env, const PpoConfig& config,
     stats.episodes = episodes;
     stats.mean_episode_reward =
         episodes > 0 ? reward_sum / static_cast<double>(episodes) : 0.0;
-    std::vector<std::size_t> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    int loss_samples = 0;
-    for (int epoch = 0; epoch < config.epochs_per_update; ++epoch) {
-      std::shuffle(order.begin(), order.end(), rng);
-      for (std::size_t start = 0; start < n;
-           start += static_cast<std::size_t>(config.minibatch_size)) {
-        const std::size_t end = std::min(
-            n, start + static_cast<std::size_t>(config.minibatch_size));
-        policy.zero_grad();
-        value_net.zero_grad();
-        const double inv_batch = 1.0 / static_cast<double>(end - start);
-        for (std::size_t k = start; k < end; ++k) {
-          const Transition& tr = buffer[order[k]];
-          const double adv = advantages[order[k]];
-          const double ret = returns[order[k]];
+    run_ppo_epochs(buffer, advantages, returns, config, policy, value_net,
+                   optimizer, rng, stats);
+    if (stats_out != nullptr) {
+      stats_out->push_back(stats);
+    }
+    if (progress) {
+      progress(stats);
+    }
+  }
+  return agent;
+}
 
-          // Policy forward/backward.
-          const auto logits = policy.forward_cached(tr.obs);
-          const MaskedCategorical dist(logits, tr.mask);
-          const double logp = dist.log_prob(tr.action);
-          const double ratio = std::exp(logp - tr.log_prob);
-          const double clipped = std::clamp(ratio, 1.0 - config.clip_range,
-                                            1.0 + config.clip_range);
-          const bool use_unclipped = ratio * adv <= clipped * adv;
-          // Loss = -min(r*A, clip(r)*A) - ent_coef * H.
-          const double dl_dratio = use_unclipped ? -adv : 0.0;
-          const auto logp_grad = dist.log_prob_grad(tr.action);
-          const auto ent_grad = dist.entropy_grad();
-          std::vector<double> grad_logits(logits.size(), 0.0);
-          for (std::size_t j = 0; j < logits.size(); ++j) {
-            grad_logits[j] =
-                (dl_dratio * ratio * logp_grad[j] -
-                 config.entropy_coef * ent_grad[j]) *
-                inv_batch;
-          }
-          policy.backward(grad_logits);
+PpoAgent train_ppo_vec(
+    VecEnv& envs, const PpoConfig& config,
+    std::vector<PpoUpdateStats>* stats_out,
+    const std::function<void(const PpoUpdateStats&)>& progress) {
+  const int num_envs = envs.num_envs();
+  PpoAgent agent(envs.observation_size(), envs.num_actions(), config);
+  Mlp& policy = agent.policy();
+  Mlp& value_net = agent.value_net();
 
-          // Value forward/backward.
-          const double v = value_net.forward_cached(tr.obs)[0];
-          const double dv =
-              config.value_coef * (v - ret) * inv_batch;
-          const std::array<double, 1> vgrad{dv};
-          value_net.backward(vgrad);
+  std::vector<double*> params;
+  std::vector<double*> grads;
+  policy.collect_parameters(params, grads);
+  value_net.collect_parameters(params, grads);
+  Adam optimizer(params, grads, {.lr = config.learning_rate});
 
-          stats.policy_loss +=
-              -std::min(ratio * adv, clipped * adv);
-          stats.value_loss += 0.5 * (v - ret) * (v - ret);
-          stats.entropy += dist.entropy();
-          ++loss_samples;
+  // The update RNG matches the serial path; each env draws actions from
+  // its own stream so the collected experience is independent of how the
+  // envs are scheduled onto workers.
+  std::mt19937_64 update_rng(config.seed * 9176 + 3);
+  std::vector<std::mt19937_64> env_rngs;
+  env_rngs.reserve(static_cast<std::size_t>(num_envs));
+  for (int e = 0; e < num_envs; ++e) {
+    env_rngs.emplace_back(config.seed * 9176 + 3 +
+                          9973 * static_cast<std::uint64_t>(e + 1));
+  }
+
+  envs.reset();
+  std::vector<double> episode_reward(static_cast<std::size_t>(num_envs), 0.0);
+
+  const int rounds = std::max(1, config.steps_per_update / num_envs);
+  std::vector<std::vector<Transition>> env_buf(
+      static_cast<std::size_t>(num_envs));
+
+  int timesteps_done = 0;
+  while (timesteps_done < config.total_timesteps) {
+    // ---- Rollout collection: all envs advance in lockstep rounds ----
+    for (auto& buf : env_buf) {
+      buf.clear();
+      buf.reserve(static_cast<std::size_t>(rounds));
+    }
+    double reward_sum = 0.0;
+    int episodes = 0;
+    for (int r = 0; r < rounds; ++r) {
+      // One fused parallel round per timestep: the worker owning env e
+      // runs the policy/value forwards, samples from env e's RNG stream,
+      // steps the env and records the outcome — a single barrier.
+      const auto& results = envs.step_with(
+          [&](int e) {
+            const auto idx = static_cast<std::size_t>(e);
+            Transition tr;
+            tr.obs = envs.observations()[idx];
+            tr.mask = envs.action_masks()[idx];
+            const auto logits = policy.forward(tr.obs);
+            const MaskedCategorical dist(logits, tr.mask);
+            tr.action = dist.sample(env_rngs[idx]);
+            tr.log_prob = dist.log_prob(tr.action);
+            tr.value = value_net.forward(tr.obs)[0];
+            const int action = tr.action;
+            env_buf[idx].push_back(std::move(tr));
+            return action;
+          },
+          [&](int e, const StepResult& result) {
+            const auto idx = static_cast<std::size_t>(e);
+            Transition& tr = env_buf[idx].back();
+            tr.reward = result.reward;
+            tr.episode_end = result.done || result.truncated;
+            if (result.truncated && !result.done) {
+              tr.bootstrap = value_net.forward(result.observation)[0];
+            }
+          });
+      // Episode bookkeeping in fixed env order (deterministic sums).
+      for (int e = 0; e < num_envs; ++e) {
+        const auto idx = static_cast<std::size_t>(e);
+        episode_reward[idx] += results[idx].reward;
+        if (results[idx].done || results[idx].truncated) {
+          reward_sum += episode_reward[idx];
+          episode_reward[idx] = 0.0;
+          ++episodes;
         }
-        optimizer.step(config.max_grad_norm);
       }
+      timesteps_done += num_envs;
     }
-    if (loss_samples > 0) {
-      stats.policy_loss /= loss_samples;
-      stats.value_loss /= loss_samples;
-      stats.entropy /= loss_samples;
+
+    // ---- GAE(lambda), one segment per env ----
+    std::vector<double> tail_values(static_cast<std::size_t>(num_envs), 0.0);
+    envs.pool().parallel_for(num_envs, [&](int e) {
+      const auto idx = static_cast<std::size_t>(e);
+      if (!env_buf[idx].back().episode_end) {
+        tail_values[idx] = value_net.forward(envs.observations()[idx])[0];
+      }
+    });
+    std::vector<Transition> buffer;
+    buffer.reserve(static_cast<std::size_t>(rounds * num_envs));
+    std::vector<double> advantages(
+        static_cast<std::size_t>(rounds * num_envs), 0.0);
+    std::vector<double> returns(advantages.size(), 0.0);
+    std::size_t offset = 0;
+    for (int e = 0; e < num_envs; ++e) {
+      const auto idx = static_cast<std::size_t>(e);
+      const std::size_t len = env_buf[idx].size();
+      compute_gae_segment(
+          env_buf[idx], tail_values[idx], config,
+          std::span<double>(advantages).subspan(offset, len),
+          std::span<double>(returns).subspan(offset, len));
+      for (Transition& tr : env_buf[idx]) {
+        buffer.push_back(std::move(tr));
+      }
+      offset += len;
     }
+    normalize_advantages(advantages);
+
+    // ---- PPO epochs (identical to the serial path) ----
+    PpoUpdateStats stats;
+    stats.timesteps = timesteps_done;
+    stats.episodes = episodes;
+    stats.mean_episode_reward =
+        episodes > 0 ? reward_sum / static_cast<double>(episodes) : 0.0;
+    run_ppo_epochs(buffer, advantages, returns, config, policy, value_net,
+                   optimizer, update_rng, stats);
     if (stats_out != nullptr) {
       stats_out->push_back(stats);
     }

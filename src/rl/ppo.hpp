@@ -87,4 +87,18 @@ PpoAgent train_ppo(
     std::vector<PpoUpdateStats>* stats_out = nullptr,
     const std::function<void(const PpoUpdateStats&)>& progress = {});
 
+class VecEnv;
+
+/// Vectorized PPO: fills the `steps_per_update` horizon from all of
+/// `envs`' environments concurrently (the horizon is rounded down to a
+/// multiple of num_envs, minimum one round per env). Policy/value
+/// forwards, action sampling and env stepping run on the VecEnv's worker
+/// pool with per-env RNG streams; the optimizer update is identical to
+/// the serial path. The result is bitwise-deterministic for a fixed
+/// (config.seed, envs.num_envs()) pair, independent of the worker count.
+PpoAgent train_ppo_vec(
+    VecEnv& envs, const PpoConfig& config,
+    std::vector<PpoUpdateStats>* stats_out = nullptr,
+    const std::function<void(const PpoUpdateStats&)>& progress = {});
+
 }  // namespace qrc::rl

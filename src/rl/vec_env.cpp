@@ -1,0 +1,77 @@
+#include "rl/vec_env.hpp"
+
+#include <stdexcept>
+
+namespace qrc::rl {
+
+VecEnv::VecEnv(const std::function<std::unique_ptr<Env>(int)>& factory,
+               int num_envs, int num_workers)
+    : pool_(num_workers) {
+  if (num_envs < 1) {
+    throw std::invalid_argument("VecEnv: need at least one env");
+  }
+  envs_.reserve(static_cast<std::size_t>(num_envs));
+  for (int i = 0; i < num_envs; ++i) {
+    auto env = factory(i);
+    if (env == nullptr) {
+      throw std::invalid_argument("VecEnv: factory returned null env");
+    }
+    envs_.push_back(std::move(env));
+  }
+  const int obs_size = envs_.front()->observation_size();
+  const int actions = envs_.front()->num_actions();
+  for (const auto& env : envs_) {
+    if (env->observation_size() != obs_size ||
+        env->num_actions() != actions) {
+      throw std::invalid_argument("VecEnv: envs disagree on spaces");
+    }
+  }
+  obs_.resize(envs_.size());
+  masks_.resize(envs_.size());
+  results_.resize(envs_.size());
+}
+
+int VecEnv::observation_size() const {
+  return envs_.front()->observation_size();
+}
+
+int VecEnv::num_actions() const { return envs_.front()->num_actions(); }
+
+const std::vector<std::vector<double>>& VecEnv::reset() {
+  pool_.parallel_for(num_envs(), [&](int i) {
+    const auto idx = static_cast<std::size_t>(i);
+    obs_[idx] = envs_[idx]->reset();
+    masks_[idx] = envs_[idx]->action_mask();
+  });
+  return obs_;
+}
+
+const std::vector<StepResult>& VecEnv::step(
+    const std::vector<int>& actions) {
+  if (static_cast<int>(actions.size()) != num_envs()) {
+    throw std::invalid_argument("VecEnv::step: one action per env required");
+  }
+  return step_with(
+      [&](int i) { return actions[static_cast<std::size_t>(i)]; });
+}
+
+const std::vector<StepResult>& VecEnv::step_with(
+    const std::function<int(int)>& choose_action,
+    const std::function<void(int, const StepResult&)>& on_result) {
+  pool_.parallel_for(num_envs(), [&](int i) {
+    const auto idx = static_cast<std::size_t>(i);
+    results_[idx] = envs_[idx]->step(choose_action(i));
+    if (results_[idx].done || results_[idx].truncated) {
+      obs_[idx] = envs_[idx]->reset();
+    } else {
+      obs_[idx] = results_[idx].observation;
+    }
+    masks_[idx] = envs_[idx]->action_mask();
+    if (on_result) {
+      on_result(i, results_[idx]);
+    }
+  });
+  return results_;
+}
+
+}  // namespace qrc::rl

@@ -5,10 +5,15 @@
 //   qrc train --reward <fidelity|critical_depth|combination|gate_count|depth>
 //             --out <model.txt> [--steps N] [--count N]
 //             [--min-qubits N] [--max-qubits N] [--seed N]
-//       Trains a model on the built-in benchmark corpus.
+//             [--num-envs N] [--workers N]
+//       Trains a model on the built-in benchmark corpus. --num-envs > 1
+//       collects rollouts from that many environments in parallel
+//       (deterministic for a fixed seed/num-envs pair); --workers caps the
+//       stepping threads (default: one per env).
 //   qrc compile --model <model.txt> <circuit.qasm> [--out <compiled.qasm>]
 //       Compiles an OpenQASM 2.0 circuit with a trained model.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,7 +38,7 @@ int usage() {
                "  qrc info\n"
                "  qrc train --reward <kind> --out <model.txt> [--steps N]\n"
                "            [--count N] [--min-qubits N] [--max-qubits N]\n"
-               "            [--seed N]\n"
+               "            [--seed N] [--num-envs N] [--workers N]\n"
                "  qrc compile --model <model.txt> <circuit.qasm>\n"
                "              [--out <compiled.qasm>]\n");
   return 2;
@@ -111,14 +116,17 @@ int cmd_train(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(get_int("seed", 1));
   config.ppo.total_timesteps = get_int("steps", 100000);
   config.ppo.steps_per_update = 2048;
+  config.num_envs = std::max(1, get_int("num-envs", 1));
+  config.rollout_workers = std::max(0, get_int("workers", 0));
 
   const int min_q = get_int("min-qubits", 2);
   const int max_q = get_int("max-qubits", 20);
   const int count = get_int("count", 200);
   std::printf("training '%s' model: %d timesteps on %d circuits "
-              "(%d-%d qubits)\n",
+              "(%d-%d qubits), %d parallel env(s)\n",
               reward::reward_name(config.reward).data(),
-              config.ppo.total_timesteps, count, min_q, max_q);
+              config.ppo.total_timesteps, count, min_q, max_q,
+              config.num_envs);
   core::Predictor predictor(config);
   const auto stats =
       predictor.train(bench::benchmark_suite(min_q, max_q, count));
