@@ -1,20 +1,27 @@
 // Rollout-throughput microbench for the vectorized PPO engine: measures
 // environment steps/sec of policy-driven rollouts over the compilation MDP
-// for several (num_envs, num_workers) configurations, plus end-to-end
-// train_ppo timing serial vs vectorized.
+// for several (num_envs, num_workers) configurations, scalar-vs-batched
+// policy forward throughput (Mlp::forward vs Mlp::forward_batch on the
+// worker pool), plus end-to-end train_ppo timing serial vs vectorized.
 //
 // Knobs (see experiment_common.hpp): QRC_TRAIN_STEPS caps the measured
 // rollout steps per configuration (default 20000); QRC_EVAL_COUNT sizes the
 // corpus. Results are printed and also written to
 // BENCH_rollout_throughput.json in the working directory.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <random>
+#include <span>
+#include <thread>
 #include <vector>
 
 #include "experiment_common.hpp"
 #include "core/compilation_env.hpp"
+#include "rl/mlp.hpp"
 #include "rl/ppo.hpp"
+#include "rl/thread_pool.hpp"
 #include "rl/vec_env.hpp"
 
 namespace {
@@ -64,6 +71,65 @@ Measurement measure_rollout(const core::CompilationEnv& prototype,
   const double seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   return {num_envs, num_workers, static_cast<double>(steps) / seconds};
+}
+
+/// Scalar-vs-batched policy forward throughput: the same MLP evaluates the
+/// same observations one at a time (Mlp::forward, the pre-batching hot
+/// path) and as row-major batches (Mlp::forward_batch on a worker pool).
+struct ForwardMeasurement {
+  int batch = 0;
+  int workers = 0;
+  double scalar_obs_per_sec = 0.0;
+  double batch_obs_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+ForwardMeasurement measure_forward(int obs_size, int num_actions, int batch,
+                                   int total_samples, int workers) {
+  const rl::Mlp policy({obs_size, 64, 64, num_actions}, 17);
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<double> inputs(static_cast<std::size_t>(batch) *
+                             static_cast<std::size_t>(obs_size));
+  for (double& v : inputs) {
+    v = uniform(rng);
+  }
+  const int rounds = std::max(1, total_samples / batch);
+
+  ForwardMeasurement out;
+  out.batch = batch;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  out.workers = workers > 0 ? workers : std::max(1, hw);
+
+  double sink = 0.0;
+  auto start = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < batch; ++i) {
+      const auto row = std::span<const double>(inputs).subspan(
+          static_cast<std::size_t>(i) * static_cast<std::size_t>(obs_size),
+          static_cast<std::size_t>(obs_size));
+      sink += policy.forward(row)[0];
+    }
+  }
+  double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  out.scalar_obs_per_sec =
+      static_cast<double>(rounds) * batch / std::max(seconds, 1e-12);
+
+  rl::WorkerPool pool(out.workers);
+  std::vector<double> outputs;
+  start = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    policy.forward_batch(inputs, batch, outputs, &pool);
+    sink += outputs[0];
+  }
+  seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  out.batch_obs_per_sec =
+      static_cast<double>(rounds) * batch / std::max(seconds, 1e-12);
+  out.speedup = out.batch_obs_per_sec / out.scalar_obs_per_sec;
+  if (sink == 12345.6789) {  // defeat dead-code elimination
+    std::printf("#\n");
+  }
+  return out;
 }
 
 double measure_train_seconds(const std::vector<ir::Circuit>& corpus,
@@ -121,6 +187,19 @@ int main() {
               ">= 4 hardware threads)\n",
               speedup_4w);
 
+  // Scalar vs batched policy forward (the per-round inference of the
+  // batched rollout engine): one observation at a time vs one row-major
+  // [batch x obs] pass on the worker pool.
+  const ForwardMeasurement fwd = measure_forward(
+      prototype.observation_size(), prototype.num_actions(), 256,
+      std::max(total_steps, 50000),
+      bench_harness::env_int("QRC_ROLLOUT_WORKERS", 0));
+  std::printf("  policy forward: scalar %10.0f obs/sec, batched(%d rows, "
+              "%d workers) %10.0f obs/sec -> %.2fx (target >= 2x on >= 4 "
+              "hardware threads)\n",
+              fwd.scalar_obs_per_sec, fwd.batch, fwd.workers,
+              fwd.batch_obs_per_sec, fwd.speedup);
+
   // End-to-end PPO wall time on a short budget.
   rl::PpoConfig train_ppo_cfg;
   train_ppo_cfg.seed = 17;
@@ -149,9 +228,15 @@ int main() {
     }
     std::fprintf(json,
                  "  ],\n  \"speedup_4env_4worker\": %.3f,\n"
+                 "  \"forward_scalar_obs_per_sec\": %.1f,\n"
+                 "  \"forward_batch_obs_per_sec\": %.1f,\n"
+                 "  \"forward_batch_speedup\": %.3f,\n"
+                 "  \"forward_batch_size\": %d,\n"
+                 "  \"forward_batch_workers\": %d,\n"
                  "  \"train_serial_sec\": %.3f,\n"
                  "  \"train_vec_sec\": %.3f\n}\n",
-                 speedup_4w, serial_s, vec_s);
+                 speedup_4w, fwd.scalar_obs_per_sec, fwd.batch_obs_per_sec,
+                 fwd.speedup, fwd.batch, fwd.workers, serial_s, vec_s);
     std::fclose(json);
     std::printf("  results written to BENCH_rollout_throughput.json\n");
   }

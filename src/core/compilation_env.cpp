@@ -1,6 +1,8 @@
 #include "core/compilation_env.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "features/features.hpp"
 
@@ -39,6 +41,17 @@ int CompilationEnv::num_actions() const { return registry_.size(); }
 
 std::vector<double> CompilationEnv::observe() const {
   const auto obs = features::extract_features(state_.circuit).observation();
+  // A NaN/Inf observation would silently poison every PPO update that
+  // touches it (degenerate circuits — empty, single-qubit — are the usual
+  // suspects via the n-1 / depth divisions in the feature formulas, which
+  // features.cpp guards). Fail loudly instead of training on garbage.
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    if (!std::isfinite(obs[i])) {
+      throw std::logic_error(
+          "CompilationEnv::observe: non-finite feature at index " +
+          std::to_string(i));
+    }
+  }
   return {obs.begin(), obs.end()};
 }
 

@@ -2,16 +2,77 @@
 
 #include <algorithm>
 #include <istream>
+#include <memory>
 #include <set>
 #include <thread>
 #include <tuple>
 #include <ostream>
 #include <stdexcept>
 
-#include "features/features.hpp"
+#include "rl/categorical.hpp"
+#include "rl/thread_pool.hpp"
 #include "rl/vec_env.hpp"
 
 namespace qrc::core {
+
+namespace {
+
+/// State fingerprint for cycle detection in greedy rollouts.
+using Fingerprint = std::tuple<std::size_t, int, int, double, int, bool,
+                               const device::Device*>;
+
+Fingerprint fingerprint_of(const CompilationEnv& env) {
+  const auto& s = env.state();
+  return {s.circuit.size(),        s.circuit.two_qubit_gate_count(),
+          s.circuit.gate_count(),  s.circuit.global_phase(),
+          static_cast<int>(s.state()), s.layout_applied, s.device};
+}
+
+/// Forces an unfinished compilation to Done with the canned deterministic
+/// pass sequence (synthesis, SABRE layout/routing, synthesis, 1q
+/// optimization) and flags the result as fallback.
+void finish_with_fallback(const ActionRegistry& registry,
+                          const ir::Circuit& circuit,
+                          const PredictorConfig& config,
+                          CompilationState& state,
+                          CompilationResult& result) {
+  result.used_fallback = true;
+  const auto force = [&](std::string_view name) {
+    const int id = registry.index_of(name);
+    if (registry.at(id).valid(state)) {
+      registry.at(id).apply(state, config.seed);
+      result.action_trace.push_back(std::string(name) + "(fallback)");
+    }
+  };
+  if (!state.platform.has_value()) {
+    force("platform_ibm");
+  }
+  if (state.device == nullptr) {
+    force("device_ibmq_washington");
+  }
+  if (state.device == nullptr) {
+    // The policy locked in a platform with no device wide enough for the
+    // circuit; restart the flow on IBM (whose 127-qubit machine fits
+    // every supported circuit).
+    state = CompilationState{};
+    state.circuit = circuit;
+    force("platform_ibm");
+    force("device_ibmq_washington");
+  }
+  force("BasisTranslator");
+  force("SabreLayout");
+  force("SabreSwap");
+  force("BasisTranslator");
+  force("Optimize1qGatesDecomposition");
+  if (state.state() != MdpState::kDone) {
+    throw std::logic_error(
+        "Predictor::compile: fallback failed to reach Done");
+  }
+  result.reward =
+      reward::compute_reward(config.reward, state.circuit, *state.device);
+}
+
+}  // namespace
 
 Predictor::Predictor(PredictorConfig config) : config_(std::move(config)) {
   config_.ppo.seed = config_.seed;
@@ -50,119 +111,170 @@ std::vector<rl::PpoUpdateStats> Predictor::train(
 }
 
 CompilationResult Predictor::compile(const ir::Circuit& circuit) const {
-  return compile_with_masked_feature(circuit, -1);
+  return compile_batch(std::span<const ir::Circuit>(&circuit, 1), -1).front();
+}
+
+std::vector<CompilationResult> Predictor::compile_all(
+    std::span<const ir::Circuit> circuits) const {
+  return compile_batch(circuits, -1);
 }
 
 CompilationResult Predictor::compile_with_masked_feature(
     const ir::Circuit& circuit, int feature_index) const {
+  return compile_batch(std::span<const ir::Circuit>(&circuit, 1),
+                       feature_index)
+      .front();
+}
+
+std::vector<CompilationResult> Predictor::compile_batch(
+    std::span<const ir::Circuit> circuits, int feature_index) const {
   if (!agent_.has_value()) {
     throw std::logic_error("Predictor::compile: train or load a model first");
   }
   const ActionRegistry& registry = ActionRegistry::instance();
+  const int num_circuits = static_cast<int>(circuits.size());
+  std::vector<CompilationResult> results(
+      static_cast<std::size_t>(num_circuits));
+  if (num_circuits == 0) {
+    return results;
+  }
 
   CompilationEnvConfig env_config;
   env_config.reward = config_.reward;
   env_config.max_steps = config_.env_max_steps;
   env_config.seed = config_.seed;
-  CompilationEnv env({circuit}, env_config);
 
-  CompilationResult result;
-  std::vector<double> obs = env.reset_with(circuit);
-  bool done = false;
-  // Deterministic greedy rollouts can cycle: through single no-op actions,
-  // or through pass pairs that keep rewriting each other's output. Ban an
-  // action whenever it lands on an already-visited state; unban everything
-  // on genuine progress.
-  std::set<int> exhausted;
-  using Fingerprint = std::tuple<std::size_t, int, int, double, int, bool,
-                                 const device::Device*>;
-  const auto fingerprint = [&]() -> Fingerprint {
-    const auto& s = env.state();
-    return {s.circuit.size(),  s.circuit.two_qubit_gate_count(),
-            s.circuit.gate_count(), s.circuit.global_phase(),
-            static_cast<int>(s.state()), s.layout_applied, s.device};
-  };
-  std::set<Fingerprint> visited{fingerprint()};
-  for (int step = 0; step < config_.env_max_steps && !done; ++step) {
-    if (feature_index >= 0 &&
-        feature_index < static_cast<int>(obs.size())) {
-      obs[static_cast<std::size_t>(feature_index)] = 0.0;
-    }
-    const auto mask = env.action_mask();
-    const auto probs = agent_->action_probabilities(obs, mask);
+  // One greedy episode per circuit. Deterministic greedy rollouts can
+  // cycle: through single no-op actions, or through pass pairs that keep
+  // rewriting each other's output. Ban an action whenever it lands on an
+  // already-visited state; unban everything on genuine progress.
+  struct Episode {
+    std::unique_ptr<CompilationEnv> env;
+    std::vector<double> obs;
+    std::set<int> exhausted;
+    std::set<Fingerprint> visited;
+    rl::StepResult outcome;
     int action = -1;
-    for (int i = 0; i < static_cast<int>(probs.size()); ++i) {
-      if (!mask[static_cast<std::size_t>(i)] || exhausted.contains(i)) {
+    bool done = false;
+    bool active = true;  ///< false once every valid action proved no-op
+  };
+  std::vector<Episode> episodes(static_cast<std::size_t>(num_circuits));
+  for (int c = 0; c < num_circuits; ++c) {
+    auto& ep = episodes[static_cast<std::size_t>(c)];
+    ep.env = std::make_unique<CompilationEnv>(
+        std::vector<ir::Circuit>{circuits[c]}, env_config);
+    ep.obs = ep.env->reset_with(circuits[c]);
+    ep.visited.insert(fingerprint_of(*ep.env));
+  }
+
+  // The pool runs the batched policy forwards (row-parallel) and steps the
+  // independent environments concurrently.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int workers =
+      config_.rollout_workers > 0
+          ? std::min(config_.rollout_workers, num_circuits)
+          : std::min(num_circuits, hw > 0 ? hw : 1);
+  rl::WorkerPool pool(workers);
+  const rl::Mlp& policy = agent_->policy();
+  const auto obs_size = static_cast<std::size_t>(policy.input_size());
+
+  std::vector<int> live;
+  std::vector<int> stepping;
+  std::vector<double> obs_batch;
+  std::vector<double> logits_batch;
+  std::vector<std::vector<bool>> mask_batch;
+  for (int step = 0; step < config_.env_max_steps; ++step) {
+    live.clear();
+    for (int c = 0; c < num_circuits; ++c) {
+      const auto& ep = episodes[static_cast<std::size_t>(c)];
+      if (ep.active && !ep.done) {
+        live.push_back(c);
+      }
+    }
+    if (live.empty()) {
+      break;
+    }
+    const int n_live = static_cast<int>(live.size());
+
+    // One batched policy forward over every still-running episode.
+    obs_batch.resize(live.size() * obs_size);
+    mask_batch.resize(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const auto& ep = episodes[static_cast<std::size_t>(live[i])];
+      std::copy(ep.obs.begin(), ep.obs.end(),
+                obs_batch.begin() + i * obs_size);
+      if (feature_index >= 0 &&
+          feature_index < static_cast<int>(obs_size)) {
+        obs_batch[i * obs_size + static_cast<std::size_t>(feature_index)] =
+            0.0;
+      }
+      mask_batch[i] = ep.env->action_mask();
+    }
+    policy.forward_batch(obs_batch, n_live, logits_batch, &pool);
+    const rl::BatchedMaskedCategorical dist(logits_batch, mask_batch);
+
+    // Greedy action per episode among valid, un-exhausted actions.
+    stepping.clear();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      auto& ep = episodes[static_cast<std::size_t>(live[i])];
+      const auto probs = dist.probs(static_cast<int>(i));
+      int action = -1;
+      for (int a = 0; a < dist.num_actions(); ++a) {
+        if (!mask_batch[i][static_cast<std::size_t>(a)] ||
+            ep.exhausted.contains(a)) {
+          continue;
+        }
+        if (action < 0 || probs[static_cast<std::size_t>(a)] >
+                              probs[static_cast<std::size_t>(action)]) {
+          action = a;
+        }
+      }
+      if (action < 0) {
+        ep.active = false;  // every valid action proved ineffective
         continue;
       }
-      if (action < 0 || probs[static_cast<std::size_t>(i)] >
-                            probs[static_cast<std::size_t>(action)]) {
-        action = i;
+      ep.action = action;
+      results[static_cast<std::size_t>(live[i])].action_trace.push_back(
+          registry.at(action).name());
+      stepping.push_back(live[i]);
+    }
+
+    // Step the chosen actions in parallel — each episode owns its state.
+    pool.parallel_for(static_cast<int>(stepping.size()), [&](int i) {
+      auto& ep = episodes[static_cast<std::size_t>(
+          stepping[static_cast<std::size_t>(i)])];
+      ep.outcome = ep.env->step(ep.action);
+    });
+    for (const int c : stepping) {
+      auto& ep = episodes[static_cast<std::size_t>(c)];
+      ep.obs = ep.outcome.observation;
+      ep.done = ep.outcome.done;
+      if (!ep.visited.insert(fingerprint_of(*ep.env)).second) {
+        ep.exhausted.insert(ep.action);  // known state: no progress
+      } else {
+        ep.exhausted.clear();
       }
-    }
-    if (action < 0) {
-      break;  // every valid action proved ineffective: fall back
-    }
-    result.action_trace.push_back(registry.at(action).name());
-    const auto outcome = env.step(action);
-    obs = outcome.observation;
-    done = outcome.done;
-    if (!visited.insert(fingerprint()).second) {
-      exhausted.insert(action);  // landed on a known state: no progress
-    } else {
-      exhausted.clear();
-    }
-    if (done) {
-      result.reward = outcome.reward;
+      if (ep.done) {
+        results[static_cast<std::size_t>(c)].reward = ep.outcome.reward;
+      }
     }
   }
 
-  CompilationState state = env.state();
-  if (!done) {
-    // Deterministic fallback: force the flow to completion.
-    result.used_fallback = true;
-    const auto force = [&](std::string_view name) {
-      const int id = registry.index_of(name);
-      if (registry.at(id).valid(state)) {
-        registry.at(id).apply(state, config_.seed);
-        result.action_trace.push_back(std::string(name) + "(fallback)");
-      }
-    };
-    if (!state.platform.has_value()) {
-      force("platform_ibm");
+  for (int c = 0; c < num_circuits; ++c) {
+    auto& ep = episodes[static_cast<std::size_t>(c)];
+    auto& result = results[static_cast<std::size_t>(c)];
+    CompilationState state = ep.env->state();
+    if (!ep.done) {
+      finish_with_fallback(registry, circuits[c], config_, state, result);
     }
-    if (state.device == nullptr) {
-      force("device_ibmq_washington");
+    result.circuit = state.circuit;
+    result.device = state.device;
+    if (state.initial_layout.has_value()) {
+      result.initial_layout = *state.initial_layout;
     }
-    if (state.device == nullptr) {
-      // The policy locked in a platform with no device wide enough for the
-      // circuit; restart the flow on IBM (whose 127-qubit machine fits
-      // every supported circuit).
-      state = CompilationState{};
-      state.circuit = circuit;
-      force("platform_ibm");
-      force("device_ibmq_washington");
-    }
-    force("BasisTranslator");
-    force("SabreLayout");
-    force("SabreSwap");
-    force("BasisTranslator");
-    force("Optimize1qGatesDecomposition");
-    if (state.state() != MdpState::kDone) {
-      throw std::logic_error(
-          "Predictor::compile: fallback failed to reach Done");
-    }
-    result.reward =
-        reward::compute_reward(config_.reward, state.circuit, *state.device);
+    result.final_layout = state.final_layout;
   }
-
-  result.circuit = state.circuit;
-  result.device = state.device;
-  if (state.initial_layout.has_value()) {
-    result.initial_layout = *state.initial_layout;
-  }
-  result.final_layout = state.final_layout;
-  return result;
+  return results;
 }
 
 double Predictor::evaluate(const CompilationResult& result,

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,16 @@ class Predictor {
   /// optimization) completes the flow and the result is flagged.
   [[nodiscard]] CompilationResult compile(const ir::Circuit& circuit) const;
 
+  /// Compiles a whole suite of circuits through one batched greedy-policy
+  /// loop: every inference step gathers the observations of all still-
+  /// running episodes and issues a single batched policy forward (rows
+  /// spread over a worker pool sized by `rollout_workers`), while the
+  /// environments step in parallel. Per circuit the result is identical
+  /// to compile() — the batched forward is bitwise-equal to the scalar
+  /// one and each episode's greedy loop is independent.
+  [[nodiscard]] std::vector<CompilationResult> compile_all(
+      std::span<const ir::Circuit> circuits) const;
+
   /// Ablation hook: compile with observation feature `feature_index`
   /// zeroed at every inference step (measures how load-bearing each
   /// feature is for the learned policy).
@@ -75,6 +86,9 @@ class Predictor {
   [[nodiscard]] const PredictorConfig& config() const { return config_; }
 
  private:
+  [[nodiscard]] std::vector<CompilationResult> compile_batch(
+      std::span<const ir::Circuit> circuits, int feature_index) const;
+
   PredictorConfig config_;
   std::optional<rl::PpoAgent> agent_;
 };

@@ -67,7 +67,7 @@ class ExprParser {
     const double v = expr();
     skip_ws();
     if (pos_ != text_.size()) {
-      throw std::runtime_error("qasm: trailing characters in expression: " +
+      throw std::runtime_error("trailing characters in expression: " +
                                std::string(text_));
     }
     return v;
@@ -112,12 +112,16 @@ class ExprParser {
       ++pos_;
       return -factor();
     }
+    if (peek() == '+') {
+      ++pos_;
+      return factor();
+    }
     if (peek() == '(') {
       ++pos_;
       const double v = expr();
       skip_ws();
       if (peek() != ')') {
-        throw std::runtime_error("qasm: expected ')'");
+        throw std::runtime_error("expected ')'");
       }
       ++pos_;
       return v;
@@ -131,12 +135,25 @@ class ExprParser {
       if (word == "pi") {
         return la::kPi;
       }
-      throw std::runtime_error("qasm: unknown identifier '" + word + "'");
+      throw std::runtime_error("unknown identifier '" + word + "'");
     }
+    // std::stod accepts plain, decimal and scientific notation (1e-3,
+    // 2.5E+2); it throws std::invalid_argument on garbage, which we map to
+    // a parse error naming the offending text instead of an uncaught
+    // "stod" exception.
     std::size_t consumed = 0;
-    const double v = std::stod(std::string(text_.substr(pos_)), &consumed);
+    double v = 0.0;
+    try {
+      v = std::stod(std::string(text_.substr(pos_)), &consumed);
+    } catch (const std::out_of_range&) {
+      throw std::runtime_error("number out of range: '" +
+                               std::string(text_.substr(pos_)) + "'");
+    } catch (const std::exception&) {
+      throw std::runtime_error("expected number, got '" +
+                               std::string(text_.substr(pos_)) + "'");
+    }
     if (consumed == 0) {
-      throw std::runtime_error("qasm: expected number");
+      throw std::runtime_error("expected number");
     }
     pos_ += consumed;
     return v;
@@ -166,16 +183,44 @@ std::string strip(const std::string& s) {
   return s.substr(b, e - b);
 }
 
+/// Upper bound on register sizes and qubit indices accepted by the parser
+/// (documented in qasm.hpp); rejects absurd declarations before they turn
+/// into gigabyte allocations.
+constexpr long kMaxRegisterIndex = 1000000;
+
+/// Strictly parses a non-negative register index: digits only, bounded.
+/// std::stoi would silently accept "1abc" (-> 1) and throw uncaught
+/// std::invalid_argument / std::out_of_range on "abc" or huge values.
+int parse_register_index(const std::string& token, const char* what) {
+  const std::string t = strip(token);
+  if (t.empty()) {
+    throw std::runtime_error(std::string("empty ") + what);
+  }
+  long value = 0;
+  for (const char c : t) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      throw std::runtime_error(std::string("bad ") + what + " '" + t +
+                               "' (expected a non-negative integer)");
+    }
+    value = value * 10 + (c - '0');
+    if (value > kMaxRegisterIndex) {
+      throw std::runtime_error(std::string(what) + " '" + t +
+                               "' out of range");
+    }
+  }
+  return static_cast<int>(value);
+}
+
 /// Parses "q[3]" -> 3.
 int parse_qubit_ref(const std::string& token, const std::string& reg_name) {
   const std::string t = strip(token);
   const std::size_t lb = t.find('[');
   const std::size_t rb = t.find(']');
-  if (lb == std::string::npos || rb == std::string::npos ||
+  if (lb == std::string::npos || rb == std::string::npos || rb < lb ||
       t.substr(0, lb) != reg_name) {
-    throw std::runtime_error("qasm: bad qubit reference '" + t + "'");
+    throw std::runtime_error("bad qubit reference '" + t + "'");
   }
-  return std::stoi(t.substr(lb + 1, rb - lb - 1));
+  return parse_register_index(t.substr(lb + 1, rb - lb - 1), "qubit index");
 }
 
 std::vector<std::string> split(const std::string& s, char delim) {
@@ -200,110 +245,158 @@ std::vector<std::string> split(const std::string& s, char delim) {
   return out;
 }
 
-}  // namespace
+/// A ';'-terminated statement plus the 1-based source line it starts on
+/// (the line of its first non-whitespace character), for error context.
+struct Statement {
+  std::string text;
+  int line = 0;
+};
 
-Circuit from_qasm(const std::string& text) {
-  // Strip comments and split into ';'-terminated statements.
-  std::string cleaned;
-  cleaned.reserve(text.size());
+/// Strips //-comments and splits the source into statements, tracking
+/// line numbers through both.
+std::vector<Statement> split_statements(const std::string& text) {
+  std::vector<Statement> out;
+  std::string cur;
+  int line = 1;
+  int stmt_line = 0;
   for (std::size_t i = 0; i < text.size(); ++i) {
     if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
       while (i < text.size() && text[i] != '\n') {
         ++i;
       }
+      if (i >= text.size()) {
+        break;
+      }
     }
-    if (i < text.size()) {
-      cleaned += text[i];
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+    }
+    if (c == ';') {
+      const std::string stmt = strip(cur);
+      if (!stmt.empty()) {
+        out.push_back({stmt, stmt_line == 0 ? line : stmt_line});
+      }
+      cur.clear();
+      stmt_line = 0;
+    } else {
+      if (stmt_line == 0 && std::isspace(static_cast<unsigned char>(c)) == 0) {
+        stmt_line = line;
+      }
+      cur += c;
     }
   }
+  const std::string tail = strip(cur);
+  if (!tail.empty()) {
+    out.push_back({tail, stmt_line == 0 ? line : stmt_line});
+  }
+  return out;
+}
 
+}  // namespace
+
+Circuit from_qasm(const std::string& text) {
   Circuit circuit;
   std::string qreg_name = "q";
   bool have_qreg = false;
 
-  for (const std::string& raw : split(cleaned, ';')) {
-    const std::string stmt = strip(raw);
-    if (stmt.empty() || stmt.rfind("OPENQASM", 0) == 0 ||
-        stmt.rfind("include", 0) == 0 || stmt.rfind("creg", 0) == 0) {
-      continue;
-    }
-    if (stmt.rfind("qreg", 0) == 0) {
-      const std::size_t lb = stmt.find('[');
-      const std::size_t rb = stmt.find(']');
-      if (lb == std::string::npos || rb == std::string::npos) {
-        throw std::runtime_error("qasm: bad qreg statement");
+  for (const Statement& statement : split_statements(text)) {
+    const std::string& stmt = statement.text;
+    // Every statement-level failure is rethrown with the source line and
+    // the statement text, so malformed input produces an actionable parse
+    // error instead of an uncaught std::stoi/std::stod exception.
+    try {
+      if (stmt.rfind("OPENQASM", 0) == 0 || stmt.rfind("include", 0) == 0 ||
+          stmt.rfind("creg", 0) == 0) {
+        continue;
       }
-      qreg_name = strip(stmt.substr(4, lb - 4));
-      const int n = std::stoi(stmt.substr(lb + 1, rb - lb - 1));
-      circuit = Circuit(n);
-      have_qreg = true;
-      continue;
-    }
-    if (!have_qreg) {
-      throw std::runtime_error("qasm: statement before qreg: " + stmt);
-    }
-    if (stmt.rfind("barrier", 0) == 0) {
-      circuit.barrier();
-      continue;
-    }
-    if (stmt.rfind("measure", 0) == 0) {
-      const std::size_t arrow = stmt.find("->");
-      const std::string src = strip(
-          stmt.substr(7, (arrow == std::string::npos ? stmt.size() : arrow) -
-                             7));
-      circuit.measure(parse_qubit_ref(src, qreg_name));
-      continue;
-    }
-    if (stmt.rfind("reset", 0) == 0) {
-      circuit.reset(parse_qubit_ref(strip(stmt.substr(5)), qreg_name));
-      continue;
-    }
+      if (stmt.rfind("qreg", 0) == 0) {
+        const std::size_t lb = stmt.find('[');
+        const std::size_t rb = stmt.find(']');
+        if (lb == std::string::npos || rb == std::string::npos || rb < lb) {
+          throw std::runtime_error("bad qreg statement");
+        }
+        qreg_name = strip(stmt.substr(4, lb - 4));
+        if (qreg_name.empty()) {
+          throw std::runtime_error("qreg needs a register name");
+        }
+        const int n = parse_register_index(
+            stmt.substr(lb + 1, rb - lb - 1), "qreg size");
+        circuit = Circuit(n);
+        have_qreg = true;
+        continue;
+      }
+      if (!have_qreg) {
+        throw std::runtime_error("statement before qreg");
+      }
+      if (stmt.rfind("barrier", 0) == 0) {
+        circuit.barrier();
+        continue;
+      }
+      if (stmt.rfind("measure", 0) == 0) {
+        const std::size_t arrow = stmt.find("->");
+        const std::string src = strip(stmt.substr(
+            7, (arrow == std::string::npos ? stmt.size() : arrow) - 7));
+        circuit.measure(parse_qubit_ref(src, qreg_name));
+        continue;
+      }
+      if (stmt.rfind("reset", 0) == 0) {
+        circuit.reset(parse_qubit_ref(strip(stmt.substr(5)), qreg_name));
+        continue;
+      }
 
-    // Gate statement: name[(params)] operand[, operand...]
-    std::size_t name_end = 0;
-    while (name_end < stmt.size() &&
-           (std::isalnum(static_cast<unsigned char>(stmt[name_end])) != 0)) {
-      ++name_end;
-    }
-    std::string name = stmt.substr(0, name_end);
-    std::size_t rest_begin = name_end;
-    std::vector<double> params;
-    if (rest_begin < stmt.size() && stmt[rest_begin] == '(') {
-      const std::size_t close = stmt.rfind(')');
-      if (close == std::string::npos) {
-        throw std::runtime_error("qasm: unbalanced parameter list");
+      // Gate statement: name[(params)] operand[, operand...]
+      std::size_t name_end = 0;
+      while (name_end < stmt.size() &&
+             (std::isalnum(static_cast<unsigned char>(stmt[name_end])) !=
+              0)) {
+        ++name_end;
       }
-      for (const std::string& p :
-           split(stmt.substr(rest_begin + 1, close - rest_begin - 1), ',')) {
-        params.push_back(ExprParser(strip(p)).parse());
+      std::string name = stmt.substr(0, name_end);
+      std::size_t rest_begin = name_end;
+      std::vector<double> params;
+      if (rest_begin < stmt.size() && stmt[rest_begin] == '(') {
+        const std::size_t close = stmt.rfind(')');
+        if (close == std::string::npos || close < rest_begin) {
+          throw std::runtime_error("unbalanced parameter list");
+        }
+        for (const std::string& p :
+             split(stmt.substr(rest_begin + 1, close - rest_begin - 1),
+                   ',')) {
+          params.push_back(ExprParser(strip(p)).parse());
+        }
+        rest_begin = close + 1;
       }
-      rest_begin = close + 1;
-    }
-    std::vector<int> qubits;
-    for (const std::string& qref : split(stmt.substr(rest_begin), ',')) {
-      qubits.push_back(parse_qubit_ref(qref, qreg_name));
-    }
+      std::vector<int> qubits;
+      for (const std::string& qref : split(stmt.substr(rest_begin), ',')) {
+        qubits.push_back(parse_qubit_ref(qref, qreg_name));
+      }
 
-    // Aliases.
-    if (name == "u1") {
-      name = "p";
-    } else if (name == "u2") {
-      if (params.size() != 2) {
-        throw std::runtime_error("qasm: u2 needs 2 params");
+      // Aliases.
+      if (name == "u1") {
+        name = "p";
+      } else if (name == "u2") {
+        if (params.size() != 2) {
+          throw std::runtime_error("u2 needs 2 params");
+        }
+        params = {la::kPi / 2.0, params[0], params[1]};
+        name = "u3";
+      } else if (name == "u") {
+        name = "u3";
+      } else if (name == "cnot") {
+        name = "cx";
       }
-      params = {la::kPi / 2.0, params[0], params[1]};
-      name = "u3";
-    } else if (name == "u") {
-      name = "u3";
-    } else if (name == "cnot") {
-      name = "cx";
-    }
 
-    const auto kind = gate_from_name(name);
-    if (!kind.has_value()) {
-      throw std::runtime_error("qasm: unknown gate '" + name + "'");
+      const auto kind = gate_from_name(name);
+      if (!kind.has_value()) {
+        throw std::runtime_error("unknown gate '" + name + "'");
+      }
+      circuit.append(*kind, qubits, params);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("qasm: parse error at line " +
+                               std::to_string(statement.line) + ": " +
+                               e.what() + " [in statement '" + stmt + "']");
     }
-    circuit.append(*kind, qubits, params);
   }
   return circuit;
 }

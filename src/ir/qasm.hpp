@@ -16,9 +16,12 @@ namespace qrc::ir {
 /// Parses OpenQASM 2.0 text. Supports the gate vocabulary of this library,
 /// the aliases u1 (-> p), u2(phi, lambda) (-> u3(pi/2, phi, lambda)) and
 /// u (-> u3), a single qreg, an optional creg, measure, barrier and reset.
-/// Parameter expressions may use numbers, "pi", unary minus, + - * / and
-/// parentheses.
-/// \throws std::runtime_error on malformed input.
+/// Parameter expressions may use numbers (including scientific notation,
+/// e.g. 2.5e-2), "pi", unary plus/minus, + - * / and parentheses.
+/// Register sizes and qubit indices are capped at 1,000,000 (declarations
+/// beyond that are rejected rather than allocated).
+/// \throws std::runtime_error on malformed input, with the source line and
+///         offending statement in the message.
 [[nodiscard]] Circuit from_qasm(const std::string& text);
 
 }  // namespace qrc::ir

@@ -106,4 +106,127 @@ std::vector<double> MaskedCategorical::entropy_grad() const {
   return grad;
 }
 
+BatchedMaskedCategorical::BatchedMaskedCategorical(
+    std::span<const double> logits,
+    const std::vector<std::vector<bool>>& masks)
+    : batch_(static_cast<int>(masks.size())) {
+  if (batch_ == 0) {
+    throw std::invalid_argument("BatchedMaskedCategorical: empty batch");
+  }
+  num_actions_ = static_cast<int>(masks.front().size());
+  const auto n = static_cast<std::size_t>(num_actions_);
+  if (num_actions_ == 0 ||
+      logits.size() != static_cast<std::size_t>(batch_) * n) {
+    throw std::invalid_argument("BatchedMaskedCategorical: size mismatch");
+  }
+  probs_.assign(logits.size(), 0.0);
+  valid_.assign(logits.size(), 0);
+  for (int r = 0; r < batch_; ++r) {
+    const auto& mask = masks[static_cast<std::size_t>(r)];
+    if (mask.size() != n) {
+      throw std::invalid_argument("BatchedMaskedCategorical: ragged masks");
+    }
+    const double* row_logits = logits.data() + static_cast<std::size_t>(r) * n;
+    double* row_probs = probs_.data() + static_cast<std::size_t>(r) * n;
+    std::uint8_t* row_valid = valid_.data() + static_cast<std::size_t>(r) * n;
+    // Stable softmax over valid entries — the MaskedCategorical
+    // constructor, verbatim, per row.
+    double max_logit = -1e300;
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      row_valid[i] = mask[i] ? 1 : 0;
+      if (mask[i]) {
+        max_logit = std::max(max_logit, row_logits[i]);
+        any = true;
+      }
+    }
+    if (!any) {
+      throw std::invalid_argument("BatchedMaskedCategorical: no valid action");
+    }
+    double z = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (row_valid[i] != 0) {
+        row_probs[i] = std::exp(row_logits[i] - max_logit);
+        z += row_probs[i];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      row_probs[i] /= z;
+    }
+  }
+}
+
+int BatchedMaskedCategorical::sample(int r, std::mt19937_64& rng) const {
+  const auto row = probs(r);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double u = uniform(rng);
+  double acc = 0.0;
+  int last_valid = -1;
+  for (int i = 0; i < num_actions_; ++i) {
+    if (!valid(r, i)) {
+      continue;
+    }
+    last_valid = i;
+    acc += row[static_cast<std::size_t>(i)];
+    if (u <= acc) {
+      return i;
+    }
+  }
+  return last_valid;  // numerical tail
+}
+
+int BatchedMaskedCategorical::argmax(int r) const {
+  const auto row = probs(r);
+  int best = -1;
+  for (int i = 0; i < num_actions_; ++i) {
+    if (valid(r, i) &&
+        (best < 0 || row[static_cast<std::size_t>(i)] >
+                         row[static_cast<std::size_t>(best)])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double BatchedMaskedCategorical::log_prob(int r, int action) const {
+  const double p = probs(r)[static_cast<std::size_t>(action)];
+  if (!valid(r, action) || p <= 0.0) {
+    return -1e30;
+  }
+  return std::log(p);
+}
+
+double BatchedMaskedCategorical::entropy(int r) const {
+  const auto row = probs(r);
+  double h = 0.0;
+  for (int i = 0; i < num_actions_; ++i) {
+    const double p = row[static_cast<std::size_t>(i)];
+    if (valid(r, i) && p > 0.0) {
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+void BatchedMaskedCategorical::log_prob_grad(int r, int action,
+                                             std::span<double> out) const {
+  const auto row = probs(r);
+  for (int i = 0; i < num_actions_; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        valid(r, i) ? -row[static_cast<std::size_t>(i)] : 0.0;
+  }
+  out[static_cast<std::size_t>(action)] += 1.0;
+}
+
+void BatchedMaskedCategorical::entropy_grad(int r,
+                                            std::span<double> out) const {
+  const double h = entropy(r);
+  const auto row = probs(r);
+  for (int i = 0; i < num_actions_; ++i) {
+    const double p = row[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] =
+        (valid(r, i) && p > 0.0) ? -p * (std::log(p) + h) : 0.0;
+  }
+}
+
 }  // namespace qrc::rl

@@ -41,4 +41,51 @@ class MaskedCategorical {
   std::vector<bool> valid_;
 };
 
+/// A batch of N masked categorical distributions over shared storage: row
+/// r of the row-major [batch x num_actions] logits paired with masks[r].
+/// Every per-row quantity (probabilities, samples, log-probs, entropy and
+/// gradients) is computed with exactly the operation order of
+/// MaskedCategorical, so the batched distribution is bitwise-identical to
+/// N scalar ones — the contract that lets the batched rollout and epoch
+/// loops replace per-sample inference without changing results.
+class BatchedMaskedCategorical {
+ public:
+  /// \param logits row-major batch x num_actions (batch = masks.size()).
+  BatchedMaskedCategorical(std::span<const double> logits,
+                           const std::vector<std::vector<bool>>& masks);
+
+  [[nodiscard]] int batch_size() const { return batch_; }
+  [[nodiscard]] int num_actions() const { return num_actions_; }
+
+  /// Probabilities of row `r` (masked actions are exactly zero).
+  [[nodiscard]] std::span<const double> probs(int r) const {
+    return std::span<const double>(probs_).subspan(
+        static_cast<std::size_t>(r) * static_cast<std::size_t>(num_actions_),
+        static_cast<std::size_t>(num_actions_));
+  }
+
+  [[nodiscard]] int sample(int r, std::mt19937_64& rng) const;
+  [[nodiscard]] int argmax(int r) const;
+  [[nodiscard]] double log_prob(int r, int action) const;
+  [[nodiscard]] double entropy(int r) const;
+
+  /// Writes d log pi_r(action) / d logits into `out` (num_actions wide).
+  void log_prob_grad(int r, int action, std::span<double> out) const;
+
+  /// Writes d H_r / d logits into `out` (num_actions wide).
+  void entropy_grad(int r, std::span<double> out) const;
+
+ private:
+  [[nodiscard]] bool valid(int r, int a) const {
+    return valid_[static_cast<std::size_t>(r) *
+                      static_cast<std::size_t>(num_actions_) +
+                  static_cast<std::size_t>(a)] != 0;
+  }
+
+  int batch_ = 0;
+  int num_actions_ = 0;
+  std::vector<double> probs_;          // row-major batch x num_actions
+  std::vector<std::uint8_t> valid_;    // row-major batch x num_actions
+};
+
 }  // namespace qrc::rl

@@ -1,10 +1,13 @@
 #include "rl/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
 #include <random>
 #include <stdexcept>
+
+#include "rl/thread_pool.hpp"
 
 namespace qrc::rl {
 
@@ -75,6 +78,154 @@ std::vector<double> Mlp::forward_cached(std::span<const double> input) {
     }
   }
   return acts_.back();
+}
+
+void Mlp::forward_rows(std::span<const double> inputs, int batch,
+                       int row_begin, int row_end,
+                       std::vector<std::vector<double>>& acts) const {
+  (void)batch;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const double* in = li == 0 ? inputs.data() : acts[li].data();
+    double* out = acts[li + 1].data();
+    const bool hidden = li + 1 < layers_.size();
+    for (int r = row_begin; r < row_end; ++r) {
+      const double* row_in = in + static_cast<std::size_t>(r) *
+                                      static_cast<std::size_t>(layer.in);
+      double* row_out = out + static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(layer.out);
+      // Exactly the scalar forward() loop per row: bitwise-identical
+      // accumulation order keeps the batched path interchangeable with N
+      // scalar calls.
+      for (int o = 0; o < layer.out; ++o) {
+        double acc = layer.b[static_cast<std::size_t>(o)];
+        const double* wrow = &layer.w[static_cast<std::size_t>(o * layer.in)];
+        for (int i = 0; i < layer.in; ++i) {
+          acc += wrow[i] * row_in[i];
+        }
+        row_out[o] = hidden ? std::tanh(acc) : acc;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Rows per worker chunk of a batched forward; amortizes pool dispatch
+/// while leaving enough chunks for load balancing.
+constexpr int kRowBlock = 8;
+
+/// Sizes the per-layer row-major activation buffers. The input-layer
+/// buffer (k = 0) is only needed when the activations are kept for a
+/// backward pass; the plain forward reads the caller's input directly.
+void size_batch_activations(const std::vector<int>& sizes, int batch,
+                            std::vector<std::vector<double>>& acts,
+                            bool with_input) {
+  acts.resize(sizes.size());
+  for (std::size_t k = with_input ? 0 : 1; k < sizes.size(); ++k) {
+    acts[k].resize(static_cast<std::size_t>(batch) *
+                   static_cast<std::size_t>(sizes[k]));
+  }
+}
+
+}  // namespace
+
+void Mlp::run_batch(std::span<const double> inputs, int batch,
+                    std::vector<std::vector<double>>& acts,
+                    WorkerPool* pool) const {
+  if (pool != nullptr && pool->size() > 1 && batch > 1) {
+    const int blocks = (batch + kRowBlock - 1) / kRowBlock;
+    pool->parallel_for(blocks, [&](int blk) {
+      const int begin = blk * kRowBlock;
+      const int end = std::min(batch, begin + kRowBlock);
+      forward_rows(inputs, batch, begin, end, acts);
+    });
+  } else {
+    forward_rows(inputs, batch, 0, batch, acts);
+  }
+}
+
+void Mlp::forward_batch(std::span<const double> inputs, int batch,
+                        std::vector<double>& outputs,
+                        WorkerPool* pool) const {
+  if (batch < 0 ||
+      inputs.size() != static_cast<std::size_t>(batch) *
+                           static_cast<std::size_t>(input_size())) {
+    throw std::invalid_argument("Mlp::forward_batch: input size mismatch");
+  }
+  if (batch == 0) {
+    outputs.clear();
+    return;
+  }
+  std::vector<std::vector<double>> acts;
+  size_batch_activations(sizes_, batch, acts, /*with_input=*/false);
+  run_batch(inputs, batch, acts, pool);
+  outputs = std::move(acts.back());
+}
+
+const std::vector<double>& Mlp::forward_batch_cached(
+    std::span<const double> inputs, int batch, WorkerPool* pool) {
+  if (batch < 1 ||
+      inputs.size() != static_cast<std::size_t>(batch) *
+                           static_cast<std::size_t>(input_size())) {
+    throw std::invalid_argument(
+        "Mlp::forward_batch_cached: input size mismatch");
+  }
+  batch_size_ = batch;
+  size_batch_activations(sizes_, batch, batch_acts_, /*with_input=*/true);
+  batch_acts_[0].assign(inputs.begin(), inputs.end());
+  run_batch(batch_acts_[0], batch, batch_acts_, pool);
+  return batch_acts_.back();
+}
+
+void Mlp::backward_batch(std::span<const double> grad_outputs, int batch) {
+  if (batch != batch_size_ ||
+      grad_outputs.size() != static_cast<std::size_t>(batch) *
+                                 static_cast<std::size_t>(output_size())) {
+    throw std::invalid_argument("Mlp::backward_batch: gradient size mismatch");
+  }
+  // Row r of the batch replays the scalar backward() on row r's cached
+  // activations. Rows run in ascending order so each gradient accumulator
+  // receives its per-sample contributions in the same sequence as `batch`
+  // scalar backward() calls — bitwise-identical accumulation.
+  std::vector<double> grad;
+  std::vector<double> grad_in;
+  std::vector<double> dz;
+  for (int r = 0; r < batch; ++r) {
+    const double* g0 = grad_outputs.data() +
+                       static_cast<std::size_t>(r) *
+                           static_cast<std::size_t>(output_size());
+    grad.assign(g0, g0 + output_size());
+    for (int li = static_cast<int>(layers_.size()) - 1; li >= 0; --li) {
+      Layer& layer = layers_[static_cast<std::size_t>(li)];
+      const double* in =
+          batch_acts_[static_cast<std::size_t>(li)].data() +
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(layer.in);
+      const double* out =
+          batch_acts_[static_cast<std::size_t>(li) + 1].data() +
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(layer.out);
+      const bool is_output = li == static_cast<int>(layers_.size()) - 1;
+      dz.resize(static_cast<std::size_t>(layer.out));
+      for (int o = 0; o < layer.out; ++o) {
+        const double a = out[o];
+        dz[static_cast<std::size_t>(o)] =
+            grad[static_cast<std::size_t>(o)] *
+            (is_output ? 1.0 : (1.0 - a * a));
+      }
+      grad_in.assign(static_cast<std::size_t>(layer.in), 0.0);
+      for (int o = 0; o < layer.out; ++o) {
+        const double d = dz[static_cast<std::size_t>(o)];
+        double* grow = &layer.gw[static_cast<std::size_t>(o * layer.in)];
+        const double* wrow = &layer.w[static_cast<std::size_t>(o * layer.in)];
+        for (int i = 0; i < layer.in; ++i) {
+          grow[i] += d * in[i];
+          grad_in[static_cast<std::size_t>(i)] += d * wrow[i];
+        }
+        layer.gb[static_cast<std::size_t>(o)] += d;
+      }
+      std::swap(grad, grad_in);
+    }
+  }
 }
 
 void Mlp::backward(std::span<const double> grad_output) {

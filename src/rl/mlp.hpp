@@ -11,10 +11,19 @@
 
 namespace qrc::rl {
 
+class WorkerPool;
+
 /// Fully connected network: linear layers with tanh on all hidden layers
 /// and a linear output layer. Parameters and gradients are stored per
 /// layer; backward() accumulates gradients (call zero_grad() between
 /// batches).
+///
+/// Besides the per-sample entry points, the network has a batched path
+/// (forward_batch / forward_batch_cached / backward_batch) operating on
+/// row-major [batch x width] buffers. Each row is computed with exactly
+/// the same operation order as the scalar path, so batched results are
+/// bitwise-identical to N scalar calls — with or without a WorkerPool
+/// splitting the rows across threads.
 class Mlp {
  public:
   /// \param sizes layer widths, e.g. {7, 64, 64, 30}.
@@ -35,6 +44,27 @@ class Mlp {
   /// Backpropagates dL/d(output) for the sample of the last
   /// forward_cached() call, accumulating parameter gradients.
   void backward(std::span<const double> grad_output);
+
+  /// Batched inference: `inputs` holds `batch` row-major samples of
+  /// input_size() each; `outputs` is resized to batch x output_size().
+  /// When `pool` is non-null the rows are distributed across its workers
+  /// (each row is an independent computation, so the result does not
+  /// depend on the worker count).
+  void forward_batch(std::span<const double> inputs, int batch,
+                     std::vector<double>& outputs,
+                     WorkerPool* pool = nullptr) const;
+
+  /// Batched forward pass that caches all per-row activations for a
+  /// following backward_batch(). Returns the row-major batch output.
+  const std::vector<double>& forward_batch_cached(
+      std::span<const double> inputs, int batch, WorkerPool* pool = nullptr);
+
+  /// Backpropagates the row-major dL/d(output) of every sample of the last
+  /// forward_batch_cached() call, accumulating parameter gradients. Rows
+  /// are processed in ascending order, so the per-parameter accumulation
+  /// sequence matches `batch` scalar forward_cached()/backward() pairs
+  /// bitwise.
+  void backward_batch(std::span<const double> grad_outputs, int batch);
 
   void zero_grad();
 
@@ -58,11 +88,21 @@ class Mlp {
     std::vector<double> gb;
   };
 
+  void forward_rows(std::span<const double> inputs, int batch, int row_begin,
+                    int row_end, std::vector<std::vector<double>>& acts) const;
+  void run_batch(std::span<const double> inputs, int batch,
+                 std::vector<std::vector<double>>& acts,
+                 WorkerPool* pool) const;
+
   std::vector<int> sizes_;
   std::vector<Layer> layers_;
   // Cached activations: acts_[0] = input, acts_[k] = post-activation of
   // layer k-1; preacts_[k] = pre-activation of layer k.
   std::vector<std::vector<double>> acts_;
+  // Batched activation cache: batch_acts_[k] is row-major
+  // [batch_size_ x width of layer k] (k = 0 is the input).
+  std::vector<std::vector<double>> batch_acts_;
+  int batch_size_ = 0;
 };
 
 }  // namespace qrc::rl

@@ -1,7 +1,6 @@
 #include "rl/ppo.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <istream>
 #include <numeric>
@@ -10,6 +9,7 @@
 #include <stdexcept>
 
 #include "rl/categorical.hpp"
+#include "rl/thread_pool.hpp"
 #include "rl/vec_env.hpp"
 
 namespace qrc::rl {
@@ -78,16 +78,29 @@ void normalize_advantages(std::vector<double>& advantages) {
 
 /// The clipped-surrogate optimization epochs over one rollout buffer.
 /// Identical for the serial and vectorized paths; fills the loss fields
-/// of `stats`.
+/// of `stats`. Each minibatch runs one batched policy forward, one batched
+/// value forward and one batched backward per network instead of
+/// per-sample passes; every per-sample quantity and every gradient
+/// accumulation keeps the scalar operation order, so the update is
+/// bitwise-identical to the per-sample loop it replaces. `pool` (optional)
+/// spreads the batched forwards across workers.
 void run_ppo_epochs(const std::vector<Transition>& buffer,
                     const std::vector<double>& advantages,
                     const std::vector<double>& returns,
                     const PpoConfig& config, Mlp& policy, Mlp& value_net,
                     Adam& optimizer, std::mt19937_64& rng,
-                    PpoUpdateStats& stats) {
+                    PpoUpdateStats& stats, WorkerPool* pool = nullptr) {
   const std::size_t n = buffer.size();
+  const auto obs_size = static_cast<std::size_t>(policy.input_size());
+  const auto n_act = static_cast<std::size_t>(policy.output_size());
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
+  std::vector<double> obs_batch;
+  std::vector<std::vector<bool>> mask_batch;
+  std::vector<double> grad_logits;
+  std::vector<double> value_grads;
+  std::vector<double> logp_grad(n_act);
+  std::vector<double> ent_grad(n_act);
   int loss_samples = 0;
   for (int epoch = 0; epoch < config.epochs_per_update; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
@@ -95,46 +108,64 @@ void run_ppo_epochs(const std::vector<Transition>& buffer,
          start += static_cast<std::size_t>(config.minibatch_size)) {
       const std::size_t end = std::min(
           n, start + static_cast<std::size_t>(config.minibatch_size));
+      const int bsz = static_cast<int>(end - start);
       policy.zero_grad();
       value_net.zero_grad();
-      const double inv_batch = 1.0 / static_cast<double>(end - start);
-      for (std::size_t k = start; k < end; ++k) {
-        const Transition& tr = buffer[order[k]];
-        const double adv = advantages[order[k]];
-        const double ret = returns[order[k]];
+      const double inv_batch = 1.0 / static_cast<double>(bsz);
 
-        // Policy forward/backward.
-        const auto logits = policy.forward_cached(tr.obs);
-        const MaskedCategorical dist(logits, tr.mask);
-        const double logp = dist.log_prob(tr.action);
+      // Gather the minibatch into row-major buffers.
+      obs_batch.resize(static_cast<std::size_t>(bsz) * obs_size);
+      mask_batch.resize(static_cast<std::size_t>(bsz));
+      for (int k = 0; k < bsz; ++k) {
+        const Transition& tr = buffer[order[start + static_cast<std::size_t>(k)]];
+        std::copy(tr.obs.begin(), tr.obs.end(),
+                  obs_batch.begin() + static_cast<std::size_t>(k) * obs_size);
+        mask_batch[static_cast<std::size_t>(k)] = tr.mask;
+      }
+
+      // One batched forward per network for the whole minibatch.
+      const auto& logits = policy.forward_batch_cached(obs_batch, bsz, pool);
+      const BatchedMaskedCategorical dist(logits, mask_batch);
+      const auto& values = value_net.forward_batch_cached(obs_batch, bsz, pool);
+
+      grad_logits.assign(static_cast<std::size_t>(bsz) * n_act, 0.0);
+      value_grads.resize(static_cast<std::size_t>(bsz));
+      for (int k = 0; k < bsz; ++k) {
+        const std::size_t idx = order[start + static_cast<std::size_t>(k)];
+        const Transition& tr = buffer[idx];
+        const double adv = advantages[idx];
+        const double ret = returns[idx];
+
+        // Policy gradient wrt row k's logits.
+        const double logp = dist.log_prob(k, tr.action);
         const double ratio = std::exp(logp - tr.log_prob);
         const double clipped = std::clamp(ratio, 1.0 - config.clip_range,
                                           1.0 + config.clip_range);
         const bool use_unclipped = ratio * adv <= clipped * adv;
         // Loss = -min(r*A, clip(r)*A) - ent_coef * H.
         const double dl_dratio = use_unclipped ? -adv : 0.0;
-        const auto logp_grad = dist.log_prob_grad(tr.action);
-        const auto ent_grad = dist.entropy_grad();
-        std::vector<double> grad_logits(logits.size(), 0.0);
-        for (std::size_t j = 0; j < logits.size(); ++j) {
-          grad_logits[j] =
-              (dl_dratio * ratio * logp_grad[j] -
-               config.entropy_coef * ent_grad[j]) *
-              inv_batch;
+        dist.log_prob_grad(k, tr.action, logp_grad);
+        dist.entropy_grad(k, ent_grad);
+        double* grow =
+            grad_logits.data() + static_cast<std::size_t>(k) * n_act;
+        for (std::size_t j = 0; j < n_act; ++j) {
+          grow[j] = (dl_dratio * ratio * logp_grad[j] -
+                     config.entropy_coef * ent_grad[j]) *
+                    inv_batch;
         }
-        policy.backward(grad_logits);
 
-        // Value forward/backward.
-        const double v = value_net.forward_cached(tr.obs)[0];
-        const double dv = config.value_coef * (v - ret) * inv_batch;
-        const std::array<double, 1> vgrad{dv};
-        value_net.backward(vgrad);
+        // Value gradient for row k.
+        const double v = values[static_cast<std::size_t>(k)];
+        value_grads[static_cast<std::size_t>(k)] =
+            config.value_coef * (v - ret) * inv_batch;
 
         stats.policy_loss += -std::min(ratio * adv, clipped * adv);
         stats.value_loss += 0.5 * (v - ret) * (v - ret);
-        stats.entropy += dist.entropy();
+        stats.entropy += dist.entropy(k);
         ++loss_samples;
       }
+      policy.backward_batch(grad_logits, bsz);
+      value_net.backward_batch(value_grads, bsz);
       optimizer.step(config.max_grad_norm);
     }
   }
@@ -327,6 +358,17 @@ PpoAgent train_ppo_vec(
   std::vector<std::vector<Transition>> env_buf(
       static_cast<std::size_t>(num_envs));
 
+  const auto obs_size = static_cast<std::size_t>(envs.observation_size());
+  WorkerPool& pool = envs.pool();
+  // Round-scoped scratch, hoisted out of the hot loop.
+  std::vector<double> obs_batch;
+  std::vector<double> logits_batch;
+  std::vector<double> values_batch;
+  std::vector<double> boot_obs;
+  std::vector<double> boot_values;
+  std::vector<int> boot_envs;
+  std::vector<int> actions(static_cast<std::size_t>(num_envs), 0);
+
   int timesteps_done = 0;
   while (timesteps_done < config.total_timesteps) {
     // ---- Rollout collection: all envs advance in lockstep rounds ----
@@ -337,33 +379,55 @@ PpoAgent train_ppo_vec(
     double reward_sum = 0.0;
     int episodes = 0;
     for (int r = 0; r < rounds; ++r) {
-      // One fused parallel round per timestep: the worker owning env e
-      // runs the policy/value forwards, samples from env e's RNG stream,
-      // steps the env and records the outcome — a single barrier.
-      const auto& results = envs.step_with(
-          [&](int e) {
-            const auto idx = static_cast<std::size_t>(e);
-            Transition tr;
-            tr.obs = envs.observations()[idx];
-            tr.mask = envs.action_masks()[idx];
-            const auto logits = policy.forward(tr.obs);
-            const MaskedCategorical dist(logits, tr.mask);
-            tr.action = dist.sample(env_rngs[idx]);
-            tr.log_prob = dist.log_prob(tr.action);
-            tr.value = value_net.forward(tr.obs)[0];
-            const int action = tr.action;
-            env_buf[idx].push_back(std::move(tr));
-            return action;
-          },
-          [&](int e, const StepResult& result) {
-            const auto idx = static_cast<std::size_t>(e);
-            Transition& tr = env_buf[idx].back();
-            tr.reward = result.reward;
-            tr.episode_end = result.done || result.truncated;
-            if (result.truncated && !result.done) {
-              tr.bootstrap = value_net.forward(result.observation)[0];
-            }
-          });
+      // One batched policy forward and one batched value forward over all
+      // N observations of the round — the MLP is evaluated as a single
+      // row-parallel [N x obs] pass instead of N scalar calls.
+      envs.gather_observations(obs_batch);
+      const auto& masks = envs.action_masks();
+      policy.forward_batch(obs_batch, num_envs, logits_batch, &pool);
+      value_net.forward_batch(obs_batch, num_envs, values_batch, &pool);
+      const BatchedMaskedCategorical dist(logits_batch, masks);
+      // Sampling consumes each env's own RNG stream in fixed env order, so
+      // the collected experience is identical to per-env scalar inference.
+      for (int e = 0; e < num_envs; ++e) {
+        const auto idx = static_cast<std::size_t>(e);
+        Transition tr;
+        tr.obs = envs.observations()[idx];
+        tr.mask = masks[idx];
+        tr.action = dist.sample(e, env_rngs[idx]);
+        tr.log_prob = dist.log_prob(e, tr.action);
+        tr.value = values_batch[idx];
+        actions[idx] = tr.action;
+        env_buf[idx].push_back(std::move(tr));
+      }
+      const auto& results = envs.step(actions);
+      // Value bootstrap for time-limit truncations, batched over the
+      // (typically few) envs that hit the limit this round.
+      boot_envs.clear();
+      for (int e = 0; e < num_envs; ++e) {
+        const auto idx = static_cast<std::size_t>(e);
+        Transition& tr = env_buf[idx].back();
+        tr.reward = results[idx].reward;
+        tr.episode_end = results[idx].done || results[idx].truncated;
+        if (results[idx].truncated && !results[idx].done) {
+          boot_envs.push_back(e);
+        }
+      }
+      if (!boot_envs.empty()) {
+        boot_obs.resize(boot_envs.size() * obs_size);
+        for (std::size_t i = 0; i < boot_envs.size(); ++i) {
+          const auto& term_obs =
+              results[static_cast<std::size_t>(boot_envs[i])].observation;
+          std::copy(term_obs.begin(), term_obs.end(),
+                    boot_obs.begin() + i * obs_size);
+        }
+        value_net.forward_batch(boot_obs, static_cast<int>(boot_envs.size()),
+                                boot_values, &pool);
+        for (std::size_t i = 0; i < boot_envs.size(); ++i) {
+          env_buf[static_cast<std::size_t>(boot_envs[i])].back().bootstrap =
+              boot_values[i];
+        }
+      }
       // Episode bookkeeping in fixed env order (deterministic sums).
       for (int e = 0; e < num_envs; ++e) {
         const auto idx = static_cast<std::size_t>(e);
@@ -378,13 +442,29 @@ PpoAgent train_ppo_vec(
     }
 
     // ---- GAE(lambda), one segment per env ----
+    // Tail values V(s_T) for envs whose last transition did not end an
+    // episode, in one batched value forward.
     std::vector<double> tail_values(static_cast<std::size_t>(num_envs), 0.0);
-    envs.pool().parallel_for(num_envs, [&](int e) {
-      const auto idx = static_cast<std::size_t>(e);
-      if (!env_buf[idx].back().episode_end) {
-        tail_values[idx] = value_net.forward(envs.observations()[idx])[0];
+    boot_envs.clear();
+    for (int e = 0; e < num_envs; ++e) {
+      if (!env_buf[static_cast<std::size_t>(e)].back().episode_end) {
+        boot_envs.push_back(e);
       }
-    });
+    }
+    if (!boot_envs.empty()) {
+      boot_obs.resize(boot_envs.size() * obs_size);
+      for (std::size_t i = 0; i < boot_envs.size(); ++i) {
+        const auto& live_obs =
+            envs.observations()[static_cast<std::size_t>(boot_envs[i])];
+        std::copy(live_obs.begin(), live_obs.end(),
+                  boot_obs.begin() + i * obs_size);
+      }
+      value_net.forward_batch(boot_obs, static_cast<int>(boot_envs.size()),
+                              boot_values, &pool);
+      for (std::size_t i = 0; i < boot_envs.size(); ++i) {
+        tail_values[static_cast<std::size_t>(boot_envs[i])] = boot_values[i];
+      }
+    }
     std::vector<Transition> buffer;
     buffer.reserve(static_cast<std::size_t>(rounds * num_envs));
     std::vector<double> advantages(
@@ -412,7 +492,7 @@ PpoAgent train_ppo_vec(
     stats.mean_episode_reward =
         episodes > 0 ? reward_sum / static_cast<double>(episodes) : 0.0;
     run_ppo_epochs(buffer, advantages, returns, config, policy, value_net,
-                   optimizer, update_rng, stats);
+                   optimizer, update_rng, stats, &pool);
     if (stats_out != nullptr) {
       stats_out->push_back(stats);
     }

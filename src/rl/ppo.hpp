@@ -72,6 +72,8 @@ class PpoAgent {
 
   [[nodiscard]] Mlp& policy() { return policy_; }
   [[nodiscard]] Mlp& value_net() { return value_; }
+  [[nodiscard]] const Mlp& policy() const { return policy_; }
+  [[nodiscard]] const Mlp& value_net() const { return value_; }
   [[nodiscard]] const PpoConfig& config() const { return config_; }
 
  private:
@@ -91,10 +93,14 @@ class VecEnv;
 
 /// Vectorized PPO: fills the `steps_per_update` horizon from all of
 /// `envs`' environments concurrently (the horizon is rounded down to a
-/// multiple of num_envs, minimum one round per env). Policy/value
-/// forwards, action sampling and env stepping run on the VecEnv's worker
-/// pool with per-env RNG streams; the optimizer update is identical to
-/// the serial path. The result is bitwise-deterministic for a fixed
+/// multiple of num_envs, minimum one round per env). Each lockstep round
+/// gathers all N observations and issues ONE batched policy forward and
+/// ONE batched value forward (row-parallel on the VecEnv's worker pool)
+/// instead of N scalar ones; actions are drawn from a batched masked
+/// categorical with per-env RNG streams, and env stepping runs on the same
+/// pool. The PPO epochs likewise use batched forward/backward passes per
+/// minibatch. All batched math is bitwise-identical to the per-sample
+/// path, so the result is bitwise-deterministic for a fixed
 /// (config.seed, envs.num_envs()) pair, independent of the worker count.
 PpoAgent train_ppo_vec(
     VecEnv& envs, const PpoConfig& config,

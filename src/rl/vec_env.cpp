@@ -1,5 +1,6 @@
 #include "rl/vec_env.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace qrc::rl {
@@ -44,6 +45,14 @@ const std::vector<std::vector<double>>& VecEnv::reset() {
     masks_[idx] = envs_[idx]->action_mask();
   });
   return obs_;
+}
+
+void VecEnv::gather_observations(std::vector<double>& out) const {
+  const auto width = static_cast<std::size_t>(observation_size());
+  out.resize(envs_.size() * width);
+  for (std::size_t e = 0; e < obs_.size(); ++e) {
+    std::copy(obs_[e].begin(), obs_[e].end(), out.begin() + e * width);
+  }
 }
 
 const std::vector<StepResult>& VecEnv::step(

@@ -56,6 +56,10 @@ class VecEnv {
   [[nodiscard]] const std::vector<std::vector<double>>& observations() const {
     return obs_;
   }
+  /// Copies the current observations into a row-major
+  /// [num_envs x observation_size] buffer — the input of one batched
+  /// policy/value forward per lockstep round.
+  void gather_observations(std::vector<double>& out) const;
   /// Current per-env action masks (matching observations()).
   [[nodiscard]] const std::vector<std::vector<bool>>& action_masks() const {
     return masks_;

@@ -339,6 +339,40 @@ TEST(PredictorTest, SaveLoadProducesSameCompilation) {
 TEST(PredictorTest, CompileBeforeTrainThrows) {
   qrc::core::Predictor predictor({});
   EXPECT_THROW((void)predictor.compile(small_ghz()), std::logic_error);
+  EXPECT_THROW((void)predictor.compile_all({}), std::logic_error);
+}
+
+TEST(PredictorTest, CompileAllMatchesIndividualCompiles) {
+  // The batched greedy loop (one policy forward over all still-running
+  // episodes per step) must reproduce compile() exactly per circuit.
+  qrc::core::PredictorConfig config;
+  config.seed = 11;
+  config.ppo.total_timesteps = 512;
+  config.ppo.steps_per_update = 256;
+  config.ppo.hidden_sizes = {16};
+  config.rollout_workers = 2;
+  qrc::core::Predictor predictor(config);
+  (void)predictor.train({small_ghz()});
+
+  std::vector<Circuit> suite;
+  for (const int n : {2, 3, 4}) {
+    suite.push_back(qrc::bench::make_benchmark(BenchmarkFamily::kGhz, n, 1));
+    suite.push_back(qrc::bench::make_benchmark(BenchmarkFamily::kVqe, n, 1));
+  }
+  const auto batched = predictor.compile_all(suite);
+  ASSERT_EQ(batched.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto single = predictor.compile(suite[i]);
+    EXPECT_EQ(batched[i].action_trace, single.action_trace)
+        << suite[i].name();
+    EXPECT_EQ(batched[i].reward, single.reward);
+    EXPECT_EQ(batched[i].used_fallback, single.used_fallback);
+    EXPECT_EQ(batched[i].circuit.size(), single.circuit.size());
+    EXPECT_EQ(batched[i].device, single.device);
+    EXPECT_EQ(batched[i].final_layout, single.final_layout);
+    ASSERT_NE(batched[i].device, nullptr);
+    EXPECT_TRUE(batched[i].device->circuit_is_native(batched[i].circuit));
+  }
 }
 
 TEST(PredictorTest, ExtensionObjectivesTrainAndCompile) {

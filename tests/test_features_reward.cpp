@@ -34,6 +34,36 @@ TEST(FeaturesTest, EmptyCircuit) {
   EXPECT_EQ(f.critical_depth, 0.0);
 }
 
+TEST(FeaturesTest, DegenerateCircuitsProduceFiniteObservations) {
+  // Regression: the parallelism / communication / liveness formulas divide
+  // by (n - 1) and depth. Empty, single-qubit and gate-free circuits must
+  // produce all-finite (guarded, zeroed) observations instead of NaNs
+  // that would silently poison PPO training.
+  std::vector<Circuit> degenerate;
+  degenerate.emplace_back(0);  // no qubits at all
+  degenerate.emplace_back(3);  // qubits but no gates
+  Circuit one_qubit(1);        // 1-qubit circuit: n - 1 == 0
+  one_qubit.h(0);
+  one_qubit.rz(0.25, 0);
+  degenerate.push_back(one_qubit);
+  Circuit measure_only(2);     // no unitary gates: depth == 0
+  measure_only.measure_all();
+  degenerate.push_back(measure_only);
+  Circuit single_gate(4);      // one gate on a wide register
+  single_gate.h(2);
+  degenerate.push_back(single_gate);
+  for (const Circuit& c : degenerate) {
+    const auto obs = extract_features(c).observation();
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(obs[i]))
+          << "feature " << i << " of circuit '" << c.name() << "' ("
+          << c.num_qubits() << " qubits, " << c.size() << " ops)";
+      EXPECT_GE(obs[i], 0.0) << "feature " << i;
+      EXPECT_LE(obs[i], 1.0) << "feature " << i;
+    }
+  }
+}
+
 TEST(FeaturesTest, GhzChainCommunication) {
   // Chain interaction graph on 5 qubits: 4 edges, density 2*4/(5*4) = 0.4.
   const auto f = extract_features(ghz(5));

@@ -543,4 +543,68 @@ TEST(QasmTest, IgnoresComments) {
   EXPECT_EQ(c.ops()[0].kind(), GateKind::kH);
 }
 
+TEST(QasmTest, ParsesScientificAndSignedParameters) {
+  const std::string text = R"(OPENQASM 2.0;
+qreg q[1];
+rx(1e-3) q[0];
+rz(-2.5E+1) q[0];
+ry(+0.5) q[0];
+rx(1.5e2/3) q[0];
+)";
+  const Circuit c = qrc::ir::from_qasm(text);
+  ASSERT_EQ(c.size(), 4U);
+  EXPECT_NEAR(c.ops()[0].param(0), 1e-3, 1e-15);
+  EXPECT_NEAR(c.ops()[1].param(0), -25.0, 1e-12);
+  EXPECT_NEAR(c.ops()[2].param(0), 0.5, 1e-15);
+  EXPECT_NEAR(c.ops()[3].param(0), 50.0, 1e-12);
+}
+
+TEST(QasmTest, MalformedIndexReportsLineContext) {
+  const std::string text =
+      "OPENQASM 2.0;\n"
+      "qreg q[2];\n"
+      "cx q[zero],q[1];\n";
+  try {
+    (void)qrc::ir::from_qasm(text);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cx q[zero]"), std::string::npos) << msg;
+  }
+}
+
+TEST(QasmTest, RejectsMalformedInputWithoutUncaughtStdExceptions) {
+  // Every case used to escape as std::invalid_argument/out_of_range from
+  // std::stoi/std::stod (or be silently misparsed); all must surface as a
+  // qasm parse error now.
+  const std::vector<std::string> bad = {
+      "qreg q[two];\n",               // non-numeric register size
+      "qreg q[];\n",                  // empty register size
+      "qreg q[99999999];\n",          // absurd register size
+      "qreg q[2];\nh q[1abc];\n",     // trailing garbage in index
+      "qreg q[2];\nh q[-1];\n",       // negative index
+      "qreg q[2];\nrx(0.5bad) q[0];\n",   // trailing garbage in param
+      "qreg q[2];\nrx(.) q[0];\n",        // no digits
+      "qreg q[2];\nrx((pi q[0];\n",       // unbalanced parens
+      "qreg q[2];\nmeasure q[x] -> c[0];\n",
+  };
+  for (const std::string& text : bad) {
+    EXPECT_THROW((void)qrc::ir::from_qasm(text), std::runtime_error)
+        << text;
+  }
+}
+
+TEST(QasmTest, ErrorsCarryTheQasmParseErrorPrefix) {
+  try {
+    (void)qrc::ir::from_qasm("qreg q[1];\nfoo q[0];\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("qasm: parse error at line 2"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("unknown gate 'foo'"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <random>
+#include <span>
 #include <sstream>
 
 #include "rl/adam.hpp"
@@ -13,15 +14,18 @@
 #include "rl/env.hpp"
 #include "rl/mlp.hpp"
 #include "rl/ppo.hpp"
+#include "rl/thread_pool.hpp"
 
 namespace {
 
 using qrc::rl::Adam;
+using qrc::rl::BatchedMaskedCategorical;
 using qrc::rl::Env;
 using qrc::rl::MaskedCategorical;
 using qrc::rl::Mlp;
 using qrc::rl::PpoConfig;
 using qrc::rl::StepResult;
+using qrc::rl::WorkerPool;
 
 // ------------------------------------------------------------------ MLP ---
 
@@ -98,6 +102,93 @@ TEST(MlpTest, GradientsAccumulate) {
   (void)net.forward_cached(x);
   net.backward(g);
   EXPECT_NEAR(*grads[0], 2.0 * first, 1e-12);
+}
+
+TEST(MlpTest, ForwardBatchMatchesScalarBitwise) {
+  constexpr int kBatch = 13;
+  const Mlp net({5, 16, 8, 3}, 21);
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> uniform(-1.0, 1.0);
+  std::vector<double> inputs(kBatch * 5);
+  for (double& v : inputs) {
+    v = uniform(rng);
+  }
+  std::vector<double> batch_out;
+  net.forward_batch(inputs, kBatch, batch_out);
+  ASSERT_EQ(batch_out.size(), static_cast<std::size_t>(kBatch * 3));
+  for (int r = 0; r < kBatch; ++r) {
+    const auto row = std::span<const double>(inputs).subspan(
+        static_cast<std::size_t>(r) * 5, 5);
+    const auto scalar = net.forward(row);
+    for (int j = 0; j < 3; ++j) {
+      // EXPECT_EQ: the batched path must be bitwise-identical, not just
+      // numerically close.
+      EXPECT_EQ(scalar[static_cast<std::size_t>(j)],
+                batch_out[static_cast<std::size_t>(r * 3 + j)])
+          << "row " << r << " output " << j;
+    }
+  }
+  // Row-parallel execution on a pool must not change a single bit either.
+  WorkerPool pool(4);
+  std::vector<double> pooled_out;
+  net.forward_batch(inputs, kBatch, pooled_out, &pool);
+  EXPECT_EQ(pooled_out, batch_out);
+}
+
+TEST(MlpTest, BackwardBatchMatchesPerSampleBitwise) {
+  constexpr int kBatch = 9;
+  Mlp scalar_net({4, 12, 2}, 31);
+  Mlp batch_net({4, 12, 2}, 31);  // same seed => identical weights
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> uniform(-1.0, 1.0);
+  std::vector<double> inputs(kBatch * 4);
+  std::vector<double> grad_out(kBatch * 2);
+  for (double& v : inputs) {
+    v = uniform(rng);
+  }
+  for (double& v : grad_out) {
+    v = uniform(rng);
+  }
+
+  scalar_net.zero_grad();
+  for (int r = 0; r < kBatch; ++r) {
+    (void)scalar_net.forward_cached(std::span<const double>(inputs).subspan(
+        static_cast<std::size_t>(r) * 4, 4));
+    scalar_net.backward(std::span<const double>(grad_out).subspan(
+        static_cast<std::size_t>(r) * 2, 2));
+  }
+
+  batch_net.zero_grad();
+  const auto& batch_out = batch_net.forward_batch_cached(inputs, kBatch);
+  for (int r = 0; r < kBatch; ++r) {
+    const auto scalar_out = scalar_net.forward(
+        std::span<const double>(inputs).subspan(
+            static_cast<std::size_t>(r) * 4, 4));
+    EXPECT_EQ(scalar_out[0], batch_out[static_cast<std::size_t>(r * 2)]);
+  }
+  batch_net.backward_batch(grad_out, kBatch);
+
+  std::vector<double*> pa;
+  std::vector<double*> ga;
+  std::vector<double*> pb;
+  std::vector<double*> gb;
+  scalar_net.collect_parameters(pa, ga);
+  batch_net.collect_parameters(pb, gb);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_EQ(*ga[i], *gb[i]) << "gradient " << i;
+  }
+}
+
+TEST(MlpTest, ForwardBatchRejectsBadShapes) {
+  Mlp net({3, 4, 2}, 1);
+  std::vector<double> out;
+  const std::vector<double> data(7, 0.0);  // not a multiple of 3
+  EXPECT_THROW(net.forward_batch(data, 2, out), std::invalid_argument);
+  EXPECT_THROW((void)net.forward_batch_cached(data, 0),
+               std::invalid_argument);
+  const std::vector<double> grads(4, 0.0);
+  EXPECT_THROW(net.backward_batch(grads, 2), std::invalid_argument);
 }
 
 TEST(MlpTest, SaveLoadRoundTrip) {
@@ -214,6 +305,74 @@ TEST(CategoricalTest, SamplingFollowsDistribution) {
   EXPECT_NEAR(static_cast<double>(count0) / trials, 0.7, 0.02);
 }
 
+TEST(CategoricalTest, BatchedMatchesScalarBitwise) {
+  const std::vector<std::vector<double>> logit_rows = {
+      {0.3, -0.1, 2.0, 0.0},
+      {5.0, 1.0, -2.0, 0.7},
+      {0.0, 0.0, 0.0, 0.0},
+  };
+  const std::vector<std::vector<bool>> masks = {
+      {true, true, true, true},
+      {false, true, true, false},
+      {true, false, true, true},
+  };
+  std::vector<double> flat;
+  for (const auto& row : logit_rows) {
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  const BatchedMaskedCategorical batched(flat, masks);
+  ASSERT_EQ(batched.batch_size(), 3);
+  ASSERT_EQ(batched.num_actions(), 4);
+  std::vector<double> grad_batched(4);
+  for (int r = 0; r < 3; ++r) {
+    const MaskedCategorical scalar(logit_rows[static_cast<std::size_t>(r)],
+                                   masks[static_cast<std::size_t>(r)]);
+    const auto row_probs = batched.probs(r);
+    for (int a = 0; a < 4; ++a) {
+      EXPECT_EQ(row_probs[static_cast<std::size_t>(a)],
+                scalar.probs()[static_cast<std::size_t>(a)])
+          << "row " << r << " action " << a;
+      EXPECT_EQ(batched.log_prob(r, a), scalar.log_prob(a));
+    }
+    EXPECT_EQ(batched.argmax(r), scalar.argmax());
+    EXPECT_EQ(batched.entropy(r), scalar.entropy());
+    const int probe = scalar.argmax();
+    batched.log_prob_grad(r, probe, grad_batched);
+    const auto grad_scalar = scalar.log_prob_grad(probe);
+    for (int a = 0; a < 4; ++a) {
+      EXPECT_EQ(grad_batched[static_cast<std::size_t>(a)],
+                grad_scalar[static_cast<std::size_t>(a)]);
+    }
+    batched.entropy_grad(r, grad_batched);
+    const auto ent_scalar = scalar.entropy_grad();
+    for (int a = 0; a < 4; ++a) {
+      EXPECT_EQ(grad_batched[static_cast<std::size_t>(a)],
+                ent_scalar[static_cast<std::size_t>(a)]);
+    }
+    // Sampling consumes the RNG stream identically.
+    std::mt19937_64 rng_a(99 + static_cast<std::uint64_t>(r));
+    std::mt19937_64 rng_b(99 + static_cast<std::uint64_t>(r));
+    for (int t = 0; t < 64; ++t) {
+      EXPECT_EQ(batched.sample(r, rng_a), scalar.sample(rng_b));
+    }
+  }
+}
+
+TEST(CategoricalTest, BatchedRejectsBadInput) {
+  const std::vector<double> logits{0.0, 1.0};
+  EXPECT_THROW(BatchedMaskedCategorical(logits, {}), std::invalid_argument);
+  // Two rows of two actions need four logits.
+  EXPECT_THROW(BatchedMaskedCategorical(logits, {{true, true}, {true, true}}),
+               std::invalid_argument);
+  // Ragged masks are rejected.
+  const std::vector<double> four{0.0, 1.0, 2.0, 3.0};
+  EXPECT_THROW(BatchedMaskedCategorical(four, {{true, true}, {true}}),
+               std::invalid_argument);
+  // A row with no valid action is rejected like the scalar distribution.
+  EXPECT_THROW(BatchedMaskedCategorical(logits, {{false, false}}),
+               std::invalid_argument);
+}
+
 // ------------------------------------------------------------- toy envs ---
 
 /// One-step environment: 4 actions, reward = preset payout; action 2 pays
@@ -275,6 +434,65 @@ class CorridorEnv final : public Env {
   int pos_ = 0;
   int steps_ = 0;
 };
+
+/// Endless one-state task paying reward 1 every step. Episodes never
+/// reach a terminal state; they are either cut off by the time limit
+/// (truncated — the value estimate of the next state must be
+/// bootstrapped, so V heads towards 1/(1-gamma)) or, in the control
+/// variant, genuinely terminated (V converges to the short episodic sum).
+class EndlessRewardEnv final : public Env {
+ public:
+  explicit EndlessRewardEnv(bool truncate) : truncate_(truncate) {}
+  int observation_size() const override { return 1; }
+  int num_actions() const override { return 1; }
+  std::vector<double> reset() override {
+    steps_ = 0;
+    return {1.0};
+  }
+  std::vector<bool> action_mask() const override { return {true}; }
+  StepResult step(int) override {
+    ++steps_;
+    StepResult r;
+    r.observation = {1.0};
+    r.reward = 1.0;
+    if (steps_ >= 2) {
+      if (truncate_) {
+        r.truncated = true;
+      } else {
+        r.done = true;
+      }
+    }
+    return r;
+  }
+
+ private:
+  bool truncate_ = false;
+  int steps_ = 0;
+};
+
+TEST(PpoTest, TruncationBootstrapsValueEstimate) {
+  // Identical MDPs except for how the 2-step episodes end. Treating the
+  // time limit as terminal caps the value at 1 + gamma = 1.9; correct
+  // truncation handling bootstraps V(s') and drives the estimate towards
+  // the infinite-horizon 1/(1-gamma) = 10.
+  PpoConfig config;
+  config.total_timesteps = 8192;
+  config.steps_per_update = 256;
+  config.minibatch_size = 64;
+  config.epochs_per_update = 10;
+  config.gamma = 0.9;
+  config.learning_rate = 1e-2;
+  config.hidden_sizes = {8};
+  config.seed = 4;
+  EndlessRewardEnv truncating(true);
+  EndlessRewardEnv terminating(false);
+  const auto agent_trunc = qrc::rl::train_ppo(truncating, config);
+  const auto agent_term = qrc::rl::train_ppo(terminating, config);
+  const std::vector<double> obs{1.0};
+  EXPECT_LT(agent_term.value(obs), 3.0);
+  EXPECT_GT(agent_trunc.value(obs), 4.0);
+  EXPECT_GT(agent_trunc.value(obs), agent_term.value(obs) + 1.0);
+}
 
 TEST(PpoTest, LearnsBanditOptimalArm) {
   BanditEnv env;

@@ -14,6 +14,8 @@
 #include "bench_suite/benchmarks.hpp"
 #include "core/compilation_env.hpp"
 #include "core/predictor.hpp"
+#include "rl/categorical.hpp"
+#include "rl/mlp.hpp"
 #include "rl/ppo.hpp"
 #include "rl/thread_pool.hpp"
 #include "rl/vec_env.hpp"
@@ -156,6 +158,66 @@ TEST(VecEnvTest, RejectsMismatchedActionCount) {
   EXPECT_THROW(envs.step({1}), std::invalid_argument);
 }
 
+TEST(VecEnvTest, GatherObservationsIsRowMajorCopy) {
+  VecEnv envs = make_corridors(3, 2);
+  envs.reset();
+  envs.step({1, 1, 1});
+  envs.step({1, 0, 1});
+  std::vector<double> flat;
+  envs.gather_observations(flat);
+  ASSERT_EQ(flat.size(), 3U);
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_EQ(flat[static_cast<std::size_t>(e)],
+              envs.observations()[static_cast<std::size_t>(e)][0]);
+  }
+}
+
+// ----------------------------------------------- batched rollout parity ---
+
+TEST(VecEnvTest, BatchedPolicyInferenceMatchesScalarBitwise) {
+  // The rollout engine's batched round — gather, one forward_batch per
+  // network, batched masked sampling — must produce exactly the actions,
+  // log-probs and values of per-env scalar inference with the same RNG
+  // streams.
+  constexpr int kNumEnvs = 5;
+  VecEnv envs = make_corridors(kNumEnvs, 2);
+  envs.reset();
+  PpoConfig agent_config;
+  agent_config.hidden_sizes = {16};
+  agent_config.seed = 3;
+  qrc::rl::PpoAgent agent(envs.observation_size(), envs.num_actions(),
+                          agent_config);
+  std::vector<std::mt19937_64> batched_rngs;
+  std::vector<std::mt19937_64> scalar_rngs;
+  for (int e = 0; e < kNumEnvs; ++e) {
+    batched_rngs.emplace_back(500 + 31 * static_cast<std::uint64_t>(e));
+    scalar_rngs.emplace_back(500 + 31 * static_cast<std::uint64_t>(e));
+  }
+  WorkerPool pool(3);
+  std::vector<double> obs_batch;
+  std::vector<double> logits;
+  std::vector<double> values;
+  std::vector<int> actions(kNumEnvs, 0);
+  for (int round = 0; round < 24; ++round) {
+    envs.gather_observations(obs_batch);
+    agent.policy().forward_batch(obs_batch, kNumEnvs, logits, &pool);
+    agent.value_net().forward_batch(obs_batch, kNumEnvs, values, &pool);
+    const qrc::rl::BatchedMaskedCategorical dist(logits,
+                                                 envs.action_masks());
+    for (int e = 0; e < kNumEnvs; ++e) {
+      const auto idx = static_cast<std::size_t>(e);
+      actions[idx] = dist.sample(e, batched_rngs[idx]);
+      const int scalar_action = agent.act_sample(
+          envs.observations()[idx], envs.action_masks()[idx],
+          scalar_rngs[idx]);
+      EXPECT_EQ(actions[idx], scalar_action)
+          << "round " << round << " env " << e;
+      EXPECT_EQ(values[idx], agent.value(envs.observations()[idx]));
+    }
+    envs.step(actions);
+  }
+}
+
 // ------------------------------------------------- CompilationEnv clone ---
 
 TEST(CompilationEnvCloneTest, ClonesShareCorpusAndDivergeBySeed) {
@@ -262,6 +324,65 @@ TEST(VecPpoTest, LearnsCorridorAndHonoursMask) {
   }
   EXPECT_TRUE(done);
   EXPECT_EQ(steps, 5);
+}
+
+/// Endless one-state task paying reward 1 every step; episodes only ever
+/// hit the time limit (see test_rl.cpp for the serial twin of this test).
+class EndlessRewardEnv final : public Env {
+ public:
+  explicit EndlessRewardEnv(bool truncate) : truncate_(truncate) {}
+  int observation_size() const override { return 1; }
+  int num_actions() const override { return 1; }
+  std::vector<double> reset() override {
+    steps_ = 0;
+    return {1.0};
+  }
+  std::vector<bool> action_mask() const override { return {true}; }
+  StepResult step(int) override {
+    ++steps_;
+    StepResult r;
+    r.observation = {1.0};
+    r.reward = 1.0;
+    if (steps_ >= 2) {
+      if (truncate_) {
+        r.truncated = true;
+      } else {
+        r.done = true;
+      }
+    }
+    return r;
+  }
+
+ private:
+  bool truncate_ = false;
+  int steps_ = 0;
+};
+
+TEST(VecPpoTest, TruncationBootstrapsValueEstimate) {
+  // Vectorized twin of PpoTest.TruncationBootstrapsValueEstimate: the
+  // batched rollout loop must bootstrap V(s') on time-limit truncation
+  // (value heads towards 1/(1-gamma) = 10), not treat it as terminal
+  // (which caps the value at 1 + gamma = 1.9).
+  PpoConfig config;
+  config.total_timesteps = 8192;
+  config.steps_per_update = 256;
+  config.minibatch_size = 64;
+  config.epochs_per_update = 10;
+  config.gamma = 0.9;
+  config.learning_rate = 1e-2;
+  config.hidden_sizes = {8};
+  config.seed = 4;
+  const auto train = [&](bool truncate) {
+    VecEnv envs(
+        [&](int) { return std::make_unique<EndlessRewardEnv>(truncate); }, 4,
+        2);
+    return qrc::rl::train_ppo_vec(envs, config);
+  };
+  const auto agent_trunc = train(true);
+  const auto agent_term = train(false);
+  const std::vector<double> obs{1.0};
+  EXPECT_LT(agent_term.value(obs), 3.0);
+  EXPECT_GT(agent_trunc.value(obs), 4.0);
 }
 
 TEST(VecPpoTest, BitwiseDeterministicOnCompilationCorpus) {
