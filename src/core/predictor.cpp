@@ -115,8 +115,8 @@ CompilationResult Predictor::compile(const ir::Circuit& circuit) const {
 }
 
 std::vector<CompilationResult> Predictor::compile_all(
-    std::span<const ir::Circuit> circuits) const {
-  return compile_batch(circuits, -1);
+    std::span<const ir::Circuit> circuits, rl::WorkerPool* pool) const {
+  return compile_batch(circuits, -1, pool);
 }
 
 CompilationResult Predictor::compile_with_masked_feature(
@@ -127,7 +127,8 @@ CompilationResult Predictor::compile_with_masked_feature(
 }
 
 std::vector<CompilationResult> Predictor::compile_batch(
-    std::span<const ir::Circuit> circuits, int feature_index) const {
+    std::span<const ir::Circuit> circuits, int feature_index,
+    rl::WorkerPool* external_pool) const {
   if (!agent_.has_value()) {
     throw std::logic_error("Predictor::compile: train or load a model first");
   }
@@ -168,13 +169,17 @@ std::vector<CompilationResult> Predictor::compile_batch(
   }
 
   // The pool runs the batched policy forwards (row-parallel) and steps the
-  // independent environments concurrently.
+  // independent environments concurrently. A caller-provided pool is
+  // reused as-is (the compile service keeps one per model lane); otherwise
+  // a batch-local pool is spun up.
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   const int workers =
       config_.rollout_workers > 0
           ? std::min(config_.rollout_workers, num_circuits)
           : std::min(num_circuits, hw > 0 ? hw : 1);
-  rl::WorkerPool pool(workers);
+  std::optional<rl::WorkerPool> local_pool;
+  rl::WorkerPool& pool =
+      external_pool != nullptr ? *external_pool : local_pool.emplace(workers);
   const rl::Mlp& policy = agent_->policy();
   const auto obs_size = static_cast<std::size_t>(policy.input_size());
 

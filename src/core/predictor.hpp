@@ -15,6 +15,10 @@
 #include "reward/reward.hpp"
 #include "rl/ppo.hpp"
 
+namespace qrc::rl {
+class WorkerPool;
+}
+
 namespace qrc::core {
 
 /// Outcome of compiling one circuit with a trained policy.
@@ -67,8 +71,16 @@ class Predictor {
   /// environments step in parallel. Per circuit the result is identical
   /// to compile() — the batched forward is bitwise-equal to the scalar
   /// one and each episode's greedy loop is independent.
+  ///
+  /// `pool` lets a long-lived caller (the compile service) reuse one
+  /// worker pool across many batches instead of paying thread spawn per
+  /// call; nullptr creates a batch-local pool. The pool choice cannot
+  /// change results (index-parallel jobs are deterministic for any pool
+  /// size). All compile* methods are const and safe to call concurrently
+  /// from multiple threads on one Predictor.
   [[nodiscard]] std::vector<CompilationResult> compile_all(
-      std::span<const ir::Circuit> circuits) const;
+      std::span<const ir::Circuit> circuits,
+      rl::WorkerPool* pool = nullptr) const;
 
   /// Ablation hook: compile with observation feature `feature_index`
   /// zeroed at every inference step (measures how load-bearing each
@@ -87,7 +99,8 @@ class Predictor {
 
  private:
   [[nodiscard]] std::vector<CompilationResult> compile_batch(
-      std::span<const ir::Circuit> circuits, int feature_index) const;
+      std::span<const ir::Circuit> circuits, int feature_index,
+      rl::WorkerPool* pool = nullptr) const;
 
   PredictorConfig config_;
   std::optional<rl::PpoAgent> agent_;

@@ -19,6 +19,11 @@ void Circuit::add_global_phase(double phase) {
   global_phase_ = la::normalize_angle(global_phase_ + phase);
 }
 
+bool Circuit::operator==(const Circuit& rhs) const {
+  return num_qubits_ == rhs.num_qubits_ &&
+         global_phase_ == rhs.global_phase_ && ops_ == rhs.ops_;
+}
+
 void Circuit::validate(const Operation& op) const {
   for (const int q : op.qubits()) {
     if (q < 0 || q >= num_qubits_) {

@@ -121,6 +121,13 @@ class Circuit {
   /// Compact single-line summary, e.g. "ghz_5: 6 ops, depth 5".
   [[nodiscard]] std::string summary() const;
 
+  /// Structural equality: qubit count, global phase and the exact op
+  /// sequence (kinds, operands, parameters compared with double ==, so
+  /// -0.0 equals 0.0). The name is metadata and deliberately excluded —
+  /// two circuits with the same content compare equal whatever they are
+  /// called.
+  [[nodiscard]] bool operator==(const Circuit& rhs) const;
+
  private:
   void append1(GateKind kind, int q);
   void append1p(GateKind kind, double p0, int q);

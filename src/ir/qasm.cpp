@@ -53,6 +53,34 @@ std::string to_qasm(const Circuit& circuit) {
   return os.str();
 }
 
+std::string canonical_key(const Circuit& circuit) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  // -0.0 == 0.0 under Circuit::operator==, so fold the sign away to keep
+  // the key-equality <-> circuit-equality contract.
+  const auto canonical = [](double v) { return v == 0.0 ? 0.0 : v; };
+  os << "q" << circuit.num_qubits() << ";gp"
+     << canonical(circuit.global_phase()) << ";";
+  for (const Operation& op : circuit.ops()) {
+    os << gate_name(op.kind());
+    if (op.num_params() > 0) {
+      os << "(";
+      for (int i = 0; i < op.num_params(); ++i) {
+        if (i > 0) {
+          os << ",";
+        }
+        os << canonical(op.param(i));
+      }
+      os << ")";
+    }
+    for (int i = 0; i < op.num_qubits(); ++i) {
+      os << (i > 0 ? "," : " ") << op.qubit(i);
+    }
+    os << ";";
+  }
+  return os.str();
+}
+
 namespace {
 
 /// Minimal recursive-descent parser for parameter expressions:

@@ -24,4 +24,13 @@ namespace qrc::ir {
 ///         offending statement in the message.
 [[nodiscard]] Circuit from_qasm(const std::string& text);
 
+/// Canonical content fingerprint of a circuit, suitable as an exact cache
+/// key: the to_qasm() statement grammar with bit-exact (hex-float)
+/// parameters, prefixed with the qubit count and global phase. Two
+/// circuits share a key iff they are structurally identical
+/// (Circuit::operator==); the name is excluded, so differently-labelled
+/// copies of the same circuit hit the same cache entry. The key is the
+/// full text, not a hash — no collisions.
+[[nodiscard]] std::string canonical_key(const Circuit& circuit);
+
 }  // namespace qrc::ir

@@ -1,0 +1,245 @@
+#include "service/compile_service.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ir/qasm.hpp"
+
+namespace qrc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t elapsed_us(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+CompileService::CompileService(ServiceConfig config)
+    : config_(std::move(config)), cache_(config_.cache_entries) {
+  if (config_.max_batch < 1) {
+    throw std::invalid_argument("CompileService: max_batch must be >= 1");
+  }
+  if (config_.max_wait_us < 0) {
+    throw std::invalid_argument("CompileService: max_wait_us must be >= 0");
+  }
+}
+
+CompileService::~CompileService() {
+  stopping_ = true;
+  std::lock_guard lanes_lock(lanes_mu_);
+  for (auto& [name, lane] : lanes_) {
+    {
+      std::lock_guard lock(lane->mu);
+      lane->stop = true;
+    }
+    lane->cv.notify_all();
+  }
+  // Schedulers drain their queues before exiting, so every future handed
+  // out by submit() completes.
+  for (auto& [name, lane] : lanes_) {
+    if (lane->worker.joinable()) {
+      lane->worker.join();
+    }
+  }
+}
+
+std::string CompileService::resolve_model_name(
+    const std::string& model_name) const {
+  if (!model_name.empty()) {
+    return model_name;
+  }
+  if (!config_.default_model.empty()) {
+    return config_.default_model;
+  }
+  const auto names = registry_.names();
+  if (names.size() == 1) {
+    return names.front();
+  }
+  throw std::runtime_error(
+      names.empty()
+          ? "no models registered"
+          : "request names no model and no default model is configured");
+}
+
+CompileService::Lane& CompileService::lane_for(
+    const std::string& name,
+    std::shared_ptr<const core::Predictor> model) {
+  std::lock_guard lock(lanes_mu_);
+  const auto it = lanes_.find(name);
+  if (it != lanes_.end()) {
+    return *it->second;
+  }
+  auto lane = std::make_unique<Lane>();
+  lane->name = name;
+  lane->model = std::move(model);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  lane->pool = std::make_unique<rl::WorkerPool>(
+      std::max(1, std::min(config_.max_batch, hw > 0 ? hw : 1)));
+  Lane& ref = *lane;
+  lanes_.emplace(name, std::move(lane));
+  ref.worker = std::thread([this, &ref] { scheduler_loop(ref); });
+  return ref;
+}
+
+std::future<ServiceResponse> CompileService::submit(
+    std::string id, const std::string& model_name, ir::Circuit circuit) {
+  if (stopping_.load()) {
+    throw std::logic_error("CompileService::submit: service is stopping");
+  }
+  const auto submitted = Clock::now();
+  const std::string name = resolve_model_name(model_name);
+  auto model = registry_.at(name);
+  {
+    std::lock_guard lock(stats_mu_);
+    ++requests_;
+  }
+
+  Pending pending;
+  pending.id = std::move(id);
+  pending.circuit = std::move(circuit);
+  pending.submitted = submitted;
+  auto future = pending.promise.get_future();
+
+  if (cache_.enabled()) {
+    // Key on model + content so the same circuit may live in the cache
+    // once per objective. Fingerprints ignore the circuit name.
+    pending.key = name + '\n' + ir::canonical_key(pending.circuit);
+    if (auto hit = cache_.get(pending.key)) {
+      ServiceResponse response;
+      response.id = std::move(pending.id);
+      response.model = name;
+      response.result = std::move(*hit);
+      response.cached = true;
+      response.latency_us = elapsed_us(submitted);
+      pending.promise.set_value(std::move(response));
+      return future;
+    }
+  }
+
+  Lane& lane = lane_for(name, std::move(model));
+  {
+    std::lock_guard lock(lane.mu);
+    lane.queue.push_back(std::move(pending));
+  }
+  lane.cv.notify_all();
+  return future;
+}
+
+ServiceResponse CompileService::compile(const std::string& model_name,
+                                        const ir::Circuit& circuit) {
+  return submit("", model_name, circuit).get();
+}
+
+void CompileService::scheduler_loop(Lane& lane) {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock lock(lane.mu);
+      lane.cv.wait(lock, [&] { return lane.stop || !lane.queue.empty(); });
+      if (lane.queue.empty()) {
+        return;  // stop requested and fully drained
+      }
+      // Batch window: give concurrent submitters max_wait_us to pile on,
+      // but dispatch immediately once the batch is full or on shutdown.
+      if (!lane.stop &&
+          static_cast<int>(lane.queue.size()) < config_.max_batch &&
+          config_.max_wait_us > 0) {
+        const auto deadline =
+            Clock::now() + std::chrono::microseconds(config_.max_wait_us);
+        lane.cv.wait_until(lock, deadline, [&] {
+          return lane.stop ||
+                 static_cast<int>(lane.queue.size()) >= config_.max_batch;
+        });
+      }
+      const auto take =
+          std::min(lane.queue.size(),
+                   static_cast<std::size_t>(config_.max_batch));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(lane.queue.front()));
+        lane.queue.pop_front();
+      }
+    }
+    process_batch(lane, std::move(batch));
+  }
+}
+
+void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
+  const int n = static_cast<int>(batch.size());
+  {
+    std::lock_guard lock(stats_mu_);
+    ++batches_;
+    batched_requests_ += static_cast<std::uint64_t>(n);
+    max_batch_size_ = std::max(max_batch_size_, n);
+    ++batch_size_histogram_[n];
+  }
+
+  try {
+    // Identical circuits in one batch (or raced past the cache while a
+    // twin was in flight) compile once and fan out.
+    std::vector<ir::Circuit> circuits;
+    std::vector<std::size_t> slot(batch.size());
+    std::map<std::string_view, std::size_t> first_of_key;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch[i].key.empty()) {
+        const auto [it, inserted] =
+            first_of_key.try_emplace(batch[i].key, circuits.size());
+        slot[i] = it->second;
+        if (!inserted) {
+          continue;
+        }
+      } else {
+        slot[i] = circuits.size();
+      }
+      circuits.push_back(batch[i].circuit);
+    }
+
+    const auto results = lane.model->compile_all(circuits, lane.pool.get());
+
+    for (const auto& [key, s] : first_of_key) {
+      cache_.put(std::string(key), results[s]);
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ServiceResponse response;
+      response.id = std::move(batch[i].id);
+      response.model = lane.name;
+      response.result = results[slot[i]];
+      response.cached = false;
+      response.latency_us = elapsed_us(batch[i].submitted);
+      batch[i].promise.set_value(std::move(response));
+    }
+  } catch (...) {
+    const auto error = std::current_exception();
+    for (auto& pending : batch) {
+      pending.promise.set_exception(error);
+    }
+  }
+}
+
+ServiceStats CompileService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard lock(stats_mu_);
+    out.requests = requests_;
+    out.batches = batches_;
+    out.batched_requests = batched_requests_;
+    out.max_batch_size = max_batch_size_;
+    out.batch_size_histogram = batch_size_histogram_;
+  }
+  const auto cache = cache_.stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  return out;
+}
+
+}  // namespace qrc::service

@@ -1,0 +1,145 @@
+/// \file compile_service.hpp
+/// \brief Long-lived concurrent compilation server over trained Predictor
+///        models: a dynamic micro-batching scheduler fuses requests that
+///        arrive within a batch window into one batched greedy-policy
+///        rollout (Predictor::compile_all), a model registry routes each
+///        request to its model (batching per model), and an LRU result
+///        cache short-circuits repeat circuits. Micro-batching and caching
+///        are exact: every request's result is identical to a direct
+///        Predictor::compile() of the same circuit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/predictor.hpp"
+#include "rl/thread_pool.hpp"
+#include "service/model_registry.hpp"
+#include "service/result_cache.hpp"
+
+namespace qrc::service {
+
+struct ServiceConfig {
+  /// Most requests fused into one batched policy rollout. A batch closes
+  /// as soon as this many requests are queued.
+  int max_batch = 32;
+  /// Batch window: after the first request of a batch, the scheduler
+  /// waits at most this long for more before dispatching. 0 dispatches
+  /// immediately (batching only what is already queued).
+  std::int64_t max_wait_us = 2000;
+  /// LRU result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_entries = 1024;
+  /// Model used by requests that do not name one. Empty: requests may
+  /// omit the model only while exactly one model is registered.
+  std::string default_model;
+};
+
+/// Outcome of one service request.
+struct ServiceResponse {
+  std::string id;                  ///< echoed request id
+  std::string model;               ///< model that served the request
+  core::CompilationResult result;  ///< identical to Predictor::compile()
+  bool cached = false;             ///< served from the LRU, no policy run
+  std::int64_t latency_us = 0;     ///< submit-to-completion wall time
+};
+
+/// Counter snapshot; all values monotone over the service lifetime.
+struct ServiceStats {
+  std::uint64_t requests = 0;          ///< total submitted
+  std::uint64_t cache_hits = 0;        ///< served without a policy run
+  std::uint64_t cache_misses = 0;      ///< had to be scheduled
+  std::uint64_t cache_evictions = 0;   ///< LRU entries displaced
+  std::uint64_t batches = 0;           ///< batched rollouts dispatched
+  std::uint64_t batched_requests = 0;  ///< requests across all batches
+  int max_batch_size = 0;              ///< largest fused batch
+  std::map<int, std::uint64_t> batch_size_histogram;  ///< size -> count
+};
+
+/// Thread-safe compilation server. Submit from any number of threads; each
+/// registered model gets its own request lane, scheduler thread, and
+/// worker pool, so traffic to one model never stalls another. Destruction
+/// drains every lane: all returned futures complete.
+class CompileService {
+ public:
+  explicit CompileService(ServiceConfig config = {});
+  ~CompileService();
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Models are hot-addable: registry().add(...) at any time makes the
+  /// model immediately routable by name.
+  [[nodiscard]] ModelRegistry& registry() { return registry_; }
+  [[nodiscard]] const ModelRegistry& registry() const { return registry_; }
+
+  /// Enqueues one compilation. `model_name` empty selects the default
+  /// model (ServiceConfig::default_model, or the sole registered model).
+  /// The future completes with the response, or with the exception the
+  /// compilation raised.
+  /// \throws std::runtime_error if the model cannot be resolved.
+  /// \throws std::logic_error after shutdown has begun.
+  std::future<ServiceResponse> submit(std::string id,
+                                      const std::string& model_name,
+                                      ir::Circuit circuit);
+
+  /// Convenience: submit and wait.
+  ServiceResponse compile(const std::string& model_name,
+                          const ir::Circuit& circuit);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    std::string id;
+    std::string key;  ///< cache key; empty when caching is disabled
+    ir::Circuit circuit;
+    std::promise<ServiceResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  /// Per-model request lane: queue, scheduler thread, rollout pool.
+  struct Lane {
+    std::string name;
+    std::shared_ptr<const core::Predictor> model;
+    std::unique_ptr<rl::WorkerPool> pool;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+    bool stop = false;
+    std::thread worker;
+  };
+
+  [[nodiscard]] std::string resolve_model_name(
+      const std::string& model_name) const;
+  Lane& lane_for(const std::string& name,
+                 std::shared_ptr<const core::Predictor> model);
+  void scheduler_loop(Lane& lane);
+  void process_batch(Lane& lane, std::vector<Pending> batch);
+
+  ServiceConfig config_;
+  ModelRegistry registry_;
+  ResultCache cache_;
+
+  mutable std::mutex lanes_mu_;
+  std::map<std::string, std::unique_ptr<Lane>> lanes_;
+
+  mutable std::mutex stats_mu_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  int max_batch_size_ = 0;
+  std::map<int, std::uint64_t> batch_size_histogram_;
+
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace qrc::service

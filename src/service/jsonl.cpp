@@ -1,0 +1,458 @@
+#include "service/jsonl.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "ir/qasm.hpp"
+
+namespace qrc::service {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw std::runtime_error("json: " + what + " at offset " +
+                           std::to_string(pos));
+}
+
+/// Strict recursive-descent JSON parser (RFC 8259 subset: no extensions,
+/// no trailing commas). Depth-capped so adversarial input cannot blow the
+/// stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail(pos_, "trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  JsonValue value(int depth) {
+    if (depth > kMaxDepth) {
+      fail(pos_, "nesting too deep");
+    }
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object(depth);
+      case '[':
+        return array(depth);
+      case '"':
+        return JsonValue(string());
+      case 't':
+        expect_word("true");
+        return JsonValue(true);
+      case 'f':
+        expect_word("false");
+        return JsonValue(false);
+      case 'n':
+        expect_word("null");
+        return JsonValue(nullptr);
+      default:
+        return JsonValue(number());
+    }
+  }
+
+  JsonValue object(int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') {
+        fail(pos_, "expected object key");
+      }
+      std::string key = string();
+      skip_ws();
+      if (peek() != ':') {
+        fail(pos_, "expected ':'");
+      }
+      ++pos_;
+      out[std::move(key)] = value(depth + 1);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return JsonValue(std::move(out));
+      }
+      fail(pos_, "expected ',' or '}'");
+    }
+  }
+
+  JsonValue array(int depth) {
+    ++pos_;  // '['
+    JsonValue::Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(out));
+    }
+    for (;;) {
+      out.push_back(value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return JsonValue(std::move(out));
+      }
+      fail(pos_, "expected ',' or ']'");
+    }
+  }
+
+  std::string string() {
+    ++pos_;  // '"'
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        fail(pos_, "unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_ - 1, "raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail(pos_, "unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': unicode_escape(out); break;
+        default: fail(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  void unicode_escape(std::string& out) {
+    unsigned int code = hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        fail(pos_, "unpaired surrogate");
+      }
+      pos_ += 2;
+      const unsigned int low = hex4();
+      if (low < 0xDC00 || low > 0xDFFF) {
+        fail(pos_, "invalid low surrogate");
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail(pos_, "unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  unsigned int hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail(pos_, "truncated \\u escape");
+    }
+    unsigned int value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value += static_cast<unsigned int>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value += static_cast<unsigned int>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value += static_cast<unsigned int>(c - 'A' + 10);
+      } else {
+        fail(pos_ - 1, "bad hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail(pos_, "expected value");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail(pos_, "expected digit after '.'");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail(pos_, "expected exponent digit");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return std::strtod(token.c_str(), nullptr);
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail(pos_, "expected value");
+    }
+    pos_ += word.size();
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string dump_number(double d) {
+  if (!std::isfinite(d)) {
+    return "null";  // JSON has no Inf/NaN
+  }
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    return std::to_string(static_cast<long long>(d));
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+  return buffer;
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) {
+    throw std::runtime_error("json: not a bool");
+  }
+  return std::get<bool>(v_);
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) {
+    throw std::runtime_error("json: not a number");
+  }
+  return std::get<double>(v_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) {
+    throw std::runtime_error("json: not a string");
+  }
+  return std::get<std::string>(v_);
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (!is_array()) {
+    throw std::runtime_error("json: not an array");
+  }
+  return std::get<Array>(v_);
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (!is_object()) {
+    throw std::runtime_error("json: not an object");
+  }
+  return std::get<Object>(v_);
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+std::string JsonValue::dump() const {
+  if (is_null()) {
+    return "null";
+  }
+  if (is_bool()) {
+    return as_bool() ? "true" : "false";
+  }
+  if (is_number()) {
+    return dump_number(as_number());
+  }
+  if (is_string()) {
+    return json_quote(as_string());
+  }
+  if (is_array()) {
+    std::string out = "[";
+    for (const auto& v : as_array()) {
+      if (out.size() > 1) {
+        out += ",";
+      }
+      out += v.dump();
+    }
+    return out + "]";
+  }
+  std::string out = "{";
+  for (const auto& [key, v] : as_object()) {
+    if (out.size() > 1) {
+      out += ",";
+    }
+    out += json_quote(key) + ":" + v.dump();
+  }
+  return out + "}";
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out + "\"";
+}
+
+ServeRequest parse_serve_request(std::string_view line) {
+  const JsonValue v = JsonValue::parse(line);
+  if (!v.is_object()) {
+    throw std::runtime_error("request must be a JSON object");
+  }
+  const auto& obj = v.as_object();
+  ServeRequest request;
+  if (const auto it = obj.find("id"); it != obj.end()) {
+    if (it->second.is_string()) {
+      request.id = it->second.as_string();
+    } else if (it->second.is_number()) {
+      request.id = dump_number(it->second.as_number());
+    } else {
+      throw std::runtime_error("'id' must be a string or number");
+    }
+  }
+  if (const auto it = obj.find("model"); it != obj.end()) {
+    if (!it->second.is_string()) {
+      throw std::runtime_error("'model' must be a string");
+    }
+    request.model = it->second.as_string();
+  }
+  const auto it = obj.find("qasm");
+  if (it == obj.end() || !it->second.is_string()) {
+    throw std::runtime_error("missing required string field 'qasm'");
+  }
+  request.qasm = it->second.as_string();
+  return request;
+}
+
+std::string extract_request_id(std::string_view line) {
+  try {
+    const JsonValue v = JsonValue::parse(line);
+    if (!v.is_object()) {
+      return "";
+    }
+    const auto& obj = v.as_object();
+    const auto it = obj.find("id");
+    if (it == obj.end()) {
+      return "";
+    }
+    if (it->second.is_string()) {
+      return it->second.as_string();
+    }
+    if (it->second.is_number()) {
+      return dump_number(it->second.as_number());
+    }
+  } catch (const std::exception&) {
+    // Malformed line: no id to recover.
+  }
+  return "";
+}
+
+std::string serve_response_line(const ServiceResponse& r) {
+  std::string out = "{\"id\":" + json_quote(r.id);
+  out += ",\"model\":" + json_quote(r.model);
+  out += ",\"qasm\":" + json_quote(ir::to_qasm(r.result.circuit));
+  out += ",\"reward\":" + dump_number(r.result.reward);
+  out += ",\"device\":";
+  out += r.result.device != nullptr ? json_quote(r.result.device->name())
+                                    : "null";
+  out += ",\"used_fallback\":";
+  out += r.result.used_fallback ? "true" : "false";
+  out += ",\"cached\":";
+  out += r.cached ? "true" : "false";
+  out += ",\"latency_us\":" + std::to_string(r.latency_us);
+  return out + "}";
+}
+
+std::string serve_error_line(std::string_view id, std::string_view message) {
+  return "{\"id\":" + json_quote(id) +
+         ",\"error\":" + json_quote(message) + "}";
+}
+
+}  // namespace qrc::service

@@ -1,0 +1,71 @@
+#include "service/model_registry.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace qrc::service {
+
+void ModelRegistry::add(std::string name, core::Predictor model) {
+  add(std::move(name),
+      std::make_shared<const core::Predictor>(std::move(model)));
+}
+
+void ModelRegistry::add(std::string name,
+                        std::shared_ptr<const core::Predictor> model) {
+  if (name.empty()) {
+    throw std::invalid_argument("ModelRegistry::add: empty model name");
+  }
+  if (model == nullptr || !model->is_trained()) {
+    throw std::logic_error("ModelRegistry::add: model '" + name +
+                           "' is not trained");
+  }
+  std::lock_guard lock(mu_);
+  if (!models_.emplace(std::move(name), std::move(model)).second) {
+    throw std::invalid_argument(
+        "ModelRegistry::add: duplicate model name");
+  }
+}
+
+void ModelRegistry::add_from_file(std::string name,
+                                  const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("ModelRegistry: cannot read model file '" +
+                             path + "'");
+  }
+  add(std::move(name), core::Predictor::load(is));
+}
+
+std::shared_ptr<const core::Predictor> ModelRegistry::find(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const core::Predictor> ModelRegistry::at(
+    const std::string& name) const {
+  auto model = find(name);
+  if (model == nullptr) {
+    throw std::runtime_error("unknown model '" + name + "'");
+  }
+  return model;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, model] : models_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return models_.size();
+}
+
+}  // namespace qrc::service

@@ -1,0 +1,52 @@
+/// \file model_registry.hpp
+/// \brief Thread-safe registry of trained Predictor models keyed by name,
+///        typically one per reward objective ("fidelity", "depth", ...).
+///        Models are hot-addable while the service runs; lookups hand out
+///        shared ownership so an in-flight batch keeps its model alive
+///        whatever happens to the registry afterwards.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+
+namespace qrc::service {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers a trained model under `name`.
+  /// \throws std::invalid_argument on an empty or duplicate name.
+  /// \throws std::logic_error if the model is not trained.
+  void add(std::string name, core::Predictor model);
+  void add(std::string name, std::shared_ptr<const core::Predictor> model);
+
+  /// Loads a saved model (Predictor::save format) from `path`.
+  /// \throws std::runtime_error if the file cannot be read or parsed.
+  void add_from_file(std::string name, const std::string& path);
+
+  /// The model registered under `name`, or nullptr.
+  [[nodiscard]] std::shared_ptr<const core::Predictor> find(
+      const std::string& name) const;
+
+  /// The model registered under `name`.
+  /// \throws std::runtime_error naming the unknown model.
+  [[nodiscard]] std::shared_ptr<const core::Predictor> at(
+      const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const core::Predictor>> models_;
+};
+
+}  // namespace qrc::service

@@ -1,0 +1,51 @@
+#include "service/result_cache.hpp"
+
+namespace qrc::service {
+
+std::optional<core::CompilationResult> ResultCache::get(
+    const std::string& key) {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::put(const std::string& key,
+                      core::CompilationResult value) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Deterministic compilation: a re-insert carries the same result, so
+    // only the recency changes.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace qrc::service

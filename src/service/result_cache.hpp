@@ -1,0 +1,58 @@
+/// \file result_cache.hpp
+/// \brief Thread-safe LRU cache from canonical circuit fingerprints
+///        (ir::canonical_key, prefixed with the model name by the service)
+///        to compiled results. Exactness is free: compilation is
+///        deterministic, so a cached result is bit-identical to a fresh
+///        Predictor::compile() of the same circuit.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/predictor.hpp"
+
+namespace qrc::service {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+  };
+
+  /// `capacity` 0 disables the cache (every get misses, put is a no-op).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Looks up `key`, refreshing its recency on a hit. Counts hit/miss.
+  [[nodiscard]] std::optional<core::CompilationResult> get(
+      const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting least-recently-used entries
+  /// beyond capacity.
+  void put(const std::string& key, core::CompilationResult value);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, core::CompilationResult>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace qrc::service

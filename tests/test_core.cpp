@@ -315,6 +315,10 @@ TEST(PredictorTest, TrainCompileRoundTrip) {
 }
 
 TEST(PredictorTest, SaveLoadProducesSameCompilation) {
+  // End-to-end save -> load equivalence: the reloaded model must produce
+  // identical compilations (action traces, rewards, circuits, layouts)
+  // across a corpus spanning several families and widths, through both
+  // the scalar and the batched compile paths.
   qrc::core::PredictorConfig config;
   config.reward = RewardKind::kCriticalDepth;
   config.seed = 13;
@@ -327,13 +331,33 @@ TEST(PredictorTest, SaveLoadProducesSameCompilation) {
   std::stringstream ss;
   predictor.save(ss);
   const auto loaded = qrc::core::Predictor::load(ss);
+  EXPECT_EQ(loaded.config().reward, config.reward);
+  EXPECT_EQ(loaded.config().seed, config.seed);
 
-  const Circuit probe =
-      qrc::bench::make_benchmark(BenchmarkFamily::kWstate, 3, 1);
-  const auto a = predictor.compile(probe);
-  const auto b = loaded.compile(probe);
-  EXPECT_EQ(a.action_trace, b.action_trace);
-  EXPECT_EQ(a.reward, b.reward);
+  std::vector<Circuit> corpus;
+  for (const int n : {2, 3, 4}) {
+    corpus.push_back(
+        qrc::bench::make_benchmark(BenchmarkFamily::kWstate, n, 1));
+    corpus.push_back(
+        qrc::bench::make_benchmark(BenchmarkFamily::kGhz, n, 1));
+    corpus.push_back(
+        qrc::bench::make_benchmark(BenchmarkFamily::kQft, n, 1));
+  }
+  const auto batched_original = predictor.compile_all(corpus);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto a = predictor.compile(corpus[i]);
+    const auto b = loaded.compile(corpus[i]);
+    EXPECT_EQ(a.action_trace, b.action_trace) << corpus[i].name();
+    EXPECT_EQ(a.reward, b.reward) << corpus[i].name();
+    EXPECT_EQ(a.used_fallback, b.used_fallback) << corpus[i].name();
+    EXPECT_EQ(a.device, b.device) << corpus[i].name();
+    EXPECT_TRUE(a.circuit == b.circuit) << corpus[i].name();
+    EXPECT_EQ(a.initial_layout, b.initial_layout) << corpus[i].name();
+    EXPECT_EQ(a.final_layout, b.final_layout) << corpus[i].name();
+    // The batched loop agrees with the scalar one on both models.
+    EXPECT_EQ(batched_original[i].action_trace, a.action_trace);
+    EXPECT_TRUE(batched_original[i].circuit == b.circuit);
+  }
 }
 
 TEST(PredictorTest, CompileBeforeTrainThrows) {

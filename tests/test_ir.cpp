@@ -607,4 +607,112 @@ TEST(QasmTest, ErrorsCarryTheQasmParseErrorPrefix) {
   }
 }
 
+// ----------------------------------------- equality and canonical keys ----
+
+namespace keys {
+
+Circuit sample() {
+  Circuit c(3, "sample");
+  c.h(0);
+  c.rz(0.25, 1);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.measure_all();
+  return c;
+}
+
+}  // namespace keys
+
+TEST(CircuitEqualityTest, DifferentBuildPathsCompareEqual) {
+  // Typed helpers vs raw Operation appends must produce equal circuits
+  // with equal canonical keys.
+  const Circuit a = keys::sample();
+  Circuit b(3, "completely different name");
+  b.append(Operation(GateKind::kH, std::array<int, 1>{0}));
+  b.append(Operation(GateKind::kRZ, std::array<int, 1>{1},
+                     std::array<double, 1>{0.25}));
+  b.append(Operation(GateKind::kCX, std::array<int, 2>{0, 1}));
+  b.append(Operation(GateKind::kCX, std::array<int, 2>{1, 2}));
+  for (int q = 0; q < 3; ++q) {
+    b.measure(q);
+  }
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(qrc::ir::canonical_key(a), qrc::ir::canonical_key(b));
+}
+
+TEST(CircuitEqualityTest, NameIsMetadataNotContent) {
+  Circuit a = keys::sample();
+  Circuit b = keys::sample();
+  b.set_name("other");
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(qrc::ir::canonical_key(a), qrc::ir::canonical_key(b));
+}
+
+TEST(CircuitEqualityTest, PerturbationsAreDetected) {
+  const Circuit base = keys::sample();
+  const std::string base_key = qrc::ir::canonical_key(base);
+
+  // Different gate kind.
+  Circuit gate = keys::sample();
+  gate.mutable_ops()[0] = Operation(GateKind::kX, std::array<int, 1>{0});
+  EXPECT_FALSE(base == gate);
+  EXPECT_NE(base_key, qrc::ir::canonical_key(gate));
+
+  // Different operand qubit.
+  Circuit qubit = keys::sample();
+  qubit.mutable_ops()[2].set_qubit(1, 2);
+  EXPECT_FALSE(base == qubit);
+  EXPECT_NE(base_key, qrc::ir::canonical_key(qubit));
+
+  // Parameter nudged by one part in 1e12 — still a different circuit.
+  Circuit param = keys::sample();
+  param.mutable_ops()[1].set_param(0, 0.25 + 2.5e-13);
+  EXPECT_FALSE(base == param);
+  EXPECT_NE(base_key, qrc::ir::canonical_key(param));
+
+  // Extra trailing op.
+  Circuit extra = keys::sample();
+  extra.z(2);
+  EXPECT_FALSE(base == extra);
+  EXPECT_NE(base_key, qrc::ir::canonical_key(extra));
+
+  // Same ops, wider register.
+  Circuit wider(4);
+  for (const auto& op : base.ops()) {
+    wider.append(op);
+  }
+  EXPECT_FALSE(base == wider);
+  EXPECT_NE(base_key, qrc::ir::canonical_key(wider));
+
+  // Global phase participates in both equality and the key.
+  Circuit phase = keys::sample();
+  phase.add_global_phase(0.5);
+  EXPECT_FALSE(base == phase);
+  EXPECT_NE(base_key, qrc::ir::canonical_key(phase));
+}
+
+TEST(CircuitEqualityTest, SignedZeroParametersShareTheKey) {
+  // -0.0 == 0.0, so key equality must agree with operator==.
+  Circuit pos(1);
+  pos.rz(0.0, 0);
+  Circuit neg(1);
+  neg.rz(-0.0, 0);
+  EXPECT_TRUE(pos == neg);
+  EXPECT_EQ(qrc::ir::canonical_key(pos), qrc::ir::canonical_key(neg));
+}
+
+TEST(CircuitEqualityTest, QasmRoundTripPreservesTheKey) {
+  const Circuit a = keys::sample();
+  const Circuit back = qrc::ir::from_qasm(qrc::ir::to_qasm(a));
+  EXPECT_TRUE(a == back);
+  EXPECT_EQ(qrc::ir::canonical_key(a), qrc::ir::canonical_key(back));
+}
+
+TEST(CircuitEqualityTest, EmptyCircuitsOfSameWidthAreEqual) {
+  EXPECT_TRUE(Circuit(2) == Circuit(2, "named"));
+  EXPECT_FALSE(Circuit(2) == Circuit(3));
+  EXPECT_NE(qrc::ir::canonical_key(Circuit(2)),
+            qrc::ir::canonical_key(Circuit(3)));
+}
+
 }  // namespace

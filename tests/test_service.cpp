@@ -1,0 +1,442 @@
+// Tests for the compile service subsystem: the LRU result cache, the
+// multi-model registry, the JSONL protocol codecs, and the micro-batching
+// scheduler — including the service-level guarantee that batching and
+// caching never change results relative to a direct Predictor::compile().
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/predictor.hpp"
+#include "ir/qasm.hpp"
+#include "service/compile_service.hpp"
+#include "service/jsonl.hpp"
+#include "service/model_registry.hpp"
+#include "service/result_cache.hpp"
+
+namespace {
+
+using qrc::bench::BenchmarkFamily;
+using qrc::core::CompilationResult;
+using qrc::core::Predictor;
+using qrc::ir::Circuit;
+using qrc::reward::RewardKind;
+using qrc::service::CompileService;
+using qrc::service::JsonValue;
+using qrc::service::ModelRegistry;
+using qrc::service::ResultCache;
+using qrc::service::ServiceConfig;
+using qrc::service::ServiceResponse;
+
+Circuit small_ghz() {
+  Circuit c(3, "ghz3");
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.measure_all();
+  return c;
+}
+
+/// One tiny trained model per reward objective, shared across tests (the
+/// compile paths are const and thread-safe, training is the slow part).
+const Predictor& shared_model(RewardKind kind = RewardKind::kFidelity) {
+  static auto* models = new std::map<RewardKind, Predictor>();
+  const auto it = models->find(kind);
+  if (it != models->end()) {
+    return it->second;
+  }
+  qrc::core::PredictorConfig config;
+  config.reward = kind;
+  config.seed = 11;
+  config.ppo.total_timesteps = 512;
+  config.ppo.steps_per_update = 256;
+  config.ppo.hidden_sizes = {16};
+  Predictor predictor(config);
+  (void)predictor.train({small_ghz()});
+  return models->emplace(kind, std::move(predictor)).first->second;
+}
+
+/// Non-owning handle to a shared static model.
+std::shared_ptr<const Predictor> shared_handle(
+    RewardKind kind = RewardKind::kFidelity) {
+  return {&shared_model(kind), [](const Predictor*) {}};
+}
+
+std::vector<Circuit> small_suite() {
+  std::vector<Circuit> suite;
+  for (const int n : {2, 3, 4}) {
+    suite.push_back(
+        qrc::bench::make_benchmark(BenchmarkFamily::kGhz, n, 1));
+    suite.push_back(
+        qrc::bench::make_benchmark(BenchmarkFamily::kVqe, n, 1));
+  }
+  return suite;
+}
+
+CompilationResult dummy_result(double reward) {
+  CompilationResult r;
+  r.reward = reward;
+  return r;
+}
+
+// ------------------------------------------------------------- the cache --
+
+TEST(ResultCacheTest, HitMissAndRecencyCounters) {
+  ResultCache cache(2);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", dummy_result(0.1));
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->reward, 0.1);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.put("a", dummy_result(0.1));
+  cache.put("b", dummy_result(0.2));
+  ASSERT_TRUE(cache.get("a").has_value());  // refresh "a"; "b" is now LRU
+  cache.put("c", dummy_result(0.3));        // evicts "b"
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2);
+  cache.put("a", dummy_result(0.1));
+  cache.put("b", dummy_result(0.2));
+  cache.put("a", dummy_result(0.1));  // refresh: "b" becomes LRU
+  cache.put("c", dummy_result(0.3));
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_EQ(cache.stats().insertions, 3u);  // a, b, c; the refresh is not one
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.put("a", dummy_result(0.1));
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------- the registry --
+
+TEST(ModelRegistryTest, AddFindNames) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.find("fidelity"), nullptr);
+  registry.add("fidelity", shared_handle());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_NE(registry.find("fidelity"), nullptr);
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"fidelity"});
+  EXPECT_NO_THROW((void)registry.at("fidelity"));
+  EXPECT_THROW((void)registry.at("nope"), std::runtime_error);
+}
+
+TEST(ModelRegistryTest, RejectsDuplicatesEmptyNamesAndUntrainedModels) {
+  ModelRegistry registry;
+  registry.add("m", shared_handle());
+  EXPECT_THROW(registry.add("m", shared_handle()), std::invalid_argument);
+  EXPECT_THROW(registry.add("", shared_handle()), std::invalid_argument);
+  EXPECT_THROW(registry.add("untrained", Predictor({})), std::logic_error);
+}
+
+// ------------------------------------------------------------ the jsonl ---
+
+TEST(JsonlTest, ParsesRequestLines) {
+  const auto r = qrc::service::parse_serve_request(
+      R"({"id": "r1", "model": "fid", "qasm": "qreg q[1];\nh q[0];"})");
+  EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.model, "fid");
+  EXPECT_EQ(r.qasm, "qreg q[1];\nh q[0];");
+}
+
+TEST(JsonlTest, NumericIdsAndOmittedFieldsAreTolerated) {
+  const auto r =
+      qrc::service::parse_serve_request(R"({"id": 7, "qasm": "x"})");
+  EXPECT_EQ(r.id, "7");
+  EXPECT_EQ(r.model, "");  // -> service default model
+}
+
+TEST(JsonlTest, RejectsMalformedRequests) {
+  EXPECT_THROW((void)qrc::service::parse_serve_request("not json"),
+               std::runtime_error);
+  EXPECT_THROW((void)qrc::service::parse_serve_request(R"(["array"])"),
+               std::runtime_error);
+  EXPECT_THROW((void)qrc::service::parse_serve_request(R"({"id":"x"})"),
+               std::runtime_error);  // missing qasm
+  EXPECT_THROW(
+      (void)qrc::service::parse_serve_request(R"({"qasm": 42})"),
+      std::runtime_error);  // mistyped qasm
+  EXPECT_THROW(
+      (void)qrc::service::parse_serve_request(R"({"qasm":"x"} trailing)"),
+      std::runtime_error);
+}
+
+TEST(JsonlTest, ValueParserHandlesEscapesNestingAndCanonicalDump) {
+  const auto v = JsonValue::parse(
+      " {\"b\": 1, \"a\": [true, null, \"x\\n\\u00e9\"], \"c\": -2.5e-1} ");
+  EXPECT_EQ(v.dump(), "{\"a\":[true,null,\"x\\n\u00e9\"],\"b\":1,\"c\":-0.25}");
+  EXPECT_THROW((void)JsonValue::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\":1,}"), std::runtime_error);
+}
+
+TEST(JsonlTest, RecoversTheIdFromInvalidRequests) {
+  // Validation failures must still echo the id so pipelined clients can
+  // correlate the error line.
+  EXPECT_EQ(qrc::service::extract_request_id(R"({"id":"r7","qasm":42})"),
+            "r7");
+  EXPECT_EQ(qrc::service::extract_request_id(R"({"id":7})"), "7");
+  EXPECT_EQ(qrc::service::extract_request_id(R"({"qasm":"x"})"), "");
+  EXPECT_EQ(qrc::service::extract_request_id("not json"), "");
+  EXPECT_EQ(qrc::service::extract_request_id(R"({"id":[1]})"), "");
+}
+
+TEST(JsonlTest, QuoteRoundTripsThroughTheParser) {
+  const std::string nasty = "line1\nline2\t\"quoted\" \\slash\x01";
+  const auto parsed = JsonValue::parse(qrc::service::json_quote(nasty));
+  EXPECT_EQ(parsed.as_string(), nasty);
+}
+
+TEST(JsonlTest, ResponseAndErrorLinesAreValidJson) {
+  ServiceResponse response;
+  response.id = "r\"1";
+  response.model = "fid";
+  response.result.circuit = small_ghz();
+  response.result.reward = 0.75;
+  response.cached = true;
+  response.latency_us = 42;
+  const auto line = qrc::service::serve_response_line(response);
+  const auto v = JsonValue::parse(line);
+  const auto& obj = v.as_object();
+  EXPECT_EQ(obj.at("id").as_string(), "r\"1");
+  EXPECT_EQ(obj.at("reward").as_number(), 0.75);
+  EXPECT_TRUE(obj.at("device").is_null());  // no device chosen
+  EXPECT_TRUE(obj.at("cached").as_bool());
+  EXPECT_FALSE(obj.at("used_fallback").as_bool());
+  EXPECT_EQ(obj.at("latency_us").as_number(), 42.0);
+  // The embedded qasm parses back to the same circuit.
+  EXPECT_TRUE(qrc::ir::from_qasm(obj.at("qasm").as_string()) ==
+              response.result.circuit);
+
+  const auto err =
+      JsonValue::parse(qrc::service::serve_error_line("r2", "bad\nthing"));
+  EXPECT_EQ(err.as_object().at("error").as_string(), "bad\nthing");
+}
+
+// ---------------------------------------------------------- the service ---
+
+void expect_same_result(const CompilationResult& got,
+                        const CompilationResult& want,
+                        const std::string& context) {
+  EXPECT_EQ(got.action_trace, want.action_trace) << context;
+  EXPECT_EQ(got.reward, want.reward) << context;
+  EXPECT_EQ(got.used_fallback, want.used_fallback) << context;
+  EXPECT_EQ(got.device, want.device) << context;
+  EXPECT_TRUE(got.circuit == want.circuit) << context;
+  EXPECT_EQ(got.initial_layout, want.initial_layout) << context;
+  EXPECT_EQ(got.final_layout, want.final_layout) << context;
+}
+
+TEST(CompileServiceTest, ConcurrentSubmissionsMatchDirectCompileExactly) {
+  // The acceptance bar: for any interleaving of concurrent submissions,
+  // micro-batching and caching must not change any request's result.
+  const auto suite = small_suite();
+  std::vector<CompilationResult> direct;
+  direct.reserve(suite.size());
+  for (const auto& circuit : suite) {
+    direct.push_back(shared_model().compile(circuit));
+  }
+
+  ServiceConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 500;
+  config.cache_entries = 64;
+  CompileService service(config);
+  service.registry().add("fidelity", shared_handle());
+
+  // Every circuit requested twice, submissions shuffled across 3 threads.
+  std::vector<int> order;
+  for (int copy = 0; copy < 2; ++copy) {
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      order.push_back(static_cast<int>(i));
+    }
+  }
+  std::shuffle(order.begin(), order.end(), std::mt19937_64(42));
+
+  std::vector<std::future<ServiceResponse>> futures(order.size());
+  {
+    std::vector<std::thread> clients;
+    const std::size_t shard = order.size() / 3;
+    for (int t = 0; t < 3; ++t) {
+      clients.emplace_back([&, t] {
+        const std::size_t lo = static_cast<std::size_t>(t) * shard;
+        const std::size_t hi =
+            t == 2 ? order.size() : lo + shard;
+        for (std::size_t i = lo; i < hi; ++i) {
+          futures[i] = service.submit("req" + std::to_string(i), "",
+                                      suite[static_cast<std::size_t>(
+                                          order[i])]);
+        }
+      });
+    }
+    for (auto& c : clients) {
+      c.join();
+    }
+  }
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const ServiceResponse response = futures[i].get();
+    EXPECT_EQ(response.id, "req" + std::to_string(i));
+    EXPECT_EQ(response.model, "fidelity");
+    EXPECT_GE(response.latency_us, 0);
+    expect_same_result(
+        response.result,
+        direct[static_cast<std::size_t>(order[i])],
+        suite[static_cast<std::size_t>(order[i])].name());
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests, order.size());
+  // Every miss is queued exactly once; batches partition the misses.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.requests);
+  EXPECT_EQ(stats.batched_requests, stats.cache_misses);
+  std::uint64_t histogram_total = 0;
+  for (const auto& [size, count] : stats.batch_size_histogram) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, config.max_batch);
+    histogram_total += static_cast<std::uint64_t>(size) * count;
+  }
+  EXPECT_EQ(histogram_total, stats.batched_requests);
+}
+
+TEST(CompileServiceTest, RepeatRequestIsServedFromTheCache) {
+  CompileService service{ServiceConfig{}};
+  service.registry().add("fidelity", shared_handle());
+  const Circuit circuit = small_ghz();
+
+  const auto first = service.compile("fidelity", circuit);
+  EXPECT_FALSE(first.cached);
+  const auto second = service.compile("fidelity", circuit);
+  EXPECT_TRUE(second.cached);
+  expect_same_result(second.result, first.result, "cached replay");
+
+  // Same content under a different name still hits (keys ignore names).
+  Circuit renamed = small_ghz();
+  renamed.set_name("anonymous");
+  EXPECT_TRUE(service.compile("fidelity", renamed).cached);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+TEST(CompileServiceTest, CacheIsKeyedPerModel) {
+  ServiceConfig config;
+  CompileService service(config);
+  service.registry().add("fidelity", shared_handle(RewardKind::kFidelity));
+  service.registry().add("depth", shared_handle(RewardKind::kDepth));
+  const Circuit circuit = small_ghz();
+
+  EXPECT_FALSE(service.compile("fidelity", circuit).cached);
+  // Other model: same circuit, distinct cache entry and its own batch lane.
+  EXPECT_FALSE(service.compile("depth", circuit).cached);
+  EXPECT_TRUE(service.compile("fidelity", circuit).cached);
+  EXPECT_TRUE(service.compile("depth", circuit).cached);
+}
+
+TEST(CompileServiceTest, FusesConcurrentRequestsIntoOneBatch) {
+  ServiceConfig config;
+  config.max_batch = 4;
+  config.max_wait_us = 2'000'000;  // plenty: the batch closes on count
+  config.cache_entries = 0;        // no dedupe, count raw batch size
+  CompileService service(config);
+  service.registry().add("fidelity", shared_handle());
+
+  const auto suite = small_suite();
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.submit(std::to_string(i), "fidelity",
+                                     suite[static_cast<std::size_t>(i)]));
+  }
+  for (auto& f : futures) {
+    (void)f.get();
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_batch_size, 4);
+  EXPECT_EQ(stats.batch_size_histogram.at(4), 1u);
+}
+
+TEST(CompileServiceTest, ModelsAreHotAddableAndUnknownModelsAreRejected) {
+  CompileService service{ServiceConfig{}};
+  EXPECT_THROW((void)service.submit("1", "", small_ghz()),
+               std::runtime_error);  // nothing registered yet
+  service.registry().add("fidelity", shared_handle());
+  EXPECT_NO_THROW((void)service.compile("", small_ghz()));
+  EXPECT_THROW((void)service.submit("2", "nope", small_ghz()),
+               std::runtime_error);
+
+  // With two models and no default, requests must name one.
+  service.registry().add("depth", shared_handle(RewardKind::kDepth));
+  EXPECT_THROW((void)service.submit("3", "", small_ghz()),
+               std::runtime_error);
+}
+
+TEST(CompileServiceTest, DefaultModelConfigRoutesAnonymousRequests) {
+  ServiceConfig config;
+  config.default_model = "depth";
+  CompileService service(config);
+  service.registry().add("fidelity", shared_handle(RewardKind::kFidelity));
+  service.registry().add("depth", shared_handle(RewardKind::kDepth));
+  EXPECT_EQ(service.compile("", small_ghz()).model, "depth");
+}
+
+TEST(CompileServiceTest, ShutdownDrainsAllPendingRequests) {
+  const auto suite = small_suite();
+  std::vector<std::future<ServiceResponse>> futures;
+  {
+    ServiceConfig config;
+    config.max_batch = 100;          // never closes on count...
+    config.max_wait_us = 10'000'000; // ...nor (practically) on the window
+    CompileService service(config);
+    service.registry().add("fidelity", shared_handle());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      futures.push_back(
+          service.submit(std::to_string(i), "fidelity", suite[i]));
+    }
+    // Destructor must flush the lane instead of abandoning the futures.
+  }
+  for (auto& f : futures) {
+    const auto response = f.get();
+    EXPECT_NE(response.result.device, nullptr);
+  }
+}
+
+TEST(CompileServiceTest, RejectsNonsenseConfigs) {
+  ServiceConfig bad_batch;
+  bad_batch.max_batch = 0;
+  EXPECT_THROW(CompileService{bad_batch}, std::invalid_argument);
+  ServiceConfig bad_wait;
+  bad_wait.max_wait_us = -1;
+  EXPECT_THROW(CompileService{bad_wait}, std::invalid_argument);
+}
+
+}  // namespace

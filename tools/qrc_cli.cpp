@@ -12,54 +12,136 @@
 //       stepping threads (default: one per env).
 //   qrc compile --model <model.txt> <circuit.qasm> [--out <compiled.qasm>]
 //       Compiles an OpenQASM 2.0 circuit with a trained model.
+//   qrc serve --model <name>=<model.txt> [--model <name2>=<m2.txt> ...]
+//             [--default-model <name>] [--max-batch N] [--max-wait-us N]
+//             [--cache-entries N]
+//       Long-lived compile server speaking line-delimited JSON over
+//       stdin/stdout: {"id","model","qasm"} in, {"id","model","qasm",
+//       "reward","device","used_fallback","cached","latency_us"} out
+//       (or {"id","error"}). Requests arriving within the batch window
+//       are fused into one batched policy rollout per model; repeat
+//       circuits are served from an LRU result cache. Diagnostics go to
+//       stderr, stdout stays pure JSONL.
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_suite/benchmarks.hpp"
 #include "core/actions.hpp"
 #include "core/predictor.hpp"
 #include "device/library.hpp"
 #include "ir/qasm.hpp"
+#include "service/compile_service.hpp"
+#include "service/jsonl.hpp"
 
 namespace {
 
 using namespace qrc;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  qrc info\n"
-               "  qrc train --reward <kind> --out <model.txt> [--steps N]\n"
-               "            [--count N] [--min-qubits N] [--max-qubits N]\n"
-               "            [--seed N] [--num-envs N] [--workers N]\n"
-               "  qrc compile --model <model.txt> <circuit.qasm>\n"
-               "              [--out <compiled.qasm>]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  qrc info\n"
+      "  qrc train --reward <kind> --out <model.txt> [--steps N]\n"
+      "            [--count N] [--min-qubits N] [--max-qubits N]\n"
+      "            [--seed N] [--num-envs N] [--workers N]\n"
+      "  qrc compile --model <model.txt> <circuit.qasm>\n"
+      "              [--out <compiled.qasm>]\n"
+      "  qrc serve --model <name>=<model.txt> [--model <n2>=<m2.txt> ...]\n"
+      "            [--default-model <name>] [--max-batch N]\n"
+      "            [--max-wait-us N] [--cache-entries N]\n");
   return 2;
 }
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int start,
-                                               std::string& positional) {
-  std::map<std::string, std::string> flags;
+/// Parsed command line: every `--flag value` pair (repeats kept in order)
+/// plus the bare positional arguments.
+struct ParsedArgs {
+  std::map<std::string, std::vector<std::string>> flags;
+  std::vector<std::string> positionals;
+
+  /// The value of a non-repeatable flag; throws if given more than once.
+  [[nodiscard]] const std::string* single(const std::string& key) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) {
+      return nullptr;
+    }
+    if (it->second.size() > 1) {
+      throw std::runtime_error("--" + key + " given " +
+                               std::to_string(it->second.size()) +
+                               " times; expected at most once");
+    }
+    return &it->second.front();
+  }
+
+  [[nodiscard]] int get_int(const char* key, int fallback) const {
+    const std::string* v = single(key);
+    if (v == nullptr) {
+      return fallback;
+    }
+    try {
+      std::size_t end = 0;
+      const int parsed = std::stoi(*v, &end);
+      if (end != v->size()) {
+        throw std::invalid_argument(*v);
+      }
+      return parsed;
+    } catch (const std::exception&) {
+      throw std::runtime_error("--" + std::string(key) +
+                               " expects an integer, got '" + *v + "'");
+    }
+  }
+};
+
+/// Parses `--flag value` pairs and positionals; flags outside `allowed`
+/// are hard errors (a typo must not silently fall back to a default).
+ParsedArgs parse_args(int argc, char** argv, int start,
+                      std::initializer_list<const char*> allowed) {
+  ParsedArgs out;
   for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (std::find_if(allowed.begin(), allowed.end(),
+                       [&](const char* a) { return key == a; }) ==
+          allowed.end()) {
+        throw std::runtime_error("unknown flag " + arg + " for '" +
+                                 std::string(argv[1]) + "'");
+      }
       if (i + 1 >= argc) {
         throw std::runtime_error("missing value for " + arg);
       }
-      flags[arg.substr(2)] = argv[++i];
+      out.flags[key].emplace_back(argv[++i]);
     } else {
-      positional = arg;
+      out.positionals.push_back(arg);
     }
   }
-  return flags;
+  return out;
+}
+
+/// Enforces the exact positional-argument count; extra positionals are a
+/// hard error (they used to silently overwrite each other).
+void expect_positionals(const ParsedArgs& args, std::size_t count,
+                        const char* what) {
+  if (args.positionals.size() > count) {
+    throw std::runtime_error("unexpected extra argument '" +
+                             args.positionals[count] + "' (" + what + ")");
+  }
+  if (args.positionals.size() < count) {
+    throw std::runtime_error(std::string("missing argument: ") + what);
+  }
 }
 
 reward::RewardKind parse_reward(const std::string& name) {
@@ -74,7 +156,9 @@ reward::RewardKind parse_reward(const std::string& name) {
   throw std::runtime_error("unknown reward kind '" + name + "'");
 }
 
-int cmd_info() {
+int cmd_info(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2, {});
+  expect_positionals(args, 0, "info takes no arguments");
   std::printf("devices:\n");
   for (const device::Device* dev : device::all_devices()) {
     std::printf("  %-18s %-9s %3d qubits, %3zu couplers, native:",
@@ -102,26 +186,27 @@ int cmd_info() {
 }
 
 int cmd_train(int argc, char** argv) {
-  std::string positional;
-  const auto flags = parse_flags(argc, argv, 2, positional);
-  if (!flags.contains("reward") || !flags.contains("out")) {
+  const auto args = parse_args(
+      argc, argv, 2,
+      {"reward", "out", "steps", "count", "min-qubits", "max-qubits",
+       "seed", "num-envs", "workers"});
+  expect_positionals(args, 0, "train takes only flags");
+  const std::string* reward_flag = args.single("reward");
+  const std::string* out_flag = args.single("out");
+  if (reward_flag == nullptr || out_flag == nullptr) {
     return usage();
   }
-  const auto get_int = [&](const char* key, int fallback) {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stoi(it->second);
-  };
   core::PredictorConfig config;
-  config.reward = parse_reward(flags.at("reward"));
-  config.seed = static_cast<std::uint64_t>(get_int("seed", 1));
-  config.ppo.total_timesteps = get_int("steps", 100000);
+  config.reward = parse_reward(*reward_flag);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.ppo.total_timesteps = args.get_int("steps", 100000);
   config.ppo.steps_per_update = 2048;
-  config.num_envs = std::max(1, get_int("num-envs", 1));
-  config.rollout_workers = std::max(0, get_int("workers", 0));
+  config.num_envs = std::max(1, args.get_int("num-envs", 1));
+  config.rollout_workers = std::max(0, args.get_int("workers", 0));
 
-  const int min_q = get_int("min-qubits", 2);
-  const int max_q = get_int("max-qubits", 20);
-  const int count = get_int("count", 200);
+  const int min_q = args.get_int("min-qubits", 2);
+  const int max_q = args.get_int("max-qubits", 20);
+  const int count = args.get_int("count", 200);
   std::printf("training '%s' model: %d timesteps on %d circuits "
               "(%d-%d qubits), %d parallel env(s)\n",
               reward::reward_name(config.reward).data(),
@@ -133,26 +218,27 @@ int cmd_train(int argc, char** argv) {
   std::printf("done: %zu updates, final mean episode reward %.3f\n",
               stats.size(), stats.back().mean_episode_reward);
 
-  std::ofstream os(flags.at("out"));
+  std::ofstream os(*out_flag);
   if (!os) {
-    std::fprintf(stderr, "cannot write %s\n", flags.at("out").c_str());
+    std::fprintf(stderr, "cannot write %s\n", out_flag->c_str());
     return 1;
   }
   predictor.save(os);
-  std::printf("model written to %s\n", flags.at("out").c_str());
+  std::printf("model written to %s\n", out_flag->c_str());
   return 0;
 }
 
 int cmd_compile(int argc, char** argv) {
-  std::string qasm_path;
-  const auto flags = parse_flags(argc, argv, 2, qasm_path);
-  if (!flags.contains("model") || qasm_path.empty()) {
+  const auto args = parse_args(argc, argv, 2, {"model", "out"});
+  const std::string* model_flag = args.single("model");
+  if (model_flag == nullptr || args.positionals.empty()) {
     return usage();
   }
-  std::ifstream model_is(flags.at("model"));
+  expect_positionals(args, 1, "compile takes exactly one circuit.qasm");
+  const std::string& qasm_path = args.positionals.front();
+  std::ifstream model_is(*model_flag);
   if (!model_is) {
-    std::fprintf(stderr, "cannot read model %s\n",
-                 flags.at("model").c_str());
+    std::fprintf(stderr, "cannot read model %s\n", model_flag->c_str());
     return 1;
   }
   const auto predictor = core::Predictor::load(model_is);
@@ -179,12 +265,151 @@ int cmd_compile(int argc, char** argv) {
   }
   std::printf("\noutput: %s\n", result.circuit.summary().c_str());
 
-  if (flags.contains("out")) {
-    std::ofstream os(flags.at("out"));
+  if (const std::string* out_flag = args.single("out")) {
+    std::ofstream os(*out_flag);
     os << ir::to_qasm(result.circuit);
-    std::printf("compiled circuit written to %s\n",
-                flags.at("out").c_str());
+    std::printf("compiled circuit written to %s\n", out_flag->c_str());
   }
+  return 0;
+}
+
+/// One in-flight serve request: the id (kept for error reporting) and the
+/// service future. Responses are written back in submission order.
+struct Inflight {
+  std::string id;
+  std::future<service::ServiceResponse> future;
+};
+
+int cmd_serve(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2,
+                               {"model", "default-model", "max-batch",
+                                "max-wait-us", "cache-entries"});
+  expect_positionals(args, 0, "serve takes only flags");
+  const auto model_it = args.flags.find("model");
+  if (model_it == args.flags.end() || model_it->second.empty()) {
+    std::fprintf(stderr,
+                 "serve requires at least one --model <name>=<path>\n");
+    return usage();
+  }
+
+  service::ServiceConfig config;
+  config.max_batch = args.get_int("max-batch", 32);
+  config.max_wait_us = args.get_int("max-wait-us", 2000);
+  config.cache_entries =
+      static_cast<std::size_t>(std::max(0, args.get_int("cache-entries", 1024)));
+  if (const std::string* def = args.single("default-model")) {
+    config.default_model = *def;
+  }
+  service::CompileService svc(config);
+
+  for (const std::string& spec : model_it->second) {
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      throw std::runtime_error("--model expects <name>=<path>, got '" +
+                               spec + "'");
+    }
+    const std::string name = spec.substr(0, eq);
+    const std::string path = spec.substr(eq + 1);
+    svc.registry().add_from_file(name, path);
+    const auto model = svc.registry().at(name);
+    std::fprintf(stderr, "# model '%s' <- %s (objective: %s)\n",
+                 name.c_str(), path.c_str(),
+                 reward::reward_name(model->config().reward).data());
+  }
+  if (!config.default_model.empty() &&
+      svc.registry().find(config.default_model) == nullptr) {
+    throw std::runtime_error("--default-model '" + config.default_model +
+                             "' was not loaded via --model");
+  }
+  std::fprintf(stderr,
+               "# serving %zu model(s): max_batch=%d max_wait_us=%lld "
+               "cache_entries=%zu\n",
+               svc.registry().size(), config.max_batch,
+               static_cast<long long>(config.max_wait_us),
+               config.cache_entries);
+
+  // Reader (main thread) parses stdin and submits without waiting, so
+  // concurrent requests fuse into batches; the writer thread emits
+  // responses strictly in submission order.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Inflight> inflight;
+  bool done_reading = false;
+
+  std::thread writer([&] {
+    for (;;) {
+      Inflight item;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return done_reading || !inflight.empty(); });
+        if (inflight.empty()) {
+          return;
+        }
+        item = std::move(inflight.front());
+        inflight.pop_front();
+      }
+      std::string line;
+      try {
+        line = service::serve_response_line(item.future.get());
+      } catch (const std::exception& e) {
+        line = service::serve_error_line(item.id, e.what());
+      }
+      std::fputs(line.c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+    }
+  });
+
+  const auto enqueue = [&](Inflight item) {
+    {
+      std::lock_guard lock(mu);
+      inflight.push_back(std::move(item));
+    }
+    cv.notify_one();
+  };
+  const auto enqueue_error = [&](const std::string& id,
+                                 const std::string& message) {
+    std::promise<service::ServiceResponse> promise;
+    promise.set_exception(
+        std::make_exception_ptr(std::runtime_error(message)));
+    enqueue({id, promise.get_future()});
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank lines are allowed between requests
+    }
+    try {
+      service::ServeRequest request = service::parse_serve_request(line);
+      ir::Circuit circuit = ir::from_qasm(request.qasm);
+      enqueue({request.id, svc.submit(request.id, request.model,
+                                      std::move(circuit))});
+    } catch (const std::exception& e) {
+      // Echo whatever id the line carried so clients can correlate the
+      // error even when validation failed.
+      enqueue_error(service::extract_request_id(line), e.what());
+    }
+  }
+  {
+    std::lock_guard lock(mu);
+    done_reading = true;
+  }
+  cv.notify_all();
+  writer.join();
+
+  const auto stats = svc.stats();
+  const double hit_rate =
+      stats.requests > 0
+          ? static_cast<double>(stats.cache_hits) /
+                static_cast<double>(stats.requests)
+          : 0.0;
+  std::fprintf(stderr,
+               "# served %llu request(s) in %llu batch(es), cache hit rate "
+               "%.2f, largest batch %d\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.batches), hit_rate,
+               stats.max_batch_size);
   return 0;
 }
 
@@ -196,7 +421,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (std::strcmp(argv[1], "info") == 0) {
-      return cmd_info();
+      return cmd_info(argc, argv);
     }
     if (std::strcmp(argv[1], "train") == 0) {
       return cmd_train(argc, argv);
@@ -204,9 +429,13 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "compile") == 0) {
       return cmd_compile(argc, argv);
     }
+    if (std::strcmp(argv[1], "serve") == 0) {
+      return cmd_serve(argc, argv);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
   return usage();
 }
