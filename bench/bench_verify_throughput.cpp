@@ -1,0 +1,219 @@
+// Equivalence-checker throughput bench: measures checks/sec per tier and
+// records how a mixed compiled workload dispatches across the tiers.
+//
+// Three corpora exercise the tiers in isolation:
+//   - clifford: random Clifford pairs (resynthesised via the tableau) at
+//     16-48 qubits — tableau comparison, no statevector.
+//   - miter: optimised non-Clifford pairs at 5-8 qubits — the alternating
+//     Choi miter (exact).
+//   - stimuli: non-Clifford pairs at 12-14 qubits (above the miter cap) —
+//     shared random stimuli.
+// A fourth, mixed corpus runs routed benchmark circuits through
+// verify_compilation and reports the tier-dispatch histogram.
+//
+// Writes BENCH_verify_throughput.json with
+// clifford_checks_per_sec / miter_checks_per_sec / stimuli_checks_per_sec
+// / tier_dispatch_histogram / total_checks.
+//
+// Knobs: QRC_VERIFY_BENCH_COUNT (default 12) sizes each corpus.
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_suite/benchmarks.hpp"
+#include "clifford/tableau.hpp"
+#include "core/predictor.hpp"
+#include "device/library.hpp"
+#include "experiment_common.hpp"
+#include "la/complex.hpp"
+#include "passes/opt/composite.hpp"
+#include "tools/verify_fuzz_common.hpp"
+#include "verify/equivalence.hpp"
+
+namespace {
+
+using namespace qrc;
+using Clock = std::chrono::steady_clock;
+
+ir::Circuit random_clifford(int n, int length, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> qpick(0, n - 1);
+  ir::Circuit c(n, "clifford");
+  for (int i = 0; i < length; ++i) {
+    const int q = qpick(rng);
+    int q2 = qpick(rng);
+    while (q2 == q) {
+      q2 = qpick(rng);
+    }
+    switch (std::uniform_int_distribution<int>(0, 4)(rng)) {
+      case 0: c.h(q); break;
+      case 1: c.s(q); break;
+      case 2: c.cx(q, q2); break;
+      case 3: c.x(q); break;
+      default: c.cz(q, q2); break;
+    }
+  }
+  return c;
+}
+
+ir::Circuit random_dense(int n, int length, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ang(-la::kPi, la::kPi);
+  std::uniform_int_distribution<int> qpick(0, n - 1);
+  ir::Circuit c(n, "dense");
+  for (int i = 0; i < length; ++i) {
+    const int q = qpick(rng);
+    int q2 = qpick(rng);
+    while (q2 == q) {
+      q2 = qpick(rng);
+    }
+    switch (std::uniform_int_distribution<int>(0, 4)(rng)) {
+      case 0: c.h(q); break;
+      case 1: c.t(q); break;
+      case 2: c.cx(q, q2); break;
+      case 3: c.ry(ang(rng), q); break;
+      default: c.rzz(ang(rng), q, q2); break;
+    }
+  }
+  return c;
+}
+
+struct TierRun {
+  double checks_per_sec = 0.0;
+  int checks = 0;
+};
+
+TierRun run_pairs(const verify::EquivalenceChecker& checker,
+                  const std::vector<std::pair<ir::Circuit, ir::Circuit>>& pairs,
+                  verify::Method expected_method) {
+  const auto start = Clock::now();
+  int ok = 0;
+  for (const auto& [a, b] : pairs) {
+    const auto result = checker.check(a, b);
+    if (result.verdict == verify::Verdict::kEquivalent &&
+        result.method == expected_method) {
+      ++ok;
+    } else {
+      std::fprintf(stderr, "unexpected verdict %s via %s: %s\n",
+                   verify::verdict_name(result.verdict).data(),
+                   verify::method_name(result.method).data(),
+                   result.detail.c_str());
+    }
+  }
+  TierRun out;
+  out.checks = static_cast<int>(pairs.size());
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  out.checks_per_sec = static_cast<double>(out.checks) / std::max(secs, 1e-12);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int count =
+      std::max(4, bench_harness::env_int("QRC_VERIFY_BENCH_COUNT", 12));
+  const verify::EquivalenceChecker checker;
+
+  // -- clifford corpus ------------------------------------------------------
+  std::vector<std::pair<ir::Circuit, ir::Circuit>> clifford_pairs;
+  for (int i = 0; i < count; ++i) {
+    const int n = 16 + (i * 8) % 33;  // 16..48 qubits
+    const ir::Circuit a =
+        random_clifford(n, 12 * n, 100 + static_cast<std::uint64_t>(i));
+    const auto tableau = clifford::Tableau::from_circuit(a);
+    clifford_pairs.emplace_back(a, tableau->to_circuit());
+  }
+  const TierRun clifford_run = run_pairs(checker, clifford_pairs,
+                                         verify::Method::kCliffordTableau);
+  std::printf("clifford tier: %d checks (16-48 qubits), %.1f checks/sec\n",
+              clifford_run.checks, clifford_run.checks_per_sec);
+
+  // -- miter corpus ---------------------------------------------------------
+  std::vector<std::pair<ir::Circuit, ir::Circuit>> miter_pairs;
+  const passes::FullPeepholeOptimise optimiser;
+  for (int i = 0; i < count; ++i) {
+    const int n = 5 + i % 4;  // 5..8 qubits
+    ir::Circuit a = random_dense(n, 10 * n, 200 + static_cast<std::uint64_t>(i));
+    ir::Circuit b = a;
+    (void)optimiser.run(b, {});
+    miter_pairs.emplace_back(std::move(a), std::move(b));
+  }
+  const TierRun miter_run =
+      run_pairs(checker, miter_pairs, verify::Method::kAlternatingMiter);
+  std::printf("miter tier:    %d checks (5-8 qubits), %.1f checks/sec\n",
+              miter_run.checks, miter_run.checks_per_sec);
+
+  // -- stimuli corpus -------------------------------------------------------
+  std::vector<std::pair<ir::Circuit, ir::Circuit>> stimuli_pairs;
+  for (int i = 0; i < count; ++i) {
+    const int n = 12 + i % 3;  // 12..14: above the miter cap
+    ir::Circuit a = random_dense(n, 6 * n, 300 + static_cast<std::uint64_t>(i));
+    ir::Circuit b = a;
+    (void)optimiser.run(b, {});
+    stimuli_pairs.emplace_back(std::move(a), std::move(b));
+  }
+  const TierRun stimuli_run =
+      run_pairs(checker, stimuli_pairs, verify::Method::kRandomStimuli);
+  std::printf("stimuli tier:  %d checks (12-14 qubits), %.1f checks/sec\n",
+              stimuli_run.checks, stimuli_run.checks_per_sec);
+
+  // -- mixed compiled workload: tier dispatch ------------------------------
+  // Same pipeline as the fuzz sweep (verify_fuzz_common.hpp), so the
+  // CI-asserted dispatch histogram measures the workload the sweep runs.
+  std::map<std::string, int> dispatch;
+  int mixed = 0;
+  const auto& families = bench::all_families();
+  const auto& devices = device::all_devices();
+  const auto mixed_start = Clock::now();
+  for (int i = 0; i < count; ++i) {
+    const auto family = families[static_cast<std::size_t>(i) % families.size()];
+    const int n = 3 + i % 6;
+    const auto* dev = devices[static_cast<std::size_t>(i) % devices.size()];
+    if (n > dev->num_qubits()) {
+      continue;
+    }
+    const ir::Circuit circuit = bench::make_benchmark(family, n, 40 + i);
+    const auto result = verify_fuzz::run_full_pipeline(circuit, *dev, 1);
+    const auto verdict = core::verify_compilation(circuit, result);
+    ++dispatch[std::string(verify::method_name(verdict.method))];
+    ++mixed;
+  }
+  const double mixed_secs =
+      std::chrono::duration<double>(Clock::now() - mixed_start).count();
+  std::printf("mixed routed workload: %d compile+verify in %.2fs, dispatch:",
+              mixed, mixed_secs);
+  for (const auto& [method, n] : dispatch) {
+    std::printf(" %s:%d", method.c_str(), n);
+  }
+  std::printf("\n");
+
+  const int total = clifford_run.checks + miter_run.checks +
+                    stimuli_run.checks + mixed;
+  std::FILE* json = std::fopen("BENCH_verify_throughput.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"verify_throughput\",\n"
+                 "  \"total_checks\": %d,\n"
+                 "  \"clifford_checks_per_sec\": %.2f,\n"
+                 "  \"miter_checks_per_sec\": %.2f,\n"
+                 "  \"stimuli_checks_per_sec\": %.2f,\n"
+                 "  \"tier_dispatch_histogram\": {",
+                 total, clifford_run.checks_per_sec,
+                 miter_run.checks_per_sec, stimuli_run.checks_per_sec);
+    bool first = true;
+    for (const auto& [method, n] : dispatch) {
+      std::fprintf(json, "%s\"%s\": %d", first ? "" : ", ", method.c_str(),
+                   n);
+      first = false;
+    }
+    std::fprintf(json, "}\n}\n");
+    std::fclose(json);
+    std::printf("results written to BENCH_verify_throughput.json\n");
+  }
+  return 0;
+}

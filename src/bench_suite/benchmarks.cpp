@@ -435,8 +435,14 @@ std::string_view family_name(BenchmarkFamily family) {
 
 ir::Circuit make_benchmark(BenchmarkFamily family, int num_qubits,
                            std::uint64_t seed) {
-  if (num_qubits < 2) {
-    throw std::invalid_argument("make_benchmark: need at least 2 qubits");
+  // Several generators index qubit n-1 or split off an ancilla, so a bad
+  // qubit count is UB, not just a degenerate circuit — reject it eagerly
+  // and name the family so sweeps can report which instance was bad.
+  if (num_qubits < 2 || num_qubits > kMaxBenchmarkQubits) {
+    throw std::invalid_argument(
+        "make_benchmark: family '" + std::string(family_name(family)) +
+        "' needs 2 <= num_qubits <= " + std::to_string(kMaxBenchmarkQubits) +
+        ", got " + std::to_string(num_qubits));
   }
   std::mt19937_64 rng(seed * 2654435761u + static_cast<std::uint64_t>(family) * 97u +
                       static_cast<std::uint64_t>(num_qubits));
@@ -517,8 +523,21 @@ ir::Circuit make_benchmark(BenchmarkFamily family, int num_qubits,
 
 std::vector<ir::Circuit> benchmark_suite(int min_qubits, int max_qubits,
                                          int count, std::uint64_t seed) {
-  if (min_qubits < 2 || max_qubits < min_qubits || count < 1) {
-    throw std::invalid_argument("benchmark_suite: bad arguments");
+  if (min_qubits < 2) {
+    throw std::invalid_argument(
+        "benchmark_suite: min_qubits must be >= 2, got " +
+        std::to_string(min_qubits));
+  }
+  if (max_qubits < min_qubits || max_qubits > kMaxBenchmarkQubits) {
+    throw std::invalid_argument(
+        "benchmark_suite: max_qubits must be in [min_qubits, " +
+        std::to_string(kMaxBenchmarkQubits) + "], got " +
+        std::to_string(max_qubits) + " (min_qubits " +
+        std::to_string(min_qubits) + ")");
+  }
+  if (count < 1) {
+    throw std::invalid_argument("benchmark_suite: count must be >= 1, got " +
+                                std::to_string(count));
   }
   std::vector<ir::Circuit> out;
   out.reserve(static_cast<std::size_t>(count));

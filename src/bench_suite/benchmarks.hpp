@@ -43,12 +43,18 @@ enum class BenchmarkFamily : std::uint8_t {
 
 inline constexpr int kNumFamilies = 22;
 
+/// Upper bound on benchmark width: far beyond every library device (127
+/// qubits) but small enough that a garbage qubit count (e.g. a parsed -1
+/// reinterpreted as a huge int) fails loudly instead of allocating.
+inline constexpr int kMaxBenchmarkQubits = 512;
+
 [[nodiscard]] const std::vector<BenchmarkFamily>& all_families();
 [[nodiscard]] std::string_view family_name(BenchmarkFamily family);
 
-/// Builds one instance. Preconditions: num_qubits >= 2.
-/// The circuit ends with measurements on all qubits and is named
-/// "<family>_<n>".
+/// Builds one instance. The circuit ends with measurements on all qubits
+/// and is named "<family>_<n>".
+/// \throws std::invalid_argument naming the family unless
+///         2 <= num_qubits <= kMaxBenchmarkQubits.
 [[nodiscard]] ir::Circuit make_benchmark(BenchmarkFamily family,
                                          int num_qubits,
                                          std::uint64_t seed = 0);
@@ -56,6 +62,9 @@ inline constexpr int kNumFamilies = 22;
 /// The paper's evaluation corpus: `count` circuits cycling through all
 /// families and qubit sizes in [min_qubits, max_qubits] (paper: 200
 /// circuits, 2..20 qubits).
+/// \throws std::invalid_argument (naming the offending argument) unless
+///         2 <= min_qubits <= max_qubits <= kMaxBenchmarkQubits and
+///         count >= 1.
 [[nodiscard]] std::vector<ir::Circuit> benchmark_suite(int min_qubits,
                                                        int max_qubits,
                                                        int count,

@@ -114,9 +114,29 @@ CompilationResult Predictor::compile(const ir::Circuit& circuit) const {
   return compile_batch(std::span<const ir::Circuit>(&circuit, 1), -1).front();
 }
 
+CompilationResult Predictor::compile_verified(
+    const ir::Circuit& circuit, const verify::VerifyOptions& options) const {
+  return compile_batch(std::span<const ir::Circuit>(&circuit, 1), -1,
+                       nullptr, &options)
+      .front();
+}
+
 std::vector<CompilationResult> Predictor::compile_all(
-    std::span<const ir::Circuit> circuits, rl::WorkerPool* pool) const {
-  return compile_batch(circuits, -1, pool);
+    std::span<const ir::Circuit> circuits, rl::WorkerPool* pool,
+    const verify::VerifyOptions* verify_options) const {
+  return compile_batch(circuits, -1, pool, verify_options);
+}
+
+verify::VerifyResult verify_compilation(const ir::Circuit& original,
+                                        const CompilationResult& result,
+                                        const verify::VerifyOptions& options) {
+  const verify::EquivalenceChecker checker(options);
+  if (result.circuit.num_qubits() == original.num_qubits() &&
+      result.initial_layout.empty() && result.final_layout.empty()) {
+    return checker.check(original, result.circuit);
+  }
+  return checker.check_mapped(original, result.circuit,
+                              result.initial_layout, result.final_layout);
 }
 
 CompilationResult Predictor::compile_with_masked_feature(
@@ -128,7 +148,8 @@ CompilationResult Predictor::compile_with_masked_feature(
 
 std::vector<CompilationResult> Predictor::compile_batch(
     std::span<const ir::Circuit> circuits, int feature_index,
-    rl::WorkerPool* external_pool) const {
+    rl::WorkerPool* external_pool,
+    const verify::VerifyOptions* verify_options) const {
   if (!agent_.has_value()) {
     throw std::logic_error("Predictor::compile: train or load a model first");
   }
@@ -278,6 +299,16 @@ std::vector<CompilationResult> Predictor::compile_batch(
       result.initial_layout = *state.initial_layout;
     }
     result.final_layout = state.final_layout;
+  }
+
+  if (verify_options != nullptr) {
+    // Post-compile verification gate: independent per circuit, so the
+    // checks spread over the same worker pool as the rollout.
+    pool.parallel_for(num_circuits, [&](int c) {
+      auto& result = results[static_cast<std::size_t>(c)];
+      result.verification =
+          verify_compilation(circuits[c], result, *verify_options);
+    });
   }
   return results;
 }

@@ -14,6 +14,7 @@
 #include "core/compilation_env.hpp"
 #include "reward/reward.hpp"
 #include "rl/ppo.hpp"
+#include "verify/equivalence.hpp"
 
 namespace qrc::rl {
 class WorkerPool;
@@ -31,7 +32,21 @@ struct CompilationResult {
   double reward = 0.0;                    ///< under the trained objective
   bool used_fallback = false;  ///< policy failed to finish; the canned
                                ///< sequence completed the compilation
+  /// Present when the compilation was verified (the QCEC-style
+  /// post-compile gate): verdict of checking `circuit` against the input
+  /// through the layouts. The compiled circuit itself is never altered by
+  /// verification.
+  std::optional<verify::VerifyResult> verification;
 };
+
+/// Verifies a compilation result against the original circuit with the
+/// tiered EquivalenceChecker, routing through the result's initial/final
+/// layouts when the circuit was mapped onto a device. Deterministic for
+/// fixed options; used by the Predictor gate, the compile service, and the
+/// fuzz harness.
+[[nodiscard]] verify::VerifyResult verify_compilation(
+    const ir::Circuit& original, const CompilationResult& result,
+    const verify::VerifyOptions& options = {});
 
 struct PredictorConfig {
   reward::RewardKind reward = reward::RewardKind::kFidelity;
@@ -64,6 +79,14 @@ class Predictor {
   /// optimization) completes the flow and the result is flagged.
   [[nodiscard]] CompilationResult compile(const ir::Circuit& circuit) const;
 
+  /// compile() plus the post-compile verification gate: the result carries
+  /// a VerifyResult certifying (or refuting) functional equivalence of the
+  /// compiled circuit to `circuit`. Compilation output is bit-identical to
+  /// compile() — verification only observes.
+  [[nodiscard]] CompilationResult compile_verified(
+      const ir::Circuit& circuit,
+      const verify::VerifyOptions& options = {}) const;
+
   /// Compiles a whole suite of circuits through one batched greedy-policy
   /// loop: every inference step gathers the observations of all still-
   /// running episodes and issues a single batched policy forward (rows
@@ -78,9 +101,13 @@ class Predictor {
   /// change results (index-parallel jobs are deterministic for any pool
   /// size). All compile* methods are const and safe to call concurrently
   /// from multiple threads on one Predictor.
+  ///
+  /// `verify_options`, if non-null, enables the post-compile verification
+  /// gate: each result's `verification` field is filled by checking it
+  /// against its input circuit (checks run in parallel over the pool).
   [[nodiscard]] std::vector<CompilationResult> compile_all(
-      std::span<const ir::Circuit> circuits,
-      rl::WorkerPool* pool = nullptr) const;
+      std::span<const ir::Circuit> circuits, rl::WorkerPool* pool = nullptr,
+      const verify::VerifyOptions* verify_options = nullptr) const;
 
   /// Ablation hook: compile with observation feature `feature_index`
   /// zeroed at every inference step (measures how load-bearing each
@@ -100,7 +127,8 @@ class Predictor {
  private:
   [[nodiscard]] std::vector<CompilationResult> compile_batch(
       std::span<const ir::Circuit> circuits, int feature_index,
-      rl::WorkerPool* pool = nullptr) const;
+      rl::WorkerPool* pool = nullptr,
+      const verify::VerifyOptions* verify_options = nullptr) const;
 
   PredictorConfig config_;
   std::optional<rl::PpoAgent> agent_;

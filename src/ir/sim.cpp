@@ -70,9 +70,28 @@ void Statevector::apply_2q(const la::Mat4& u, int q0, int q1) {
   }
 }
 
+void Statevector::apply_matrix(const la::Mat2& u, int q) { apply_1q(u, q); }
+
+void Statevector::apply_matrix(const la::Mat4& u, int q0, int q1) {
+  apply_2q(u, q0, q1);
+}
+
 void Statevector::apply(const Operation& op) {
   if (!op.is_unitary()) {
-    return;
+    // The silent skip is deliberately restricted to the known non-unitary
+    // circuit elements. A future non-unitary kind must be handled here
+    // explicitly, not ignored — an equivalence check that drops ops it
+    // does not understand passes vacuously.
+    switch (op.kind()) {
+      case GateKind::kMeasure:
+      case GateKind::kBarrier:
+      case GateKind::kReset:
+        return;
+      default:
+        throw std::invalid_argument(
+            "Statevector: unsupported non-unitary op '" +
+            std::string(op.info().name) + "'");
+    }
   }
   switch (op.num_qubits()) {
     case 1:
@@ -112,11 +131,13 @@ void Statevector::apply(const Operation& op) {
           }
           return;
         default:
-          throw std::invalid_argument("Statevector: unknown 3q gate");
+          throw std::invalid_argument("Statevector: unknown 3q gate '" +
+                                      std::string(op.info().name) + "'");
       }
     }
     default:
-      throw std::invalid_argument("Statevector: unsupported arity");
+      throw std::invalid_argument("Statevector: unsupported arity for '" +
+                                  std::string(op.info().name) + "'");
   }
 }
 
@@ -154,10 +175,6 @@ double Statevector::norm() const {
   return std::sqrt(acc);
 }
 
-namespace {
-
-/// Reindexes `state` so that qubit q of the input becomes qubit perm[q]
-/// of the output.
 Statevector permute_qubits(const Statevector& state,
                            const std::vector<int>& perm) {
   Statevector out(state.num_qubits());
@@ -177,8 +194,6 @@ Statevector permute_qubits(const Statevector& state,
   return out;
 }
 
-/// Embeds an n-qubit state into m >= n qubits, placing logical qubit i at
-/// physical qubit placement[i]; all other physical qubits are |0>.
 Statevector embed_state(const Statevector& state, int m,
                         const std::vector<int>& placement) {
   Statevector out(m);
@@ -197,8 +212,6 @@ Statevector embed_state(const Statevector& state, int m,
   }
   return out;
 }
-
-}  // namespace
 
 bool circuits_equivalent(const Circuit& a, const Circuit& b, int num_trials,
                          std::uint64_t seed,

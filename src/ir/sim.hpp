@@ -29,12 +29,21 @@ class Statevector {
   [[nodiscard]] static Statevector random(int num_qubits,
                                           std::uint64_t seed);
 
-  /// Applies a unitary operation in place. Measures/resets/barriers are
-  /// ignored (equivalence checking concerns the unitary part).
+  /// Applies a unitary operation in place. Measure/reset/barrier are
+  /// ignored (equivalence checking concerns the unitary part); any *other*
+  /// op the simulator cannot handle throws — a silent skip here would let
+  /// an equivalence check pass vacuously.
   void apply(const Operation& op);
 
   /// Applies all ops of a circuit, plus its global phase.
   void apply(const Circuit& circuit);
+
+  /// Applies a raw 2x2 unitary to qubit `q` (used by the verifier to apply
+  /// conjugated gate matrices that have no GateKind of their own).
+  void apply_matrix(const la::Mat2& u, int q);
+
+  /// Applies a raw 4x4 unitary to the (q0 = low bit, q1 = high bit) pair.
+  void apply_matrix(const la::Mat4& u, int q0, int q1);
 
   /// <this | rhs>.
   [[nodiscard]] la::cplx inner_product(const Statevector& rhs) const;
@@ -49,6 +58,16 @@ class Statevector {
   int num_qubits_;
   std::vector<la::cplx> amp_;
 };
+
+/// Reindexes `state` so that qubit q of the input becomes qubit perm[q] of
+/// the output (perm must be a bijection over the state's qubits).
+[[nodiscard]] Statevector permute_qubits(const Statevector& state,
+                                         const std::vector<int>& perm);
+
+/// Embeds an n-qubit state into m >= n qubits, placing logical qubit i at
+/// physical qubit placement[i]; all other physical qubits are |0>.
+[[nodiscard]] Statevector embed_state(const Statevector& state, int m,
+                                      const std::vector<int>& placement);
 
 /// Statistical unitary-equivalence check: applies both circuits to
 /// `num_trials` shared random input states and compares the outputs up to a

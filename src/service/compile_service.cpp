@@ -1,6 +1,7 @@
 #include "service/compile_service.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <string_view>
@@ -91,7 +92,8 @@ CompileService::Lane& CompileService::lane_for(
 }
 
 std::future<ServiceResponse> CompileService::submit(
-    std::string id, const std::string& model_name, ir::Circuit circuit) {
+    std::string id, const std::string& model_name, ir::Circuit circuit,
+    bool verify) {
   if (stopping_.load()) {
     throw std::logic_error("CompileService::submit: service is stopping");
   }
@@ -106,6 +108,7 @@ std::future<ServiceResponse> CompileService::submit(
   Pending pending;
   pending.id = std::move(id);
   pending.circuit = std::move(circuit);
+  pending.verify = verify;
   pending.submitted = submitted;
   auto future = pending.promise.get_future();
 
@@ -114,14 +117,20 @@ std::future<ServiceResponse> CompileService::submit(
     // once per objective. Fingerprints ignore the circuit name.
     pending.key = name + '\n' + ir::canonical_key(pending.circuit);
     if (auto hit = cache_.get(pending.key)) {
-      ServiceResponse response;
-      response.id = std::move(pending.id);
-      response.model = name;
-      response.result = std::move(*hit);
-      response.cached = true;
-      response.latency_us = elapsed_us(submitted);
-      pending.promise.set_value(std::move(response));
-      return future;
+      if (!pending.verify) {
+        ServiceResponse response;
+        response.id = std::move(pending.id);
+        response.model = name;
+        response.result = std::move(*hit);
+        response.cached = true;
+        response.latency_us = elapsed_us(submitted);
+        pending.promise.set_value(std::move(response));
+        return future;
+      }
+      // Hit that still needs the equivalence gate: ride the lane so the
+      // check runs on the lane's worker pool, not the submitter's thread
+      // (a wide verification could otherwise stall request ingestion).
+      pending.cached_result = std::move(*hit);
     }
   }
 
@@ -174,22 +183,20 @@ void CompileService::scheduler_loop(Lane& lane) {
 }
 
 void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
-  const int n = static_cast<int>(batch.size());
-  {
-    std::lock_guard lock(stats_mu_);
-    ++batches_;
-    batched_requests_ += static_cast<std::uint64_t>(n);
-    max_batch_size_ = std::max(max_batch_size_, n);
-    ++batch_size_histogram_[n];
-  }
-
   try {
     // Identical circuits in one batch (or raced past the cache while a
-    // twin was in flight) compile once and fan out.
+    // twin was in flight) compile once and fan out. Cache hits that ride
+    // the lane for verification (cached_result set) never recompile.
+    constexpr auto kNoSlot = std::numeric_limits<std::size_t>::max();
     std::vector<ir::Circuit> circuits;
-    std::vector<std::size_t> slot(batch.size());
+    std::vector<std::size_t> slot(batch.size(), kNoSlot);
     std::map<std::string_view, std::size_t> first_of_key;
+    int compiled_requests = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].cached_result.has_value()) {
+        continue;
+      }
+      ++compiled_requests;
       if (!batch[i].key.empty()) {
         const auto [it, inserted] =
             first_of_key.try_emplace(batch[i].key, circuits.size());
@@ -203,17 +210,66 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
       circuits.push_back(batch[i].circuit);
     }
 
+    // Batch stats count compiled requests only (verification-only riders
+    // never reached the policy, like the fast cache-hit path).
+    if (compiled_requests > 0) {
+      std::lock_guard lock(stats_mu_);
+      ++batches_;
+      batched_requests_ += static_cast<std::uint64_t>(compiled_requests);
+      max_batch_size_ = std::max(max_batch_size_, compiled_requests);
+      ++batch_size_histogram_[compiled_requests];
+    }
+
     const auto results = lane.model->compile_all(circuits, lane.pool.get());
 
     for (const auto& [key, s] : first_of_key) {
       cache_.put(std::string(key), results[s]);
     }
+
+    // Verification units: one per distinct compiled slot whose requesters
+    // asked (deduped twins share the deterministic verdict) plus one per
+    // cache-hit rider; the independent checks spread over the lane's
+    // worker pool like the rollout itself.
+    struct VerifyUnit {
+      const ir::Circuit* original = nullptr;
+      const core::CompilationResult* result = nullptr;
+      verify::VerifyResult verdict;
+    };
+    std::vector<VerifyUnit> units;
+    std::vector<std::size_t> unit_of_slot(circuits.size(), kNoSlot);
+    std::vector<std::size_t> unit_of_request(batch.size(), kNoSlot);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch[i].verify) {
+        continue;
+      }
+      if (batch[i].cached_result.has_value()) {
+        unit_of_request[i] = units.size();
+        units.push_back({&batch[i].circuit, &*batch[i].cached_result, {}});
+      } else if (unit_of_slot[slot[i]] == kNoSlot) {
+        unit_of_slot[slot[i]] = units.size();
+        unit_of_request[i] = units.size();
+        units.push_back({&batch[i].circuit, &results[slot[i]], {}});
+      } else {
+        unit_of_request[i] = unit_of_slot[slot[i]];
+      }
+    }
+    lane.pool->parallel_for(static_cast<int>(units.size()), [&](int u) {
+      auto& unit = units[static_cast<std::size_t>(u)];
+      unit.verdict = core::verify_compilation(*unit.original, *unit.result,
+                                              config_.verify_options);
+    });
+
     for (std::size_t i = 0; i < batch.size(); ++i) {
       ServiceResponse response;
       response.id = std::move(batch[i].id);
       response.model = lane.name;
-      response.result = results[slot[i]];
-      response.cached = false;
+      response.cached = batch[i].cached_result.has_value();
+      response.result = response.cached ? std::move(*batch[i].cached_result)
+                                        : results[slot[i]];
+      if (batch[i].verify) {
+        response.result.verification = units[unit_of_request[i]].verdict;
+        count_verdict(*response.result.verification);
+      }
       response.latency_us = elapsed_us(batch[i].submitted);
       batch[i].promise.set_value(std::move(response));
     }
@@ -222,6 +278,21 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
     for (auto& pending : batch) {
       pending.promise.set_exception(error);
     }
+  }
+}
+
+void CompileService::count_verdict(const verify::VerifyResult& verdict) {
+  std::lock_guard lock(stats_mu_);
+  switch (verdict.verdict) {
+    case verify::Verdict::kEquivalent:
+      ++verified_;
+      break;
+    case verify::Verdict::kNotEquivalent:
+      ++refuted_;
+      break;
+    case verify::Verdict::kUnknown:
+      ++verify_unknown_;
+      break;
   }
 }
 
@@ -234,6 +305,9 @@ ServiceStats CompileService::stats() const {
     out.batched_requests = batched_requests_;
     out.max_batch_size = max_batch_size_;
     out.batch_size_histogram = batch_size_histogram_;
+    out.verified = verified_;
+    out.refuted = refuted_;
+    out.verify_unknown = verify_unknown_;
   }
   const auto cache = cache_.stats();
   out.cache_hits = cache.hits;

@@ -41,15 +41,24 @@ struct ServiceConfig {
   /// Model used by requests that do not name one. Empty: requests may
   /// omit the model only while exactly one model is registered.
   std::string default_model;
+  /// Tier configuration for requests submitted with verify=true (the
+  /// QCEC-style post-compile equivalence gate). Fixed seed: replays and
+  /// cache hits reach identical verdicts.
+  verify::VerifyOptions verify_options;
 };
 
 /// Outcome of one service request.
 struct ServiceResponse {
-  std::string id;                  ///< echoed request id
-  std::string model;               ///< model that served the request
-  core::CompilationResult result;  ///< identical to Predictor::compile()
-  bool cached = false;             ///< served from the LRU, no policy run
-  std::int64_t latency_us = 0;     ///< submit-to-completion wall time
+  std::string id;     ///< echoed request id
+  std::string model;  ///< model that served the request
+  /// Identical to Predictor::compile(); `result.verification` is filled
+  /// iff the request asked for it (the same field compile_verified uses).
+  /// Cached results are re-verified against the incoming circuit — the
+  /// checker is deterministic, so a cache hit carries the same verdict a
+  /// fresh compilation would.
+  core::CompilationResult result;
+  bool cached = false;          ///< served from the LRU, no policy run
+  std::int64_t latency_us = 0;  ///< submit-to-completion wall time
 };
 
 /// Counter snapshot; all values monotone over the service lifetime.
@@ -62,6 +71,9 @@ struct ServiceStats {
   std::uint64_t batched_requests = 0;  ///< requests across all batches
   int max_batch_size = 0;              ///< largest fused batch
   std::map<int, std::uint64_t> batch_size_histogram;  ///< size -> count
+  std::uint64_t verified = 0;        ///< verification verdicts: equivalent
+  std::uint64_t refuted = 0;         ///< verdicts: not equivalent
+  std::uint64_t verify_unknown = 0;  ///< verdicts: no tier could decide
 };
 
 /// Thread-safe compilation server. Submit from any number of threads; each
@@ -83,12 +95,15 @@ class CompileService {
   /// Enqueues one compilation. `model_name` empty selects the default
   /// model (ServiceConfig::default_model, or the sole registered model).
   /// The future completes with the response, or with the exception the
-  /// compilation raised.
+  /// compilation raised. `verify` requests the post-compile equivalence
+  /// gate (ServiceConfig::verify_options); the compiled circuit is
+  /// identical either way.
   /// \throws std::runtime_error if the model cannot be resolved.
   /// \throws std::logic_error after shutdown has begun.
   std::future<ServiceResponse> submit(std::string id,
                                       const std::string& model_name,
-                                      ir::Circuit circuit);
+                                      ir::Circuit circuit,
+                                      bool verify = false);
 
   /// Convenience: submit and wait.
   ServiceResponse compile(const std::string& model_name,
@@ -102,6 +117,11 @@ class CompileService {
     std::string id;
     std::string key;  ///< cache key; empty when caching is disabled
     ir::Circuit circuit;
+    bool verify = false;  ///< run the post-compile equivalence gate
+    /// Cache hit that still needs verification: carried into the lane so
+    /// the (possibly slow) equivalence check runs on the lane's worker
+    /// pool instead of stalling the submitter's thread. No policy run.
+    std::optional<core::CompilationResult> cached_result;
     std::promise<ServiceResponse> promise;
     std::chrono::steady_clock::time_point submitted;
   };
@@ -124,6 +144,8 @@ class CompileService {
                  std::shared_ptr<const core::Predictor> model);
   void scheduler_loop(Lane& lane);
   void process_batch(Lane& lane, std::vector<Pending> batch);
+  /// Bumps the verified/refuted/undecided counters for one verdict.
+  void count_verdict(const verify::VerifyResult& verdict);
 
   ServiceConfig config_;
   ModelRegistry registry_;
@@ -138,6 +160,9 @@ class CompileService {
   std::uint64_t batched_requests_ = 0;
   int max_batch_size_ = 0;
   std::map<int, std::uint64_t> batch_size_histogram_;
+  std::uint64_t verified_ = 0;
+  std::uint64_t refuted_ = 0;
+  std::uint64_t verify_unknown_ = 0;
 
   std::atomic<bool> stopping_{false};
 };

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "ir/qasm.hpp"
+#include "verify/equivalence.hpp"
 
 namespace qrc::service {
 
@@ -387,6 +388,15 @@ ServeRequest parse_serve_request(std::string_view line) {
     throw std::runtime_error("request must be a JSON object");
   }
   const auto& obj = v.as_object();
+  // Unknown fields are hard errors: a client typo ("verifi": true) must
+  // surface as an error line, not silently change behaviour.
+  for (const auto& [key, value] : obj) {
+    if (key != "id" && key != "model" && key != "qasm" && key != "verify") {
+      throw std::runtime_error(
+          "unknown request field '" + key +
+          "' (expected id, model, qasm, verify)");
+    }
+  }
   ServeRequest request;
   if (const auto it = obj.find("id"); it != obj.end()) {
     if (it->second.is_string()) {
@@ -402,6 +412,12 @@ ServeRequest parse_serve_request(std::string_view line) {
       throw std::runtime_error("'model' must be a string");
     }
     request.model = it->second.as_string();
+  }
+  if (const auto it = obj.find("verify"); it != obj.end()) {
+    if (!it->second.is_bool()) {
+      throw std::runtime_error("'verify' must be a boolean");
+    }
+    request.verify = it->second.as_bool();
   }
   const auto it = obj.find("qasm");
   if (it == obj.end() || !it->second.is_string()) {
@@ -447,6 +463,12 @@ std::string serve_response_line(const ServiceResponse& r) {
   out += ",\"cached\":";
   out += r.cached ? "true" : "false";
   out += ",\"latency_us\":" + std::to_string(r.latency_us);
+  if (r.result.verification.has_value()) {
+    const auto& v = *r.result.verification;
+    out += ",\"verdict\":" + json_quote(verify::verdict_name(v.verdict));
+    out += ",\"verify_method\":" + json_quote(verify::method_name(v.method));
+    out += ",\"verify_confidence\":" + dump_number(v.confidence);
+  }
   return out + "}";
 }
 

@@ -76,17 +76,23 @@ class JsonValue {
 
 // ------------------------------------------------------ serve protocol ---
 
-/// One `qrc serve` request line: {"id": ..., "model": ..., "qasm": ...}.
+/// One `qrc serve` request line:
+/// {"id": ..., "model": ..., "qasm": ..., "verify": ...}.
 /// `qasm` is required; `model` defaults to the service's default model;
-/// `id` (string or number, echoed back as a string) defaults to "".
+/// `id` (string or number, echoed back as a string) defaults to "";
+/// `verify` (bool, default false) requests the post-compile equivalence
+/// gate — the response then carries verdict/method/confidence fields.
 struct ServeRequest {
   std::string id;
   std::string model;
   std::string qasm;
+  bool verify = false;
 };
 
-/// Parses and validates one request line.
-/// \throws std::runtime_error naming the missing/mistyped field.
+/// Parses and validates one request line. Unknown top-level fields are
+/// rejected (a typoed "verifi" must fail loudly, not silently skip
+/// verification).
+/// \throws std::runtime_error naming the missing/mistyped/unknown field.
 [[nodiscard]] ServeRequest parse_serve_request(std::string_view line);
 
 /// Best-effort id recovery for error reporting: the "id" of `line` if it
@@ -98,7 +104,11 @@ struct ServeRequest {
 /// Serialises one response line:
 /// {"id","model","qasm","reward","device","used_fallback","cached",
 ///  "latency_us"} — `qasm` is the compiled circuit, `device` the chosen
-/// target (null if compilation never picked one).
+/// target (null if compilation never picked one). When the request asked
+/// for verification, three more fields follow: "verdict"
+/// ("equivalent"/"not_equivalent"/"unknown"), "verify_method"
+/// ("clifford_tableau"/"alternating_miter"/"random_stimuli"/"none") and
+/// "verify_confidence" (1.0 for exact tiers).
 [[nodiscard]] std::string serve_response_line(const ServiceResponse& r);
 
 /// Serialises one error line: {"id": ..., "error": ...}.

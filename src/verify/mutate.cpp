@@ -1,0 +1,157 @@
+#include "verify/mutate.hpp"
+
+#include <array>
+#include <random>
+#include <vector>
+
+#include "ir/gate.hpp"
+
+namespace qrc::verify {
+
+namespace {
+
+using ir::Circuit;
+using ir::GateKind;
+using ir::Operation;
+
+/// Non-diagonal gate edits only: a purely diagonal edit can commute to the
+/// end of a measure-all circuit, where it is legitimately unobservable —
+/// a fault-injection campaign built on those would punish the checker for
+/// being right.
+bool is_mutable_target(const Operation& op) {
+  return op.is_unitary() && !op.info().is_diagonal;
+}
+
+/// Does the nearest op on any shared qubit (searching direction `step`)
+/// equal `op`? Used to avoid deleting/inserting next to an identical twin
+/// which would cancel instead of faulting.
+bool identical_neighbor(const Circuit& c, std::size_t index,
+                        const Operation& op, int step) {
+  for (std::size_t i = index;;) {
+    if (step < 0 && i == 0) {
+      return false;
+    }
+    i = static_cast<std::size_t>(static_cast<long>(i) + step);
+    if (i >= c.size()) {
+      return false;
+    }
+    const Operation& other = c.ops()[i];
+    if (!other.overlaps(op)) {
+      continue;
+    }
+    return other == op;
+  }
+}
+
+const std::array<GateKind, 5> k1qReplacements = {
+    GateKind::kH, GateKind::kX, GateKind::kY, GateKind::kSX,
+    GateKind::kSXdg};
+
+}  // namespace
+
+std::optional<Mutation> mutate_single_gate(const ir::Circuit& circuit,
+                                           std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::size_t> targets;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    if (is_mutable_target(circuit.ops()[i])) {
+      targets.push_back(i);
+    }
+  }
+  if (targets.empty()) {
+    return std::nullopt;
+  }
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::size_t index = targets[std::uniform_int_distribution<
+        std::size_t>(0, targets.size() - 1)(rng)];
+    const Operation& op = circuit.ops()[index];
+    const std::string at = std::string(op.info().name) + " at op " +
+                           std::to_string(index);
+    Circuit mutated = circuit;
+    auto& ops = mutated.mutable_ops();
+    switch (std::uniform_int_distribution<int>(0, 5)(rng)) {
+      case 0: {  // replace a 1q gate with a different non-diagonal 1q gate
+        if (op.num_qubits() != 1 || op.num_params() != 0) {
+          continue;
+        }
+        const GateKind to = k1qReplacements[std::uniform_int_distribution<
+            std::size_t>(0, k1qReplacements.size() - 1)(rng)];
+        if (to == op.kind()) {
+          continue;
+        }
+        const int q = op.qubit(0);
+        ops[index] = Operation(to, {&q, 1});
+        return Mutation{std::move(mutated),
+                        "replace " + at + " with " +
+                            std::string(ir::gate_name(to))};
+      }
+      case 1: {  // perturb a non-diagonal rotation angle
+        if (op.num_params() == 0) {
+          continue;
+        }
+        const int p = std::uniform_int_distribution<int>(
+            0, op.num_params() - 1)(rng);
+        ops[index].set_param(p, op.param(p) + 0.7);
+        return Mutation{std::move(mutated),
+                        "perturb param " + std::to_string(p) + " of " + at};
+      }
+      case 2: {  // swap operands of an asymmetric 2q gate
+        if (op.num_qubits() != 2 || op.info().is_symmetric) {
+          continue;
+        }
+        ops[index].set_qubit(0, op.qubit(1));
+        ops[index].set_qubit(1, op.qubit(0));
+        return Mutation{std::move(mutated), "swap operands of " + at};
+      }
+      case 3: {  // delete the gate
+        if (ir::gate_is_identity(op.kind(), op.params()) ||
+            identical_neighbor(circuit, index, op, -1) ||
+            identical_neighbor(circuit, index, op, +1)) {
+          continue;  // deletion could cancel instead of faulting
+        }
+        std::vector<bool> remove(circuit.size(), false);
+        remove[index] = true;
+        mutated.remove_ops(remove);
+        return Mutation{std::move(mutated), "delete " + at};
+      }
+      case 4: {  // retarget one operand of a 2q gate (to an active qubit,
+                 // so wide-device mutants stay inside the used register)
+        const auto active = circuit.active_qubits();
+        if (op.num_qubits() != 2 || active.size() < 3) {
+          continue;
+        }
+        const int slot = std::uniform_int_distribution<int>(0, 1)(rng);
+        const int to = active[std::uniform_int_distribution<std::size_t>(
+            0, active.size() - 1)(rng)];
+        if (to == op.qubit(0) || to == op.qubit(1)) {
+          continue;
+        }
+        ops[index].set_qubit(slot, to);
+        return Mutation{std::move(mutated),
+                        "retarget operand " + std::to_string(slot) + " of " +
+                            at + " to q" + std::to_string(to)};
+      }
+      default: {  // insert a fresh h/x next to the target
+        const GateKind to = std::uniform_int_distribution<int>(0, 1)(rng) == 0
+                                ? GateKind::kH
+                                : GateKind::kX;
+        const int q = op.qubit(std::uniform_int_distribution<int>(
+            0, op.num_qubits() - 1)(rng));
+        const Operation inserted(to, {&q, 1});
+        if (identical_neighbor(circuit, index, inserted, -1) ||
+            circuit.ops()[index] == inserted) {
+          continue;  // would cancel against an identical twin
+        }
+        ops.insert(ops.begin() + static_cast<long>(index), inserted);
+        return Mutation{std::move(mutated),
+                        "insert " + std::string(ir::gate_name(to)) + " on q" +
+                            std::to_string(q) + " before op " +
+                            std::to_string(index)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qrc::verify

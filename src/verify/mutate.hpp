@@ -1,0 +1,35 @@
+/// \file mutate.hpp
+/// \brief Seeded single-gate fault injection for exercising the
+///        equivalence checker: each mutation changes exactly one gate of a
+///        circuit in a way that (outside rare coincidental cancellations)
+///        changes the measured behaviour — so a verifier that accepts a
+///        mutated circuit has a hole. Deliberately avoids purely diagonal
+///        edits (z/s/t/rz/p insertions or drifts), which a
+///        measurement-tolerant checker rightly accepts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qrc::verify {
+
+/// One injected fault: the mutated circuit plus a description of the edit
+/// ("replace h->x at op 3", "swap operands of cx at op 12", ...).
+struct Mutation {
+  ir::Circuit circuit;
+  std::string description;
+};
+
+/// Applies one random semantics-changing single-gate mutation drawn from
+/// `seed`: replacing a 1q gate by a different non-diagonal one, perturbing
+/// a non-diagonal rotation angle, swapping the operands of an asymmetric
+/// 2q gate, deleting a non-diagonal gate, retargeting a 2q gate, or
+/// inserting a fresh h/x. Returns std::nullopt if the circuit offers no
+/// mutable gate (e.g. it is empty or measure-only).
+[[nodiscard]] std::optional<Mutation> mutate_single_gate(
+    const ir::Circuit& circuit, std::uint64_t seed);
+
+}  // namespace qrc::verify

@@ -1,0 +1,220 @@
+#include "verify/sparse_state.hpp"
+
+#include <cmath>
+
+#include "ir/gate.hpp"
+
+namespace qrc::verify {
+
+namespace {
+
+using ir::GateKind;
+using ir::Operation;
+using la::cplx;
+
+/// Amplitudes below this are dropped after each gate: numerically they are
+/// rounding noise, and keeping them would erode sparsity gate by gate.
+constexpr double kPruneThreshold = 1e-14;
+
+std::uint64_t embed_index(std::uint64_t logical_index,
+                          const std::vector<int>& placement) {
+  std::uint64_t out = 0;
+  for (std::size_t q = 0; q < placement.size(); ++q) {
+    if ((logical_index >> q) & 1U) {
+      out |= std::uint64_t{1} << placement[q];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SparseState::SparseState(int num_qubits, std::size_t max_support)
+    : num_qubits_(num_qubits), max_support_(max_support) {
+  if (num_qubits < 0 || num_qubits > 63) {
+    throw std::invalid_argument("SparseState: unsupported qubit count");
+  }
+  amp_[0] = cplx{1.0, 0.0};
+}
+
+void SparseState::load_embedded(const std::vector<cplx>& logical_amplitudes,
+                                const std::vector<int>& placement) {
+  amp_.clear();
+  amp_.reserve(logical_amplitudes.size());
+  for (std::size_t i = 0; i < logical_amplitudes.size(); ++i) {
+    if (std::abs(logical_amplitudes[i]) > kPruneThreshold) {
+      amp_[embed_index(i, placement)] = logical_amplitudes[i];
+    }
+  }
+  check_support();
+}
+
+void SparseState::check_support() const {
+  if (amp_.size() > max_support_) {
+    throw SparseSupportOverflow(amp_.size());
+  }
+}
+
+void SparseState::apply_1q(const Operation& op) {
+  const la::Mat2 u = ir::gate_matrix_1q(op.kind(), op.params());
+  const std::uint64_t bit = std::uint64_t{1} << op.qubit(0);
+  std::unordered_map<std::uint64_t, cplx> out;
+  out.reserve(amp_.size() * 2);
+  for (const auto& [index, a] : amp_) {
+    const int c = (index & bit) != 0 ? 1 : 0;
+    const std::uint64_t base = index & ~bit;
+    out[base] += u(0, c) * a;
+    out[base | bit] += u(1, c) * a;
+  }
+  amp_.clear();
+  for (auto& [index, a] : out) {
+    if (std::abs(a) > kPruneThreshold) {
+      amp_.emplace(index, a);
+    }
+  }
+  check_support();
+}
+
+void SparseState::apply_2q(const Operation& op) {
+  const la::Mat4 u = ir::gate_matrix_2q(op.kind(), op.params());
+  const std::uint64_t b0 = std::uint64_t{1} << op.qubit(0);
+  const std::uint64_t b1 = std::uint64_t{1} << op.qubit(1);
+  std::unordered_map<std::uint64_t, cplx> out;
+  out.reserve(amp_.size() * 2);
+  for (const auto& [index, a] : amp_) {
+    // Basis order |q1 q0>: column = bit(q1) * 2 + bit(q0).
+    const int c = ((index & b1) != 0 ? 2 : 0) + ((index & b0) != 0 ? 1 : 0);
+    const std::uint64_t base = index & ~(b0 | b1);
+    for (int r = 0; r < 4; ++r) {
+      const cplx v = u(r, c) * a;
+      if (std::abs(v) > 0.0) {
+        out[base | ((r & 1) != 0 ? b0 : 0) | ((r & 2) != 0 ? b1 : 0)] += v;
+      }
+    }
+  }
+  amp_.clear();
+  for (auto& [index, a] : out) {
+    if (std::abs(a) > kPruneThreshold) {
+      amp_.emplace(index, a);
+    }
+  }
+  check_support();
+}
+
+void SparseState::apply_3q(const Operation& op) {
+  // The three-qubit vocabulary is permutation/sign only: remap keys.
+  const std::uint64_t ba = std::uint64_t{1} << op.qubit(0);
+  const std::uint64_t bb = std::uint64_t{1} << op.qubit(1);
+  const std::uint64_t bc = std::uint64_t{1} << op.qubit(2);
+  std::unordered_map<std::uint64_t, cplx> out;
+  out.reserve(amp_.size());
+  for (const auto& [index, a] : amp_) {
+    std::uint64_t j = index;
+    cplx v = a;
+    switch (op.kind()) {
+      case GateKind::kCCX:
+        if ((index & ba) != 0 && (index & bb) != 0) {
+          j = index ^ bc;
+        }
+        break;
+      case GateKind::kCCZ:
+        if ((index & ba) != 0 && (index & bb) != 0 && (index & bc) != 0) {
+          v = -v;
+        }
+        break;
+      case GateKind::kCSWAP:
+        if ((index & ba) != 0 && ((index & bb) != 0) != ((index & bc) != 0)) {
+          j = index ^ bb ^ bc;
+        }
+        break;
+      default:
+        throw std::invalid_argument("SparseState: unknown 3q gate '" +
+                                    std::string(op.info().name) + "'");
+    }
+    out[j] = v;
+  }
+  amp_ = std::move(out);
+}
+
+void SparseState::apply(const Operation& op) {
+  if (!op.is_unitary()) {
+    switch (op.kind()) {
+      case GateKind::kMeasure:
+      case GateKind::kBarrier:
+        return;
+      default:
+        throw std::invalid_argument(
+            "SparseState: unsupported non-unitary op '" +
+            std::string(op.info().name) + "'");
+    }
+  }
+  switch (op.num_qubits()) {
+    case 1:
+      apply_1q(op);
+      return;
+    case 2:
+      apply_2q(op);
+      return;
+    case 3:
+      apply_3q(op);
+      return;
+    default:
+      throw std::invalid_argument("SparseState: unsupported arity for '" +
+                                  std::string(op.info().name) + "'");
+  }
+}
+
+void SparseState::apply(const ir::Circuit& circuit) {
+  if (circuit.num_qubits() > num_qubits_) {
+    throw std::invalid_argument("SparseState: circuit wider than state");
+  }
+  for (const Operation& op : circuit.ops()) {
+    apply(op);
+  }
+  const cplx phase = std::exp(cplx{0.0, circuit.global_phase()});
+  if (phase != cplx{1.0, 0.0}) {
+    for (auto& [index, a] : amp_) {
+      a *= phase;
+    }
+  }
+}
+
+cplx SparseState::overlap_with_embedded(
+    const std::vector<cplx>& logical_amplitudes,
+    const std::vector<int>& placement) const {
+  cplx acc = 0.0;
+  for (std::size_t i = 0; i < logical_amplitudes.size(); ++i) {
+    const auto it = amp_.find(embed_index(i, placement));
+    if (it != amp_.end()) {
+      acc += std::conj(logical_amplitudes[i]) * it->second;
+    }
+  }
+  return acc;
+}
+
+bool SparseState::magnitudes_match_embedded(
+    const std::vector<cplx>& logical_amplitudes,
+    const std::vector<int>& placement, double atol) const {
+  // Direction 1: every expected amplitude present with the right modulus.
+  std::unordered_map<std::uint64_t, double> expected;
+  expected.reserve(logical_amplitudes.size());
+  for (std::size_t i = 0; i < logical_amplitudes.size(); ++i) {
+    const double magnitude = std::abs(logical_amplitudes[i]);
+    const std::uint64_t index = embed_index(i, placement);
+    const auto it = amp_.find(index);
+    const double actual = it != amp_.end() ? std::abs(it->second) : 0.0;
+    if (std::abs(actual - magnitude) > atol) {
+      return false;
+    }
+    expected.emplace(index, magnitude);
+  }
+  // Direction 2: no stray weight outside the embedded support.
+  for (const auto& [index, a] : amp_) {
+    if (std::abs(a) > atol && expected.find(index) == expected.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qrc::verify

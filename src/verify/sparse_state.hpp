@@ -1,0 +1,78 @@
+/// \file sparse_state.hpp
+/// \brief Sparse statevector over up to 63 qubits, keyed on basis indices
+///        with non-negligible amplitude. A routed circuit on a wide device
+///        only ever populates ~2^n of the 2^k basis states (n logical
+///        qubits embedded among |0> routing ancillas; swap networks
+///        permute basis states instead of spreading them), so pushing a
+///        logical stimulus through a 26-active-qubit compiled circuit
+///        costs O(gates * 2^n) — decidable where the dense tiers give up.
+///        Support is hard-capped: a circuit that genuinely entangles too
+///        many wires overflows loudly instead of silently thrashing.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "la/complex.hpp"
+
+namespace qrc::verify {
+
+/// Thrown when a circuit drives the support past the configured cap; the
+/// caller treats the instance as undecidable rather than wrong.
+class SparseSupportOverflow : public std::runtime_error {
+ public:
+  explicit SparseSupportOverflow(std::size_t support)
+      : std::runtime_error("sparse state support exceeded cap (" +
+                           std::to_string(support) + " basis states)") {}
+};
+
+class SparseState {
+ public:
+  /// |0...0> on n qubits (2 <= n <= 63 supported; the index is a 64-bit
+  /// basis key).
+  explicit SparseState(int num_qubits,
+                       std::size_t max_support = std::size_t{1} << 20);
+
+  [[nodiscard]] int num_qubits() const { return num_qubits_; }
+  [[nodiscard]] std::size_t support() const { return amp_.size(); }
+
+  /// Replaces the state with `logical` embedded at `placement` (logical
+  /// qubit i at wire placement[i]; every other wire |0>).
+  void load_embedded(const std::vector<la::cplx>& logical_amplitudes,
+                     const std::vector<int>& placement);
+
+  /// Applies a unitary op (measure/barrier ignored, like ir::Statevector;
+  /// reset and unknown ops throw).
+  /// \throws SparseSupportOverflow when the support cap is hit.
+  void apply(const ir::Operation& op);
+
+  /// All ops plus the global phase.
+  void apply(const ir::Circuit& circuit);
+
+  /// <embedded | this> where `embedded` places logical_amplitudes at
+  /// `placement` (zeros elsewhere).
+  [[nodiscard]] la::cplx overlap_with_embedded(
+      const std::vector<la::cplx>& logical_amplitudes,
+      const std::vector<int>& placement) const;
+
+  /// True iff per-basis-state magnitudes match the embedded state within
+  /// atol in both directions (distribution-level comparison).
+  [[nodiscard]] bool magnitudes_match_embedded(
+      const std::vector<la::cplx>& logical_amplitudes,
+      const std::vector<int>& placement, double atol) const;
+
+ private:
+  void apply_1q(const ir::Operation& op);
+  void apply_2q(const ir::Operation& op);
+  void apply_3q(const ir::Operation& op);
+  void check_support() const;
+
+  int num_qubits_;
+  std::size_t max_support_;
+  std::unordered_map<std::uint64_t, la::cplx> amp_;
+};
+
+}  // namespace qrc::verify

@@ -163,4 +163,48 @@ TEST(BenchSuiteTest, RejectsTooFewQubits) {
                std::invalid_argument);
 }
 
+TEST(BenchSuiteTest, BadQubitCountErrorNamesTheFamily) {
+  // Sweeps report which instance was bad, so the message must carry the
+  // family and the offending count.
+  for (const int bad : {-3, 0, 1, qrc::bench::kMaxBenchmarkQubits + 1}) {
+    try {
+      (void)make_benchmark(BenchmarkFamily::kQftEntangled, bad, 0);
+      FAIL() << "make_benchmark accepted " << bad << " qubits";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("qftentangled"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(std::to_string(bad)),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(BenchSuiteTest, SuiteValidatesArgumentsWithNamedErrors) {
+  using qrc::bench::benchmark_suite;
+  const auto message_of = [](auto&& call) -> std::string {
+    try {
+      (void)call();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of([] { return benchmark_suite(1, 5, 10); })
+                .find("min_qubits"),
+            std::string::npos);
+  EXPECT_NE(message_of([] { return benchmark_suite(4, 3, 10); })
+                .find("max_qubits"),
+            std::string::npos);
+  EXPECT_NE(message_of([] {
+              return benchmark_suite(2, qrc::bench::kMaxBenchmarkQubits + 1,
+                                     10);
+            }).find("max_qubits"),
+            std::string::npos);
+  EXPECT_NE(message_of([] { return benchmark_suite(2, 5, 0); })
+                .find("count"),
+            std::string::npos);
+}
+
 }  // namespace

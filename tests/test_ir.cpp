@@ -478,6 +478,53 @@ TEST(SimTest, RandomStateIsNormalised) {
   EXPECT_NEAR(s.norm(), 1.0, 1e-12);
 }
 
+TEST(SimTest, NonUnitaryOpsSkippedSilently) {
+  // Only measure/barrier/reset may be silently ignored — they are the
+  // known non-unitary circuit elements and equivalence checking concerns
+  // the unitary part. Everything else must throw (see the next test).
+  Circuit c(2);
+  c.h(0);
+  c.measure(0);
+  c.barrier();
+  c.reset(1);
+  Statevector with_markers(2);
+  with_markers.apply(c);
+  Circuit bare(2);
+  bare.h(0);
+  Statevector reference(2);
+  reference.apply(bare);
+  EXPECT_NEAR(std::abs(with_markers.inner_product(reference)), 1.0, 1e-12);
+}
+
+TEST(SimTest, ApplyMatrixMatchesNamedGates) {
+  // The raw-matrix entry points (used by the verifier's conjugated-gate
+  // application) must agree with the GateKind path.
+  Statevector via_gate(3);
+  Circuit c(3);
+  c.h(1);
+  c.cx(1, 2);
+  via_gate.apply(c);
+  Statevector via_matrix(3);
+  via_matrix.apply_matrix(qrc::la::h_mat(), 1);
+  via_matrix.apply_matrix(
+      qrc::ir::gate_matrix_2q(qrc::ir::GateKind::kCX, {}), 1, 2);
+  EXPECT_NEAR(std::abs(via_gate.inner_product(via_matrix)), 1.0, 1e-12);
+}
+
+TEST(SimTest, PermuteAndEmbedArePublic) {
+  // permute_qubits: qubit q of the input becomes qubit perm[q].
+  Statevector s(2);
+  Circuit c(2);
+  c.x(0);
+  s.apply(c);  // |01> = index 1
+  const Statevector permuted = qrc::ir::permute_qubits(s, {1, 0});
+  EXPECT_NEAR(std::abs(permuted.amplitudes()[2]), 1.0, 1e-12);
+  // embed_state: logical qubit 0 at physical wire 2 of a 3-qubit register.
+  const Statevector embedded = qrc::ir::embed_state(
+      s, 3, std::vector<int>{2, 0});
+  EXPECT_NEAR(std::abs(embedded.amplitudes()[4]), 1.0, 1e-12);
+}
+
 // ---------------------------------------------------------------- QASM ----
 
 TEST(QasmTest, RoundTripSmallCircuit) {

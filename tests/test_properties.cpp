@@ -27,6 +27,7 @@
 #include "passes/routing/routing.hpp"
 #include "reward/reward.hpp"
 #include "rl/mlp.hpp"
+#include "verify/equivalence.hpp"
 
 namespace {
 
@@ -136,15 +137,21 @@ class PassPropertyTest
     : public ::testing::TestWithParam<std::tuple<PassId, int>> {};
 
 TEST_P(PassPropertyTest, PreservesUnitaryAndNeverGrowsTwoQubitCount) {
+  // Equivalence is judged by the tiered EquivalenceChecker (exact miter at
+  // these widths) on seeded random 5-10 qubit circuits — the same engine
+  // the production verification gate uses, replacing the ad-hoc
+  // random-state sim check this test used to roll by hand.
   const auto [pass_id, seed] = GetParam();
   const auto pass = make_pass(pass_id);
-  Circuit c = random_circuit(4, 36, 9000 + static_cast<std::uint64_t>(seed));
+  const int n = 5 + (seed % 6);  // 5..10 qubits
+  Circuit c = random_circuit(n, 8 * n,
+                             9000 + static_cast<std::uint64_t>(seed));
   const Circuit original = c;
   const int original_2q = c.two_qubit_gate_count();
   (void)pass->run(c, {});
-  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c, 3,
-                                           static_cast<std::uint64_t>(seed)))
-      << pass->name();
+  const auto verdict = qrc::verify::EquivalenceChecker().check(original, c);
+  EXPECT_EQ(verdict.verdict, qrc::verify::Verdict::kEquivalent)
+      << pass->name() << ": " << verdict.detail;
   EXPECT_LE(c.two_qubit_gate_count(), original_2q) << pass->name();
 }
 

@@ -207,6 +207,58 @@ TEST(JsonlTest, RecoversTheIdFromInvalidRequests) {
   EXPECT_EQ(qrc::service::extract_request_id(R"({"id":[1]})"), "");
 }
 
+TEST(JsonlTest, RejectsUnknownRequestFields) {
+  // A typoed "verifi" must produce an error line, not a silently
+  // unverified compilation.
+  try {
+    (void)qrc::service::parse_serve_request(
+        R"({"qasm": "x", "verifi": true})");
+    FAIL() << "unknown field accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("verifi"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)qrc::service::parse_serve_request(
+                   R"({"qasm": "x", "Model": "m"})"),
+               std::runtime_error);  // wrong case is unknown too
+}
+
+TEST(JsonlTest, ParsesTheVerifyFlag) {
+  EXPECT_FALSE(
+      qrc::service::parse_serve_request(R"({"qasm": "x"})").verify);
+  EXPECT_TRUE(qrc::service::parse_serve_request(
+                  R"({"qasm": "x", "verify": true})")
+                  .verify);
+  EXPECT_FALSE(qrc::service::parse_serve_request(
+                   R"({"qasm": "x", "verify": false})")
+                   .verify);
+  EXPECT_THROW((void)qrc::service::parse_serve_request(
+                   R"({"qasm": "x", "verify": "yes"})"),
+               std::runtime_error);
+}
+
+TEST(JsonlTest, ResponseCarriesVerdictFieldsOnlyWhenVerified) {
+  ServiceResponse response;
+  response.id = "v1";
+  response.model = "fid";
+  response.result.circuit = small_ghz();
+  const auto plain =
+      JsonValue::parse(qrc::service::serve_response_line(response));
+  EXPECT_EQ(plain.as_object().count("verdict"), 0U);
+
+  qrc::verify::VerifyResult verification;
+  verification.verdict = qrc::verify::Verdict::kEquivalent;
+  verification.method = qrc::verify::Method::kCliffordTableau;
+  verification.confidence = 1.0;
+  response.result.verification = verification;
+  const auto verified =
+      JsonValue::parse(qrc::service::serve_response_line(response));
+  const auto& obj = verified.as_object();
+  EXPECT_EQ(obj.at("verdict").as_string(), "equivalent");
+  EXPECT_EQ(obj.at("verify_method").as_string(), "clifford_tableau");
+  EXPECT_EQ(obj.at("verify_confidence").as_number(), 1.0);
+}
+
 TEST(JsonlTest, QuoteRoundTripsThroughTheParser) {
   const std::string nasty = "line1\nline2\t\"quoted\" \\slash\x01";
   const auto parsed = JsonValue::parse(qrc::service::json_quote(nasty));
@@ -344,6 +396,52 @@ TEST(CompileServiceTest, RepeatRequestIsServedFromTheCache) {
   const auto stats = service.stats();
   EXPECT_EQ(stats.requests, 3u);
   EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+TEST(CompileServiceTest, VerifyFlagGatesAndMatchesDirectPredictor) {
+  CompileService service{ServiceConfig{}};
+  service.registry().add("fidelity", shared_handle());
+  const Circuit circuit = small_ghz();
+
+  // verify=false: no verification payload.
+  const auto plain = service.submit("p", "fidelity", circuit).get();
+  EXPECT_FALSE(plain.result.verification.has_value());
+
+  // verify=true on a cache hit: the hit rides the lane and is re-verified
+  // there (deterministic, so the verdict matches a fresh compilation).
+  const auto cached = service.submit("c", "fidelity", circuit, true).get();
+  EXPECT_TRUE(cached.cached);
+  ASSERT_TRUE(cached.result.verification.has_value());
+  EXPECT_EQ(cached.result.verification->verdict,
+            qrc::verify::Verdict::kEquivalent)
+      << cached.result.verification->detail;
+
+  CompileService fresh{ServiceConfig{}};
+  fresh.registry().add("fidelity", shared_handle());
+  const auto verified = fresh.submit("v", "fidelity", circuit, true).get();
+  EXPECT_FALSE(verified.cached);
+  ASSERT_TRUE(verified.result.verification.has_value());
+  EXPECT_EQ(verified.result.verification->verdict,
+            qrc::verify::Verdict::kEquivalent);
+
+  // The compiled artifact is identical to a direct unverified
+  // Predictor::compile, and to the cached replay.
+  const auto direct = shared_model().compile(circuit);
+  expect_same_result(verified.result, direct, "verified vs direct");
+  expect_same_result(cached.result, direct, "cached verified vs direct");
+  // And the verdict matches what the Predictor gate computes directly.
+  const auto direct_verdict = qrc::core::verify_compilation(
+      circuit, direct, fresh.config().verify_options);
+  EXPECT_EQ(verified.result.verification->verdict, direct_verdict.verdict);
+  EXPECT_EQ(verified.result.verification->method, direct_verdict.method);
+  EXPECT_EQ(verified.result.verification->confidence,
+            direct_verdict.confidence);
+
+  // Counters: both verifying services saw only equivalent verdicts.
+  EXPECT_EQ(service.stats().verified, 1u);
+  EXPECT_EQ(service.stats().refuted, 0u);
+  EXPECT_EQ(fresh.stats().verified, 1u);
+  EXPECT_EQ(fresh.stats().verify_unknown, 0u);
 }
 
 TEST(CompileServiceTest, CacheIsKeyedPerModel) {

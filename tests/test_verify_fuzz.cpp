@@ -1,0 +1,148 @@
+// Verification fuzz sweep: every benchmark family is compiled through the
+// full deterministic pass pipeline (synthesis, SABRE layout/routing,
+// re-synthesis, optimization tail including the measurement-sensitive
+// RemoveDiagonalGatesBeforeMeasure) on rotating library devices, and every
+// compiled circuit must verify `equivalent` against its input. Deliberate
+// single-gate mutations of the compiled circuits must be flagged
+// `not_equivalent` (>= 95% overall; a mutant accepted with confidence 1.0
+// — i.e. by an exact tier — is an outright checker bug).
+//
+// This file keeps the grid moderate so it rides in every CI leg including
+// ASan/UBSan; the exhaustive 2-12 qubit sweep over all devices lives in
+// tools/qrc_verify_fuzz.cpp and runs behind the `long_fuzz` CTest label
+// (cmake -DQRC_ENABLE_LONG_FUZZ=ON).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../tools/verify_fuzz_common.hpp"
+#include "bench_suite/benchmarks.hpp"
+#include "core/predictor.hpp"
+#include "device/library.hpp"
+#include "verify/equivalence.hpp"
+#include "verify/mutate.hpp"
+
+namespace {
+
+using qrc::bench::BenchmarkFamily;
+using qrc::core::CompilationResult;
+using qrc::ir::Circuit;
+using qrc::verify::Verdict;
+using qrc::verify_fuzz::measurement_equivalent_oracle;
+using qrc::verify_fuzz::run_full_pipeline;
+
+TEST(VerifyFuzzTest, EveryFamilyCompilesAndVerifiesOnRotatingDevices) {
+  const auto& families = qrc::bench::all_families();
+  const auto& devices = qrc::device::all_devices();
+  int checked = 0;
+  for (std::size_t idx = 0; idx < families.size(); ++idx) {
+    const int n = 2 + static_cast<int>(idx % 6);  // 2..7: fits every device
+    const auto* dev = devices[idx % devices.size()];
+    const Circuit circuit =
+        qrc::bench::make_benchmark(families[idx], n, 11 + idx);
+    const auto result = run_full_pipeline(circuit, *dev, 11 + idx);
+    const auto verdict = qrc::core::verify_compilation(circuit, result);
+    EXPECT_EQ(verdict.verdict, Verdict::kEquivalent)
+        << circuit.name() << " on " << dev->name() << " via "
+        << qrc::verify::method_name(verdict.method) << ": "
+        << verdict.detail;
+    EXPECT_NE(verdict.method, qrc::verify::Method::kNone);
+    ++checked;
+  }
+  EXPECT_EQ(checked, qrc::bench::kNumFamilies);
+}
+
+TEST(VerifyFuzzTest, BoundaryWidthsVerify) {
+  // The 10-12 qubit corner on the big devices: compaction + the sampling
+  // tier must keep routed washington circuits decidable.
+  struct Case {
+    BenchmarkFamily family;
+    int qubits;
+    qrc::device::DeviceId device;
+  };
+  const Case cases[] = {
+      {BenchmarkFamily::kGhz, 12, qrc::device::DeviceId::kIbmqWashington},
+      {BenchmarkFamily::kQft, 12, qrc::device::DeviceId::kIbmqWashington},
+      {BenchmarkFamily::kWstate, 10, qrc::device::DeviceId::kIbmqMontreal},
+      {BenchmarkFamily::kSu2Random, 11, qrc::device::DeviceId::kIonqHarmony},
+      {BenchmarkFamily::kGraphState, 8, qrc::device::DeviceId::kOqcLucy},
+      {BenchmarkFamily::kQaoa, 10, qrc::device::DeviceId::kRigettiAspenM2},
+  };
+  for (const auto& c : cases) {
+    const auto& dev = qrc::device::get_device(c.device);
+    const Circuit circuit = qrc::bench::make_benchmark(c.family, c.qubits, 5);
+    const auto result = run_full_pipeline(circuit, dev, 5);
+    const auto verdict = qrc::core::verify_compilation(circuit, result);
+    EXPECT_EQ(verdict.verdict, Verdict::kEquivalent)
+        << circuit.name() << " on " << dev.name() << " ("
+        << verdict.checked_qubits
+        << " active qubits): " << verdict.detail;
+  }
+}
+
+TEST(VerifyFuzzTest, SeededMutationsAreFlagged) {
+  const auto& families = qrc::bench::all_families();
+  // Small devices keep the mutants inside oracle range.
+  const qrc::device::DeviceId devices[] = {
+      qrc::device::DeviceId::kOqcLucy, qrc::device::DeviceId::kIonqHarmony,
+      qrc::device::DeviceId::kIbmqMontreal};
+  int mutants = 0;
+  int caught = 0;
+  int refuted = 0;
+  std::vector<std::string> misses;
+  for (std::size_t idx = 0; idx < families.size(); ++idx) {
+    const int n = 2 + static_cast<int>(idx % 4);  // 2..5
+    const auto& dev = qrc::device::get_device(devices[idx % 3]);
+    const Circuit circuit =
+        qrc::bench::make_benchmark(families[idx], n, 23 + idx);
+    const auto result = run_full_pipeline(circuit, dev, 23 + idx);
+    ASSERT_EQ(qrc::core::verify_compilation(circuit, result).verdict,
+              Verdict::kEquivalent)
+        << circuit.name() << ": genuine compilation must verify before "
+        << "mutation makes sense";
+    for (std::uint64_t m = 0; m < 3; ++m) {
+      const auto mutation = qrc::verify::mutate_single_gate(
+          result.circuit, 131u * m + idx);
+      if (!mutation.has_value() ||
+          measurement_equivalent_oracle(mutation->circuit, result.circuit)) {
+        continue;
+      }
+      CompilationResult mutated = result;
+      mutated.circuit = mutation->circuit;
+      const auto verdict = qrc::core::verify_compilation(circuit, mutated);
+      ++mutants;
+      // The gate blocks anything it cannot certify: a witnessed
+      // refutation AND a kUnknown refusal (e.g. the mutation broke the
+      // deferred-measurement structure) both count as caught; only a
+      // mutant certified equivalent slipped through.
+      if (verdict.verdict != Verdict::kEquivalent) {
+        ++caught;
+        if (verdict.verdict == Verdict::kNotEquivalent) {
+          ++refuted;
+        }
+      } else {
+        misses.push_back(circuit.name() + " on " + dev.name() + " (" +
+                         mutation->description + "): " + verdict.detail);
+      }
+      // An exact tier certifying a genuine fault as equivalent would be a
+      // soundness hole, not a statistical miss.
+      EXPECT_FALSE(verdict.verdict == Verdict::kEquivalent &&
+                   verdict.confidence >= 1.0)
+          << mutation->description;
+    }
+  }
+  ASSERT_GE(mutants, 30) << "mutation generator starved";
+  std::string all_misses;
+  for (const auto& miss : misses) {
+    all_misses += "\n  " + miss;
+  }
+  EXPECT_GE(static_cast<double>(caught) / static_cast<double>(mutants), 0.95)
+      << caught << "/" << mutants << " blocked; certified equivalent:"
+      << all_misses;
+  // Most blocked mutants should be witnessed refutations, not refusals.
+  EXPECT_GE(refuted * 2, mutants) << refuted << "/" << mutants;
+}
+
+}  // namespace

@@ -11,17 +11,26 @@
 //       (deterministic for a fixed seed/num-envs pair); --workers caps the
 //       stepping threads (default: one per env).
 //   qrc compile --model <model.txt> <circuit.qasm> [--out <compiled.qasm>]
-//       Compiles an OpenQASM 2.0 circuit with a trained model.
+//             [--verify]
+//       Compiles an OpenQASM 2.0 circuit with a trained model. --verify
+//       runs the QCEC-style equivalence gate on the result.
+//   qrc verify <a.qasm> <b.qasm> [--stimuli N] [--seed N]
+//              [--max-miter-qubits N] [--max-stimuli-qubits N]
+//       Checks two circuits for functional equivalence with the tiered
+//       checker (Clifford tableau / alternating miter / random stimuli).
+//       Exit code: 0 equivalent, 1 not equivalent, 2 usage/operational
+//       error, 3 undecided.
 //   qrc serve --model <name>=<model.txt> [--model <name2>=<m2.txt> ...]
 //             [--default-model <name>] [--max-batch N] [--max-wait-us N]
 //             [--cache-entries N]
 //       Long-lived compile server speaking line-delimited JSON over
-//       stdin/stdout: {"id","model","qasm"} in, {"id","model","qasm",
-//       "reward","device","used_fallback","cached","latency_us"} out
-//       (or {"id","error"}). Requests arriving within the batch window
-//       are fused into one batched policy rollout per model; repeat
-//       circuits are served from an LRU result cache. Diagnostics go to
-//       stderr, stdout stays pure JSONL.
+//       stdin/stdout: {"id","model","qasm","verify"} in, {"id","model",
+//       "qasm","reward","device","used_fallback","cached","latency_us"}
+//       out — plus "verdict"/"verify_method"/"verify_confidence" when the
+//       request set "verify": true (or {"id","error"}). Requests arriving
+//       within the batch window are fused into one batched policy rollout
+//       per model; repeat circuits are served from an LRU result cache.
+//       Diagnostics go to stderr, stdout stays pure JSONL.
 
 #include <algorithm>
 #include <condition_variable>
@@ -59,7 +68,9 @@ int usage() {
       "            [--count N] [--min-qubits N] [--max-qubits N]\n"
       "            [--seed N] [--num-envs N] [--workers N]\n"
       "  qrc compile --model <model.txt> <circuit.qasm>\n"
-      "              [--out <compiled.qasm>]\n"
+      "              [--out <compiled.qasm>] [--verify]\n"
+      "  qrc verify <a.qasm> <b.qasm> [--stimuli N] [--seed N]\n"
+      "             [--max-miter-qubits N] [--max-stimuli-qubits N]\n"
       "  qrc serve --model <name>=<model.txt> [--model <n2>=<m2.txt> ...]\n"
       "            [--default-model <name>] [--max-batch N]\n"
       "            [--max-wait-us N] [--cache-entries N]\n");
@@ -105,15 +116,23 @@ struct ParsedArgs {
   }
 };
 
-/// Parses `--flag value` pairs and positionals; flags outside `allowed`
-/// are hard errors (a typo must not silently fall back to a default).
+/// Parses `--flag value` pairs, valueless boolean switches and
+/// positionals; flags outside `allowed`/`switches` are hard errors (a typo
+/// must not silently fall back to a default).
 ParsedArgs parse_args(int argc, char** argv, int start,
-                      std::initializer_list<const char*> allowed) {
+                      std::initializer_list<const char*> allowed,
+                      std::initializer_list<const char*> switches = {}) {
   ParsedArgs out;
   for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string key = arg.substr(2);
+      if (std::find_if(switches.begin(), switches.end(),
+                       [&](const char* a) { return key == a; }) !=
+          switches.end()) {
+        out.flags[key].emplace_back("true");
+        continue;
+      }
       if (std::find_if(allowed.begin(), allowed.end(),
                        [&](const char* a) { return key == a; }) ==
           allowed.end()) {
@@ -228,14 +247,25 @@ int cmd_train(int argc, char** argv) {
   return 0;
 }
 
+ir::Circuit read_qasm_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  ir::Circuit circuit = ir::from_qasm(buffer.str());
+  circuit.set_name(path);
+  return circuit;
+}
+
 int cmd_compile(int argc, char** argv) {
-  const auto args = parse_args(argc, argv, 2, {"model", "out"});
+  const auto args = parse_args(argc, argv, 2, {"model", "out"}, {"verify"});
   const std::string* model_flag = args.single("model");
   if (model_flag == nullptr || args.positionals.empty()) {
     return usage();
   }
   expect_positionals(args, 1, "compile takes exactly one circuit.qasm");
-  const std::string& qasm_path = args.positionals.front();
   std::ifstream model_is(*model_flag);
   if (!model_is) {
     std::fprintf(stderr, "cannot read model %s\n", model_flag->c_str());
@@ -243,18 +273,12 @@ int cmd_compile(int argc, char** argv) {
   }
   const auto predictor = core::Predictor::load(model_is);
 
-  std::ifstream qasm_is(qasm_path);
-  if (!qasm_is) {
-    std::fprintf(stderr, "cannot read %s\n", qasm_path.c_str());
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << qasm_is.rdbuf();
-  ir::Circuit circuit = ir::from_qasm(buffer.str());
-  circuit.set_name(qasm_path);
+  const ir::Circuit circuit = read_qasm_file(args.positionals.front());
   std::printf("input: %s\n", circuit.summary().c_str());
 
-  const auto result = predictor.compile(circuit);
+  const bool verify = args.single("verify") != nullptr;
+  const auto result = verify ? predictor.compile_verified(circuit)
+                             : predictor.compile(circuit);
   std::printf("target: %s\n", result.device->name().c_str());
   std::printf("reward (%s): %.4f%s\n",
               reward::reward_name(predictor.config().reward).data(),
@@ -264,6 +288,16 @@ int cmd_compile(int argc, char** argv) {
     std::printf(" %s", a.c_str());
   }
   std::printf("\noutput: %s\n", result.circuit.summary().c_str());
+  if (result.verification.has_value()) {
+    const auto& v = *result.verification;
+    std::printf("verification: %s via %s (confidence %.6f, %d qubits) — %s\n",
+                verify::verdict_name(v.verdict).data(),
+                verify::method_name(v.method).data(), v.confidence,
+                v.checked_qubits, v.detail.c_str());
+    if (v.verdict != verify::Verdict::kEquivalent) {
+      return v.verdict == verify::Verdict::kNotEquivalent ? 1 : 3;
+    }
+  }
 
   if (const std::string* out_flag = args.single("out")) {
     std::ofstream os(*out_flag);
@@ -271,6 +305,52 @@ int cmd_compile(int argc, char** argv) {
     std::printf("compiled circuit written to %s\n", out_flag->c_str());
   }
   return 0;
+}
+
+int cmd_verify(int argc, char** argv) try {
+  const auto args = parse_args(argc, argv, 2,
+                               {"stimuli", "seed", "max-miter-qubits",
+                                "max-stimuli-qubits"});
+  if (args.positionals.size() < 2) {
+    std::fprintf(stderr, "verify takes two circuit files\n");
+    return usage();
+  }
+  expect_positionals(args, 2, "verify takes exactly two circuit files");
+
+  verify::VerifyOptions options;
+  options.num_stimuli = args.get_int("stimuli", options.num_stimuli);
+  options.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<int>(options.seed & 0x7fffffff)));
+  options.max_miter_qubits =
+      args.get_int("max-miter-qubits", options.max_miter_qubits);
+  options.max_stimuli_qubits =
+      args.get_int("max-stimuli-qubits", options.max_stimuli_qubits);
+
+  const ir::Circuit a = read_qasm_file(args.positionals[0]);
+  const ir::Circuit b = read_qasm_file(args.positionals[1]);
+  std::printf("a: %s\nb: %s\n", a.summary().c_str(), b.summary().c_str());
+
+  const verify::EquivalenceChecker checker(options);
+  const auto result = checker.check(a, b);
+  std::printf("verdict: %s\nmethod: %s\nconfidence: %.6f\nqubits: %d\n"
+              "detail: %s\n",
+              verify::verdict_name(result.verdict).data(),
+              verify::method_name(result.method).data(), result.confidence,
+              result.checked_qubits, result.detail.c_str());
+  switch (result.verdict) {
+    case verify::Verdict::kEquivalent:
+      return 0;
+    case verify::Verdict::kNotEquivalent:
+      return 1;
+    case verify::Verdict::kUnknown:
+      return 3;
+  }
+  return 3;
+} catch (const std::exception& e) {
+  // Operational failures (unreadable file, malformed QASM, bad flags) must
+  // be distinguishable from a refutation (exit 1): use the usage code.
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }
 
 /// One in-flight serve request: the id (kept for error reporting) and the
@@ -384,7 +464,7 @@ int cmd_serve(int argc, char** argv) {
       service::ServeRequest request = service::parse_serve_request(line);
       ir::Circuit circuit = ir::from_qasm(request.qasm);
       enqueue({request.id, svc.submit(request.id, request.model,
-                                      std::move(circuit))});
+                                      std::move(circuit), request.verify)});
     } catch (const std::exception& e) {
       // Echo whatever id the line carried so clients can correlate the
       // error even when validation failed.
@@ -410,7 +490,13 @@ int cmd_serve(int argc, char** argv) {
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.batches), hit_rate,
                stats.max_batch_size);
-  return 0;
+  std::fprintf(stderr,
+               "# verification: %llu verified, %llu refuted, %llu "
+               "undecided\n",
+               static_cast<unsigned long long>(stats.verified),
+               static_cast<unsigned long long>(stats.refuted),
+               static_cast<unsigned long long>(stats.verify_unknown));
+  return stats.refuted > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -428,6 +514,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "compile") == 0) {
       return cmd_compile(argc, argv);
+    }
+    if (std::strcmp(argv[1], "verify") == 0) {
+      return cmd_verify(argc, argv);
     }
     if (std::strcmp(argv[1], "serve") == 0) {
       return cmd_serve(argc, argv);

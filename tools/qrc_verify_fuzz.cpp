@@ -1,0 +1,156 @@
+// qrc_verify_fuzz — verification fuzz harness.
+//
+// Sweeps the 22-family benchmark suite through the full deterministic pass
+// pipeline (synthesis, SABRE layout + routing, re-synthesis, the
+// optimization passes including RemoveDiagonalGatesBeforeMeasure) on every
+// library device the instance fits, and checks every compiled circuit
+// against its input with the tiered EquivalenceChecker. Then it seeds
+// single-gate mutations into the compiled circuits and asserts the checker
+// flags them. Exit code 0 iff every genuine compilation verified
+// equivalent and the mutation catch rate reached the target.
+//
+// Knobs (environment):
+//   QRC_FUZZ_MIN_QUBITS   smallest instance (default 2)
+//   QRC_FUZZ_MAX_QUBITS   largest instance (default 8; the CI long sweep
+//                         runs 12)
+//   QRC_FUZZ_MUTATIONS    seeded mutations per instance (default 2)
+//   QRC_FUZZ_SEED         base seed (default 1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/predictor.hpp"
+#include "device/library.hpp"
+#include "verify/equivalence.hpp"
+#include "verify/mutate.hpp"
+#include "verify_fuzz_common.hpp"
+
+namespace {
+
+using namespace qrc;
+using verify_fuzz::measurement_equivalent_oracle;
+using verify_fuzz::run_full_pipeline;
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  const int min_qubits = env_int("QRC_FUZZ_MIN_QUBITS", 2);
+  const int max_qubits = env_int("QRC_FUZZ_MAX_QUBITS", 8);
+  const int mutations_per_instance = env_int("QRC_FUZZ_MUTATIONS", 2);
+  const auto seed = static_cast<std::uint64_t>(env_int("QRC_FUZZ_SEED", 1));
+
+  const verify::EquivalenceChecker checker;
+  std::map<std::string, int> tier_histogram;
+  int instances = 0;
+  int equivalent = 0;
+  int refuted = 0;
+  int unknown = 0;
+  int mutants = 0;
+  int mutants_refuted = 0;      ///< flagged not_equivalent (witnessed)
+  int mutants_uncertified = 0;  ///< kUnknown: refused, so never trusted
+  int mutants_skipped = 0;
+
+  std::printf("# fuzz sweep: %d families x %d..%d qubits x %d devices\n",
+              bench::kNumFamilies, min_qubits, max_qubits,
+              device::kNumDevices);
+  for (const auto family : bench::all_families()) {
+    for (int n = min_qubits; n <= max_qubits; ++n) {
+      const ir::Circuit circuit = bench::make_benchmark(family, n, seed);
+      for (const device::Device* dev : device::all_devices()) {
+        if (n > dev->num_qubits()) {
+          continue;
+        }
+        const auto result = run_full_pipeline(circuit, *dev, seed);
+        const auto verdict = core::verify_compilation(circuit, result);
+        ++instances;
+        ++tier_histogram[std::string(verify::method_name(verdict.method))];
+        switch (verdict.verdict) {
+          case verify::Verdict::kEquivalent:
+            ++equivalent;
+            break;
+          case verify::Verdict::kNotEquivalent:
+            ++refuted;
+            std::printf("REFUTED %s on %s: %s\n", circuit.name().c_str(),
+                        dev->name().c_str(), verdict.detail.c_str());
+            break;
+          case verify::Verdict::kUnknown:
+            ++unknown;
+            std::printf("UNDECIDED %s on %s: %s\n", circuit.name().c_str(),
+                        dev->name().c_str(), verdict.detail.c_str());
+            break;
+        }
+
+        // Seeded fault injection: the checker must flag the mutants.
+        for (int m = 0; m < mutations_per_instance; ++m) {
+          const auto mutation = verify::mutate_single_gate(
+              result.circuit,
+              seed + 977u * static_cast<std::uint64_t>(m) +
+                  static_cast<std::uint64_t>(instances));
+          if (!mutation.has_value()) {
+            continue;
+          }
+          // Oracle: a mutation may (rarely) compose to something the
+          // measurements cannot distinguish; only count genuine faults
+          // against the checker.
+          if (measurement_equivalent_oracle(mutation->circuit,
+                                            result.circuit)) {
+            ++mutants_skipped;
+            continue;
+          }
+          core::CompilationResult mutated = result;
+          mutated.circuit = mutation->circuit;
+          const auto mverdict = core::verify_compilation(circuit, mutated);
+          ++mutants;
+          // A gate blocks anything it cannot certify: kNotEquivalent is a
+          // witnessed refutation, kUnknown (e.g. the mutation broke the
+          // deferred-measurement structure) still means "not trusted".
+          // Only a mutant *certified equivalent* slipped through.
+          if (mverdict.verdict == verify::Verdict::kNotEquivalent) {
+            ++mutants_refuted;
+          } else if (mverdict.verdict == verify::Verdict::kUnknown) {
+            ++mutants_uncertified;
+          } else {
+            std::printf("MISSED %s on %s (%s): certified equivalent via "
+                        "%s (confidence %.6f)\n",
+                        circuit.name().c_str(), dev->name().c_str(),
+                        mutation->description.c_str(),
+                        verify::method_name(mverdict.method).data(),
+                        mverdict.confidence);
+          }
+        }
+      }
+    }
+    std::printf("# %-14s done (%d instances so far)\n",
+                bench::family_name(family).data(), instances);
+    std::fflush(stdout);
+  }
+
+  const int mutants_caught = mutants_refuted + mutants_uncertified;
+  const double catch_rate =
+      mutants > 0 ? static_cast<double>(mutants_caught) /
+                        static_cast<double>(mutants)
+                  : 1.0;
+  std::printf("\n# %d instances: %d equivalent, %d refuted, %d undecided\n",
+              instances, equivalent, refuted, unknown);
+  std::printf("# tier dispatch:");
+  for (const auto& [method, count] : tier_histogram) {
+    std::printf(" %s:%d", method.c_str(), count);
+  }
+  std::printf("\n# mutants: %d seeded (%d skipped as coincidentally "
+              "equivalent), %d blocked (%.1f%%: %d refuted + %d "
+              "uncertified)\n",
+              mutants, mutants_skipped, mutants_caught, 100.0 * catch_rate,
+              mutants_refuted, mutants_uncertified);
+
+  const bool ok = refuted == 0 && unknown == 0 && catch_rate >= 0.95;
+  std::printf("# %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

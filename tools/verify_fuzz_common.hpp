@@ -1,0 +1,101 @@
+/// \file verify_fuzz_common.hpp
+/// \brief Shared plumbing of the verification fuzz harness, used by both
+///        the standalone sweep binary (tools/qrc_verify_fuzz.cpp) and the
+///        in-tree CI sweep (tests/test_verify_fuzz.cpp) so the two grids
+///        always apply the same pipeline and the same fault oracle.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/actions.hpp"
+#include "core/predictor.hpp"
+#include "device/library.hpp"
+#include "ir/sim.hpp"
+
+namespace qrc::verify_fuzz {
+
+/// The canned full pipeline: the deterministic sequence the Predictor's
+/// fallback uses (synthesis, SABRE layout + routing, re-synthesis, 1q
+/// optimization) plus the optimization tail — including the
+/// measurement-sensitive RemoveDiagonalGatesBeforeMeasure, which
+/// exercises the checker's distribution-level tolerance.
+inline core::CompilationResult run_full_pipeline(const ir::Circuit& circuit,
+                                                 const device::Device& dev,
+                                                 std::uint64_t seed) {
+  const auto& registry = core::ActionRegistry::instance();
+  core::CompilationState state;
+  state.circuit = circuit;
+  const auto apply = [&](const std::string& name) {
+    const int id = registry.index_of(name);
+    if (registry.at(id).valid(state)) {
+      registry.at(id).apply(state, seed);
+    }
+  };
+  apply("platform_" + std::string(device::platform_name(dev.platform())));
+  apply("device_" + dev.name());
+  apply("BasisTranslator");
+  apply("SabreLayout");
+  apply("SabreSwap");
+  apply("BasisTranslator");
+  apply("Optimize1qGatesDecomposition");
+  apply("CommutativeCancellation");
+  apply("RemoveDiagonalGatesBeforeMeasure");
+  apply("BasisTranslator");
+  if (state.state() != core::MdpState::kDone) {
+    throw std::runtime_error("pipeline failed to reach Done on " +
+                             circuit.name() + " / " + dev.name());
+  }
+  core::CompilationResult result;
+  result.circuit = state.circuit;
+  result.device = state.device;
+  if (state.initial_layout.has_value()) {
+    result.initial_layout = *state.initial_layout;
+  }
+  result.final_layout = state.final_layout;
+  return result;
+}
+
+/// Mutation oracle: is `a` equivalent to `b` *up to measurement* (same
+/// outcome distributions for shared random inputs)? Mutations that land
+/// here are not genuine faults — e.g. deleting a rotation that a later
+/// basis change turns into a pre-measurement phase, or a gate that is a
+/// no-op on the reachable |0>-ancilla subspace — and a
+/// measurement-tolerant checker is right to accept them. Both circuits
+/// are first compacted onto b's active qubits; returns false (count the
+/// mutant as a genuine fault) if the compacted width is too wide to
+/// decide here.
+inline bool measurement_equivalent_oracle(const ir::Circuit& a,
+                                          const ir::Circuit& b) {
+  const auto active = b.active_qubits();
+  const int k = static_cast<int>(active.size());
+  if (k > 16) {
+    return false;
+  }
+  std::vector<int> map(static_cast<std::size_t>(
+                           std::max(a.num_qubits(), b.num_qubits())),
+                       0);
+  for (int i = 0; i < k; ++i) {
+    map[static_cast<std::size_t>(active[static_cast<std::size_t>(i)])] = i;
+  }
+  const ir::Circuit ac = a.remapped(map, k);
+  const ir::Circuit bc = b.remapped(map, k);
+  for (int t = 0; t < 4; ++t) {
+    ir::Statevector sa =
+        ir::Statevector::random(k, 555u + static_cast<std::uint64_t>(t));
+    ir::Statevector sb = sa;
+    sa.apply(ac);
+    sb.apply(bc);
+    for (std::size_t i = 0; i < sa.amplitudes().size(); ++i) {
+      if (std::abs(std::abs(sa.amplitudes()[i]) -
+                   std::abs(sb.amplitudes()[i])) > 1e-6) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace qrc::verify_fuzz
