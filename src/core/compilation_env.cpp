@@ -39,8 +39,15 @@ int CompilationEnv::observation_size() const {
 
 int CompilationEnv::num_actions() const { return registry_.size(); }
 
-std::vector<double> CompilationEnv::observe() const {
-  const auto obs = features::extract_features(state_.circuit).observation();
+std::uint64_t CompilationEnv::step_seed(std::uint64_t env_seed,
+                                        std::uint64_t episode, int step) {
+  return env_seed * 1000003 + episode * 101 +
+         static_cast<std::uint64_t>(step);
+}
+
+std::vector<double> CompilationEnv::observe_state(
+    const CompilationState& state) {
+  const auto obs = features::extract_features(state.circuit).observation();
   // A NaN/Inf observation would silently poison every PPO update that
   // touches it (degenerate circuits — empty, single-qubit — are the usual
   // suspects via the n-1 / depth divisions in the feature formulas, which
@@ -53,6 +60,32 @@ std::vector<double> CompilationEnv::observe() const {
     }
   }
   return {obs.begin(), obs.end()};
+}
+
+void CompilationEnv::apply_action(CompilationState& state, int action,
+                                  std::uint64_t seed) {
+  const ActionRegistry& registry = ActionRegistry::instance();
+  if (action < 0 || action >= registry.size()) {
+    throw std::out_of_range("CompilationEnv::step: bad action id");
+  }
+  const Action& act = registry.at(action);
+  if (!act.valid(state)) {
+    throw std::logic_error("CompilationEnv::step: invalid action '" +
+                           act.name() + "' in state " +
+                           std::string(mdp_state_name(state.state())));
+  }
+  act.apply(state, seed);
+}
+
+CompilationState CompilationEnv::peek_step(const CompilationState& state,
+                                           int action, std::uint64_t seed) {
+  CompilationState next = state;
+  apply_action(next, action, seed);
+  return next;
+}
+
+std::vector<double> CompilationEnv::observe() const {
+  return observe_state(state_);
 }
 
 std::vector<double> CompilationEnv::reset() {
@@ -73,20 +106,9 @@ std::vector<bool> CompilationEnv::action_mask() const {
 }
 
 rl::StepResult CompilationEnv::step(int action) {
-  if (action < 0 || action >= registry_.size()) {
-    throw std::out_of_range("CompilationEnv::step: bad action id");
-  }
-  const Action& act = registry_.at(action);
-  if (!act.valid(state_)) {
-    throw std::logic_error("CompilationEnv::step: invalid action '" +
-                           act.name() + "' in state " +
-                           std::string(mdp_state_name(state_.state())));
-  }
   // Deterministic per-step seed so stochastic passes are reproducible.
-  const std::uint64_t step_seed =
-      config_.seed * 1000003 + episode_counter_ * 101 +
-      static_cast<std::uint64_t>(steps_in_episode_);
-  act.apply(state_, step_seed);
+  apply_action(state_, action,
+               step_seed(config_.seed, episode_counter_, steps_in_episode_));
   ++steps_in_episode_;
 
   rl::StepResult result;

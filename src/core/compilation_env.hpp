@@ -50,6 +50,38 @@ class CompilationEnv final : public rl::Env {
 
   [[nodiscard]] const CompilationState& state() const { return state_; }
 
+  // ---- bare-state path -----------------------------------------------
+  // The greedy rollout core and the search engine walk the MDP over plain
+  // CompilationState values: one state copy per child, no env clone, no
+  // corpus shared_ptr churn, no RNG. (Cloning an env per search node used
+  // to cost a corpus-vector allocation plus a second circuit copy per
+  // expansion — the bare-state path is a single circuit copy, which
+  // bench_search_quality measures as nodes/sec.) The env's own step() and
+  // observe() are thin wrappers over these, so trajectories agree
+  // bit-for-bit between the env, the rollout core and the search engine.
+
+  /// The deterministic per-step seed driving stochastic passes:
+  /// episode 1, step d is what a fresh env seeded with `env_seed` uses on
+  /// its d-th step after reset_with().
+  [[nodiscard]] static std::uint64_t step_seed(std::uint64_t env_seed,
+                                               std::uint64_t episode,
+                                               int step);
+
+  /// Feature observation of a bare state.
+  /// \throws std::logic_error on a non-finite feature (poisoned input).
+  [[nodiscard]] static std::vector<double> observe_state(
+      const CompilationState& state);
+
+  /// Applies `action` to `state` in place; `seed` drives stochastic
+  /// passes. \throws std::out_of_range / std::logic_error on an invalid
+  /// action, exactly like step().
+  static void apply_action(CompilationState& state, int action,
+                           std::uint64_t seed);
+
+  /// Copy-then-apply: the cheap per-child expansion path for search.
+  [[nodiscard]] static CompilationState peek_step(
+      const CompilationState& state, int action, std::uint64_t seed);
+
  private:
   [[nodiscard]] std::vector<double> observe() const;
 

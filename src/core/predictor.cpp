@@ -3,30 +3,18 @@
 #include <algorithm>
 #include <istream>
 #include <memory>
-#include <set>
 #include <thread>
-#include <tuple>
 #include <ostream>
 #include <stdexcept>
 
-#include "rl/categorical.hpp"
+#include "core/rollout.hpp"
 #include "rl/thread_pool.hpp"
 #include "rl/vec_env.hpp"
+#include "search/engine.hpp"
 
 namespace qrc::core {
 
 namespace {
-
-/// State fingerprint for cycle detection in greedy rollouts.
-using Fingerprint = std::tuple<std::size_t, int, int, double, int, bool,
-                               const device::Device*>;
-
-Fingerprint fingerprint_of(const CompilationEnv& env) {
-  const auto& s = env.state();
-  return {s.circuit.size(),        s.circuit.two_qubit_gate_count(),
-          s.circuit.gate_count(),  s.circuit.global_phase(),
-          static_cast<int>(s.state()), s.layout_applied, s.device};
-}
 
 /// Forces an unfinished compilation to Done with the canned deterministic
 /// pass sequence (synthesis, SABRE layout/routing, synthesis, 1q
@@ -166,33 +154,10 @@ std::vector<CompilationResult> Predictor::compile_batch(
   env_config.max_steps = config_.env_max_steps;
   env_config.seed = config_.seed;
 
-  // One greedy episode per circuit. Deterministic greedy rollouts can
-  // cycle: through single no-op actions, or through pass pairs that keep
-  // rewriting each other's output. Ban an action whenever it lands on an
-  // already-visited state; unban everything on genuine progress.
-  struct Episode {
-    std::unique_ptr<CompilationEnv> env;
-    std::vector<double> obs;
-    std::set<int> exhausted;
-    std::set<Fingerprint> visited;
-    rl::StepResult outcome;
-    int action = -1;
-    bool done = false;
-    bool active = true;  ///< false once every valid action proved no-op
-  };
-  std::vector<Episode> episodes(static_cast<std::size_t>(num_circuits));
-  for (int c = 0; c < num_circuits; ++c) {
-    auto& ep = episodes[static_cast<std::size_t>(c)];
-    ep.env = std::make_unique<CompilationEnv>(
-        std::vector<ir::Circuit>{circuits[c]}, env_config);
-    ep.obs = ep.env->reset_with(circuits[c]);
-    ep.visited.insert(fingerprint_of(*ep.env));
-  }
-
   // The pool runs the batched policy forwards (row-parallel) and steps the
-  // independent environments concurrently. A caller-provided pool is
-  // reused as-is (the compile service keeps one per model lane); otherwise
-  // a batch-local pool is spun up.
+  // independent episodes concurrently. A caller-provided pool is reused
+  // as-is (the compile service keeps one per model lane); otherwise a
+  // batch-local pool is spun up.
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   const int workers =
       config_.rollout_workers > 0
@@ -201,99 +166,24 @@ std::vector<CompilationResult> Predictor::compile_batch(
   std::optional<rl::WorkerPool> local_pool;
   rl::WorkerPool& pool =
       external_pool != nullptr ? *external_pool : local_pool.emplace(workers);
-  const rl::Mlp& policy = agent_->policy();
-  const auto obs_size = static_cast<std::size_t>(policy.input_size());
 
-  std::vector<int> live;
-  std::vector<int> stepping;
-  std::vector<double> obs_batch;
-  std::vector<double> logits_batch;
-  std::vector<std::vector<bool>> mask_batch;
-  for (int step = 0; step < config_.env_max_steps; ++step) {
-    live.clear();
-    for (int c = 0; c < num_circuits; ++c) {
-      const auto& ep = episodes[static_cast<std::size_t>(c)];
-      if (ep.active && !ep.done) {
-        live.push_back(c);
-      }
-    }
-    if (live.empty()) {
-      break;
-    }
-    const int n_live = static_cast<int>(live.size());
-
-    // One batched policy forward over every still-running episode.
-    obs_batch.resize(live.size() * obs_size);
-    mask_batch.resize(live.size());
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      const auto& ep = episodes[static_cast<std::size_t>(live[i])];
-      std::copy(ep.obs.begin(), ep.obs.end(),
-                obs_batch.begin() + i * obs_size);
-      if (feature_index >= 0 &&
-          feature_index < static_cast<int>(obs_size)) {
-        obs_batch[i * obs_size + static_cast<std::size_t>(feature_index)] =
-            0.0;
-      }
-      mask_batch[i] = ep.env->action_mask();
-    }
-    policy.forward_batch(obs_batch, n_live, logits_batch, &pool);
-    const rl::BatchedMaskedCategorical dist(logits_batch, mask_batch);
-
-    // Greedy action per episode among valid, un-exhausted actions.
-    stepping.clear();
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      auto& ep = episodes[static_cast<std::size_t>(live[i])];
-      const auto probs = dist.probs(static_cast<int>(i));
-      int action = -1;
-      for (int a = 0; a < dist.num_actions(); ++a) {
-        if (!mask_batch[i][static_cast<std::size_t>(a)] ||
-            ep.exhausted.contains(a)) {
-          continue;
-        }
-        if (action < 0 || probs[static_cast<std::size_t>(a)] >
-                              probs[static_cast<std::size_t>(action)]) {
-          action = a;
-        }
-      }
-      if (action < 0) {
-        ep.active = false;  // every valid action proved ineffective
-        continue;
-      }
-      ep.action = action;
-      results[static_cast<std::size_t>(live[i])].action_trace.push_back(
-          registry.at(action).name());
-      stepping.push_back(live[i]);
-    }
-
-    // Step the chosen actions in parallel — each episode owns its state.
-    pool.parallel_for(static_cast<int>(stepping.size()), [&](int i) {
-      auto& ep = episodes[static_cast<std::size_t>(
-          stepping[static_cast<std::size_t>(i)])];
-      ep.outcome = ep.env->step(ep.action);
-    });
-    for (const int c : stepping) {
-      auto& ep = episodes[static_cast<std::size_t>(c)];
-      ep.obs = ep.outcome.observation;
-      ep.done = ep.outcome.done;
-      if (!ep.visited.insert(fingerprint_of(*ep.env)).second) {
-        ep.exhausted.insert(ep.action);  // known state: no progress
-      } else {
-        ep.exhausted.clear();
-      }
-      if (ep.done) {
-        results[static_cast<std::size_t>(c)].reward = ep.outcome.reward;
-      }
-    }
-  }
+  // The shared batched greedy rollout core (also the search baseline).
+  const auto episodes = run_greedy_episodes(agent_->policy(), circuits,
+                                            env_config, feature_index, pool);
 
   for (int c = 0; c < num_circuits; ++c) {
-    auto& ep = episodes[static_cast<std::size_t>(c)];
+    const auto& ep = episodes[static_cast<std::size_t>(c)];
     auto& result = results[static_cast<std::size_t>(c)];
-    CompilationState state = ep.env->state();
-    if (!ep.done) {
+    for (const int action : ep.actions) {
+      result.action_trace.push_back(registry.at(action).name());
+    }
+    CompilationState state = ep.state;
+    if (ep.done) {
+      result.reward = ep.reward;
+    } else {
       finish_with_fallback(registry, circuits[c], config_, state, result);
     }
-    result.circuit = state.circuit;
+    result.circuit = std::move(state.circuit);
     result.device = state.device;
     if (state.initial_layout.has_value()) {
       result.initial_layout = *state.initial_layout;
@@ -304,6 +194,85 @@ std::vector<CompilationResult> Predictor::compile_batch(
   if (verify_options != nullptr) {
     // Post-compile verification gate: independent per circuit, so the
     // checks spread over the same worker pool as the rollout.
+    pool.parallel_for(num_circuits, [&](int c) {
+      auto& result = results[static_cast<std::size_t>(c)];
+      result.verification =
+          verify_compilation(circuits[c], result, *verify_options);
+    });
+  }
+  return results;
+}
+
+CompilationResult Predictor::compile_search(
+    const ir::Circuit& circuit, const search::SearchOptions& options,
+    const verify::VerifyOptions* verify_options) const {
+  return compile_search_all(std::span<const ir::Circuit>(&circuit, 1),
+                            options, nullptr, verify_options)
+      .front();
+}
+
+std::vector<CompilationResult> Predictor::compile_search_all(
+    std::span<const ir::Circuit> circuits,
+    const search::SearchOptions& options, rl::WorkerPool* external_pool,
+    const verify::VerifyOptions* verify_options) const {
+  if (!agent_.has_value()) {
+    throw std::logic_error(
+        "Predictor::compile_search: train or load a model first");
+  }
+  const ActionRegistry& registry = ActionRegistry::instance();
+  const int num_circuits = static_cast<int>(circuits.size());
+  if (num_circuits == 0) {
+    return {};
+  }
+
+  // Search has batched work wider than the circuit count (frontier rows,
+  // MCTS leaf batches), so the default pool is sized by the hardware, not
+  // by the suite.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int workers = config_.rollout_workers > 0 ? config_.rollout_workers
+                                                  : (hw > 0 ? hw : 1);
+  std::optional<rl::WorkerPool> local_pool;
+  rl::WorkerPool& pool =
+      external_pool != nullptr ? *external_pool : local_pool.emplace(workers);
+
+  // Greedy baselines through the shared rollout core: the anytime floor
+  // every searched result is clamped against.
+  std::vector<CompilationResult> results =
+      compile_batch(circuits, -1, &pool, nullptr);
+
+  search::SearchContext context;
+  context.policy = &agent_->policy();
+  context.value = &agent_->value_net();
+  context.reward = config_.reward;
+  context.seed = config_.seed;
+  context.max_steps = config_.env_max_steps;
+
+  for (int c = 0; c < num_circuits; ++c) {
+    auto& result = results[static_cast<std::size_t>(c)];
+    search::SearchResult searched =
+        search::run_search(circuits[c], context, options, pool);
+    searched.stats.baseline_reward = result.reward;
+    if (searched.found_terminal && searched.reward > result.reward) {
+      // The searched sequence strictly beats the greedy baseline.
+      searched.stats.improved = true;
+      result.action_trace.clear();
+      for (const int action : searched.actions) {
+        result.action_trace.push_back(registry.at(action).name());
+      }
+      result.reward = searched.reward;
+      result.used_fallback = false;
+      result.device = searched.state.device;
+      result.initial_layout.clear();
+      if (searched.state.initial_layout.has_value()) {
+        result.initial_layout = *searched.state.initial_layout;
+      }
+      result.final_layout = searched.state.final_layout;
+      result.circuit = std::move(searched.state.circuit);
+    }
+    result.search_stats = std::move(searched.stats);
+  }
+
+  if (verify_options != nullptr) {
     pool.parallel_for(num_circuits, [&](int c) {
       auto& result = results[static_cast<std::size_t>(c)];
       result.verification =

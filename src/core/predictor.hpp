@@ -14,6 +14,7 @@
 #include "core/compilation_env.hpp"
 #include "reward/reward.hpp"
 #include "rl/ppo.hpp"
+#include "search/search.hpp"
 #include "verify/equivalence.hpp"
 
 namespace qrc::rl {
@@ -37,6 +38,10 @@ struct CompilationResult {
   /// through the layouts. The compiled circuit itself is never altered by
   /// verification.
   std::optional<verify::VerifyResult> verification;
+  /// Present when the result came from compile_search: planning cost and
+  /// outcome counters (nodes, transpositions, deadline, reward delta vs
+  /// the greedy baseline the search is clamped against).
+  std::optional<search::SearchStats> search_stats;
 };
 
 /// Verifies a compilation result against the original circuit with the
@@ -107,6 +112,29 @@ class Predictor {
   /// against its input circuit (checks run in parallel over the pool).
   [[nodiscard]] std::vector<CompilationResult> compile_all(
       std::span<const ir::Circuit> circuits, rl::WorkerPool* pool = nullptr,
+      const verify::VerifyOptions* verify_options = nullptr) const;
+
+  /// Compiles by policy-guided lookahead search (beam or MCTS, per
+  /// `options`) instead of the one-shot greedy rollout. The search plans
+  /// over the same MDP with the trained policy as prior and the value
+  /// network as leaf bootstrap, and the result is *clamped to best-so-far
+  /// against the greedy baseline*: it never has a lower reward than
+  /// compile(), and search_stats records whether (and at what planning
+  /// cost) the searched sequence improved on it. With a deadline
+  /// (options.deadline_ms) the search is anytime — it returns the best
+  /// sequence found when time runs out. Without a deadline the result is
+  /// bitwise-deterministic for fixed (model, options) regardless of the
+  /// worker count, and beam(1) reproduces compile() bit-for-bit.
+  [[nodiscard]] CompilationResult compile_search(
+      const ir::Circuit& circuit, const search::SearchOptions& options,
+      const verify::VerifyOptions* verify_options = nullptr) const;
+
+  /// Suite variant of compile_search: greedy baselines run through the
+  /// one batched rollout core, then each circuit is searched in turn on
+  /// the shared pool. Pool/verify semantics match compile_all.
+  [[nodiscard]] std::vector<CompilationResult> compile_search_all(
+      std::span<const ir::Circuit> circuits,
+      const search::SearchOptions& options, rl::WorkerPool* pool = nullptr,
       const verify::VerifyOptions* verify_options = nullptr) const;
 
   /// Ablation hook: compile with observation feature `feature_index`

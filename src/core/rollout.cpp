@@ -1,0 +1,137 @@
+#include "core/rollout.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "reward/reward.hpp"
+#include "rl/categorical.hpp"
+#include "rl/mlp.hpp"
+#include "rl/thread_pool.hpp"
+
+namespace qrc::core {
+
+Fingerprint fingerprint_of(const CompilationState& s) {
+  return {s.circuit.size(),        s.circuit.two_qubit_gate_count(),
+          s.circuit.gate_count(),  s.circuit.global_phase(),
+          static_cast<int>(s.state()), s.layout_applied, s.device};
+}
+
+std::vector<GreedyEpisode> run_greedy_episodes(
+    const rl::Mlp& policy, std::span<const ir::Circuit> circuits,
+    const CompilationEnvConfig& env_config, int masked_feature,
+    rl::WorkerPool& pool) {
+  const ActionRegistry& registry = ActionRegistry::instance();
+  const int num_circuits = static_cast<int>(circuits.size());
+  const auto obs_size = static_cast<std::size_t>(policy.input_size());
+
+  struct Episode {
+    GreedyEpisode out;
+    std::vector<double> obs;
+    std::set<int> exhausted;
+    std::set<Fingerprint> visited;
+    int action = -1;
+    bool active = true;  ///< false once every valid action proved no-op
+  };
+  std::vector<Episode> episodes(static_cast<std::size_t>(num_circuits));
+  for (int c = 0; c < num_circuits; ++c) {
+    auto& ep = episodes[static_cast<std::size_t>(c)];
+    ep.out.state.circuit = circuits[c];
+    ep.obs = CompilationEnv::observe_state(ep.out.state);
+    ep.visited.insert(fingerprint_of(ep.out.state));
+  }
+
+  std::vector<int> live;
+  std::vector<int> stepping;
+  std::vector<double> obs_batch;
+  std::vector<double> logits_batch;
+  std::vector<std::vector<bool>> mask_batch;
+  for (int step = 0; step < env_config.max_steps; ++step) {
+    live.clear();
+    for (int c = 0; c < num_circuits; ++c) {
+      const auto& ep = episodes[static_cast<std::size_t>(c)];
+      if (ep.active && !ep.out.done) {
+        live.push_back(c);
+      }
+    }
+    if (live.empty()) {
+      break;
+    }
+    const int n_live = static_cast<int>(live.size());
+
+    // One batched policy forward over every still-running episode.
+    obs_batch.resize(live.size() * obs_size);
+    mask_batch.resize(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const auto& ep = episodes[static_cast<std::size_t>(live[i])];
+      std::copy(ep.obs.begin(), ep.obs.end(),
+                obs_batch.begin() + i * obs_size);
+      if (masked_feature >= 0 &&
+          masked_feature < static_cast<int>(obs_size)) {
+        obs_batch[i * obs_size + static_cast<std::size_t>(masked_feature)] =
+            0.0;
+      }
+      mask_batch[i] = registry.mask(ep.out.state);
+    }
+    policy.forward_batch(obs_batch, n_live, logits_batch, &pool);
+    const rl::BatchedMaskedCategorical dist(logits_batch, mask_batch);
+
+    // Greedy action per episode among valid, un-exhausted actions.
+    stepping.clear();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      auto& ep = episodes[static_cast<std::size_t>(live[i])];
+      const auto probs = dist.probs(static_cast<int>(i));
+      int action = -1;
+      for (int a = 0; a < dist.num_actions(); ++a) {
+        if (!mask_batch[i][static_cast<std::size_t>(a)] ||
+            ep.exhausted.contains(a)) {
+          continue;
+        }
+        if (action < 0 || probs[static_cast<std::size_t>(a)] >
+                              probs[static_cast<std::size_t>(action)]) {
+          action = a;
+        }
+      }
+      if (action < 0) {
+        ep.active = false;  // every valid action proved ineffective
+        continue;
+      }
+      ep.action = action;
+      ep.out.actions.push_back(action);
+      stepping.push_back(live[i]);
+    }
+
+    // Step the chosen actions in parallel — each episode owns its state.
+    const std::uint64_t seed =
+        CompilationEnv::step_seed(env_config.seed, 1, step);
+    pool.parallel_for(static_cast<int>(stepping.size()), [&](int i) {
+      auto& ep = episodes[static_cast<std::size_t>(
+          stepping[static_cast<std::size_t>(i)])];
+      CompilationEnv::apply_action(ep.out.state, ep.action, seed);
+      if (ep.out.state.state() != MdpState::kDone) {
+        ep.obs = CompilationEnv::observe_state(ep.out.state);
+      }
+    });
+    for (const int c : stepping) {
+      auto& ep = episodes[static_cast<std::size_t>(c)];
+      if (!ep.visited.insert(fingerprint_of(ep.out.state)).second) {
+        ep.exhausted.insert(ep.action);  // known state: no progress
+      } else {
+        ep.exhausted.clear();
+      }
+      if (ep.out.state.state() == MdpState::kDone) {
+        ep.out.done = true;
+        ep.out.reward = reward::compute_reward(
+            env_config.reward, ep.out.state.circuit, *ep.out.state.device);
+      }
+    }
+  }
+
+  std::vector<GreedyEpisode> out;
+  out.reserve(episodes.size());
+  for (auto& ep : episodes) {
+    out.push_back(std::move(ep.out));
+  }
+  return out;
+}
+
+}  // namespace qrc::core

@@ -1,0 +1,105 @@
+/// \file internal.hpp
+/// \brief Shared plumbing of the beam and MCTS strategies: the
+///        transposition table, the batched policy/value evaluator, and
+///        the deadline clock. Internal to src/search/.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compilation_env.hpp"
+#include "search/engine.hpp"
+
+namespace qrc::search::internal {
+
+/// String-keyed transposition table mapping state_key() to a caller-chosen
+/// id, with hit accounting for SearchStats.
+class TranspositionTable {
+ public:
+  /// Returns the existing id for `key`, or stores `next_id` and returns
+  /// nullopt. Hits are counted either way.
+  std::optional<int> lookup_or_insert(std::string key, int next_id) {
+    const auto [it, inserted] = table_.try_emplace(std::move(key), next_id);
+    if (inserted) {
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+  /// Un-registers a key (no-op for ""). Beam uses this for children that
+  /// were keyed at expansion but then pruned out of the frontier: a
+  /// pruned state was never actually explored, so a later, higher-scoring
+  /// path that re-derives it must not be blocked.
+  void forget(const std::string& key) {
+    if (!key.empty()) {
+      table_.erase(key);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t entries() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> table_;
+  std::uint64_t hits_ = 0;
+};
+
+/// Batched policy-prior and value evaluation over a set of states; one
+/// Mlp::forward_batch per network per call, rows spread over the pool.
+/// Masked action probabilities follow rl::MaskedCategorical bitwise.
+class BatchEvaluator {
+ public:
+  BatchEvaluator(const SearchContext& context, rl::WorkerPool& pool)
+      : context_(context), pool_(pool) {}
+
+  /// `observations` is row-major [batch x obs_size]. Fills per-row masked
+  /// action probabilities (row-major [batch x num_actions]) and values.
+  /// Either output may be skipped by passing nullptr.
+  void evaluate(const std::vector<double>& observations, int batch,
+                const std::vector<std::vector<bool>>& masks,
+                std::vector<double>* probs_out,
+                std::vector<double>* values_out, SearchStats& stats);
+
+ private:
+  const SearchContext& context_;
+  rl::WorkerPool& pool_;
+  std::vector<double> logits_;
+  std::vector<double> value_rows_;
+};
+
+/// Wall-clock deadline; `expired()` is checked once per search quantum
+/// (beam depth / MCTS batch), so overshoot is bounded by one quantum.
+class Deadline {
+ public:
+  explicit Deadline(std::int64_t budget_ms)
+      : unlimited_(budget_ms <= 0),
+        end_(std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(budget_ms)) {}
+
+  [[nodiscard]] bool expired() const {
+    return !unlimited_ && std::chrono::steady_clock::now() >= end_;
+  }
+
+ private:
+  bool unlimited_;
+  std::chrono::steady_clock::time_point end_;
+};
+
+/// Terminal reward of a Done state under the context's objective.
+[[nodiscard]] double terminal_reward(const SearchContext& context,
+                                     const core::CompilationState& state);
+
+SearchResult beam_search(const ir::Circuit& circuit,
+                         const SearchContext& context,
+                         const SearchOptions& options, rl::WorkerPool& pool);
+
+SearchResult mcts_search(const ir::Circuit& circuit,
+                         const SearchContext& context,
+                         const SearchOptions& options, rl::WorkerPool& pool);
+
+}  // namespace qrc::search::internal

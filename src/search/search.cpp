@@ -1,0 +1,83 @@
+#include "search/search.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qrc::search {
+
+namespace {
+
+/// Strict positive-integer parse of a spec budget ("8" in "beam:8").
+int parse_budget(std::string_view text, std::string_view spec) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value < 1) {
+    throw std::runtime_error("bad search spec '" + std::string(spec) +
+                             "': budget must be a positive integer");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kBeam:
+      return "beam";
+    case Strategy::kMcts:
+      return "mcts";
+  }
+  return "?";
+}
+
+SearchOptions parse_spec(std::string_view spec) {
+  const auto colon = spec.find(':');
+  const std::string_view name = spec.substr(0, colon);
+  const std::string_view budget =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1);
+  SearchOptions options;
+  if (name == "beam") {
+    options.strategy = Strategy::kBeam;
+    if (colon != std::string_view::npos) {
+      options.beam_width = parse_budget(budget, spec);
+    }
+  } else if (name == "mcts") {
+    options.strategy = Strategy::kMcts;
+    if (colon != std::string_view::npos) {
+      options.simulations = parse_budget(budget, spec);
+    }
+  } else {
+    throw std::runtime_error("bad search spec '" + std::string(spec) +
+                             "': expected beam[:width] or mcts[:sims]");
+  }
+  return options;
+}
+
+std::string spec_string(const SearchOptions& options) {
+  const int budget = options.strategy == Strategy::kBeam
+                         ? options.beam_width
+                         : options.simulations;
+  return std::string(strategy_name(options.strategy)) + ":" +
+         std::to_string(budget);
+}
+
+std::string cache_token(const SearchOptions& options) {
+  // Every knob that can change the searched result is spelled out, so two
+  // requests differing in any of them occupy distinct cache entries.
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s;w=%d;b=%d;vw=%.17g;sims=%d;mb=%d;c=%.17g;d=%d;dl=%lld;"
+                "seed=%llu",
+                strategy_name(options.strategy).data(), options.beam_width,
+                options.beam_branch, options.value_weight,
+                options.simulations, options.mcts_batch, options.c_puct,
+                options.max_depth,
+                static_cast<long long>(options.deadline_ms),
+                static_cast<unsigned long long>(options.seed));
+  return buffer;
+}
+
+}  // namespace qrc::search

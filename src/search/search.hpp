@@ -1,0 +1,103 @@
+/// \file search.hpp
+/// \brief Configuration and statistics of the policy-guided search engine:
+///        the two planning strategies (beam search and MCTS) that spend
+///        inference-time compute to recover pass sequences the greedy
+///        argmax rollout misses, plus the `beam:8` / `mcts:400` spec
+///        grammar shared by the CLI flag and the JSONL `"search"` field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qrc::search {
+
+enum class Strategy : std::uint8_t {
+  kBeam,  ///< width-K frontier, batched policy + value scoring per depth
+  kMcts,  ///< PUCT tree search with batched value-network leaf evaluation
+};
+
+[[nodiscard]] std::string_view strategy_name(Strategy strategy);
+
+/// Knobs of one search run. Defaults are the `beam:8` configuration; the
+/// short specs `beam[:width]` / `mcts[:simulations]` (parse_spec) set the
+/// strategy and its budget and leave every other knob at its default.
+struct SearchOptions {
+  Strategy strategy = Strategy::kBeam;
+
+  /// Beam: frontier size kept per depth. Width 1 with the default branch
+  /// reproduces the greedy rollout bit-for-bit (same argmax, same
+  /// cycle-avoidance bookkeeping, same per-step seeds).
+  int beam_width = 8;
+  /// Beam: candidate actions expanded per frontier entry, ranked by policy
+  /// prior; 0 means beam_width.
+  int beam_branch = 0;
+  /// Beam: weight of the value-network bootstrap in the pruning score
+  /// (score = cumulative log prior + value_weight * V(child)).
+  double value_weight = 1.0;
+
+  /// MCTS: total simulations (leaf selections) to run.
+  int simulations = 400;
+  /// MCTS: simulations selected per batch under virtual loss; their leaf
+  /// states are evaluated in one batched network forward. The batch size
+  /// is part of the configuration (virtual-loss selection depends on it),
+  /// but results never depend on the worker count.
+  int mcts_batch = 8;
+  /// MCTS: PUCT exploration constant.
+  double c_puct = 1.4;
+
+  /// Depth horizon; 0 means the model's env_max_steps (the greedy budget).
+  int max_depth = 0;
+  /// Wall-clock budget in milliseconds; 0 means unlimited. The search
+  /// stops at the next quantum boundary (beam depth / MCTS batch) after
+  /// the deadline passes and returns the best result found so far.
+  /// Deadline-bounded runs are anytime, not bitwise-reproducible.
+  std::int64_t deadline_ms = 0;
+  /// Seed for stochastic passes along searched trajectories; 0 means the
+  /// model's training seed (required for beam(1) == greedy bitwise).
+  std::uint64_t seed = 0;
+};
+
+/// Counters of one search run, carried on the CompilationResult so the
+/// service, CLI and benches can report planning cost next to the reward.
+struct SearchStats {
+  Strategy strategy = Strategy::kBeam;
+  /// The configured budget (beam width / MCTS simulations), so consumers
+  /// can reconstruct the spec ("beam:8") without the options at hand.
+  int budget = 0;
+  std::uint64_t nodes_expanded = 0;  ///< child states stepped/created
+  std::uint64_t policy_evals = 0;    ///< policy-network rows evaluated
+  std::uint64_t value_evals = 0;     ///< value-network rows evaluated
+  std::uint64_t transposition_hits = 0;     ///< states reached twice
+  std::uint64_t transposition_entries = 0;  ///< distinct states keyed
+  int simulations_run = 0;  ///< MCTS leaf selections completed
+  int depth_reached = 0;    ///< deepest level expanded
+  int terminals_found = 0;  ///< complete compilations discovered
+  bool deadline_hit = false;
+  std::int64_t elapsed_us = 0;
+  /// Reward of the best terminal the search itself found; meaningful only
+  /// when terminals_found > 0.
+  double best_reward = 0.0;
+  /// Reward of the greedy-rollout baseline the search is clamped against.
+  double baseline_reward = 0.0;
+  /// True when the searched sequence strictly beat the greedy baseline
+  /// (the returned result is the searched one, not the baseline).
+  bool improved = false;
+};
+
+/// Parses a search spec: "beam", "beam:<width>", "mcts" or
+/// "mcts:<simulations>" (the CLI `--search` grammar and the JSONL
+/// `"search"` field). Every other knob keeps its default.
+/// \throws std::runtime_error naming the offending spec.
+[[nodiscard]] SearchOptions parse_spec(std::string_view spec);
+
+/// Short display form of the options: "beam:<width>" or
+/// "mcts:<simulations>".
+[[nodiscard]] std::string spec_string(const SearchOptions& options);
+
+/// Full canonical serialisation of every knob, used in service cache keys
+/// so results searched under different configurations never alias (and
+/// never alias the greedy path, which uses no token at all).
+[[nodiscard]] std::string cache_token(const SearchOptions& options);
+
+}  // namespace qrc::search

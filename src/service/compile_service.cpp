@@ -93,7 +93,7 @@ CompileService::Lane& CompileService::lane_for(
 
 std::future<ServiceResponse> CompileService::submit(
     std::string id, const std::string& model_name, ir::Circuit circuit,
-    bool verify) {
+    bool verify, std::optional<search::SearchOptions> search) {
   if (stopping_.load()) {
     throw std::logic_error("CompileService::submit: service is stopping");
   }
@@ -103,19 +103,30 @@ std::future<ServiceResponse> CompileService::submit(
   {
     std::lock_guard lock(stats_mu_);
     ++requests_;
+    if (search.has_value()) {
+      ++(search->strategy == search::Strategy::kBeam ? beam_requests_
+                                                     : mcts_requests_);
+    }
   }
 
   Pending pending;
   pending.id = std::move(id);
   pending.circuit = std::move(circuit);
   pending.verify = verify;
+  pending.search = std::move(search);
   pending.submitted = submitted;
   auto future = pending.promise.get_future();
 
   if (cache_.enabled()) {
-    // Key on model + content so the same circuit may live in the cache
-    // once per objective. Fingerprints ignore the circuit name.
-    pending.key = name + '\n' + ir::canonical_key(pending.circuit);
+    // Key on model + search config + content so the same circuit may live
+    // in the cache once per objective and once per search configuration
+    // (greedy uses the empty config token). Fingerprints ignore the
+    // circuit name.
+    pending.key = name + '\n' +
+                  (pending.search.has_value()
+                       ? search::cache_token(*pending.search)
+                       : std::string()) +
+                  '\n' + ir::canonical_key(pending.circuit);
     if (auto hit = cache_.get(pending.key)) {
       if (!pending.verify) {
         ServiceResponse response;
@@ -188,7 +199,11 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
     // twin was in flight) compile once and fan out. Cache hits that ride
     // the lane for verification (cached_result set) never recompile.
     constexpr auto kNoSlot = std::numeric_limits<std::size_t>::max();
-    std::vector<ir::Circuit> circuits;
+    struct Slot {
+      ir::Circuit circuit;
+      std::optional<search::SearchOptions> search;
+    };
+    std::vector<Slot> slots;
     std::vector<std::size_t> slot(batch.size(), kNoSlot);
     std::map<std::string_view, std::size_t> first_of_key;
     int compiled_requests = 0;
@@ -198,29 +213,66 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
       }
       ++compiled_requests;
       if (!batch[i].key.empty()) {
+        // The key embeds the search config, so a slot never mixes greedy
+        // and searched requests (or two search configurations).
         const auto [it, inserted] =
-            first_of_key.try_emplace(batch[i].key, circuits.size());
+            first_of_key.try_emplace(batch[i].key, slots.size());
         slot[i] = it->second;
         if (!inserted) {
           continue;
         }
       } else {
-        slot[i] = circuits.size();
+        slot[i] = slots.size();
       }
-      circuits.push_back(batch[i].circuit);
+      slots.push_back({batch[i].circuit, batch[i].search});
     }
 
-    // Batch stats count compiled requests only (verification-only riders
-    // never reached the policy, like the fast cache-hit path).
-    if (compiled_requests > 0) {
+    // Greedy slots fuse into one batched rollout; search slots run the
+    // planning engine one by one on the lane's pool (each search batches
+    // its own frontier/leaf evaluations internally).
+    std::vector<ir::Circuit> greedy_circuits;
+    std::vector<std::size_t> greedy_slots;
+    int searched_requests = 0;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (!slots[s].search.has_value()) {
+        greedy_circuits.push_back(slots[s].circuit);
+        greedy_slots.push_back(s);
+      }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch[i].cached_result.has_value() &&
+          batch[i].search.has_value()) {
+        ++searched_requests;
+      }
+    }
+
+    // Batch stats count requests fused into the greedy rollout only
+    // (verification-only riders and searches never reached it).
+    const int greedy_requests = compiled_requests - searched_requests;
+    if (greedy_requests > 0) {
       std::lock_guard lock(stats_mu_);
       ++batches_;
-      batched_requests_ += static_cast<std::uint64_t>(compiled_requests);
-      max_batch_size_ = std::max(max_batch_size_, compiled_requests);
-      ++batch_size_histogram_[compiled_requests];
+      batched_requests_ += static_cast<std::uint64_t>(greedy_requests);
+      max_batch_size_ = std::max(max_batch_size_, greedy_requests);
+      ++batch_size_histogram_[greedy_requests];
     }
 
-    const auto results = lane.model->compile_all(circuits, lane.pool.get());
+    std::vector<core::CompilationResult> results(slots.size());
+    auto greedy_results =
+        lane.model->compile_all(greedy_circuits, lane.pool.get());
+    for (std::size_t g = 0; g < greedy_slots.size(); ++g) {
+      results[greedy_slots[g]] = std::move(greedy_results[g]);
+    }
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (!slots[s].search.has_value()) {
+        continue;
+      }
+      results[s] = lane.model
+                       ->compile_search_all(
+                           std::span<const ir::Circuit>(&slots[s].circuit, 1),
+                           *slots[s].search, lane.pool.get())
+                       .front();
+    }
 
     for (const auto& [key, s] : first_of_key) {
       cache_.put(std::string(key), results[s]);
@@ -236,7 +288,7 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
       verify::VerifyResult verdict;
     };
     std::vector<VerifyUnit> units;
-    std::vector<std::size_t> unit_of_slot(circuits.size(), kNoSlot);
+    std::vector<std::size_t> unit_of_slot(slots.size(), kNoSlot);
     std::vector<std::size_t> unit_of_request(batch.size(), kNoSlot);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (!batch[i].verify) {
@@ -269,6 +321,15 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
       if (batch[i].verify) {
         response.result.verification = units[unit_of_request[i]].verdict;
         count_verdict(*response.result.verification);
+      }
+      if (!response.cached && response.result.search_stats.has_value()) {
+        // Improvement/deadline counters share the per-request basis of
+        // beam_requests/mcts_requests (deduped twins each count — each
+        // response carries the outcome), so their ratios stay meaningful.
+        const auto& stats = *response.result.search_stats;
+        std::lock_guard lock(stats_mu_);
+        search_improved_ += stats.improved ? 1 : 0;
+        search_deadline_hits_ += stats.deadline_hit ? 1 : 0;
       }
       response.latency_us = elapsed_us(batch[i].submitted);
       batch[i].promise.set_value(std::move(response));
@@ -308,6 +369,10 @@ ServiceStats CompileService::stats() const {
     out.verified = verified_;
     out.refuted = refuted_;
     out.verify_unknown = verify_unknown_;
+    out.beam_requests = beam_requests_;
+    out.mcts_requests = mcts_requests_;
+    out.search_improved = search_improved_;
+    out.search_deadline_hits = search_deadline_hits_;
   }
   const auto cache = cache_.stats();
   out.cache_hits = cache.hits;

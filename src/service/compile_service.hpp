@@ -74,6 +74,17 @@ struct ServiceStats {
   std::uint64_t verified = 0;        ///< verification verdicts: equivalent
   std::uint64_t refuted = 0;         ///< verdicts: not equivalent
   std::uint64_t verify_unknown = 0;  ///< verdicts: no tier could decide
+  // Per-strategy search counters. Search requests are scheduled through
+  // the lanes like any other, but run the planning engine instead of
+  // riding the fused greedy rollout, so they are not part of
+  // batches/batched_requests. beam/mcts_requests count every submission
+  // (cache hits included, like `requests`); improved/deadline counters
+  // count freshly searched responses only (cache hits replay a recorded
+  // outcome, they don't re-run the engine).
+  std::uint64_t beam_requests = 0;  ///< submitted with a beam search config
+  std::uint64_t mcts_requests = 0;  ///< submitted with an MCTS config
+  std::uint64_t search_improved = 0;       ///< fresh searches beating greedy
+  std::uint64_t search_deadline_hits = 0;  ///< fresh searches cut by deadline
 };
 
 /// Thread-safe compilation server. Submit from any number of threads; each
@@ -97,13 +108,17 @@ class CompileService {
   /// The future completes with the response, or with the exception the
   /// compilation raised. `verify` requests the post-compile equivalence
   /// gate (ServiceConfig::verify_options); the compiled circuit is
-  /// identical either way.
+  /// identical either way. `search`, if set, compiles by policy-guided
+  /// lookahead (Predictor::compile_search) instead of the greedy rollout;
+  /// the cache key then incorporates the full search configuration, so
+  /// searched results never alias greedy ones (or searches under other
+  /// configs).
   /// \throws std::runtime_error if the model cannot be resolved.
   /// \throws std::logic_error after shutdown has begun.
-  std::future<ServiceResponse> submit(std::string id,
-                                      const std::string& model_name,
-                                      ir::Circuit circuit,
-                                      bool verify = false);
+  std::future<ServiceResponse> submit(
+      std::string id, const std::string& model_name, ir::Circuit circuit,
+      bool verify = false,
+      std::optional<search::SearchOptions> search = std::nullopt);
 
   /// Convenience: submit and wait.
   ServiceResponse compile(const std::string& model_name,
@@ -118,6 +133,8 @@ class CompileService {
     std::string key;  ///< cache key; empty when caching is disabled
     ir::Circuit circuit;
     bool verify = false;  ///< run the post-compile equivalence gate
+    /// Policy-guided search config; nullopt = greedy rollout.
+    std::optional<search::SearchOptions> search;
     /// Cache hit that still needs verification: carried into the lane so
     /// the (possibly slow) equivalence check runs on the lane's worker
     /// pool instead of stalling the submitter's thread. No policy run.
@@ -163,6 +180,10 @@ class CompileService {
   std::uint64_t verified_ = 0;
   std::uint64_t refuted_ = 0;
   std::uint64_t verify_unknown_ = 0;
+  std::uint64_t beam_requests_ = 0;
+  std::uint64_t mcts_requests_ = 0;
+  std::uint64_t search_improved_ = 0;
+  std::uint64_t search_deadline_hits_ = 0;
 
   std::atomic<bool> stopping_{false};
 };

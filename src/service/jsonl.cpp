@@ -391,10 +391,11 @@ ServeRequest parse_serve_request(std::string_view line) {
   // Unknown fields are hard errors: a client typo ("verifi": true) must
   // surface as an error line, not silently change behaviour.
   for (const auto& [key, value] : obj) {
-    if (key != "id" && key != "model" && key != "qasm" && key != "verify") {
+    if (key != "id" && key != "model" && key != "qasm" && key != "verify" &&
+        key != "search" && key != "deadline_ms") {
       throw std::runtime_error(
           "unknown request field '" + key +
-          "' (expected id, model, qasm, verify)");
+          "' (expected id, model, qasm, verify, search, deadline_ms)");
     }
   }
   ServeRequest request;
@@ -418,6 +419,30 @@ ServeRequest parse_serve_request(std::string_view line) {
       throw std::runtime_error("'verify' must be a boolean");
     }
     request.verify = it->second.as_bool();
+  }
+  if (const auto it = obj.find("search"); it != obj.end()) {
+    if (!it->second.is_string()) {
+      throw std::runtime_error(
+          "'search' must be a string like \"beam:8\" or \"mcts:400\"");
+    }
+    request.search = search::parse_spec(it->second.as_string());
+  }
+  if (const auto it = obj.find("deadline_ms"); it != obj.end()) {
+    if (!request.search.has_value()) {
+      throw std::runtime_error("'deadline_ms' requires 'search'");
+    }
+    // Bounded above so the double-to-int64 cast cannot overflow (and a
+    // client cannot request a year-long deadline by typo).
+    constexpr double kMaxDeadlineMs = 1e9;  // ~11.5 days
+    if (!it->second.is_number() || it->second.as_number() < 1.0 ||
+        it->second.as_number() > kMaxDeadlineMs ||
+        it->second.as_number() !=
+            std::floor(it->second.as_number())) {
+      throw std::runtime_error(
+          "'deadline_ms' must be a positive integer <= 1e9");
+    }
+    request.search->deadline_ms =
+        static_cast<std::int64_t>(it->second.as_number());
   }
   const auto it = obj.find("qasm");
   if (it == obj.end() || !it->second.is_string()) {
@@ -468,6 +493,19 @@ std::string serve_response_line(const ServiceResponse& r) {
     out += ",\"verdict\":" + json_quote(verify::verdict_name(v.verdict));
     out += ",\"verify_method\":" + json_quote(verify::method_name(v.method));
     out += ",\"verify_confidence\":" + dump_number(v.confidence);
+  }
+  if (r.result.search_stats.has_value()) {
+    const auto& s = *r.result.search_stats;
+    out += ",\"search\":" +
+           json_quote(std::string(search::strategy_name(s.strategy)) + ":" +
+                      std::to_string(s.budget));
+    out += ",\"search_nodes\":" + std::to_string(s.nodes_expanded);
+    out += ",\"search_improved\":";
+    out += s.improved ? "true" : "false";
+    out += ",\"search_deadline_hit\":";
+    out += s.deadline_hit ? "true" : "false";
+    out += ",\"search_reward_delta\":" +
+           dump_number(r.result.reward - s.baseline_reward);
   }
   return out + "}";
 }

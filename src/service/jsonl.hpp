@@ -6,11 +6,13 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
 
+#include "search/search.hpp"
 #include "service/compile_service.hpp"
 
 namespace qrc::service {
@@ -77,16 +79,23 @@ class JsonValue {
 // ------------------------------------------------------ serve protocol ---
 
 /// One `qrc serve` request line:
-/// {"id": ..., "model": ..., "qasm": ..., "verify": ...}.
+/// {"id": ..., "model": ..., "qasm": ..., "verify": ..., "search": ...,
+///  "deadline_ms": ...}.
 /// `qasm` is required; `model` defaults to the service's default model;
 /// `id` (string or number, echoed back as a string) defaults to "";
 /// `verify` (bool, default false) requests the post-compile equivalence
 /// gate — the response then carries verdict/method/confidence fields.
+/// `search` (string: "beam[:width]" or "mcts[:sims]") compiles by
+/// policy-guided lookahead instead of the greedy rollout — the response
+/// then carries search/search_nodes/search_reward_delta/... fields;
+/// `deadline_ms` (positive number, requires `search`) bounds the search
+/// wall clock, returning the best sequence found in time.
 struct ServeRequest {
   std::string id;
   std::string model;
   std::string qasm;
   bool verify = false;
+  std::optional<search::SearchOptions> search;
 };
 
 /// Parses and validates one request line. Unknown top-level fields are
@@ -108,7 +117,10 @@ struct ServeRequest {
 /// for verification, three more fields follow: "verdict"
 /// ("equivalent"/"not_equivalent"/"unknown"), "verify_method"
 /// ("clifford_tableau"/"alternating_miter"/"random_stimuli"/"none") and
-/// "verify_confidence" (1.0 for exact tiers).
+/// "verify_confidence" (1.0 for exact tiers). When it asked for search,
+/// five more: "search" (the spec, e.g. "beam:8"), "search_nodes",
+/// "search_improved", "search_deadline_hit" and "search_reward_delta"
+/// (reward gained over the greedy baseline, >= 0 by the clamp).
 [[nodiscard]] std::string serve_response_line(const ServiceResponse& r);
 
 /// Serialises one error line: {"id": ..., "error": ...}.

@@ -11,9 +11,12 @@
 //       (deterministic for a fixed seed/num-envs pair); --workers caps the
 //       stepping threads (default: one per env).
 //   qrc compile --model <model.txt> <circuit.qasm> [--out <compiled.qasm>]
-//             [--verify]
+//             [--verify] [--search beam:8|mcts:400] [--deadline-ms N]
 //       Compiles an OpenQASM 2.0 circuit with a trained model. --verify
-//       runs the QCEC-style equivalence gate on the result.
+//       runs the QCEC-style equivalence gate on the result. --search
+//       compiles by policy-guided lookahead (beam search or MCTS) instead
+//       of the greedy rollout — never worse than greedy, often better;
+//       --deadline-ms bounds the search wall clock (anytime best-so-far).
 //   qrc verify <a.qasm> <b.qasm> [--stimuli N] [--seed N]
 //              [--max-miter-qubits N] [--max-stimuli-qubits N]
 //       Checks two circuits for functional equivalence with the tiered
@@ -24,13 +27,18 @@
 //             [--default-model <name>] [--max-batch N] [--max-wait-us N]
 //             [--cache-entries N]
 //       Long-lived compile server speaking line-delimited JSON over
-//       stdin/stdout: {"id","model","qasm","verify"} in, {"id","model",
-//       "qasm","reward","device","used_fallback","cached","latency_us"}
-//       out — plus "verdict"/"verify_method"/"verify_confidence" when the
-//       request set "verify": true (or {"id","error"}). Requests arriving
+//       stdin/stdout: {"id","model","qasm","verify","search",
+//       "deadline_ms"} in, {"id","model","qasm","reward","device",
+//       "used_fallback","cached","latency_us"} out — plus
+//       "verdict"/"verify_method"/"verify_confidence" when the request
+//       set "verify": true, and "search"/"search_nodes"/
+//       "search_improved"/"search_deadline_hit"/"search_reward_delta"
+//       when it set "search" (or {"id","error"}). Requests arriving
 //       within the batch window are fused into one batched policy rollout
-//       per model; repeat circuits are served from an LRU result cache.
-//       Diagnostics go to stderr, stdout stays pure JSONL.
+//       per model ("search" requests run the lookahead engine instead);
+//       repeat circuits are served from an LRU result cache keyed on
+//       model + search config + content. Diagnostics go to stderr,
+//       stdout stays pure JSONL.
 
 #include <algorithm>
 #include <condition_variable>
@@ -52,6 +60,7 @@
 #include "core/predictor.hpp"
 #include "device/library.hpp"
 #include "ir/qasm.hpp"
+#include "search/search.hpp"
 #include "service/compile_service.hpp"
 #include "service/jsonl.hpp"
 
@@ -69,6 +78,7 @@ int usage() {
       "            [--seed N] [--num-envs N] [--workers N]\n"
       "  qrc compile --model <model.txt> <circuit.qasm>\n"
       "              [--out <compiled.qasm>] [--verify]\n"
+      "              [--search beam:8|mcts:400] [--deadline-ms N]\n"
       "  qrc verify <a.qasm> <b.qasm> [--stimuli N] [--seed N]\n"
       "             [--max-miter-qubits N] [--max-stimuli-qubits N]\n"
       "  qrc serve --model <name>=<model.txt> [--model <n2>=<m2.txt> ...]\n"
@@ -260,7 +270,9 @@ ir::Circuit read_qasm_file(const std::string& path) {
 }
 
 int cmd_compile(int argc, char** argv) {
-  const auto args = parse_args(argc, argv, 2, {"model", "out"}, {"verify"});
+  const auto args = parse_args(argc, argv, 2,
+                               {"model", "out", "search", "deadline-ms"},
+                               {"verify"});
   const std::string* model_flag = args.single("model");
   if (model_flag == nullptr || args.positionals.empty()) {
     return usage();
@@ -277,8 +289,25 @@ int cmd_compile(int argc, char** argv) {
   std::printf("input: %s\n", circuit.summary().c_str());
 
   const bool verify = args.single("verify") != nullptr;
-  const auto result = verify ? predictor.compile_verified(circuit)
-                             : predictor.compile(circuit);
+  std::optional<search::SearchOptions> search_options;
+  if (const std::string* spec = args.single("search")) {
+    search_options = search::parse_spec(*spec);
+    const int deadline = args.get_int("deadline-ms", 0);
+    if (deadline < 0) {
+      throw std::runtime_error("--deadline-ms must be >= 0");
+    }
+    search_options->deadline_ms = deadline;
+  } else if (args.single("deadline-ms") != nullptr) {
+    throw std::runtime_error("--deadline-ms requires --search");
+  }
+
+  const verify::VerifyOptions verify_options;
+  const auto result =
+      search_options.has_value()
+          ? predictor.compile_search(circuit, *search_options,
+                                     verify ? &verify_options : nullptr)
+          : (verify ? predictor.compile_verified(circuit)
+                    : predictor.compile(circuit));
   std::printf("target: %s\n", result.device->name().c_str());
   std::printf("reward (%s): %.4f%s\n",
               reward::reward_name(predictor.config().reward).data(),
@@ -288,6 +317,20 @@ int cmd_compile(int argc, char** argv) {
     std::printf(" %s", a.c_str());
   }
   std::printf("\noutput: %s\n", result.circuit.summary().c_str());
+  if (result.search_stats.has_value()) {
+    const auto& s = *result.search_stats;
+    std::printf(
+        "search: %s — %llu nodes, %llu transposition hits, depth %d, "
+        "%.1f ms%s\n",
+        search::strategy_name(s.strategy).data(),
+        static_cast<unsigned long long>(s.nodes_expanded),
+        static_cast<unsigned long long>(s.transposition_hits),
+        s.depth_reached, static_cast<double>(s.elapsed_us) / 1000.0,
+        s.deadline_hit ? " [deadline hit]" : "");
+    std::printf("search: reward %+.4f vs greedy %.4f (%s)\n",
+                result.reward - s.baseline_reward, s.baseline_reward,
+                s.improved ? "improved" : "kept greedy result");
+  }
   if (result.verification.has_value()) {
     const auto& v = *result.verification;
     std::printf("verification: %s via %s (confidence %.6f, %d qubits) — %s\n",
@@ -463,8 +506,9 @@ int cmd_serve(int argc, char** argv) {
     try {
       service::ServeRequest request = service::parse_serve_request(line);
       ir::Circuit circuit = ir::from_qasm(request.qasm);
-      enqueue({request.id, svc.submit(request.id, request.model,
-                                      std::move(circuit), request.verify)});
+      enqueue({request.id,
+               svc.submit(request.id, request.model, std::move(circuit),
+                          request.verify, request.search)});
     } catch (const std::exception& e) {
       // Echo whatever id the line carried so clients can correlate the
       // error even when validation failed.
@@ -496,6 +540,15 @@ int cmd_serve(int argc, char** argv) {
                static_cast<unsigned long long>(stats.verified),
                static_cast<unsigned long long>(stats.refuted),
                static_cast<unsigned long long>(stats.verify_unknown));
+  if (stats.beam_requests + stats.mcts_requests > 0) {
+    std::fprintf(stderr,
+                 "# search: %llu beam, %llu mcts, %llu improved on "
+                 "greedy, %llu deadline hit(s)\n",
+                 static_cast<unsigned long long>(stats.beam_requests),
+                 static_cast<unsigned long long>(stats.mcts_requests),
+                 static_cast<unsigned long long>(stats.search_improved),
+                 static_cast<unsigned long long>(stats.search_deadline_hits));
+  }
   return stats.refuted > 0 ? 1 : 0;
 }
 
