@@ -1,0 +1,287 @@
+// Socket serve-layer scaling bench: stands up a real `qrc serve
+// --listen`-style TCP server (compile service + event loop on an
+// ephemeral port) and sweeps the number of concurrent client
+// connections, measuring end-to-end request latency through the full
+// stack — framing, admission control, lane batching, response fan-in.
+// Each client runs a closed loop (send one request, read frames until
+// the final lands); every fourth request is a deadline-bounded beam
+// search, so the sweep also exercises streamed "partial" frames. The
+// results are printed and written to BENCH_serve_scale.json:
+// requests/sec, p50/p99/p999 latency, the shed rate (typed "overloaded"
+// finals over total requests), and partials_delivered per sweep point.
+//
+// Knobs (see experiment_common.hpp): QRC_TRAIN_STEPS (default 4000)
+// sizes model training, QRC_SERVE_SCALE_CONNS (default "1,4,16,64") the
+// connection sweep, QRC_SERVE_SCALE_REQUESTS (default 8) requests per
+// connection, QRC_SERVE_SCALE_LANE_QUEUE (default 256) the lane bound.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "experiment_common.hpp"
+#include "ir/qasm.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "service/compile_service.hpp"
+#include "service/jsonl.hpp"
+
+namespace {
+
+using namespace qrc;
+using Clock = std::chrono::steady_clock;
+
+std::int64_t percentile(std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+core::Predictor train_small_model(const std::vector<ir::Circuit>& corpus) {
+  core::PredictorConfig config;
+  config.reward = reward::RewardKind::kFidelity;
+  config.seed = 17;
+  config.ppo.total_timesteps =
+      bench_harness::env_int("QRC_TRAIN_STEPS", 4000);
+  config.ppo.steps_per_update = 512;
+  config.ppo.hidden_sizes = {32};
+  config.num_envs = bench_harness::num_envs();
+  config.rollout_workers = bench_harness::rollout_workers();
+  core::Predictor predictor(config);
+  std::printf("# training model (%d timesteps)...\n",
+              config.ppo.total_timesteps);
+  std::fflush(stdout);
+  (void)predictor.train(corpus);
+  return predictor;
+}
+
+std::vector<int> parse_conn_sweep() {
+  const char* env = std::getenv("QRC_SERVE_SCALE_CONNS");
+  const std::string spec = env != nullptr ? env : "1,4,16,64";
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    out.push_back(std::max(1, std::atoi(token.c_str())));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct SweepPoint {
+  int connections = 0;
+  std::size_t requests = 0;
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  std::int64_t p50_latency_us = 0;
+  std::int64_t p99_latency_us = 0;
+  std::int64_t p999_latency_us = 0;
+  std::size_t shed = 0;
+  double shed_rate = 0.0;
+  std::uint64_t partials_delivered = 0;
+};
+
+/// One closed-loop client: connects, then for each request sends one
+/// line and reads frames until the final (non-partial) frame arrives.
+struct ClientResult {
+  std::vector<std::int64_t> latencies_us;
+  std::size_t shed = 0;
+  std::uint64_t partials = 0;
+  bool ok = true;
+};
+
+ClientResult run_client(int port, const std::vector<std::string>& requests) {
+  ClientResult result;
+  try {
+    const net::Socket sock = net::connect_tcp("127.0.0.1", port);
+    net::LineReader reader(sock.fd());
+    for (const std::string& request : requests) {
+      const auto start = Clock::now();
+      net::send_all(sock.fd(), request + "\n");
+      for (;;) {
+        const auto line = reader.next_line();
+        if (!line.has_value()) {
+          result.ok = false;
+          return result;
+        }
+        if (line->find("\"type\":\"partial\"") != std::string::npos) {
+          ++result.partials;
+          continue;
+        }
+        if (line->find("\"overloaded\"") != std::string::npos) {
+          ++result.shed;
+        }
+        break;  // final frame (result or error) for this request
+      }
+      result.latencies_us.push_back(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - start)
+              .count());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "client error: %s\n", e.what());
+    result.ok = false;
+  }
+  return result;
+}
+
+SweepPoint run_sweep_point(service::CompileService& svc, int connections,
+                           const std::vector<std::string>& request_mix) {
+  net::ServerConfig net_config;
+  net_config.host = "127.0.0.1";
+  net_config.port = 0;
+  net_config.max_connections = static_cast<std::size_t>(connections) + 8;
+  net::Server server(svc, net_config);
+  server.start();
+
+  std::vector<ClientResult> results(
+      static_cast<std::size_t>(connections));
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        results[static_cast<std::size_t>(c)] =
+            run_client(server.port(), request_mix);
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  server.stop();
+
+  SweepPoint point;
+  point.connections = connections;
+  point.seconds = seconds;
+  std::vector<std::int64_t> latencies;
+  for (const ClientResult& r : results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "warning: a client aborted early\n");
+    }
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+    point.shed += r.shed;
+    point.partials_delivered += r.partials;
+  }
+  point.requests = latencies.size();
+  point.requests_per_sec =
+      seconds > 0.0 ? static_cast<double>(point.requests) / seconds : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  point.p50_latency_us = percentile(latencies, 50.0);
+  point.p99_latency_us = percentile(latencies, 99.0);
+  point.p999_latency_us = percentile(latencies, 99.9);
+  point.shed_rate =
+      point.requests > 0
+          ? static_cast<double>(point.shed) /
+                static_cast<double>(point.requests)
+          : 0.0;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const int requests_per_conn =
+      std::max(1, bench_harness::env_int("QRC_SERVE_SCALE_REQUESTS", 8));
+  const auto lane_queue = static_cast<std::size_t>(
+      std::max(0, bench_harness::env_int("QRC_SERVE_SCALE_LANE_QUEUE", 256)));
+  const std::vector<int> sweep = parse_conn_sweep();
+
+  const std::vector<ir::Circuit> corpus = bench::benchmark_suite(2, 4, 8);
+  const core::Predictor model = train_small_model(corpus);
+
+  // The per-client request script: a mix of plain compiles over the
+  // corpus with every fourth request a deadline-bounded beam search
+  // (which streams partial frames). Identical across connections so
+  // sweep points are comparable; the LRU cache is disabled so every
+  // request exercises a real policy rollout.
+  std::vector<std::string> request_mix;
+  request_mix.reserve(static_cast<std::size_t>(requests_per_conn));
+  for (int i = 0; i < requests_per_conn; ++i) {
+    const ir::Circuit& circuit =
+        corpus[static_cast<std::size_t>(i) % corpus.size()];
+    std::string line =
+        "{\"v\":1,\"op\":\"compile\",\"id\":\"r" + std::to_string(i) +
+        "\",\"qasm\":" + service::json_quote(ir::to_qasm(circuit));
+    if (i % 4 == 3) {
+      line += ",\"search\":\"beam:4\",\"deadline_ms\":50";
+    }
+    line += "}";
+    request_mix.push_back(std::move(line));
+  }
+
+  std::printf("# serve-scale sweep: %d request(s)/connection, lane queue "
+              "bound %zu\n",
+              requests_per_conn, lane_queue);
+  std::vector<SweepPoint> points;
+  for (const int connections : sweep) {
+    service::ServiceConfig config;
+    config.cache_entries = 0;  // measure compiles, not cache hits
+    config.max_lane_queue = lane_queue;
+    service::CompileService svc(config);
+    svc.registry().add(
+        "fidelity",
+        std::shared_ptr<const core::Predictor>(&model,
+                                               [](const core::Predictor*) {}));
+    const SweepPoint point =
+        run_sweep_point(svc, connections, request_mix);
+    std::printf(
+        "  conns=%3d: %6zu requests, %8.1f req/s, p50 %lld us, p99 %lld "
+        "us, p99.9 %lld us, shed %.3f, partials %llu\n",
+        point.connections, point.requests, point.requests_per_sec,
+        static_cast<long long>(point.p50_latency_us),
+        static_cast<long long>(point.p99_latency_us),
+        static_cast<long long>(point.p999_latency_us), point.shed_rate,
+        static_cast<unsigned long long>(point.partials_delivered));
+    std::fflush(stdout);
+    points.push_back(point);
+  }
+
+  std::FILE* json = std::fopen("BENCH_serve_scale.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"serve_scale\",\n"
+                 "  \"requests_per_connection\": %d,\n"
+                 "  \"max_lane_queue\": %zu,\n"
+                 "  \"sweep\": [",
+                 requests_per_conn, lane_queue);
+    bool first = true;
+    for (const SweepPoint& p : points) {
+      std::fprintf(
+          json,
+          "%s\n    {\"connections\": %d, \"requests\": %zu, "
+          "\"requests_per_sec\": %.2f, \"p50_latency_us\": %lld, "
+          "\"p99_latency_us\": %lld, \"p999_latency_us\": %lld, "
+          "\"shed_rate\": %.4f, \"partials_delivered\": %llu}",
+          first ? "" : ",", p.connections, p.requests, p.requests_per_sec,
+          static_cast<long long>(p.p50_latency_us),
+          static_cast<long long>(p.p99_latency_us),
+          static_cast<long long>(p.p999_latency_us), p.shed_rate,
+          static_cast<unsigned long long>(p.partials_delivered));
+      first = false;
+    }
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("  results written to BENCH_serve_scale.json\n");
+  }
+  return 0;
+}

@@ -205,16 +205,24 @@ std::vector<CompilationResult> Predictor::compile_batch(
 
 CompilationResult Predictor::compile_search(
     const ir::Circuit& circuit, const search::SearchOptions& options,
-    const verify::VerifyOptions* verify_options) const {
+    const verify::VerifyOptions* verify_options,
+    const search::ProgressFn& progress) const {
+  SearchProgressFn indexed;
+  if (progress) {
+    indexed = [&progress](int, const search::SearchProgress& snapshot) {
+      progress(snapshot);
+    };
+  }
   return compile_search_all(std::span<const ir::Circuit>(&circuit, 1),
-                            options, nullptr, verify_options)
+                            options, nullptr, verify_options, indexed)
       .front();
 }
 
 std::vector<CompilationResult> Predictor::compile_search_all(
     std::span<const ir::Circuit> circuits,
     const search::SearchOptions& options, rl::WorkerPool* external_pool,
-    const verify::VerifyOptions* verify_options) const {
+    const verify::VerifyOptions* verify_options,
+    const SearchProgressFn& progress) const {
   if (!agent_.has_value()) {
     throw std::logic_error(
         "Predictor::compile_search: train or load a model first");
@@ -249,8 +257,22 @@ std::vector<CompilationResult> Predictor::compile_search_all(
 
   for (int c = 0; c < num_circuits; ++c) {
     auto& result = results[static_cast<std::size_t>(c)];
+    search::ProgressFn per_circuit;
+    if (progress) {
+      // Quantum-0 snapshot: the greedy baseline is already a complete
+      // compilation, so a streaming consumer sees at least one partial
+      // even when the deadline kills the search before its first quantum.
+      search::SearchProgress baseline;
+      baseline.strategy = options.strategy;
+      baseline.found_terminal = true;
+      baseline.best_reward = result.reward;
+      progress(c, baseline);
+      per_circuit = [&progress, c](const search::SearchProgress& snapshot) {
+        progress(c, snapshot);
+      };
+    }
     search::SearchResult searched =
-        search::run_search(circuits[c], context, options, pool);
+        search::run_search(circuits[c], context, options, pool, per_circuit);
     searched.stats.baseline_reward = result.reward;
     if (searched.found_terminal && searched.reward > result.reward) {
       // The searched sequence strictly beats the greedy baseline.

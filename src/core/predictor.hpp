@@ -125,9 +125,20 @@ class Predictor {
   /// sequence found when time runs out. Without a deadline the result is
   /// bitwise-deterministic for fixed (model, options) regardless of the
   /// worker count, and beam(1) reproduces compile() bit-for-bit.
+  ///
+  /// `progress`, when non-empty, observes the anytime trajectory: one
+  /// quantum-0 snapshot right after the greedy baseline (so at least one
+  /// snapshot always fires), then one per search quantum. Observation
+  /// only — it cannot change the result.
   [[nodiscard]] CompilationResult compile_search(
       const ir::Circuit& circuit, const search::SearchOptions& options,
-      const verify::VerifyOptions* verify_options = nullptr) const;
+      const verify::VerifyOptions* verify_options = nullptr,
+      const search::ProgressFn& progress = {}) const;
+
+  /// Per-circuit progress sink for suite searches: (circuit index in the
+  /// span, snapshot). Same contract as search::ProgressFn otherwise.
+  using SearchProgressFn =
+      std::function<void(int, const search::SearchProgress&)>;
 
   /// Suite variant of compile_search: greedy baselines run through the
   /// one batched rollout core, then each circuit is searched in turn on
@@ -135,7 +146,8 @@ class Predictor {
   [[nodiscard]] std::vector<CompilationResult> compile_search_all(
       std::span<const ir::Circuit> circuits,
       const search::SearchOptions& options, rl::WorkerPool* pool = nullptr,
-      const verify::VerifyOptions* verify_options = nullptr) const;
+      const verify::VerifyOptions* verify_options = nullptr,
+      const SearchProgressFn& progress = {}) const;
 
   /// Ablation hook: compile with observation feature `feature_index`
   /// zeroed at every inference step (measures how load-bearing each

@@ -1,0 +1,53 @@
+/// \file poller.hpp
+/// \brief Readiness-notification abstraction for the serve event loop:
+///        an epoll backend on Linux and a portable poll(2) fallback,
+///        selectable at runtime (`--poller` on the CLI, kAuto by default).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace qrc::net {
+
+/// One readiness report from Poller::wait().
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup on the fd; the owner should tear the connection down.
+  bool closed = false;
+};
+
+/// Which backend to instantiate.
+enum class PollerKind : std::uint8_t {
+  kAuto,   ///< epoll where available, else poll
+  kEpoll,  ///< Linux epoll (throws elsewhere)
+  kPoll,   ///< portable poll(2)
+};
+
+/// Level-triggered readiness interface. Not thread-safe: all calls must
+/// come from the single event-loop thread that owns it.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Registers `fd` (or updates its interest set if already registered).
+  virtual void set(int fd, bool want_read, bool want_write) = 0;
+
+  /// Deregisters `fd`; must be called before the fd is closed.
+  virtual void remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) and appends ready fds
+  /// to `out` (which is cleared first). Returns the number of events.
+  virtual int wait(std::vector<PollEvent>& out, int timeout_ms) = 0;
+
+  /// Backend name for logs/benchmarks ("epoll" or "poll").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// \throws std::runtime_error when kEpoll is requested on a platform
+///         without epoll support.
+[[nodiscard]] std::unique_ptr<Poller> make_poller(PollerKind kind);
+
+}  // namespace qrc::net

@@ -1,0 +1,500 @@
+#include "net/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "ir/qasm.hpp"
+#include "service/jsonl.hpp"
+
+namespace qrc::net {
+
+Server::Server(service::CompileService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_.load()) {
+    throw std::runtime_error("server already started");
+  }
+  listener_ = listen_tcp(config_.host, config_.port);
+  port_ = local_port(listener_.fd());
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_ = Socket(pipe_fds[0]);
+  wake_write_ = Socket(pipe_fds[1]);
+  set_nonblocking(wake_read_.fd());
+  set_nonblocking(wake_write_.fd());
+
+  poller_ = make_poller(config_.poller);
+  poller_->set(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
+  poller_->set(wake_read_.fd(), /*want_read=*/true, /*want_write=*/false);
+
+  started_.store(true);
+  loop_ = std::thread(&Server::run_loop, this);
+}
+
+void Server::request_drain() {
+  // Async-signal-safe: one atomic store and one write(2); the loop
+  // notices the flag on its next wake-up.
+  draining_.store(true);
+  if (wake_write_.valid()) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_write_.fd(), &byte, 1);
+  }
+}
+
+void Server::stop() {
+  request_drain();
+  join();
+}
+
+void Server::join() {
+  if (loop_.joinable()) {
+    loop_.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+bool Server::drain_complete() const {
+  return conns_.empty() && pending_ == 0;
+}
+
+void Server::run_loop() {
+  std::vector<PollEvent> events;
+  for (;;) {
+    if (draining_.load()) {
+      if (listener_.valid()) {
+        poller_->remove(listener_.fd());
+        listener_.close();
+      }
+      // Close every connection with nothing left to say; the rest are
+      // closed as their final frames flush.
+      std::vector<std::uint64_t> idle;
+      for (auto& [id, conn] : conns_) {
+        if (conn.inflight == 0 && conn.woff >= conn.wbuf.size()) {
+          idle.push_back(id);
+        } else {
+          update_interest(conn);  // stop reading while draining
+        }
+      }
+      for (const std::uint64_t id : idle) {
+        close_conn(id);
+      }
+      if (drain_complete()) {
+        break;
+      }
+    }
+
+    poller_->wait(events, /*timeout_ms=*/200);
+    for (const PollEvent& e : events) {
+      if (e.fd == wake_read_.fd()) {
+        char sink[256];
+        while (::read(wake_read_.fd(), sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      if (listener_.valid() && e.fd == listener_.fd()) {
+        accept_ready();
+        continue;
+      }
+      const auto fd_it = fd_to_conn_.find(e.fd);
+      if (fd_it == fd_to_conn_.end()) {
+        continue;  // closed earlier in this batch
+      }
+      const std::uint64_t conn_id = fd_it->second;
+      if (e.closed) {
+        close_conn(conn_id);
+        continue;
+      }
+      if (e.readable) {
+        const auto it = conns_.find(conn_id);
+        if (it != conns_.end()) {
+          handle_readable(it->second);
+        }
+      }
+      if (e.writable) {
+        const auto it = conns_.find(conn_id);
+        if (it != conns_.end()) {
+          handle_writable(it->second);
+        }
+      }
+    }
+    drain_outbound();
+  }
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // EAGAIN or a transient accept failure: try next wake-up
+    }
+    if (conns_.size() >= config_.max_connections) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected;
+      continue;
+    }
+    set_nonblocking(fd);
+    const std::uint64_t conn_id = next_conn_id_++;
+    Conn conn;
+    conn.sock = Socket(fd);
+    conn.id = conn_id;
+    conns_.emplace(conn_id, std::move(conn));
+    fd_to_conn_[fd] = conn_id;
+    poller_->set(fd, /*want_read=*/true, /*want_write=*/false);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted;
+  }
+}
+
+void Server::handle_readable(Conn& conn) {
+  const std::uint64_t conn_id = conn.id;
+  for (;;) {
+    char chunk[16384];
+    const ssize_t n = ::recv(conn.sock.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.rbuf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      conn.peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    close_conn(conn_id);
+    return;
+  }
+  process_lines(conn);
+  if (conns_.count(conn_id) == 0) {
+    return;  // process_lines tore the connection down
+  }
+  if (conn.peer_eof && conn.inflight == 0 && conn.woff >= conn.wbuf.size()) {
+    close_conn(conn_id);
+    return;
+  }
+  update_interest(conn);
+}
+
+void Server::handle_writable(Conn& conn) {
+  const std::uint64_t conn_id = conn.id;
+  while (conn.woff < conn.wbuf.size()) {
+    const ssize_t n =
+        ::send(conn.sock.fd(), conn.wbuf.data() + conn.woff,
+               conn.wbuf.size() - conn.woff, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      close_conn(conn_id);
+      return;
+    }
+    conn.woff += static_cast<std::size_t>(n);
+  }
+  if (conn.woff >= conn.wbuf.size()) {
+    conn.wbuf.clear();
+    conn.woff = 0;
+  } else if (conn.woff > (64u << 10)) {
+    conn.wbuf.erase(0, conn.woff);
+    conn.woff = 0;
+  }
+  const bool flushed = conn.woff >= conn.wbuf.size();
+  if (flushed && conn.inflight == 0 &&
+      (conn.peer_eof || draining_.load())) {
+    close_conn(conn_id);
+    return;
+  }
+  update_interest(conn);
+}
+
+void Server::process_lines(Conn& conn) {
+  const std::uint64_t conn_id = conn.id;
+  for (;;) {
+    if (conn.discarding) {
+      const auto newline = conn.rbuf.find('\n');
+      if (newline == std::string::npos) {
+        conn.rbuf.clear();
+        return;
+      }
+      conn.rbuf.erase(0, newline + 1);
+      conn.discarding = false;
+    }
+    const auto newline = conn.rbuf.find('\n');
+    if (newline == std::string::npos) {
+      if (conn.rbuf.size() > config_.max_frame_bytes) {
+        // The line is already over budget with no end in sight: refuse
+        // it now and skip bytes until the newline finally shows up. The
+        // connection itself survives.
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.frames_in;
+          ++stats_.oversized_frames;
+        }
+        queue_frame(conn,
+                    service::serve_error_line(
+                        "", service::ErrorCode::kFrameTooLarge,
+                        "request line exceeds " +
+                            std::to_string(config_.max_frame_bytes) +
+                            " bytes"),
+                    /*is_error=*/true);
+        conn.rbuf.clear();
+        conn.discarding = true;
+      }
+      return;
+    }
+    std::string line = conn.rbuf.substr(0, newline);
+    conn.rbuf.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    if (line.size() > config_.max_frame_bytes) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.frames_in;
+        ++stats_.oversized_frames;
+      }
+      // Complete line, so no discard mode needed.
+      queue_frame(conn,
+                  service::serve_error_line(
+                      service::extract_request_id(line),
+                      service::ErrorCode::kFrameTooLarge,
+                      "request line exceeds " +
+                          std::to_string(config_.max_frame_bytes) +
+                          " bytes"),
+                  /*is_error=*/true);
+      continue;
+    }
+    handle_line(conn, line);
+    if (conns_.count(conn_id) == 0) {
+      return;  // connection died while answering
+    }
+  }
+}
+
+void Server::handle_line(Conn& conn, const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.frames_in;
+  }
+  service::ServeRequest request;
+  try {
+    request = service::parse_serve_request(line);
+  } catch (const std::exception& e) {
+    const service::ErrorCode code = service::error_code_of(e);
+    const std::string id = service::extract_request_id(line);
+    // v1 senders (and version-negotiation failures) get typed errors;
+    // well-formed-looking v0 lines keep the bare compat shape.
+    const bool typed =
+        service::extract_request_version(line) == 1 ||
+        code == service::ErrorCode::kUnsupportedVersion;
+    queue_frame(conn,
+                typed ? service::serve_error_line(id, code, e.what())
+                      : service::serve_error_line(id, e.what()),
+                /*is_error=*/true);
+    return;
+  }
+
+  if (request.op == service::ServeOp::kPing) {
+    queue_frame(conn, service::serve_pong_line(request.id),
+                /*is_error=*/false);
+    return;
+  }
+  if (request.op == service::ServeOp::kStats) {
+    queue_frame(conn,
+                service::serve_stats_line(request.id, service_.stats()),
+                /*is_error=*/false);
+    return;
+  }
+
+  const auto shaped_error = [&request](service::ErrorCode code,
+                                       const std::string& message) {
+    return request.version >= 1
+               ? service::serve_error_line(request.id, code, message)
+               : service::serve_error_line(request.id, message);
+  };
+
+  if (conn.inflight >= config_.max_inflight_per_conn) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.shed_inflight;
+    }
+    queue_frame(conn,
+                shaped_error(service::ErrorCode::kOverloaded,
+                             "connection is at its in-flight cap (" +
+                                 std::to_string(
+                                     config_.max_inflight_per_conn) +
+                                 " requests); wait for results"),
+                /*is_error=*/true);
+    return;
+  }
+
+  ir::Circuit circuit;
+  try {
+    circuit = ir::from_qasm(request.qasm);
+  } catch (const std::exception& e) {
+    queue_frame(conn,
+                shaped_error(service::ErrorCode::kBadRequest,
+                             std::string("qasm: ") + e.what()),
+                /*is_error=*/true);
+    return;
+  }
+
+  const std::uint64_t conn_id = conn.id;
+  const std::string id = request.id;
+  const int version = request.version;
+  service::SubmitHooks hooks;
+  hooks.on_result = [this, conn_id, version](service::ServiceResponse r) {
+    enqueue_outbound(conn_id, service::serve_response_line(r, version),
+                     /*final_frame=*/true);
+  };
+  hooks.on_error = [this, conn_id, id, version](service::ErrorCode code,
+                                                const std::string& msg) {
+    enqueue_outbound(conn_id,
+                     version >= 1
+                         ? service::serve_error_line(id, code, msg)
+                         : service::serve_error_line(id, msg),
+                     /*final_frame=*/true);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.error_frames;
+  };
+  if (version >= 1 && request.search.has_value()) {
+    hooks.on_partial = [this, conn_id,
+                        id](const search::SearchProgress& progress) {
+      enqueue_outbound(conn_id, service::serve_partial_line(id, progress),
+                       /*final_frame=*/false);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.partial_frames;
+    };
+  }
+
+  // Count the request before submitting: a cache hit delivers its hook
+  // synchronously inside submit_with_hooks, and the accounting must
+  // already be in place when the outbound frame is drained.
+  ++conn.inflight;
+  ++pending_;
+  try {
+    service_.submit_with_hooks(request.id, request.model,
+                               std::move(circuit), request.verify,
+                               request.search, std::move(hooks));
+  } catch (const std::exception& e) {
+    // Admission refusals (lane queue bound, shutdown, unknown model)
+    // throw before any hook fires, so the rollback cannot double-count.
+    --conn.inflight;
+    --pending_;
+    queue_frame(conn, shaped_error(service::error_code_of(e), e.what()),
+                /*is_error=*/true);
+  }
+}
+
+void Server::queue_frame(Conn& conn, std::string line, bool is_error) {
+  conn.wbuf += line;
+  conn.wbuf += '\n';
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.frames_out;
+    if (is_error) {
+      ++stats_.error_frames;
+    }
+  }
+  update_interest(conn);
+}
+
+void Server::enqueue_outbound(std::uint64_t conn_id, std::string line,
+                              bool final_frame) {
+  {
+    std::lock_guard<std::mutex> lock(outbound_mutex_);
+    outbound_.push_back(
+        Outbound{conn_id, std::move(line), final_frame});
+  }
+  if (wake_write_.valid()) {
+    const char byte = 'o';
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_write_.fd(), &byte, 1);
+  }
+}
+
+void Server::drain_outbound() {
+  std::vector<Outbound> batch;
+  {
+    std::lock_guard<std::mutex> lock(outbound_mutex_);
+    batch.swap(outbound_);
+  }
+  for (Outbound& ob : batch) {
+    if (ob.final_frame && pending_ > 0) {
+      --pending_;
+    }
+    const auto it = conns_.find(ob.conn_id);
+    if (it == conns_.end()) {
+      continue;  // peer left before its answer arrived; drop the frame
+    }
+    Conn& conn = it->second;
+    if (ob.final_frame && conn.inflight > 0) {
+      --conn.inflight;
+    }
+    conn.wbuf += ob.line;
+    conn.wbuf += '\n';
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.frames_out;
+    }
+    update_interest(conn);
+  }
+}
+
+void Server::update_interest(Conn& conn) {
+  const std::size_t backlog = conn.wbuf.size() - conn.woff;
+  if (conn.read_paused) {
+    if (backlog * 2 <= config_.max_write_buffer) {
+      conn.read_paused = false;
+    }
+  } else if (backlog > config_.max_write_buffer) {
+    conn.read_paused = true;
+  }
+  const bool want_read =
+      !conn.peer_eof && !conn.read_paused && !draining_.load();
+  const bool want_write = backlog > 0;
+  poller_->set(conn.sock.fd(), want_read, want_write);
+}
+
+void Server::close_conn(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  const int fd = it->second.sock.fd();
+  poller_->remove(fd);
+  fd_to_conn_.erase(fd);
+  // In-flight requests for this connection stay counted in pending_;
+  // their final frames are drained and dropped, releasing the count.
+  conns_.erase(it);
+}
+
+}  // namespace qrc::net

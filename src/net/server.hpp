@@ -1,0 +1,161 @@
+/// \file server.hpp
+/// \brief Non-blocking TCP front end for the compile service: a single
+///        event-loop thread multiplexes many connections over a Poller,
+///        speaks the line-delimited serve protocol (v1 envelope + bare v0
+///        compat), and hands admitted work to CompileService's sharded
+///        per-model lanes via SubmitHooks. Lane threads never touch a
+///        socket — completed frames cross back to the loop through a
+///        mutex-guarded outbound queue and a wake pipe.
+///
+/// Overload behaviour is typed, never silent: a connection over its
+/// in-flight cap or a lane over its queue bound gets an "overloaded"
+/// error frame; an over-long line gets "frame_too_large" and the rest of
+/// that line is discarded without killing the connection. A growing
+/// write buffer pauses reads on that connection (backpressure) instead
+/// of buffering without bound.
+///
+/// Graceful drain (`request_drain()`, async-signal-safe) stops accepting,
+/// lets in-flight requests finish, flushes their frames, then exits the
+/// loop — wired to SIGINT/SIGTERM by `qrc serve --listen`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/poller.hpp"
+#include "net/socket.hpp"
+#include "service/compile_service.hpp"
+
+namespace qrc::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via Server::port().
+  int port = 0;
+  /// Longest accepted request line (bytes, excluding the newline);
+  /// longer lines get a frame_too_large error and are discarded.
+  std::size_t max_frame_bytes = 1 << 20;
+  /// Per-connection cap on submitted-but-unanswered compiles; the
+  /// excess is shed with an "overloaded" error frame.
+  std::size_t max_inflight_per_conn = 32;
+  /// Write-buffer high watermark: past it the connection's reads pause
+  /// until the peer drains below half of it.
+  std::size_t max_write_buffer = 4u << 20;
+  /// New connections past this are accepted and immediately closed.
+  std::size_t max_connections = 256;
+  PollerKind poller = PollerKind::kAuto;
+};
+
+/// Monotonic counters, all since start(). Snapshot via Server::stats().
+struct ServerStats {
+  std::uint64_t accepted = 0;         ///< connections accepted
+  std::uint64_t rejected = 0;         ///< closed at the connection cap
+  std::uint64_t frames_in = 0;        ///< request lines parsed or refused
+  std::uint64_t frames_out = 0;       ///< response lines queued
+  std::uint64_t partial_frames = 0;   ///< "partial" lines queued
+  std::uint64_t error_frames = 0;     ///< "error" lines queued
+  std::uint64_t oversized_frames = 0; ///< lines over max_frame_bytes
+  std::uint64_t shed_inflight = 0;    ///< compiles shed at the conn cap
+};
+
+/// The socket serve layer. One instance owns one listener, one poller
+/// and one event-loop thread. Construct, start(), and keep it alive
+/// until stop() returns; the referenced CompileService must outlive it.
+class Server {
+ public:
+  Server(service::CompileService& service, ServerConfig config);
+  /// Calls stop(); safe when never started.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and launches the event loop.
+  /// \throws std::runtime_error when the bind fails.
+  void start();
+
+  /// The bound port (resolves config.port == 0). Valid after start().
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Async-signal-safe graceful-drain request: stop accepting, answer
+  /// everything in flight, flush, then exit the loop. Idempotent.
+  void request_drain();
+
+  /// request_drain() + join. Blocks until every in-flight request has
+  /// been answered and the loop has exited. Idempotent.
+  void stop();
+
+  /// Blocks until the event loop exits (e.g. after a signal-triggered
+  /// drain). Returns immediately when never started.
+  void join();
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::uint64_t id = 0;
+    std::string rbuf;
+    std::string wbuf;
+    std::size_t woff = 0;  ///< bytes of wbuf already written
+    std::size_t inflight = 0;
+    bool discarding = false;  ///< skipping the rest of an oversized line
+    bool peer_eof = false;
+    bool read_paused = false;
+  };
+
+  /// A frame produced on a lane thread, destined for one connection.
+  struct Outbound {
+    std::uint64_t conn_id = 0;
+    std::string line;
+    /// Final frames release one in-flight slot (partials do not).
+    bool final_frame = false;
+  };
+
+  void run_loop();
+  void accept_ready();
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  void process_lines(Conn& conn);
+  void handle_line(Conn& conn, const std::string& line);
+  void queue_frame(Conn& conn, std::string line, bool is_error);
+  void enqueue_outbound(std::uint64_t conn_id, std::string line,
+                        bool final_frame);
+  void drain_outbound();
+  void update_interest(Conn& conn);
+  void close_conn(std::uint64_t conn_id);
+  [[nodiscard]] bool drain_complete() const;
+
+  service::CompileService& service_;
+  ServerConfig config_;
+
+  Socket listener_;
+  int port_ = 0;
+  Socket wake_read_;
+  Socket wake_write_;
+  std::unique_ptr<Poller> poller_;
+  std::thread loop_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::unordered_map<int, std::uint64_t> fd_to_conn_;
+  /// Compiles accepted by the service whose final frame has not yet been
+  /// consumed by the loop; the drain waits for this to reach zero.
+  std::size_t pending_ = 0;
+
+  mutable std::mutex outbound_mutex_;
+  std::vector<Outbound> outbound_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace qrc::net

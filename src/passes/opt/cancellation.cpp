@@ -140,8 +140,14 @@ bool try_merge_rotations(const Operation& a, const Operation& b,
 
 /// Shared skeleton: for each op, search forward for a partner with the same
 /// qubit set; intermediates sharing qubits must commute with the op.
-/// `match` decides cancellation (return 2: remove both; 1: replace a with
-/// `merged`, remove b; 0: no match).
+/// `match` decides cancellation (return 2: remove both; 1: merge a into b,
+/// writing `merged` at b's position; 0: no match).
+///
+/// The commutation guard only licenses moving `a` *forward* past the
+/// intermediates, so a merge must land at `j` (b's slot), never at `i`:
+/// placing the merged rotation at `i` would silently commute `b` backward
+/// past ops it was never checked against (e.g. ry(pi)..rz(pi)..ry(pi/2)
+/// merged to ry(3pi/2) *before* the rz is not equivalent).
 template <typename MatchFn>
 bool commuting_pair_pass(Circuit& circuit, const MatchFn& match,
                          bool require_adjacent) {
@@ -151,25 +157,26 @@ bool commuting_pair_pass(Circuit& circuit, const MatchFn& match,
   int rounds = 0;
   while (changed && rounds++ < 16) {
     changed = false;
-    const auto& ops = circuit.ops();
-    std::vector<bool> removed(ops.size(), false);
-    std::vector<std::pair<int, Operation>> replacements;
+    // Work on a live copy so merges written at `j` are what later outer
+    // iterations see, never a stale pre-merge op.
+    std::vector<Operation> work(circuit.ops().begin(), circuit.ops().end());
+    std::vector<bool> removed(work.size(), false);
 
-    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+    for (int i = 0; i < static_cast<int>(work.size()); ++i) {
       if (removed[static_cast<std::size_t>(i)]) {
         continue;
       }
-      const Operation& a = ops[static_cast<std::size_t>(i)];
+      const Operation& a = work[static_cast<std::size_t>(i)];
       if (!a.is_unitary()) {
         continue;
       }
       int encounters = 0;
       for (int j = i + 1;
-           j < static_cast<int>(ops.size()) && encounters < kWindow; ++j) {
+           j < static_cast<int>(work.size()) && encounters < kWindow; ++j) {
         if (removed[static_cast<std::size_t>(j)]) {
           continue;
         }
-        const Operation& b = ops[static_cast<std::size_t>(j)];
+        const Operation& b = work[static_cast<std::size_t>(j)];
         if (b.kind() == GateKind::kBarrier) {
           break;  // barriers block reordering across them
         }
@@ -192,8 +199,12 @@ bool commuting_pair_pass(Circuit& circuit, const MatchFn& match,
             break;
           }
           if (verdict == 1) {
-            replacements.emplace_back(i, merged);
-            removed[static_cast<std::size_t>(j)] = true;
+            removed[static_cast<std::size_t>(i)] = true;
+            if (ir::gate_is_identity(merged.kind(), merged.params())) {
+              removed[static_cast<std::size_t>(j)] = true;
+            } else {
+              work[static_cast<std::size_t>(j)] = merged;
+            }
             changed = true;
             break;
           }
@@ -208,28 +219,12 @@ bool commuting_pair_pass(Circuit& circuit, const MatchFn& match,
     }
 
     if (changed) {
-      std::vector<Operation> kept;
-      kept.reserve(ops.size());
-      for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
-        if (removed[static_cast<std::size_t>(i)]) {
-          continue;
-        }
-        const auto rep = std::find_if(
-            replacements.begin(), replacements.end(),
-            [i](const auto& r) { return r.first == i; });
-        if (rep != replacements.end()) {
-          if (!ir::gate_is_identity(rep->second.kind(),
-                                    rep->second.params())) {
-            kept.push_back(rep->second);
-          }
-        } else {
-          kept.push_back(ops[static_cast<std::size_t>(i)]);
-        }
-      }
       Circuit rebuilt(circuit.num_qubits(), circuit.name());
       rebuilt.add_global_phase(circuit.global_phase());
-      for (const Operation& op : kept) {
-        rebuilt.append(op);
+      for (int i = 0; i < static_cast<int>(work.size()); ++i) {
+        if (!removed[static_cast<std::size_t>(i)]) {
+          rebuilt.append(work[static_cast<std::size_t>(i)]);
+        }
       }
       circuit = std::move(rebuilt);
       any_change = true;

@@ -469,17 +469,72 @@ std::string_view routing_name(RoutingKind kind) {
 RoutingOutcome route(RoutingKind kind, const ir::Circuit& circuit,
                      const device::Device& device, std::uint64_t seed) {
   check_preconditions(circuit, device);
-  switch (kind) {
-    case RoutingKind::kBasicSwap:
-      return route_basic(circuit, device);
-    case RoutingKind::kStochasticSwap:
-      return route_stochastic(circuit, device, seed);
-    case RoutingKind::kSabreSwap:
-      return route_sabre(circuit, device, seed);
-    case RoutingKind::kTketRouting:
-      return route_tket(circuit, device);
+
+  // A measure carries no explicit classical operand — `measure q[i]`
+  // records into c[i] — so its classical record is tied to the physical
+  // wire it is emitted on. A measure emitted mid-stream goes stale the
+  // moment a later swap moves a different slot onto that wire (the routed
+  // circuit then measures two slots into one classical bit and leaves
+  // another bit unwritten). Terminal measures (no later op on their wire)
+  // are therefore split off here, the body is routed, and the measures are
+  // re-emitted through the *final* placement — uniformly for every router,
+  // including the DAG-driven SABRE which otherwise schedules them early.
+  const auto& ops = circuit.ops();
+  std::vector<bool> deferred(ops.size(), false);
+  std::vector<bool> wire_busy(static_cast<std::size_t>(circuit.num_qubits()),
+                              false);
+  bool any_deferred = false;
+  for (int i = static_cast<int>(ops.size()) - 1; i >= 0; --i) {
+    const Operation& op = ops[static_cast<std::size_t>(i)];
+    if (op.kind() == GateKind::kMeasure &&
+        !wire_busy[static_cast<std::size_t>(op.qubit(0))]) {
+      deferred[static_cast<std::size_t>(i)] = true;
+      any_deferred = true;
+      continue;
+    }
+    if (op.kind() == GateKind::kBarrier) {
+      std::fill(wire_busy.begin(), wire_busy.end(), true);
+      continue;
+    }
+    for (const int q : op.qubits()) {
+      wire_busy[static_cast<std::size_t>(q)] = true;
+    }
   }
-  throw std::invalid_argument("route: unknown kind");
+
+  Circuit body(circuit.num_qubits(), circuit.name());
+  body.add_global_phase(circuit.global_phase());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!deferred[i]) {
+      body.append(ops[i]);
+    }
+  }
+
+  const auto run = [&](const Circuit& c) {
+    switch (kind) {
+      case RoutingKind::kBasicSwap:
+        return route_basic(c, device);
+      case RoutingKind::kStochasticSwap:
+        return route_stochastic(c, device, seed);
+      case RoutingKind::kSabreSwap:
+        return route_sabre(c, device, seed);
+      case RoutingKind::kTketRouting:
+        return route_tket(c, device);
+    }
+    throw std::invalid_argument("route: unknown kind");
+  };
+
+  RoutingOutcome out = run(body);
+  if (any_deferred) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (deferred[i]) {
+        Operation copy = ops[i];
+        copy.set_qubit(0, out.permutation[static_cast<std::size_t>(
+                               copy.qubit(0))]);
+        out.routed.append(copy);
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace qrc::passes

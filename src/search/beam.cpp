@@ -47,7 +47,8 @@ struct Candidate {
 
 SearchResult beam_search(const ir::Circuit& circuit,
                          const SearchContext& context,
-                         const SearchOptions& options, rl::WorkerPool& pool) {
+                         const SearchOptions& options, rl::WorkerPool& pool,
+                         const ProgressFn& progress) {
   const auto start = std::chrono::steady_clock::now();
   const core::ActionRegistry& registry = core::ActionRegistry::instance();
   const int width = options.beam_width;
@@ -255,6 +256,20 @@ SearchResult beam_search(const ir::Circuit& circuit,
       next = std::move(pruned);
     }
     frontier = std::move(next);
+
+    if (progress) {
+      SearchProgress snapshot;
+      snapshot.strategy = Strategy::kBeam;
+      snapshot.quantum = depth + 1;
+      snapshot.nodes_expanded = result.stats.nodes_expanded;
+      snapshot.found_terminal = result.found_terminal;
+      snapshot.best_reward = result.reward;
+      snapshot.elapsed_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      progress(snapshot);
+    }
   }
 
   result.stats.transposition_hits = table.hits();

@@ -87,7 +87,8 @@ double terminal_reward(const SearchContext& context,
 
 SearchResult run_search(const ir::Circuit& circuit,
                         const SearchContext& context,
-                        const SearchOptions& options, rl::WorkerPool& pool) {
+                        const SearchOptions& options, rl::WorkerPool& pool,
+                        const ProgressFn& progress) {
   if (context.policy == nullptr || context.value == nullptr) {
     throw std::invalid_argument("run_search: context needs both networks");
   }
@@ -98,9 +99,9 @@ SearchResult run_search(const ir::Circuit& circuit,
   }
   switch (options.strategy) {
     case Strategy::kBeam:
-      return internal::beam_search(circuit, context, options, pool);
+      return internal::beam_search(circuit, context, options, pool, progress);
     case Strategy::kMcts:
-      return internal::mcts_search(circuit, context, options, pool);
+      return internal::mcts_search(circuit, context, options, pool, progress);
   }
   throw std::invalid_argument("run_search: unknown strategy");
 }

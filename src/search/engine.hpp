@@ -58,10 +58,14 @@ struct SearchResult {
 
 /// Runs the configured strategy. `pool` hosts the batched network
 /// forwards and the parallel child expansions; it never affects results.
+/// `progress`, when non-empty, is called once per search quantum (beam
+/// depth / MCTS batch) with the best-so-far snapshot — observation only,
+/// it cannot change the search outcome.
 /// \throws std::invalid_argument on nonsense options (width < 1, ...).
 [[nodiscard]] SearchResult run_search(const ir::Circuit& circuit,
                                       const SearchContext& context,
                                       const SearchOptions& options,
-                                      rl::WorkerPool& pool);
+                                      rl::WorkerPool& pool,
+                                      const ProgressFn& progress = {});
 
 }  // namespace qrc::search

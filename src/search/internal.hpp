@@ -96,10 +96,12 @@ class Deadline {
 
 SearchResult beam_search(const ir::Circuit& circuit,
                          const SearchContext& context,
-                         const SearchOptions& options, rl::WorkerPool& pool);
+                         const SearchOptions& options, rl::WorkerPool& pool,
+                         const ProgressFn& progress);
 
 SearchResult mcts_search(const ir::Circuit& circuit,
                          const SearchContext& context,
-                         const SearchOptions& options, rl::WorkerPool& pool);
+                         const SearchOptions& options, rl::WorkerPool& pool,
+                         const ProgressFn& progress);
 
 }  // namespace qrc::search::internal

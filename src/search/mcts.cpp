@@ -72,7 +72,8 @@ struct PendingLeaf {
 
 SearchResult mcts_search(const ir::Circuit& circuit,
                          const SearchContext& context,
-                         const SearchOptions& options, rl::WorkerPool& pool) {
+                         const SearchOptions& options, rl::WorkerPool& pool,
+                         const ProgressFn& progress) {
   const auto start = std::chrono::steady_clock::now();
   const core::ActionRegistry& registry = core::ActionRegistry::instance();
   const int max_depth =
@@ -326,6 +327,23 @@ SearchResult mcts_search(const ir::Circuit& circuit,
         edge.total_value += value;
       }
       ++sims_done;
+    }
+
+    if (progress) {
+      SearchProgress snapshot;
+      snapshot.strategy = Strategy::kMcts;
+      snapshot.quantum = sims_done;
+      snapshot.nodes_expanded = result.stats.nodes_expanded;
+      snapshot.found_terminal = best_terminal >= 0;
+      if (best_terminal >= 0) {
+        snapshot.best_reward =
+            nodes[static_cast<std::size_t>(best_terminal)].reward;
+      }
+      snapshot.elapsed_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      progress(snapshot);
     }
   }
 

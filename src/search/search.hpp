@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -84,6 +85,29 @@ struct SearchStats {
   /// (the returned result is the searched one, not the baseline).
   bool improved = false;
 };
+
+/// Best-so-far snapshot emitted while a search runs: once per search
+/// quantum (beam depth / MCTS batch). The serve layer turns these into
+/// streamed `"type":"partial"` frames so a deadline-bounded client can
+/// watch the anytime result improve before the final frame lands.
+struct SearchProgress {
+  Strategy strategy = Strategy::kBeam;
+  /// Quanta completed so far: beam depths advanced / MCTS simulations run.
+  /// Quantum 0 is the greedy-baseline snapshot emitted before the engine
+  /// starts (so every searched request streams at least one partial).
+  int quantum = 0;
+  std::uint64_t nodes_expanded = 0;  ///< child states stepped so far
+  bool found_terminal = false;  ///< a complete compilation exists already
+  /// Reward of the best terminal so far (the greedy baseline at quantum 0;
+  /// meaningless while found_terminal is false).
+  double best_reward = 0.0;
+  std::int64_t elapsed_us = 0;  ///< since the search started
+};
+
+/// Progress sink. Invoked synchronously from the searching thread between
+/// quanta; implementations must be cheap and must not call back into the
+/// engine. An empty function disables progress reporting entirely.
+using ProgressFn = std::function<void(const SearchProgress&)>;
 
 /// Parses a search spec: "beam", "beam:<width>", "mcts" or
 /// "mcts:<simulations>" (the CLI `--search` grammar and the JSONL

@@ -24,6 +24,32 @@ std::int64_t elapsed_us(Clock::time_point since) {
 
 }  // namespace
 
+void CompileService::deliver_response(Pending& pending,
+                                      ServiceResponse response) {
+  if (pending.hooks.on_result) {
+    pending.hooks.on_result(std::move(response));
+    return;
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+void CompileService::deliver_error(Pending& pending,
+                                   const std::exception_ptr& error) {
+  if (pending.hooks.on_error || pending.hooks.on_result) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      if (pending.hooks.on_error) {
+        pending.hooks.on_error(error_code_of(e), e.what());
+      }
+      // A hooks submit without on_error drops the failure silently by
+      // choice of the caller; nothing else to do.
+    }
+    return;
+  }
+  pending.promise.set_exception(error);
+}
+
 CompileService::CompileService(ServiceConfig config)
     : config_(std::move(config)), cache_(config_.cache_entries) {
   if (config_.max_batch < 1) {
@@ -65,7 +91,8 @@ std::string CompileService::resolve_model_name(
   if (names.size() == 1) {
     return names.front();
   }
-  throw std::runtime_error(
+  throw ServiceError(
+      ErrorCode::kUnknownModel,
       names.empty()
           ? "no models registered"
           : "request names no model and no default model is configured");
@@ -94,28 +121,51 @@ CompileService::Lane& CompileService::lane_for(
 std::future<ServiceResponse> CompileService::submit(
     std::string id, const std::string& model_name, ir::Circuit circuit,
     bool verify, std::optional<search::SearchOptions> search) {
-  if (stopping_.load()) {
-    throw std::logic_error("CompileService::submit: service is stopping");
-  }
-  const auto submitted = Clock::now();
-  const std::string name = resolve_model_name(model_name);
-  auto model = registry_.at(name);
-  {
-    std::lock_guard lock(stats_mu_);
-    ++requests_;
-    if (search.has_value()) {
-      ++(search->strategy == search::Strategy::kBeam ? beam_requests_
-                                                     : mcts_requests_);
-    }
-  }
-
   Pending pending;
   pending.id = std::move(id);
   pending.circuit = std::move(circuit);
   pending.verify = verify;
   pending.search = std::move(search);
-  pending.submitted = submitted;
   auto future = pending.promise.get_future();
+  submit_impl(model_name, std::move(pending));
+  return future;
+}
+
+void CompileService::submit_with_hooks(
+    std::string id, const std::string& model_name, ir::Circuit circuit,
+    bool verify, std::optional<search::SearchOptions> search,
+    SubmitHooks hooks) {
+  Pending pending;
+  pending.id = std::move(id);
+  pending.circuit = std::move(circuit);
+  pending.verify = verify;
+  pending.search = std::move(search);
+  pending.hooks = std::move(hooks);
+  submit_impl(model_name, std::move(pending));
+}
+
+void CompileService::submit_impl(const std::string& model_name,
+                                 Pending pending) {
+  if (stopping_.load()) {
+    throw ServiceError(ErrorCode::kShuttingDown,
+                       "CompileService::submit: service is stopping");
+  }
+  pending.submitted = Clock::now();
+  const std::string name = resolve_model_name(model_name);
+  auto model = registry_.find(name);
+  if (model == nullptr) {
+    throw ServiceError(ErrorCode::kUnknownModel,
+                       "unknown model '" + name + "'");
+  }
+  {
+    std::lock_guard lock(stats_mu_);
+    ++requests_;
+    if (pending.search.has_value()) {
+      ++(pending.search->strategy == search::Strategy::kBeam
+             ? beam_requests_
+             : mcts_requests_);
+    }
+  }
 
   if (cache_.enabled()) {
     // Key on model + search config + content so the same circuit may live
@@ -134,9 +184,9 @@ std::future<ServiceResponse> CompileService::submit(
         response.model = name;
         response.result = std::move(*hit);
         response.cached = true;
-        response.latency_us = elapsed_us(submitted);
-        pending.promise.set_value(std::move(response));
-        return future;
+        response.latency_us = elapsed_us(pending.submitted);
+        deliver_response(pending, std::move(response));
+        return;
       }
       // Hit that still needs the equivalence gate: ride the lane so the
       // check runs on the lane's worker pool, not the submitter's thread
@@ -148,10 +198,22 @@ std::future<ServiceResponse> CompileService::submit(
   Lane& lane = lane_for(name, std::move(model));
   {
     std::lock_guard lock(lane.mu);
+    // Admission control: shed instead of queueing without bound. Checked
+    // under the lane lock so a burst cannot race past the limit.
+    if (config_.max_lane_queue > 0 &&
+        lane.queue.size() >= config_.max_lane_queue) {
+      {
+        std::lock_guard stats_lock(stats_mu_);
+        ++shed_;
+      }
+      throw ServiceError(ErrorCode::kOverloaded,
+                         "lane '" + name + "' is at its queue bound (" +
+                             std::to_string(config_.max_lane_queue) +
+                             " requests); retry later");
+    }
     lane.queue.push_back(std::move(pending));
   }
   lane.cv.notify_all();
-  return future;
 }
 
 ServiceResponse CompileService::compile(const std::string& model_name,
@@ -267,10 +329,31 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
       if (!slots[s].search.has_value()) {
         continue;
       }
+      // Streaming: fan each engine progress snapshot out to every
+      // requester of this slot that armed on_partial (deduped twins all
+      // see the shared search progress).
+      std::vector<const SubmitHooks*> listeners;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (slot[i] == s && !batch[i].cached_result.has_value() &&
+            batch[i].hooks.on_partial) {
+          listeners.push_back(&batch[i].hooks);
+        }
+      }
+      core::Predictor::SearchProgressFn progress;
+      if (!listeners.empty()) {
+        progress = [&](int, const search::SearchProgress& snapshot) {
+          for (const SubmitHooks* hooks : listeners) {
+            hooks->on_partial(snapshot);
+          }
+          std::lock_guard lock(stats_mu_);
+          partials_ += listeners.size();
+        };
+      }
       results[s] = lane.model
                        ->compile_search_all(
                            std::span<const ir::Circuit>(&slots[s].circuit, 1),
-                           *slots[s].search, lane.pool.get())
+                           *slots[s].search, lane.pool.get(), nullptr,
+                           progress)
                        .front();
     }
 
@@ -332,12 +415,12 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
         search_deadline_hits_ += stats.deadline_hit ? 1 : 0;
       }
       response.latency_us = elapsed_us(batch[i].submitted);
-      batch[i].promise.set_value(std::move(response));
+      deliver_response(batch[i], std::move(response));
     }
   } catch (...) {
     const auto error = std::current_exception();
     for (auto& pending : batch) {
-      pending.promise.set_exception(error);
+      deliver_error(pending, error);
     }
   }
 }
@@ -373,6 +456,8 @@ ServiceStats CompileService::stats() const {
     out.mcts_requests = mcts_requests_;
     out.search_improved = search_improved_;
     out.search_deadline_hits = search_deadline_hits_;
+    out.shed = shed_;
+    out.partials = partials_;
   }
   const auto cache = cache_.stats();
   out.cache_hits = cache.hits;

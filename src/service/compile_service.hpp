@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -23,6 +24,7 @@
 
 #include "core/predictor.hpp"
 #include "rl/thread_pool.hpp"
+#include "service/errors.hpp"
 #include "service/model_registry.hpp"
 #include "service/result_cache.hpp"
 
@@ -45,6 +47,11 @@ struct ServiceConfig {
   /// QCEC-style post-compile equivalence gate). Fixed seed: replays and
   /// cache hits reach identical verdicts.
   verify::VerifyOptions verify_options;
+  /// Admission control: per-model-lane queue bound. A submit against a
+  /// lane already holding this many queued requests is shed with a typed
+  /// ServiceError(kOverloaded) instead of growing the queue without
+  /// bound. 0 (default) disables shedding.
+  std::size_t max_lane_queue = 0;
 };
 
 /// Outcome of one service request.
@@ -85,6 +92,19 @@ struct ServiceStats {
   std::uint64_t mcts_requests = 0;  ///< submitted with an MCTS config
   std::uint64_t search_improved = 0;       ///< fresh searches beating greedy
   std::uint64_t search_deadline_hits = 0;  ///< fresh searches cut by deadline
+  std::uint64_t shed = 0;      ///< requests refused by admission control
+  std::uint64_t partials = 0;  ///< streamed search-progress events delivered
+};
+
+/// Completion/streaming hooks for submit(). All hooks fire on the model
+/// lane's scheduler thread (never the submitter's), so they must be cheap
+/// and must not call back into the service. `on_partial` only fires for
+/// freshly searched requests (a cache hit replays the recorded outcome
+/// without re-running the engine — no interim progress exists).
+struct SubmitHooks {
+  std::function<void(const search::SearchProgress&)> on_partial;
+  std::function<void(ServiceResponse)> on_result;
+  std::function<void(ErrorCode, const std::string&)> on_error;
 };
 
 /// Thread-safe compilation server. Submit from any number of threads; each
@@ -113,12 +133,24 @@ class CompileService {
   /// the cache key then incorporates the full search configuration, so
   /// searched results never alias greedy ones (or searches under other
   /// configs).
-  /// \throws std::runtime_error if the model cannot be resolved.
-  /// \throws std::logic_error after shutdown has begun.
+  /// \throws ServiceError(kUnknownModel) if the model cannot be resolved.
+  /// \throws ServiceError(kOverloaded) when the lane queue is full
+  ///         (ServiceConfig::max_lane_queue).
+  /// \throws ServiceError(kShuttingDown) after shutdown has begun.
   std::future<ServiceResponse> submit(
       std::string id, const std::string& model_name, ir::Circuit circuit,
       bool verify = false,
       std::optional<search::SearchOptions> search = std::nullopt);
+
+  /// Hook-based variant for event-loop callers (the socket server): the
+  /// response (or processing error) is delivered through `hooks` on the
+  /// lane thread instead of a future, and deadline-bounded searches
+  /// stream interim progress through `hooks.on_partial`. Admission
+  /// failures still throw synchronously, exactly like submit().
+  void submit_with_hooks(std::string id, const std::string& model_name,
+                         ir::Circuit circuit, bool verify,
+                         std::optional<search::SearchOptions> search,
+                         SubmitHooks hooks);
 
   /// Convenience: submit and wait.
   ServiceResponse compile(const std::string& model_name,
@@ -139,7 +171,10 @@ class CompileService {
     /// the (possibly slow) equivalence check runs on the lane's worker
     /// pool instead of stalling the submitter's thread. No policy run.
     std::optional<core::CompilationResult> cached_result;
+    /// Exactly one delivery channel is armed: the promise (future-based
+    /// submit) or hooks.on_result/on_error (submit_with_hooks).
     std::promise<ServiceResponse> promise;
+    SubmitHooks hooks;
     std::chrono::steady_clock::time_point submitted;
   };
 
@@ -159,6 +194,14 @@ class CompileService {
       const std::string& model_name) const;
   Lane& lane_for(const std::string& name,
                  std::shared_ptr<const core::Predictor> model);
+  /// Shared submit path behind both public variants; `pending` carries
+  /// whichever delivery channel the caller armed.
+  void submit_impl(const std::string& model_name, Pending pending);
+  /// Routes one finished response / processing failure through whichever
+  /// delivery channel the submit armed (hooks or promise).
+  static void deliver_response(Pending& pending, ServiceResponse response);
+  static void deliver_error(Pending& pending,
+                            const std::exception_ptr& error);
   void scheduler_loop(Lane& lane);
   void process_batch(Lane& lane, std::vector<Pending> batch);
   /// Bumps the verified/refuted/undecided counters for one verdict.
@@ -184,6 +227,8 @@ class CompileService {
   std::uint64_t mcts_requests_ = 0;
   std::uint64_t search_improved_ = 0;
   std::uint64_t search_deadline_hits_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t partials_ = 0;
 
   std::atomic<bool> stopping_{false};
 };

@@ -1,0 +1,35 @@
+#include "service/errors.hpp"
+
+namespace qrc::service {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
+      return "bad_request";
+    case ErrorCode::kUnknownModel:
+      return "unknown_model";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kFrameTooLarge:
+      return "frame_too_large";
+    case ErrorCode::kUnsupportedVersion:
+      return "unsupported_version";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+ErrorCode error_code_of(const std::exception& e) {
+  if (const auto* service_error = dynamic_cast<const ServiceError*>(&e)) {
+    return service_error->code();
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return ErrorCode::kBadRequest;
+  }
+  return ErrorCode::kInternal;
+}
+
+}  // namespace qrc::service

@@ -382,54 +382,125 @@ std::string json_quote(std::string_view s) {
   return out + "\"";
 }
 
+std::string_view serve_op_name(ServeOp op) {
+  switch (op) {
+    case ServeOp::kCompile:
+      return "compile";
+    case ServeOp::kStats:
+      return "stats";
+    case ServeOp::kPing:
+      return "ping";
+  }
+  return "compile";
+}
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& what) {
+  throw ServiceError(ErrorCode::kBadRequest, what);
+}
+
+}  // namespace
+
 ServeRequest parse_serve_request(std::string_view line) {
-  const JsonValue v = JsonValue::parse(line);
+  JsonValue v;
+  try {
+    v = JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    bad_request(e.what());
+  }
   if (!v.is_object()) {
-    throw std::runtime_error("request must be a JSON object");
+    bad_request("request must be a JSON object");
   }
   const auto& obj = v.as_object();
-  // Unknown fields are hard errors: a client typo ("verifi": true) must
-  // surface as an error line, not silently change behaviour.
-  for (const auto& [key, value] : obj) {
-    if (key != "id" && key != "model" && key != "qasm" && key != "verify" &&
-        key != "search" && key != "deadline_ms") {
-      throw std::runtime_error(
-          "unknown request field '" + key +
-          "' (expected id, model, qasm, verify, search, deadline_ms)");
+
+  ServeRequest request;
+  // Envelope first: "v"/"op" mark a v1 request; a bare line is the v0
+  // compat shim (always a compile). "v" other than 1 is rejected with its
+  // own code so a future-protocol client gets a machine-readable signal.
+  if (const auto it = obj.find("v"); it != obj.end()) {
+    if (!it->second.is_number() || it->second.as_number() != 1.0) {
+      throw ServiceError(ErrorCode::kUnsupportedVersion,
+                         "unsupported protocol version (this server "
+                         "speaks v1 and bare v0 lines)");
+    }
+    request.version = 1;
+  }
+  if (const auto it = obj.find("op"); it != obj.end()) {
+    if (request.version != 1) {
+      bad_request("'op' requires the v1 envelope (add \"v\":1)");
+    }
+    if (!it->second.is_string()) {
+      bad_request("'op' must be a string");
+    }
+    const std::string& op = it->second.as_string();
+    if (op == "compile") {
+      request.op = ServeOp::kCompile;
+    } else if (op == "stats") {
+      request.op = ServeOp::kStats;
+    } else if (op == "ping") {
+      request.op = ServeOp::kPing;
+    } else {
+      bad_request("unknown op '" + op +
+                  "' (expected compile, stats or ping)");
     }
   }
-  ServeRequest request;
+
+  // Unknown fields are hard errors: a client typo ("verifi": true) must
+  // surface as an error line, not silently change behaviour. Control
+  // ops accept the envelope fields only.
+  const bool compile = request.op == ServeOp::kCompile;
+  for (const auto& [key, value] : obj) {
+    if (key == "id" || key == "v" || key == "op") {
+      continue;
+    }
+    if (compile && (key == "model" || key == "qasm" || key == "verify" ||
+                    key == "search" || key == "deadline_ms")) {
+      continue;
+    }
+    bad_request("unknown request field '" + key +
+                (compile ? "' (expected v, op, id, model, qasm, verify, "
+                           "search, deadline_ms)"
+                         : "' (a control op takes only v, op, id)"));
+  }
   if (const auto it = obj.find("id"); it != obj.end()) {
     if (it->second.is_string()) {
       request.id = it->second.as_string();
     } else if (it->second.is_number()) {
       request.id = dump_number(it->second.as_number());
     } else {
-      throw std::runtime_error("'id' must be a string or number");
+      bad_request("'id' must be a string or number");
     }
+  }
+  if (!compile) {
+    return request;
   }
   if (const auto it = obj.find("model"); it != obj.end()) {
     if (!it->second.is_string()) {
-      throw std::runtime_error("'model' must be a string");
+      bad_request("'model' must be a string");
     }
     request.model = it->second.as_string();
   }
   if (const auto it = obj.find("verify"); it != obj.end()) {
     if (!it->second.is_bool()) {
-      throw std::runtime_error("'verify' must be a boolean");
+      bad_request("'verify' must be a boolean");
     }
     request.verify = it->second.as_bool();
   }
   if (const auto it = obj.find("search"); it != obj.end()) {
     if (!it->second.is_string()) {
-      throw std::runtime_error(
-          "'search' must be a string like \"beam:8\" or \"mcts:400\"");
+      bad_request("'search' must be a string like \"beam:8\" or "
+                  "\"mcts:400\"");
     }
-    request.search = search::parse_spec(it->second.as_string());
+    try {
+      request.search = search::parse_spec(it->second.as_string());
+    } catch (const std::exception& e) {
+      bad_request(e.what());
+    }
   }
   if (const auto it = obj.find("deadline_ms"); it != obj.end()) {
     if (!request.search.has_value()) {
-      throw std::runtime_error("'deadline_ms' requires 'search'");
+      bad_request("'deadline_ms' requires 'search'");
     }
     // Bounded above so the double-to-int64 cast cannot overflow (and a
     // client cannot request a year-long deadline by typo).
@@ -438,15 +509,14 @@ ServeRequest parse_serve_request(std::string_view line) {
         it->second.as_number() > kMaxDeadlineMs ||
         it->second.as_number() !=
             std::floor(it->second.as_number())) {
-      throw std::runtime_error(
-          "'deadline_ms' must be a positive integer <= 1e9");
+      bad_request("'deadline_ms' must be a positive integer <= 1e9");
     }
     request.search->deadline_ms =
         static_cast<std::int64_t>(it->second.as_number());
   }
   const auto it = obj.find("qasm");
   if (it == obj.end() || !it->second.is_string()) {
-    throw std::runtime_error("missing required string field 'qasm'");
+    bad_request("missing required string field 'qasm'");
   }
   request.qasm = it->second.as_string();
   return request;
@@ -475,8 +545,28 @@ std::string extract_request_id(std::string_view line) {
   return "";
 }
 
-std::string serve_response_line(const ServiceResponse& r) {
+int extract_request_version(std::string_view line) {
+  try {
+    const JsonValue v = JsonValue::parse(line);
+    if (v.is_object()) {
+      const auto& obj = v.as_object();
+      const auto it = obj.find("v");
+      if (it != obj.end() && it->second.is_number() &&
+          it->second.as_number() == 1.0) {
+        return 1;
+      }
+    }
+  } catch (const std::exception&) {
+    // Malformed line: shape the error as v0 for maximum compatibility.
+  }
+  return 0;
+}
+
+std::string serve_response_line(const ServiceResponse& r, int version) {
   std::string out = "{\"id\":" + json_quote(r.id);
+  if (version >= 1) {
+    out += ",\"type\":\"result\"";
+  }
   out += ",\"model\":" + json_quote(r.model);
   out += ",\"qasm\":" + json_quote(ir::to_qasm(r.result.circuit));
   out += ",\"reward\":" + dump_number(r.result.reward);
@@ -510,9 +600,63 @@ std::string serve_response_line(const ServiceResponse& r) {
   return out + "}";
 }
 
+std::string serve_partial_line(std::string_view id,
+                               const search::SearchProgress& progress) {
+  std::string out = "{\"id\":" + json_quote(id);
+  out += ",\"type\":\"partial\"";
+  out += ",\"strategy\":" +
+         json_quote(search::strategy_name(progress.strategy));
+  out += ",\"quantum\":" + std::to_string(progress.quantum);
+  out += ",\"nodes\":" + std::to_string(progress.nodes_expanded);
+  out += ",\"found_terminal\":";
+  out += progress.found_terminal ? "true" : "false";
+  out += ",\"best_reward\":" + dump_number(progress.best_reward);
+  out += ",\"elapsed_us\":" + std::to_string(progress.elapsed_us);
+  return out + "}";
+}
+
 std::string serve_error_line(std::string_view id, std::string_view message) {
   return "{\"id\":" + json_quote(id) +
          ",\"error\":" + json_quote(message) + "}";
+}
+
+std::string serve_error_line(std::string_view id, ErrorCode code,
+                             std::string_view message) {
+  return "{\"id\":" + json_quote(id) +
+         ",\"type\":\"error\",\"error\":{\"code\":" +
+         json_quote(error_code_name(code)) +
+         ",\"message\":" + json_quote(message) + "}}";
+}
+
+std::string serve_stats_line(std::string_view id,
+                             const ServiceStats& stats) {
+  std::string out = "{\"id\":" + json_quote(id);
+  out += ",\"type\":\"result\",\"op\":\"stats\"";
+  const auto field = [&out](const char* name, std::uint64_t value) {
+    out += ",\"";
+    out += name;
+    out += "\":" + std::to_string(value);
+  };
+  field("requests", stats.requests);
+  field("cache_hits", stats.cache_hits);
+  field("cache_misses", stats.cache_misses);
+  field("batches", stats.batches);
+  field("batched_requests", stats.batched_requests);
+  field("verified", stats.verified);
+  field("refuted", stats.refuted);
+  field("verify_unknown", stats.verify_unknown);
+  field("beam_requests", stats.beam_requests);
+  field("mcts_requests", stats.mcts_requests);
+  field("search_improved", stats.search_improved);
+  field("search_deadline_hits", stats.search_deadline_hits);
+  field("shed", stats.shed);
+  field("partials", stats.partials);
+  return out + "}";
+}
+
+std::string serve_pong_line(std::string_view id) {
+  return "{\"id\":" + json_quote(id) +
+         ",\"type\":\"result\",\"op\":\"ping\"}";
 }
 
 }  // namespace qrc::service

@@ -14,6 +14,7 @@
 
 #include "search/search.hpp"
 #include "service/compile_service.hpp"
+#include "service/errors.hpp"
 
 namespace qrc::service {
 
@@ -78,19 +79,41 @@ class JsonValue {
 
 // ------------------------------------------------------ serve protocol ---
 
-/// One `qrc serve` request line:
+/// Operation carried by a v1 request envelope.
+enum class ServeOp : std::uint8_t {
+  kCompile,  ///< compile a circuit (the only v0 operation)
+  kStats,    ///< snapshot the service counters
+  kPing,     ///< liveness probe
+};
+
+[[nodiscard]] std::string_view serve_op_name(ServeOp op);
+
+/// One serve request line, either protocol version.
+///
+/// v1 envelope: {"v":1, "op":"compile"|"stats"|"ping", "id": ...} plus —
+/// for "compile" — the same payload fields as v0. Responses to v1
+/// requests carry "type":"result"|"partial"|"error"; errors are typed
+/// objects {"code","message"} (see ErrorCode). Deadline-bounded search
+/// compiles stream interim "partial" frames before the final "result".
+///
+/// v0 (compat shim): a bare line without "v"/"op" —
 /// {"id": ..., "model": ..., "qasm": ..., "verify": ..., "search": ...,
-///  "deadline_ms": ...}.
-/// `qasm` is required; `model` defaults to the service's default model;
-/// `id` (string or number, echoed back as a string) defaults to "";
-/// `verify` (bool, default false) requests the post-compile equivalence
-/// gate — the response then carries verdict/method/confidence fields.
-/// `search` (string: "beam[:width]" or "mcts[:sims]") compiles by
-/// policy-guided lookahead instead of the greedy rollout — the response
-/// then carries search/search_nodes/search_reward_delta/... fields;
-/// `deadline_ms` (positive number, requires `search`) bounds the search
-/// wall clock, returning the best sequence found in time.
+///  "deadline_ms": ...} — still parses as a compile, and its responses
+/// keep the original untyped single-line shape.
+///
+/// `qasm` is required for compiles; `model` defaults to the service's
+/// default model; `id` (string or number, echoed back as a string)
+/// defaults to ""; `verify` (bool, default false) requests the
+/// post-compile equivalence gate — the response then carries
+/// verdict/method/confidence fields. `search` (string: "beam[:width]" or
+/// "mcts[:sims]") compiles by policy-guided lookahead instead of the
+/// greedy rollout — the response then carries
+/// search/search_nodes/search_reward_delta/... fields; `deadline_ms`
+/// (positive number, requires `search`) bounds the search wall clock,
+/// returning the best sequence found in time.
 struct ServeRequest {
+  int version = 0;  ///< 0 (bare compat line) or 1 (enveloped)
+  ServeOp op = ServeOp::kCompile;
   std::string id;
   std::string model;
   std::string qasm;
@@ -98,10 +121,12 @@ struct ServeRequest {
   std::optional<search::SearchOptions> search;
 };
 
-/// Parses and validates one request line. Unknown top-level fields are
-/// rejected (a typoed "verifi" must fail loudly, not silently skip
-/// verification).
-/// \throws std::runtime_error naming the missing/mistyped/unknown field.
+/// Parses and validates one request line (either version). Unknown
+/// top-level fields are rejected (a typoed "verifi" must fail loudly, not
+/// silently skip verification).
+/// \throws ServiceError(kUnsupportedVersion) when "v" is present but not 1.
+/// \throws ServiceError(kBadRequest) naming the missing/mistyped/unknown
+///         field otherwise.
 [[nodiscard]] ServeRequest parse_serve_request(std::string_view line);
 
 /// Best-effort id recovery for error reporting: the "id" of `line` if it
@@ -110,7 +135,13 @@ struct ServeRequest {
 /// clients can still correlate the error response.
 [[nodiscard]] std::string extract_request_id(std::string_view line);
 
-/// Serialises one response line:
+/// Best-effort protocol-version sniff for error reporting: 1 when `line`
+/// is a JSON object with "v":1, else 0. Never throws — used to pick the
+/// error-frame shape (typed v1 object vs bare v0 string) for request
+/// lines that fail validation.
+[[nodiscard]] int extract_request_version(std::string_view line);
+
+/// Serialises one compile-result line:
 /// {"id","model","qasm","reward","device","used_fallback","cached",
 ///  "latency_us"} — `qasm` is the compiled circuit, `device` the chosen
 /// target (null if compilation never picked one). When the request asked
@@ -121,10 +152,35 @@ struct ServeRequest {
 /// five more: "search" (the spec, e.g. "beam:8"), "search_nodes",
 /// "search_improved", "search_deadline_hit" and "search_reward_delta"
 /// (reward gained over the greedy baseline, >= 0 by the clamp).
-[[nodiscard]] std::string serve_response_line(const ServiceResponse& r);
+/// `version` 1 additionally tags the frame with "type":"result"; 0 keeps
+/// the exact pre-envelope shape for v0 clients.
+[[nodiscard]] std::string serve_response_line(const ServiceResponse& r,
+                                              int version = 0);
 
-/// Serialises one error line: {"id": ..., "error": ...}.
+/// Serialises one v1 streamed-progress frame:
+/// {"id","type":"partial","strategy","quantum","nodes","found_terminal",
+///  "best_reward","elapsed_us"}. Only ever sent to v1 clients.
+[[nodiscard]] std::string serve_partial_line(
+    std::string_view id, const search::SearchProgress& progress);
+
+/// Serialises one v0 error line: {"id": ..., "error": "<message>"}.
 [[nodiscard]] std::string serve_error_line(std::string_view id,
                                            std::string_view message);
+
+/// Serialises one v1 error frame:
+/// {"id","type":"error","error":{"code","message"}} with `code` from the
+/// fixed ErrorCode enum.
+[[nodiscard]] std::string serve_error_line(std::string_view id,
+                                           ErrorCode code,
+                                           std::string_view message);
+
+/// Serialises the v1 "stats" result frame: {"id","type":"result",
+/// "op":"stats", <counter fields>}.
+[[nodiscard]] std::string serve_stats_line(std::string_view id,
+                                           const ServiceStats& stats);
+
+/// Serialises the v1 "ping" result frame: {"id","type":"result",
+/// "op":"ping"}.
+[[nodiscard]] std::string serve_pong_line(std::string_view id);
 
 }  // namespace qrc::service

@@ -800,9 +800,45 @@ VerifyResult EquivalenceChecker::check_mapped(
         fin[static_cast<std::size_t>(l)])]);
   }
 
-  const bool tolerant = options_.measurement_tolerant &&
-                        measures_cover_active(sl) &&
-                        measures_cover_active(sp);
+  // Readout consistency: a measured logical wire must be measured exactly
+  // at its final-layout image, and no other physical wire may carry a
+  // measure. The unitary tiers strip measures, so a physical measure on
+  // the wrong wire — e.g. a router emitting a measure before a later swap
+  // moves a different slot onto it — records a different logical qubit's
+  // value into that classical bit and is invisible to them; refute here.
+  {
+    std::vector<bool> expected_measured(static_cast<std::size_t>(width),
+                                        false);
+    for (int l = 0; l < n; ++l) {
+      if (sl.measured[static_cast<std::size_t>(l)]) {
+        expected_measured[static_cast<std::size_t>(
+            fin[static_cast<std::size_t>(l)])] = true;
+      }
+    }
+    for (int p = 0; p < width; ++p) {
+      if (sp.measured[static_cast<std::size_t>(p)] !=
+          expected_measured[static_cast<std::size_t>(p)]) {
+        return make_result(
+            Verdict::kNotEquivalent, Method::kNone, 1.0, n,
+            "measurement readout mismatch on physical wire " +
+                std::to_string(p) +
+                (sp.measured[static_cast<std::size_t>(p)]
+                     ? " (measured, but no measured logical wire lands "
+                       "there)"
+                     : " (unmeasured, but a measured logical wire lands "
+                       "there)"));
+      }
+    }
+  }
+
+  // Tolerance precondition, layout-aware: every active *logical* wire is
+  // measured (the physical side is readout-consistent by the check
+  // above). Routing thoroughfares — wires a swap network borrows and
+  // returns to |0> — are active but unmeasured on the physical side; they
+  // carry no observable state, so they must not void the
+  // distribution-level claim (measures_cover_active(sp) would).
+  const bool tolerant =
+      options_.measurement_tolerant && measures_cover_active(sl);
   // Context from a sufficient-only Clifford flow mismatch, prefixed onto
   // downstream verdicts.
   std::string note;

@@ -21,6 +21,7 @@
 #include "passes/routing/routing.hpp"
 #include "passes/synthesis/basis_translator.hpp"
 #include "passes/two_qubit_decomp.hpp"
+#include "verify/equivalence.hpp"
 
 namespace {
 
@@ -508,6 +509,51 @@ TEST(RoutingTest, SabreBeatsBasicOnHeavyCircuit) {
   EXPECT_LE(sabre_total, basic_total);
 }
 
+TEST(RoutingTest, TerminalMeasuresAreEmittedThroughTheFinalPlacement) {
+  // A measure carries no classical operand — its record is tied to the
+  // wire it is emitted on — so a swap after a mid-stream measure silently
+  // re-targets the classical bit. Every router must emit terminal
+  // measures after the whole swap network, translated through the final
+  // permutation. (Regression: SABRE's DAG scheduler used to emit ready
+  // measures early; the in-order routers emitted them mid-stream.)
+  const Device dev("test_line3", Platform::kIBM,
+                   qrc::device::CouplingMap::line(3), 99);
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure(1);
+  c.cx(0, 2);  // blocked on the line: forces a swap after the measure
+  c.measure(0);
+  c.measure(2);
+  for (const auto kind :
+       {qrc::passes::RoutingKind::kBasicSwap,
+        qrc::passes::RoutingKind::kStochasticSwap,
+        qrc::passes::RoutingKind::kSabreSwap,
+        qrc::passes::RoutingKind::kTketRouting}) {
+    const auto outcome = qrc::passes::route(kind, c, dev, 3);
+    ASSERT_GE(outcome.swap_count, 1) << qrc::passes::routing_name(kind);
+    int last_swap = -1;
+    int first_measure = static_cast<int>(outcome.routed.ops().size());
+    for (int i = 0; i < static_cast<int>(outcome.routed.ops().size()); ++i) {
+      const auto k = outcome.routed.ops()[static_cast<std::size_t>(i)].kind();
+      if (k == GateKind::kSWAP) {
+        last_swap = i;
+      }
+      if (k == GateKind::kMeasure && i < first_measure) {
+        first_measure = i;
+      }
+    }
+    EXPECT_GT(first_measure, last_swap)
+        << qrc::passes::routing_name(kind) << ": a measure precedes a swap";
+    // End-to-end: the routed circuit must verify through the layouts,
+    // including the readout-consistency check on the measured wires.
+    const auto verdict = qrc::verify::EquivalenceChecker().check_mapped(
+        c, outcome.routed, {}, outcome.permutation);
+    EXPECT_EQ(verdict.verdict, qrc::verify::Verdict::kEquivalent)
+        << qrc::passes::routing_name(kind) << ": " << verdict.detail;
+  }
+}
+
 TEST(RoutingTest, RejectsThreeQubitGates) {
   const Device dev("test_line4", Platform::kIBM,
                    qrc::device::CouplingMap::line(4), 99);
@@ -607,6 +653,24 @@ TEST(OptPassTest, CommutativeCancellationMergesRotations) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+TEST(OptPassTest, CommutativeCancellationMergesAtThePartnerSlot) {
+  // ry(pi) and rz(pi) anticommute — they swap only up to a global phase —
+  // so the commutation oracle lets ry(pi) move *forward* past the rz to
+  // merge with ry(pi/2). The merged rotation must land at the later
+  // partner's slot; placing it before the rz (the old behaviour) commutes
+  // ry(pi/2) backward past a gate it does not commute with and produces a
+  // genuinely different unitary.
+  Circuit c(1);
+  c.ry(kPi, 0);
+  c.rz(kPi, 0);
+  c.ry(kPi / 2, 0);
+  const Circuit original = c;
+  const qrc::passes::CommutativeCancellation pass;
+  (void)pass.run(c, {});
+  EXPECT_TRUE(qrc::ir::circuits_equivalent(original, c, 4, 11))
+      << "CommutativeCancellation broke ry-rz-ry";
 }
 
 TEST(OptPassTest, CommutativeInverseCatchesCrossKind) {

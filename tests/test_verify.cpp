@@ -462,6 +462,54 @@ TEST(VerifyMappedTest, AncillaMustReturnToZero) {
   EXPECT_EQ(result.verdict, Verdict::kNotEquivalent);
 }
 
+TEST(VerifyMappedTest, ReadoutMismatchRefuted) {
+  // `measure q[i]` records into c[i]: the classical record is tied to the
+  // physical wire. A measure emitted before a later swap moved a
+  // different slot onto its wire records the wrong logical qubit — and is
+  // invisible to the unitary tiers, which strip measures. check_mapped
+  // must refute on the measured sets alone.
+  Circuit logical(2);
+  logical.h(0);
+  logical.cx(0, 1);
+  logical.measure(0);
+  logical.measure(1);
+  Circuit physical(3);
+  physical.h(0);
+  physical.cx(0, 1);
+  physical.measure(1);  // recorded into c[1]...
+  physical.swap(1, 2);  // ...but logical 1 then moves to wire 2
+  physical.measure(0);
+  const auto result =
+      EquivalenceChecker().check_mapped(logical, physical, {0, 1}, {0, 2});
+  EXPECT_EQ(result.verdict, Verdict::kNotEquivalent);
+  EXPECT_NE(result.detail.find("readout"), std::string::npos)
+      << result.detail;
+}
+
+TEST(VerifyMappedTest, RoutingThoroughfareKeepsMeasurementTolerance) {
+  // A swap network may borrow a wire that ends active-but-unmeasured (it
+  // carries only the |0> ancilla back). That thoroughfare must not void
+  // the distribution-level tolerance for diagonal phases removed before
+  // measure-all on the *measured* wires.
+  Circuit logical(2);
+  logical.h(0);
+  logical.cx(0, 1);
+  logical.rz(0.7, 1);  // legitimately removable before measurement
+  logical.measure(0);
+  logical.measure(1);
+  Circuit physical(3);
+  physical.h(0);
+  physical.cx(0, 1);
+  physical.swap(1, 2);  // wire 1 becomes an unmeasured thoroughfare
+  physical.measure(0);
+  physical.measure(2);  // rz dropped: diagonal gap on a measured wire
+  const auto result =
+      EquivalenceChecker().check_mapped(logical, physical, {0, 1}, {0, 2});
+  EXPECT_EQ(result.verdict, Verdict::kEquivalent) << result.detail;
+  EXPECT_NE(result.detail.find("diagonal"), std::string::npos)
+      << result.detail;
+}
+
 TEST(VerifyMappedTest, LayoutValidationThrows) {
   Circuit logical(2);
   logical.cx(0, 1);

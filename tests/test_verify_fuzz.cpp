@@ -82,6 +82,44 @@ TEST(VerifyFuzzTest, BoundaryWidthsVerify) {
   }
 }
 
+TEST(VerifyFuzzTest, TrainedPolicySweepHasZeroRefutations) {
+  // End-to-end hard invariant: a trained policy's verified compilations
+  // (greedy rollouts over arbitrary pass interleavings, including the
+  // canned fallback tail) are NEVER refuted by the equivalence gate. This
+  // is the grid that exposed the PR 5 "known defect" (a fallback
+  // compilation the miter refuted), which decomposed into three real
+  // bugs: CommutativeCancellation merging rotations at the wrong slot,
+  // routers emitting terminal measures before later swaps re-targeted
+  // their wire, and check_mapped dropping measurement tolerance over
+  // routing thoroughfares. Zero refutations is the contract — any
+  // refutation is a miscompile or a checker soundness bug, not noise.
+  qrc::core::PredictorConfig config;
+  config.reward = qrc::reward::RewardKind::kFidelity;
+  config.seed = 7;  // historically the most refutation-prone policy seed
+  config.ppo.total_timesteps = 512;
+  config.ppo.steps_per_update = 256;
+  config.ppo.hidden_sizes = {16};
+  qrc::core::Predictor predictor(config);
+  (void)predictor.train(qrc::bench::benchmark_suite(2, 5, 6));
+  const qrc::verify::VerifyOptions verify_options;
+  const auto suite = qrc::bench::benchmark_suite(2, 7, 48);
+  int fallbacks = 0;
+  for (const auto& circuit : suite) {
+    const auto result = predictor.compile_verified(circuit, verify_options);
+    ASSERT_TRUE(result.verification.has_value());
+    fallbacks += result.used_fallback ? 1 : 0;
+    ASSERT_NE(result.verification->verdict, Verdict::kNotEquivalent)
+        << circuit.name() << " on "
+        << (result.device ? result.device->name() : std::string("-"))
+        << " via "
+        << qrc::verify::method_name(result.verification->method) << ": "
+        << result.verification->detail;
+  }
+  // The sweep must keep exercising the fallback path, where the defect
+  // historically lived.
+  EXPECT_GE(fallbacks, 1);
+}
+
 TEST(VerifyFuzzTest, SeededMutationsAreFlagged) {
   const auto& families = qrc::bench::all_families();
   // Small devices keep the mutants inside oracle range.

@@ -25,7 +25,10 @@
 //       error, 3 undecided.
 //   qrc serve --model <name>=<model.txt> [--model <name2>=<m2.txt> ...]
 //             [--default-model <name>] [--max-batch N] [--max-wait-us N]
-//             [--cache-entries N]
+//             [--cache-entries N] [--max-lane-queue N]
+//             [--listen HOST:PORT] [--max-frame-bytes N]
+//             [--max-inflight N] [--max-connections N]
+//             [--poller auto|epoll|poll]
 //       Long-lived compile server speaking line-delimited JSON over
 //       stdin/stdout: {"id","model","qasm","verify","search",
 //       "deadline_ms"} in, {"id","model","qasm","reward","device",
@@ -39,9 +42,25 @@
 //       repeat circuits are served from an LRU result cache keyed on
 //       model + search config + content. Diagnostics go to stderr,
 //       stdout stays pure JSONL.
+//       With --listen the same protocol is served over TCP instead: a
+//       non-blocking event loop multiplexes many connections, v1
+//       envelopes ({"v":1,"op":"compile"|"stats"|"ping",...}) get typed
+//       responses and streamed "partial" frames for deadline-bounded
+//       searches, and overload is shed with typed "overloaded" errors
+//       (--max-lane-queue bounds each model lane, --max-inflight each
+//       connection). SIGINT/SIGTERM drain gracefully: stop accepting,
+//       answer everything in flight, flush, exit.
+//   qrc client HOST:PORT
+//       Connects to a --listen server, pipelines request lines from
+//       stdin, and prints every response frame (partials included) to
+//       stdout as it arrives. Exits when the server has answered
+//       everything and closed the connection.
+
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -60,6 +79,8 @@
 #include "core/predictor.hpp"
 #include "device/library.hpp"
 #include "ir/qasm.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
 #include "search/search.hpp"
 #include "service/compile_service.hpp"
 #include "service/jsonl.hpp"
@@ -83,7 +104,11 @@ int usage() {
       "             [--max-miter-qubits N] [--max-stimuli-qubits N]\n"
       "  qrc serve --model <name>=<model.txt> [--model <n2>=<m2.txt> ...]\n"
       "            [--default-model <name>] [--max-batch N]\n"
-      "            [--max-wait-us N] [--cache-entries N]\n");
+      "            [--max-wait-us N] [--cache-entries N]\n"
+      "            [--max-lane-queue N] [--listen HOST:PORT]\n"
+      "            [--max-frame-bytes N] [--max-inflight N]\n"
+      "            [--max-connections N] [--poller auto|epoll|poll]\n"
+      "  qrc client HOST:PORT\n");
   return 2;
 }
 
@@ -403,10 +428,87 @@ struct Inflight {
   std::future<service::ServiceResponse> future;
 };
 
+/// Drain target for the SIGINT/SIGTERM handlers while `qrc serve
+/// --listen` is up. Written once before the handlers are installed.
+net::Server* g_listen_server = nullptr;
+
+extern "C" void handle_drain_signal(int) {
+  if (g_listen_server != nullptr) {
+    g_listen_server->request_drain();  // async-signal-safe
+  }
+}
+
+/// Serves the wire protocol over TCP until a drain signal lands.
+int serve_listen(service::CompileService& svc, const std::string& spec,
+                 const ParsedArgs& args) {
+  net::ServerConfig config;
+  std::tie(config.host, config.port) = net::parse_host_port(spec);
+  config.max_frame_bytes = static_cast<std::size_t>(
+      std::max(1, args.get_int("max-frame-bytes",
+                               static_cast<int>(config.max_frame_bytes))));
+  config.max_inflight_per_conn = static_cast<std::size_t>(
+      std::max(1, args.get_int("max-inflight", 32)));
+  config.max_connections = static_cast<std::size_t>(
+      std::max(1, args.get_int("max-connections", 256)));
+  if (const std::string* poller = args.single("poller")) {
+    if (*poller == "auto") {
+      config.poller = net::PollerKind::kAuto;
+    } else if (*poller == "epoll") {
+      config.poller = net::PollerKind::kEpoll;
+    } else if (*poller == "poll") {
+      config.poller = net::PollerKind::kPoll;
+    } else {
+      throw std::runtime_error("--poller expects auto|epoll|poll, got '" +
+                               *poller + "'");
+    }
+  }
+
+  net::Server server(svc, config);
+  server.start();
+  g_listen_server = &server;
+  std::signal(SIGINT, handle_drain_signal);
+  std::signal(SIGTERM, handle_drain_signal);
+  std::fprintf(stderr, "# listening on %s:%d (SIGINT/SIGTERM drains)\n",
+               config.host.c_str(), server.port());
+
+  server.join();  // exits after a signal-triggered graceful drain
+  g_listen_server = nullptr;
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const auto net_stats = server.stats();
+  std::fprintf(stderr,
+               "# connections: %llu accepted, %llu rejected at cap\n",
+               static_cast<unsigned long long>(net_stats.accepted),
+               static_cast<unsigned long long>(net_stats.rejected));
+  std::fprintf(
+      stderr,
+      "# frames: %llu in, %llu out (%llu partial, %llu error, "
+      "%llu oversized), %llu shed at the connection cap\n",
+      static_cast<unsigned long long>(net_stats.frames_in),
+      static_cast<unsigned long long>(net_stats.frames_out),
+      static_cast<unsigned long long>(net_stats.partial_frames),
+      static_cast<unsigned long long>(net_stats.error_frames),
+      static_cast<unsigned long long>(net_stats.oversized_frames),
+      static_cast<unsigned long long>(net_stats.shed_inflight));
+  const auto stats = svc.stats();
+  std::fprintf(stderr,
+               "# served %llu request(s) in %llu batch(es), %llu shed at "
+               "lane bounds, %llu partial frame(s) streamed\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.partials));
+  return stats.refuted > 0 ? 1 : 0;
+}
+
 int cmd_serve(int argc, char** argv) {
   const auto args = parse_args(argc, argv, 2,
                                {"model", "default-model", "max-batch",
-                                "max-wait-us", "cache-entries"});
+                                "max-wait-us", "cache-entries",
+                                "max-lane-queue", "listen",
+                                "max-frame-bytes", "max-inflight",
+                                "max-connections", "poller"});
   expect_positionals(args, 0, "serve takes only flags");
   const auto model_it = args.flags.find("model");
   if (model_it == args.flags.end() || model_it->second.empty()) {
@@ -420,6 +522,8 @@ int cmd_serve(int argc, char** argv) {
   config.max_wait_us = args.get_int("max-wait-us", 2000);
   config.cache_entries =
       static_cast<std::size_t>(std::max(0, args.get_int("cache-entries", 1024)));
+  config.max_lane_queue = static_cast<std::size_t>(
+      std::max(0, args.get_int("max-lane-queue", 0)));
   if (const std::string* def = args.single("default-model")) {
     config.default_model = *def;
   }
@@ -446,10 +550,14 @@ int cmd_serve(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "# serving %zu model(s): max_batch=%d max_wait_us=%lld "
-               "cache_entries=%zu\n",
+               "cache_entries=%zu max_lane_queue=%zu\n",
                svc.registry().size(), config.max_batch,
                static_cast<long long>(config.max_wait_us),
-               config.cache_entries);
+               config.cache_entries, config.max_lane_queue);
+
+  if (const std::string* listen = args.single("listen")) {
+    return serve_listen(svc, *listen, args);
+  }
 
   // Reader (main thread) parses stdin and submits without waiting, so
   // concurrent requests fuse into batches; the writer thread emits
@@ -552,6 +660,56 @@ int cmd_serve(int argc, char** argv) {
   return stats.refuted > 0 ? 1 : 0;
 }
 
+int cmd_client(int argc, char** argv) {
+  const auto args = parse_args(argc, argv, 2, {});
+  if (args.positionals.size() != 1) {
+    std::fprintf(stderr, "client takes exactly one HOST:PORT argument\n");
+    return usage();
+  }
+  const auto [host, port] = net::parse_host_port(args.positionals.front());
+  const net::Socket sock = net::connect_tcp(host, port);
+  std::fprintf(stderr, "# connected to %s:%d\n", host.c_str(), port);
+
+  // Printer thread: every frame the server sends (results, partials,
+  // typed errors) goes straight to stdout in arrival order.
+  std::uint64_t frames = 0;
+  std::uint64_t partials = 0;
+  std::thread printer([&] {
+    net::LineReader reader(sock.fd());
+    while (const auto line = reader.next_line()) {
+      std::fputs(line->c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+      ++frames;
+      if (line->find("\"type\":\"partial\"") != std::string::npos) {
+        ++partials;
+      }
+    }
+  });
+
+  // Pipeline stdin without waiting for responses; half-close the socket
+  // at EOF so the server answers what is in flight and then hangs up,
+  // which is the printer's (and our) exit signal.
+  std::string line;
+  std::uint64_t sent = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    net::send_all(sock.fd(), line + "\n");
+    ++sent;
+  }
+  ::shutdown(sock.fd(), SHUT_WR);
+  printer.join();
+  std::fprintf(stderr,
+               "# sent %llu request(s), received %llu frame(s) "
+               "(%llu partial)\n",
+               static_cast<unsigned long long>(sent),
+               static_cast<unsigned long long>(frames),
+               static_cast<unsigned long long>(partials));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -573,6 +731,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "serve") == 0) {
       return cmd_serve(argc, argv);
+    }
+    if (std::strcmp(argv[1], "client") == 0) {
+      return cmd_client(argc, argv);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
