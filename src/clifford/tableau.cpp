@@ -1,5 +1,7 @@
 #include "clifford/tableau.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -14,72 +16,90 @@ Tableau::Tableau(int num_qubits) : n_(num_qubits) {
   if (num_qubits < 1) {
     throw std::invalid_argument("Tableau: need at least one qubit");
   }
-  const auto rows = static_cast<std::size_t>(2 * n_);
-  const auto cols = static_cast<std::size_t>(n_);
-  x_.assign(rows, std::vector<bool>(cols, false));
-  z_.assign(rows, std::vector<bool>(cols, false));
-  r_.assign(rows, false);
+  words_ = (2 * n_ + 63) / 64;
+  xb_.assign(static_cast<std::size_t>(n_) * words_u(), 0);
+  zb_.assign(static_cast<std::size_t>(n_) * words_u(), 0);
+  rb_.assign(words_u(), 0);
   for (int i = 0; i < n_; ++i) {
-    x_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = true;
-    z_[static_cast<std::size_t>(n_ + i)][static_cast<std::size_t>(i)] = true;
+    // Destabilizer i = X_i, stabilizer i = Z_i.
+    plane(xb_, i)[static_cast<std::size_t>(i) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(i) % 64);
+    const auto si = static_cast<std::size_t>(n_ + i);
+    plane(zb_, i)[si / 64] |= std::uint64_t{1} << (si % 64);
   }
 }
 
+// The word formulas below are the Aaronson-Gottesman per-row updates
+// applied to all 64 rows of a word at once; boolean row identities:
+//   H(q):     r ^= x&z, then swap x and z
+//   S(q):     r ^= x&z;  z ^= x
+//   Sdg(q):   r ^= x&~z; z ^= x          (= S^3)
+//   CX(c,t):  r ^= xc & zt & ~(xt ^ zc); xt ^= xc; zc ^= zt
+//   Z(q):     r ^= x     (= S^2)
+//   X(q):     r ^= z     (= H Z H; the two H sign terms cancel)
+//   Y(q):     r ^= x ^ z (= Z then X)
+// Pad bits stay zero: every update ANDs or XORs existing plane words,
+// whose pad bits are zero by construction.
+
 void Tableau::apply_h(int q) {
-  const auto c = static_cast<std::size_t>(q);
-  for (std::size_t row = 0; row < x_.size(); ++row) {
-    const bool xv = x_[row][c];
-    const bool zv = z_[row][c];
-    r_[row] = r_[row] ^ (xv && zv);
-    x_[row][c] = zv;
-    z_[row][c] = xv;
+  std::uint64_t* x = plane(xb_, q);
+  std::uint64_t* z = plane(zb_, q);
+  for (std::size_t w = 0; w < words_u(); ++w) {
+    rb_[w] ^= x[w] & z[w];
+    std::swap(x[w], z[w]);
   }
 }
 
 void Tableau::apply_s(int q) {
-  const auto c = static_cast<std::size_t>(q);
-  for (std::size_t row = 0; row < x_.size(); ++row) {
-    const bool xv = x_[row][c];
-    const bool zv = z_[row][c];
-    r_[row] = r_[row] ^ (xv && zv);
-    z_[row][c] = zv ^ xv;
+  const std::uint64_t* x = plane(xb_, q);
+  std::uint64_t* z = plane(zb_, q);
+  for (std::size_t w = 0; w < words_u(); ++w) {
+    rb_[w] ^= x[w] & z[w];
+    z[w] ^= x[w];
   }
 }
 
 void Tableau::apply_cx(int control, int target) {
-  const auto cc = static_cast<std::size_t>(control);
-  const auto ct = static_cast<std::size_t>(target);
-  for (std::size_t row = 0; row < x_.size(); ++row) {
-    const bool xc = x_[row][cc];
-    const bool zc = z_[row][cc];
-    const bool xt = x_[row][ct];
-    const bool zt = z_[row][ct];
-    r_[row] = r_[row] ^ (xc && zt && (xt == zc));
-    x_[row][ct] = xt ^ xc;
-    z_[row][cc] = zc ^ zt;
+  std::uint64_t* xc = plane(xb_, control);
+  std::uint64_t* zc = plane(zb_, control);
+  std::uint64_t* xt = plane(xb_, target);
+  std::uint64_t* zt = plane(zb_, target);
+  for (std::size_t w = 0; w < words_u(); ++w) {
+    rb_[w] ^= xc[w] & zt[w] & ~(xt[w] ^ zc[w]);
+    xt[w] ^= xc[w];
+    zc[w] ^= zt[w];
   }
 }
 
 void Tableau::apply_sdg(int q) {
-  apply_s(q);
-  apply_s(q);
-  apply_s(q);
+  const std::uint64_t* x = plane(xb_, q);
+  std::uint64_t* z = plane(zb_, q);
+  for (std::size_t w = 0; w < words_u(); ++w) {
+    rb_[w] ^= x[w] & ~z[w];
+    z[w] ^= x[w];
+  }
 }
 
 void Tableau::apply_z(int q) {
-  apply_s(q);
-  apply_s(q);
+  const std::uint64_t* x = plane(xb_, q);
+  for (std::size_t w = 0; w < words_u(); ++w) {
+    rb_[w] ^= x[w];
+  }
 }
 
 void Tableau::apply_x(int q) {
-  apply_h(q);
-  apply_z(q);
-  apply_h(q);
+  const std::uint64_t* z = plane(zb_, q);
+  for (std::size_t w = 0; w < words_u(); ++w) {
+    rb_[w] ^= z[w];
+  }
 }
 
 void Tableau::apply_y(int q) {
-  apply_z(q);
-  apply_x(q);
+  const std::uint64_t* x = plane(xb_, q);
+  const std::uint64_t* z = plane(zb_, q);
+  for (std::size_t w = 0; w < words_u(); ++w) {
+    rb_[w] ^= x[w] ^ z[w];
+  }
 }
 
 void Tableau::apply_sx(int q) {
@@ -107,9 +127,12 @@ void Tableau::apply_cy(int control, int target) {
 }
 
 void Tableau::apply_swap(int a, int b) {
-  apply_cx(a, b);
-  apply_cx(b, a);
-  apply_cx(a, b);
+  // Conjugation by SWAP only exchanges the operand Paulis (all images carry
+  // a + sign), so swapping the planes is the whole update.
+  std::uint64_t* xa = plane(xb_, a);
+  std::uint64_t* za = plane(zb_, a);
+  std::swap_ranges(xa, xa + words_u(), plane(xb_, b));
+  std::swap_ranges(za, za + words_u(), plane(zb_, b));
 }
 
 void Tableau::apply_iswap(int a, int b) {
@@ -199,7 +222,9 @@ std::optional<Tableau> Tableau::from_circuit(const ir::Circuit& circuit) {
 }
 
 bool Tableau::operator==(const Tableau& rhs) const {
-  return n_ == rhs.n_ && x_ == rhs.x_ && z_ == rhs.z_ && r_ == rhs.r_;
+  // Pad bits are invariantly zero on both sides, so whole-word compare is
+  // exact row-by-row equality.
+  return n_ == rhs.n_ && xb_ == rhs.xb_ && zb_ == rhs.zb_ && rb_ == rhs.rb_;
 }
 
 namespace {
@@ -266,18 +291,17 @@ ir::Circuit Tableau::to_circuit() const {
 
   const int n = n_;
   for (int i = 0; i < n; ++i) {
-    const auto di = static_cast<std::size_t>(i);      // destabilizer row
-    const auto si = static_cast<std::size_t>(n + i);  // stabilizer row
+    const int di = i;      // destabilizer row
+    const int si = n + i;  // stabilizer row
 
     // Step A: bring an X onto column i of the destabilizer row.
     int k_x = -1;
     int k_z = -1;
     for (int k = i; k < n; ++k) {
-      const auto ck = static_cast<std::size_t>(k);
-      if (k_x < 0 && work.x_[di][ck]) {
+      if (k_x < 0 && work.x(di, k)) {
         k_x = k;
       }
-      if (k_z < 0 && work.z_[di][ck]) {
+      if (k_z < 0 && work.z(di, k)) {
         k_z = k;
       }
     }
@@ -294,37 +318,36 @@ ir::Circuit Tableau::to_circuit() const {
 
     // Step B: clear remaining X components of the destabilizer row.
     for (int k = i + 1; k < n; ++k) {
-      if (work.x_[di][static_cast<std::size_t>(k)]) {
+      if (work.x(di, k)) {
         do_gate(GateKind::kCX, i, k);
       }
     }
     // Step C: clear Z components (first the Y on column i, then CZ links).
-    if (work.z_[di][di]) {
+    if (work.z(di, i)) {
       do_gate(GateKind::kS, i, -1);
     }
     for (int k = i + 1; k < n; ++k) {
-      if (work.z_[di][static_cast<std::size_t>(k)]) {
+      if (work.z(di, k)) {
         do_gate(GateKind::kCZ, i, k);
       }
     }
 
     // Step D: clear X components of the stabilizer row on columns > i.
     for (int k = i + 1; k < n; ++k) {
-      const auto ck = static_cast<std::size_t>(k);
-      if (work.x_[si][ck]) {
-        if (work.z_[si][ck]) {
+      if (work.x(si, k)) {
+        if (work.z(si, k)) {
           do_gate(GateKind::kS, k, -1);
         }
         do_gate(GateKind::kH, k, -1);
       }
     }
     // Column i of the stabilizer row: turn a Y into a Z (X_i preserved).
-    if (work.x_[si][di]) {
+    if (work.x(si, i)) {
       do_gate(GateKind::kSX, i, -1);
     }
     // Step E: clear Z components of the stabilizer row on columns > i.
     for (int k = i + 1; k < n; ++k) {
-      if (work.z_[si][static_cast<std::size_t>(k)]) {
+      if (work.z(si, k)) {
         do_gate(GateKind::kCX, k, i);
       }
     }
@@ -332,10 +355,10 @@ ir::Circuit Tableau::to_circuit() const {
 
   // Step G: fix signs.
   for (int i = 0; i < n; ++i) {
-    if (work.r_[static_cast<std::size_t>(i)]) {
+    if (work.r(i)) {
       do_gate(GateKind::kZ, i, -1);
     }
-    if (work.r_[static_cast<std::size_t>(n + i)]) {
+    if (work.r(n + i)) {
       do_gate(GateKind::kX, i, -1);
     }
   }

@@ -1,10 +1,12 @@
 /// \file tableau.hpp
 /// \brief Aaronson-Gottesman stabilizer tableau: simulation of Clifford
 ///        circuits and canonical resynthesis. Powers the OptimizeCliffords
-///        and CliffordSimp passes.
+///        and CliffordSimp passes and the verifier's Clifford tier.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "ir/circuit.hpp"
@@ -13,6 +15,15 @@ namespace qrc::clifford {
 
 /// Stabilizer tableau over n qubits: 2n rows (destabilizers then
 /// stabilizers), each a signed Pauli stored as x/z bit rows plus a sign bit.
+///
+/// Storage is bitplane (column-major) packed: for every qubit q there is
+/// one x plane and one z plane of ceil(2n/64) `uint64_t` words, bit j of a
+/// plane being row j's Pauli component on q; signs are one more packed
+/// word row. A gate update touches only the planes of its operand qubits
+/// and processes 64 tableau rows per word operation — H swaps two plane
+/// ranges, S/CX are XOR/AND sweeps, SWAP exchanges plane ranges outright,
+/// and X/Y/Z reduce to sign-word XORs — instead of per-row bit twiddling
+/// over `vector<vector<bool>>` proxy references.
 class Tableau {
  public:
   /// Identity tableau (destabilizer i = X_i, stabilizer i = Z_i).
@@ -20,12 +31,14 @@ class Tableau {
 
   [[nodiscard]] int num_qubits() const { return n_; }
 
-  // Primitive generators (Aaronson-Gottesman update rules).
+  // Primitive generators (Aaronson-Gottesman update rules), word-wide.
   void apply_h(int q);
   void apply_s(int q);
   void apply_cx(int control, int target);
 
-  // Composites, expressed via the primitives.
+  // Composites. SWAP exchanges the operand planes; X/Y/Z only flip signs;
+  // Sdg has a closed-form sign sweep; the rest compose the primitives
+  // (each already word-wide).
   void apply_sdg(int q);
   void apply_x(int q);
   void apply_y(int q);
@@ -54,23 +67,65 @@ class Tableau {
 
   [[nodiscard]] bool operator==(const Tableau& rhs) const;
 
-  // Row accessors (row < n: destabilizer, row >= n: stabilizer).
+  // Single-bit accessors (row < n: destabilizer, row >= n: stabilizer).
   [[nodiscard]] bool x(int row, int col) const {
-    return x_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    return bit(xb_, col, row);
   }
   [[nodiscard]] bool z(int row, int col) const {
-    return z_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    return bit(zb_, col, row);
   }
   [[nodiscard]] bool r(int row) const {
-    return r_[static_cast<std::size_t>(row)];
+    return (rb_[static_cast<std::size_t>(row) / 64] >>
+            (static_cast<std::size_t>(row) % 64)) &
+           1U;
+  }
+
+  // ---- Word-level views -------------------------------------------------
+  // One plane = ceil(2n/64) words; bit j of word w covers tableau row
+  // 64*w + j. Trailing pad bits (rows >= 2n) are always zero, so callers
+  // may OR/AND/popcount whole planes without masking.
+
+  /// Words per plane (= words of the sign row).
+  [[nodiscard]] int num_words() const { return words_; }
+
+  /// The packed x components of every row on qubit `col`.
+  [[nodiscard]] std::span<const std::uint64_t> x_plane(int col) const {
+    return {xb_.data() + static_cast<std::size_t>(col) * words_u(),
+            words_u()};
+  }
+  /// The packed z components of every row on qubit `col`.
+  [[nodiscard]] std::span<const std::uint64_t> z_plane(int col) const {
+    return {zb_.data() + static_cast<std::size_t>(col) * words_u(),
+            words_u()};
+  }
+  /// The packed sign bits of every row.
+  [[nodiscard]] std::span<const std::uint64_t> signs() const {
+    return {rb_.data(), words_u()};
   }
 
  private:
+  [[nodiscard]] std::size_t words_u() const {
+    return static_cast<std::size_t>(words_);
+  }
+  [[nodiscard]] std::uint64_t* plane(std::vector<std::uint64_t>& planes,
+                                     int col) {
+    return planes.data() + static_cast<std::size_t>(col) * words_u();
+  }
+  [[nodiscard]] bool bit(const std::vector<std::uint64_t>& planes, int col,
+                         int row) const {
+    const std::uint64_t w =
+        planes[static_cast<std::size_t>(col) * words_u() +
+               static_cast<std::size_t>(row) / 64];
+    return (w >> (static_cast<std::size_t>(row) % 64)) & 1U;
+  }
+
   int n_;
-  // 2n rows; x_[row][col], z_[row][col], sign r_[row].
-  std::vector<std::vector<bool>> x_;
-  std::vector<std::vector<bool>> z_;
-  std::vector<bool> r_;
+  int words_;  ///< words per plane: ceil(2n / 64)
+  // Concatenated per-qubit planes: plane q occupies words [q*words_,
+  // (q+1)*words_).
+  std::vector<std::uint64_t> xb_;
+  std::vector<std::uint64_t> zb_;
+  std::vector<std::uint64_t> rb_;  ///< packed sign row
 };
 
 /// If `op` is Clifford (including rotations at multiples of pi/2), returns

@@ -20,8 +20,24 @@ void Circuit::add_global_phase(double phase) {
 }
 
 bool Circuit::operator==(const Circuit& rhs) const {
-  return num_qubits_ == rhs.num_qubits_ &&
-         global_phase_ == rhs.global_phase_ && ops_ == rhs.ops_;
+  if (num_qubits_ != rhs.num_qubits_ || global_phase_ != rhs.global_phase_) {
+    return false;
+  }
+  // Shared COW buffer: identical without walking the ops.
+  return ops_ == rhs.ops_ || ops() == rhs.ops();
+}
+
+const std::vector<Operation>& Circuit::empty_ops() {
+  static const std::vector<Operation> kEmpty;
+  return kEmpty;
+}
+
+void Circuit::own() {
+  if (ops_ == nullptr) {
+    ops_ = std::make_shared<std::vector<Operation>>();
+  } else if (ops_.use_count() > 1) {
+    ops_ = std::make_shared<std::vector<Operation>>(*ops_);
+  }
 }
 
 void Circuit::validate(const Operation& op) const {
@@ -36,7 +52,8 @@ void Circuit::validate(const Operation& op) const {
 
 void Circuit::append(const Operation& op) {
   validate(op);
-  ops_.push_back(op);
+  own();
+  ops_->push_back(op);
 }
 
 void Circuit::append(GateKind kind, std::span<const int> qubits,
@@ -100,7 +117,7 @@ void Circuit::append2p(GateKind kind, double p0, int a, int b) {
 int Circuit::depth() const {
   std::vector<int> level(static_cast<std::size_t>(num_qubits_), 0);
   int max_level = 0;
-  for (const Operation& op : ops_) {
+  for (const Operation& op : ops()) {
     if (op.kind() == GateKind::kBarrier) {
       // Synchronise all qubits without consuming a level.
       const int sync = *std::max_element(level.begin(), level.end());
@@ -122,7 +139,7 @@ int Circuit::depth() const {
 int Circuit::multi_qubit_depth() const {
   std::vector<int> level(static_cast<std::size_t>(num_qubits_), 0);
   int max_level = 0;
-  for (const Operation& op : ops_) {
+  for (const Operation& op : ops()) {
     if (!op.is_unitary() || op.num_qubits() < 2) {
       continue;
     }
@@ -140,7 +157,7 @@ int Circuit::multi_qubit_depth() const {
 
 int Circuit::gate_count() const {
   int count = 0;
-  for (const Operation& op : ops_) {
+  for (const Operation& op : ops()) {
     if (op.is_unitary()) {
       ++count;
     }
@@ -150,7 +167,7 @@ int Circuit::gate_count() const {
 
 int Circuit::two_qubit_gate_count() const {
   int count = 0;
-  for (const Operation& op : ops_) {
+  for (const Operation& op : ops()) {
     if (op.is_unitary() && op.num_qubits() >= 2) {
       ++count;
     }
@@ -160,14 +177,14 @@ int Circuit::two_qubit_gate_count() const {
 
 std::map<std::string, int> Circuit::count_ops() const {
   std::map<std::string, int> counts;
-  for (const Operation& op : ops_) {
+  for (const Operation& op : ops()) {
     ++counts[std::string(gate_name(op.kind()))];
   }
   return counts;
 }
 
 bool Circuit::max_gate_arity_at_most(int max_arity) const {
-  for (const Operation& op : ops_) {
+  for (const Operation& op : ops()) {
     if (op.is_unitary() && op.num_qubits() > max_arity) {
       return false;
     }
@@ -178,7 +195,8 @@ bool Circuit::max_gate_arity_at_most(int max_arity) const {
 Circuit Circuit::inverse() const {
   Circuit out(num_qubits_, name_.empty() ? "" : name_ + "_dg");
   out.global_phase_ = la::normalize_angle(-global_phase_);
-  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+  const auto& my_ops = ops();
+  for (auto it = my_ops.rbegin(); it != my_ops.rend(); ++it) {
     const Operation& op = *it;
     if (op.kind() == GateKind::kBarrier) {
       out.barrier();
@@ -211,7 +229,7 @@ Circuit Circuit::remapped(const std::vector<int>& mapping,
   }
   Circuit out(new_num_qubits, name_);
   out.global_phase_ = global_phase_;
-  for (const Operation& op : ops_) {
+  for (const Operation& op : ops()) {
     Operation copy = op;
     for (int i = 0; i < op.num_qubits(); ++i) {
       copy.set_qubit(i, mapping[static_cast<std::size_t>(op.qubit(i))]);
@@ -232,22 +250,23 @@ void Circuit::extend(const Circuit& other) {
 }
 
 void Circuit::remove_ops(const std::vector<bool>& to_remove) {
-  if (to_remove.size() != ops_.size()) {
+  const auto& current = ops();
+  if (to_remove.size() != current.size()) {
     throw std::invalid_argument("remove_ops: flag vector size mismatch");
   }
-  std::vector<Operation> kept;
-  kept.reserve(ops_.size());
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
+  auto kept = std::make_shared<std::vector<Operation>>();
+  kept->reserve(current.size());
+  for (std::size_t i = 0; i < current.size(); ++i) {
     if (!to_remove[i]) {
-      kept.push_back(ops_[i]);
+      kept->push_back(current[i]);
     }
   }
-  ops_ = std::move(kept);
+  ops_ = std::move(kept);  // full replacement: no need to materialize first
 }
 
 std::vector<int> Circuit::active_qubits() const {
   std::vector<bool> used(static_cast<std::size_t>(num_qubits_), false);
-  for (const Operation& op : ops_) {
+  for (const Operation& op : ops()) {
     for (const int q : op.qubits()) {
       used[static_cast<std::size_t>(q)] = true;
     }
@@ -264,7 +283,7 @@ std::vector<int> Circuit::active_qubits() const {
 std::string Circuit::summary() const {
   std::ostringstream os;
   os << (name_.empty() ? "circuit" : name_) << ": " << num_qubits_
-     << " qubits, " << ops_.size() << " ops, depth " << depth();
+     << " qubits, " << size() << " ops, depth " << depth();
   return os.str();
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,14 @@ namespace qrc::ir {
 /// Ordered sequence of operations over `num_qubits` qubits. Gate insertion
 /// validates operand ranges eagerly so that passes can assume well-formed
 /// circuits.
+///
+/// The op list is copy-on-write: copying a Circuit shares one immutable
+/// op buffer (an O(1) refcount bump, however long the circuit), and the
+/// buffer is materialized into a private copy only when a mutating method
+/// is first called on one of the copies. Search node expansion and rollout
+/// episode setup copy CompilationStates wholesale, so sharing until a pass
+/// actually rewrites the circuit is what makes expanding a beam/MCTS child
+/// cheap. Read accessors never materialize.
 class Circuit {
  public:
   Circuit() = default;
@@ -27,10 +36,24 @@ class Circuit {
   [[nodiscard]] double global_phase() const { return global_phase_; }
   void add_global_phase(double phase);
 
-  [[nodiscard]] const std::vector<Operation>& ops() const { return ops_; }
-  [[nodiscard]] std::vector<Operation>& mutable_ops() { return ops_; }
-  [[nodiscard]] std::size_t size() const { return ops_.size(); }
-  [[nodiscard]] bool empty() const { return ops_.empty(); }
+  [[nodiscard]] const std::vector<Operation>& ops() const {
+    return ops_ != nullptr ? *ops_ : empty_ops();
+  }
+  /// Mutable op access; materializes a private copy if the storage is
+  /// shared. The returned reference is invalidated by copying the circuit
+  /// (the next copy re-shares the buffer), so do not hold it across copies.
+  [[nodiscard]] std::vector<Operation>& mutable_ops() {
+    own();
+    return *ops_;
+  }
+  [[nodiscard]] std::size_t size() const { return ops().size(); }
+  [[nodiscard]] bool empty() const { return ops().empty(); }
+
+  /// True if this circuit still shares its op buffer with `other` — a COW
+  /// diagnostic for tests and benches, not part of circuit semantics.
+  [[nodiscard]] bool shares_ops_with(const Circuit& other) const {
+    return ops_ != nullptr && ops_ == other.ops_;
+  }
 
   /// Appends an operation, validating operand indices against num_qubits().
   void append(const Operation& op);
@@ -135,10 +158,17 @@ class Circuit {
   void append2p(GateKind kind, double p0, int a, int b);
   void validate(const Operation& op) const;
 
+  /// Materializes a privately owned op buffer: allocates on first mutation
+  /// of an empty circuit, clones when the buffer is shared with a copy.
+  void own();
+  static const std::vector<Operation>& empty_ops();
+
   int num_qubits_ = 0;
   double global_phase_ = 0.0;
   std::string name_;
-  std::vector<Operation> ops_;
+  /// Shared-until-mutated op buffer; nullptr encodes the empty circuit so
+  /// default construction never allocates.
+  std::shared_ptr<std::vector<Operation>> ops_;
 };
 
 }  // namespace qrc::ir

@@ -2,14 +2,189 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <random>
 #include <stdexcept>
+#include <string>
 
 #include "rl/thread_pool.hpp"
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define QRC_MLP_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define QRC_MLP_NEON 1
+#endif
+
 namespace qrc::rl {
+
+namespace {
+
+// ---- Dense row kernels ----------------------------------------------------
+//
+// All kernels compute, for one sample x, y[o] = b[o] + sum_i w[o][i] * x[i]
+// with the i-accumulation strictly sequential and one IEEE multiply + one
+// IEEE add per step (never an FMA; the library is built with
+// -ffp-contract=off so the compiler cannot fuse them either). The vector
+// kernels put adjacent *output neurons* in adjacent lanes — each lane
+// executes exactly the scalar op sequence of its neuron — so every variant
+// is bitwise-identical to the portable one. The hidden-layer tanh is the
+// same std::tanh per element everywhere.
+
+/// Reference kernel over the row-major [out x in] weights.
+void dense_row_portable(const double* w, const double* b, int in_n, int out_n,
+                        const double* x, double* y, bool hidden) {
+  for (int o = 0; o < out_n; ++o) {
+    double acc = b[o];
+    const double* wrow = w + static_cast<std::size_t>(o) *
+                                 static_cast<std::size_t>(in_n);
+    for (int i = 0; i < in_n; ++i) {
+      acc += wrow[i] * x[i];
+    }
+    y[o] = hidden ? std::tanh(acc) : acc;
+  }
+}
+
+/// Scalar tail over the transposed [in x out] weights (strided loads).
+void dense_row_tail(const double* wt, const double* b, int in_n, int out_n,
+                    int o_begin, const double* x, double* y) {
+  for (int o = o_begin; o < out_n; ++o) {
+    double acc = b[o];
+    const double* wp = wt + o;
+    for (int i = 0; i < in_n; ++i, wp += out_n) {
+      acc += *wp * x[i];
+    }
+    y[o] = acc;
+  }
+}
+
+#if defined(QRC_MLP_X86)
+__attribute__((target("avx2")))
+void dense_row_avx2(const double* wt, const double* b, int in_n, int out_n,
+                    const double* x, double* y, bool hidden) {
+  int o = 0;
+  for (; o + 4 <= out_n; o += 4) {
+    __m256d acc = _mm256_loadu_pd(b + o);
+    const double* wp = wt + o;
+    for (int i = 0; i < in_n; ++i, wp += out_n) {
+      const __m256d prod =
+          _mm256_mul_pd(_mm256_loadu_pd(wp), _mm256_set1_pd(x[i]));
+      acc = _mm256_add_pd(acc, prod);
+    }
+    _mm256_storeu_pd(y + o, acc);
+  }
+  dense_row_tail(wt, b, in_n, out_n, o, x, y);
+  if (hidden) {
+    for (int j = 0; j < out_n; ++j) {
+      y[j] = std::tanh(y[j]);
+    }
+  }
+}
+#endif
+
+#if defined(QRC_MLP_NEON)
+void dense_row_neon(const double* wt, const double* b, int in_n, int out_n,
+                    const double* x, double* y, bool hidden) {
+  int o = 0;
+  for (; o + 2 <= out_n; o += 2) {
+    float64x2_t acc = vld1q_f64(b + o);
+    const double* wp = wt + o;
+    for (int i = 0; i < in_n; ++i, wp += out_n) {
+      const float64x2_t prod = vmulq_f64(vld1q_f64(wp), vdupq_n_f64(x[i]));
+      acc = vaddq_f64(acc, prod);
+    }
+    vst1q_f64(y + o, acc);
+  }
+  dense_row_tail(wt, b, in_n, out_n, o, x, y);
+  if (hidden) {
+    for (int j = 0; j < out_n; ++j) {
+      y[j] = std::tanh(y[j]);
+    }
+  }
+}
+#endif
+
+enum class SimdIsa { kPortable, kAvx2, kNeon };
+
+SimdIsa detect_isa() {
+  if (const char* env = std::getenv("QRC_SIMD")) {
+    const std::string want(env);
+    if (want == "portable" || want == "scalar") {
+      return SimdIsa::kPortable;
+    }
+    if (want == "avx2") {
+#if defined(QRC_MLP_X86)
+      if (__builtin_cpu_supports("avx2")) {
+        return SimdIsa::kAvx2;
+      }
+#endif
+      return SimdIsa::kPortable;
+    }
+    if (want == "neon") {
+#if defined(QRC_MLP_NEON)
+      return SimdIsa::kNeon;
+#else
+      return SimdIsa::kPortable;
+#endif
+    }
+    // Unknown value: fall through to auto-detection.
+  }
+#if defined(QRC_MLP_X86)
+  if (__builtin_cpu_supports("avx2")) {
+    return SimdIsa::kAvx2;
+  }
+#endif
+#if defined(QRC_MLP_NEON)
+  return SimdIsa::kNeon;
+#else
+  return SimdIsa::kPortable;
+#endif
+}
+
+/// The kernel for this process, chosen once (first use).
+SimdIsa active_isa() {
+  static const SimdIsa isa = detect_isa();
+  return isa;
+}
+
+/// Builds the per-layer [in x out] transposes used by the vector kernels.
+template <typename LayerT>
+void transpose_weights(const std::vector<LayerT>& layers,
+                       std::vector<std::vector<double>>& wt) {
+  wt.resize(layers.size());
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const auto& layer = layers[li];
+    auto& t = wt[li];
+    t.resize(layer.w.size());
+    for (int o = 0; o < layer.out; ++o) {
+      const double* wrow = layer.w.data() + static_cast<std::size_t>(o) *
+                                                static_cast<std::size_t>(
+                                                    layer.in);
+      for (int i = 0; i < layer.in; ++i) {
+        t[static_cast<std::size_t>(i) * static_cast<std::size_t>(layer.out) +
+          static_cast<std::size_t>(o)] = wrow[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* simd_kernel_name() {
+  switch (active_isa()) {
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kNeon:
+      return "neon";
+    default:
+      return "portable";
+  }
+}
 
 Mlp::Mlp(std::vector<int> sizes, std::uint64_t seed)
     : sizes_(std::move(sizes)) {
@@ -33,6 +208,32 @@ Mlp::Mlp(std::vector<int> sizes, std::uint64_t seed)
     layers_.push_back(std::move(layer));
   }
   acts_.resize(layers_.size() + 1);
+  rebuild_transposes();
+}
+
+void Mlp::rebuild_transposes() { transpose_weights(layers_, wt_); }
+
+const double* const* Mlp::vector_weights(
+    std::vector<const double*>& ptrs) const {
+  if (active_isa() == SimdIsa::kPortable) {
+    return nullptr;
+  }
+  ptrs.resize(layers_.size());
+  if (!weights_shared_) {
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+      ptrs[li] = wt_[li].data();
+    }
+    return ptrs.data();
+  }
+  // Training mode: the optimizer owns raw weight pointers, so re-transpose
+  // on every batched forward. Thread-local scratch keeps concurrent const
+  // calls on a shared instance race-free.
+  thread_local std::vector<std::vector<double>> scratch;
+  transpose_weights(layers_, scratch);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    ptrs[li] = scratch[li].data();
+  }
+  return ptrs.data();
 }
 
 std::vector<double> Mlp::forward(std::span<const double> input) const {
@@ -43,15 +244,9 @@ std::vector<double> Mlp::forward(std::span<const double> input) const {
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const Layer& layer = layers_[li];
     std::vector<double> next(static_cast<std::size_t>(layer.out));
-    for (int o = 0; o < layer.out; ++o) {
-      double acc = layer.b[static_cast<std::size_t>(o)];
-      const double* row = &layer.w[static_cast<std::size_t>(o * layer.in)];
-      for (int i = 0; i < layer.in; ++i) {
-        acc += row[i] * cur[static_cast<std::size_t>(i)];
-      }
-      next[static_cast<std::size_t>(o)] =
-          (li + 1 < layers_.size()) ? std::tanh(acc) : acc;
-    }
+    dense_row_portable(layer.w.data(), layer.b.data(), layer.in, layer.out,
+                       cur.data(), next.data(),
+                       /*hidden=*/li + 1 < layers_.size());
     cur = std::move(next);
   }
   return cur;
@@ -66,44 +261,41 @@ std::vector<double> Mlp::forward_cached(std::span<const double> input) {
     const Layer& layer = layers_[li];
     auto& out = acts_[li + 1];
     out.assign(static_cast<std::size_t>(layer.out), 0.0);
-    const auto& in = acts_[li];
-    for (int o = 0; o < layer.out; ++o) {
-      double acc = layer.b[static_cast<std::size_t>(o)];
-      const double* row = &layer.w[static_cast<std::size_t>(o * layer.in)];
-      for (int i = 0; i < layer.in; ++i) {
-        acc += row[i] * in[static_cast<std::size_t>(i)];
-      }
-      out[static_cast<std::size_t>(o)] =
-          (li + 1 < layers_.size()) ? std::tanh(acc) : acc;
-    }
+    dense_row_portable(layer.w.data(), layer.b.data(), layer.in, layer.out,
+                       acts_[li].data(), out.data(),
+                       /*hidden=*/li + 1 < layers_.size());
   }
   return acts_.back();
 }
 
-void Mlp::forward_rows(std::span<const double> inputs, int batch,
-                       int row_begin, int row_end,
-                       std::vector<std::vector<double>>& acts) const {
-  (void)batch;
+void Mlp::forward_rows(double* const* levels, const double* const* wt,
+                       int row_begin, int row_end) const {
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const Layer& layer = layers_[li];
-    const double* in = li == 0 ? inputs.data() : acts[li].data();
-    double* out = acts[li + 1].data();
+    const double* in = levels[li];
+    double* out = levels[li + 1];
     const bool hidden = li + 1 < layers_.size();
     for (int r = row_begin; r < row_end; ++r) {
-      const double* row_in = in + static_cast<std::size_t>(r) *
-                                      static_cast<std::size_t>(layer.in);
-      double* row_out = out + static_cast<std::size_t>(r) *
-                                  static_cast<std::size_t>(layer.out);
-      // Exactly the scalar forward() loop per row: bitwise-identical
-      // accumulation order keeps the batched path interchangeable with N
-      // scalar calls.
-      for (int o = 0; o < layer.out; ++o) {
-        double acc = layer.b[static_cast<std::size_t>(o)];
-        const double* wrow = &layer.w[static_cast<std::size_t>(o * layer.in)];
-        for (int i = 0; i < layer.in; ++i) {
-          acc += wrow[i] * row_in[i];
-        }
-        row_out[o] = hidden ? std::tanh(acc) : acc;
+      const double* x = in + static_cast<std::size_t>(r) *
+                                 static_cast<std::size_t>(layer.in);
+      double* y = out + static_cast<std::size_t>(r) *
+                            static_cast<std::size_t>(layer.out);
+      if (wt == nullptr) {
+        dense_row_portable(layer.w.data(), layer.b.data(), layer.in,
+                           layer.out, x, y, hidden);
+#if defined(QRC_MLP_X86)
+      } else if (active_isa() == SimdIsa::kAvx2) {
+        dense_row_avx2(wt[li], layer.b.data(), layer.in, layer.out, x, y,
+                       hidden);
+#endif
+#if defined(QRC_MLP_NEON)
+      } else if (active_isa() == SimdIsa::kNeon) {
+        dense_row_neon(wt[li], layer.b.data(), layer.in, layer.out, x, y,
+                       hidden);
+#endif
+      } else {
+        dense_row_portable(layer.w.data(), layer.b.data(), layer.in,
+                           layer.out, x, y, hidden);
       }
     }
   }
@@ -115,33 +307,19 @@ namespace {
 /// while leaving enough chunks for load balancing.
 constexpr int kRowBlock = 8;
 
-/// Sizes the per-layer row-major activation buffers. The input-layer
-/// buffer (k = 0) is only needed when the activations are kept for a
-/// backward pass; the plain forward reads the caller's input directly.
-void size_batch_activations(const std::vector<int>& sizes, int batch,
-                            std::vector<std::vector<double>>& acts,
-                            bool with_input) {
-  acts.resize(sizes.size());
-  for (std::size_t k = with_input ? 0 : 1; k < sizes.size(); ++k) {
-    acts[k].resize(static_cast<std::size_t>(batch) *
-                   static_cast<std::size_t>(sizes[k]));
-  }
-}
-
 }  // namespace
 
-void Mlp::run_batch(std::span<const double> inputs, int batch,
-                    std::vector<std::vector<double>>& acts,
+void Mlp::run_batch(double* const* levels, const double* const* wt, int batch,
                     WorkerPool* pool) const {
   if (pool != nullptr && pool->size() > 1 && batch > 1) {
     const int blocks = (batch + kRowBlock - 1) / kRowBlock;
     pool->parallel_for(blocks, [&](int blk) {
       const int begin = blk * kRowBlock;
       const int end = std::min(batch, begin + kRowBlock);
-      forward_rows(inputs, batch, begin, end, acts);
+      forward_rows(levels, wt, begin, end);
     });
   } else {
-    forward_rows(inputs, batch, 0, batch, acts);
+    forward_rows(levels, wt, 0, batch);
   }
 }
 
@@ -157,10 +335,36 @@ void Mlp::forward_batch(std::span<const double> inputs, int batch,
     outputs.clear();
     return;
   }
-  std::vector<std::vector<double>> acts;
-  size_batch_activations(sizes_, batch, acts, /*with_input=*/false);
-  run_batch(inputs, batch, acts, pool);
-  outputs = std::move(acts.back());
+  const std::size_t levels_n = layers_.size() + 1;
+  outputs.resize(static_cast<std::size_t>(batch) *
+                 static_cast<std::size_t>(output_size()));
+  // Intermediate activations live in one flat thread-local arena reused
+  // across calls (per caller thread, so concurrent const calls on a shared
+  // instance stay independent); the last layer writes straight into the
+  // caller's output buffer.
+  thread_local std::vector<double> arena;
+  thread_local std::vector<double*> levels;
+  thread_local std::vector<const double*> wt_ptrs;
+  levels.assign(levels_n, nullptr);
+  std::size_t total = 0;
+  for (std::size_t k = 1; k + 1 < levels_n; ++k) {
+    total += static_cast<std::size_t>(batch) *
+             static_cast<std::size_t>(sizes_[k]);
+  }
+  if (arena.size() < total) {
+    arena.resize(total);
+  }
+  // Level 0 is read-only throughout forward_rows; the cast only lets the
+  // input share the levels array with the writable buffers.
+  levels[0] = const_cast<double*>(inputs.data());
+  std::size_t off = 0;
+  for (std::size_t k = 1; k + 1 < levels_n; ++k) {
+    levels[k] = arena.data() + off;
+    off += static_cast<std::size_t>(batch) *
+           static_cast<std::size_t>(sizes_[k]);
+  }
+  levels[levels_n - 1] = outputs.data();
+  run_batch(levels.data(), vector_weights(wt_ptrs), batch, pool);
 }
 
 const std::vector<double>& Mlp::forward_batch_cached(
@@ -172,10 +376,34 @@ const std::vector<double>& Mlp::forward_batch_cached(
         "Mlp::forward_batch_cached: input size mismatch");
   }
   batch_size_ = batch;
-  size_batch_activations(sizes_, batch, batch_acts_, /*with_input=*/true);
-  batch_acts_[0].assign(inputs.begin(), inputs.end());
-  run_batch(batch_acts_[0], batch, batch_acts_, pool);
-  return batch_acts_.back();
+  const std::size_t num_layers = layers_.size();
+  // Levels 0..L-1 (input + hidden activations) pack into one flat arena
+  // kept for backward_batch; the output level stays its own vector so the
+  // returned reference survives unrelated calls.
+  batch_off_.assign(num_layers, 0);
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < num_layers; ++k) {
+    batch_off_[k] = total;
+    total += static_cast<std::size_t>(batch) *
+             static_cast<std::size_t>(sizes_[k]);
+  }
+  if (batch_arena_.size() < total) {
+    batch_arena_.resize(total);
+  }
+  batch_out_.resize(static_cast<std::size_t>(batch) *
+                    static_cast<std::size_t>(output_size()));
+  std::copy(inputs.begin(), inputs.end(),
+            batch_arena_.begin() +
+                static_cast<std::ptrdiff_t>(batch_off_[0]));
+  thread_local std::vector<double*> levels;
+  thread_local std::vector<const double*> wt_ptrs;
+  levels.assign(num_layers + 1, nullptr);
+  for (std::size_t k = 0; k < num_layers; ++k) {
+    levels[k] = batch_arena_.data() + batch_off_[k];
+  }
+  levels[num_layers] = batch_out_.data();
+  run_batch(levels.data(), vector_weights(wt_ptrs), batch, pool);
+  return batch_out_;
 }
 
 void Mlp::backward_batch(std::span<const double> grad_outputs, int batch) {
@@ -188,6 +416,12 @@ void Mlp::backward_batch(std::span<const double> grad_outputs, int batch) {
   // activations. Rows run in ascending order so each gradient accumulator
   // receives its per-sample contributions in the same sequence as `batch`
   // scalar backward() calls — bitwise-identical accumulation.
+  const auto num_layers = static_cast<int>(layers_.size());
+  const auto cached_level = [&](int k) -> const double* {
+    return k == num_layers ? batch_out_.data()
+                           : batch_arena_.data() + batch_off_[
+                                 static_cast<std::size_t>(k)];
+  };
   std::vector<double> grad;
   std::vector<double> grad_in;
   std::vector<double> dz;
@@ -196,15 +430,15 @@ void Mlp::backward_batch(std::span<const double> grad_outputs, int batch) {
                        static_cast<std::size_t>(r) *
                            static_cast<std::size_t>(output_size());
     grad.assign(g0, g0 + output_size());
-    for (int li = static_cast<int>(layers_.size()) - 1; li >= 0; --li) {
+    for (int li = num_layers - 1; li >= 0; --li) {
       Layer& layer = layers_[static_cast<std::size_t>(li)];
       const double* in =
-          batch_acts_[static_cast<std::size_t>(li)].data() +
+          cached_level(li) +
           static_cast<std::size_t>(r) * static_cast<std::size_t>(layer.in);
       const double* out =
-          batch_acts_[static_cast<std::size_t>(li) + 1].data() +
+          cached_level(li + 1) +
           static_cast<std::size_t>(r) * static_cast<std::size_t>(layer.out);
-      const bool is_output = li == static_cast<int>(layers_.size()) - 1;
+      const bool is_output = li == num_layers - 1;
       dz.resize(static_cast<std::size_t>(layer.out));
       for (int o = 0; o < layer.out; ++o) {
         const double a = out[o];
@@ -278,6 +512,9 @@ std::size_t Mlp::num_parameters() const {
 
 void Mlp::collect_parameters(std::vector<double*>& params,
                              std::vector<double*>& grads) {
+  // From here on the optimizer may rewrite weights through these pointers
+  // at any time; vector_weights() switches to per-call re-transposition.
+  weights_shared_ = true;
   for (Layer& layer : layers_) {
     for (std::size_t i = 0; i < layer.w.size(); ++i) {
       params.push_back(&layer.w[i]);
@@ -334,6 +571,7 @@ Mlp Mlp::load(std::istream& is) {
   if (!is) {
     throw std::runtime_error("Mlp::load: truncated parameter data");
   }
+  out.rebuild_transposes();
   return out;
 }
 

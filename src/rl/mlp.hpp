@@ -13,6 +13,12 @@ namespace qrc::rl {
 
 class WorkerPool;
 
+/// Name of the dense-kernel ISA selected for this process: "avx2", "neon"
+/// or "portable". Chosen once at first use from the host CPU, overridable
+/// with QRC_SIMD=portable|avx2|neon (used by benches and the CI
+/// runtime-dispatch check).
+[[nodiscard]] const char* simd_kernel_name();
+
 /// Fully connected network: linear layers with tanh on all hidden layers
 /// and a linear output layer. Parameters and gradients are stored per
 /// layer; backward() accumulates gradients (call zero_grad() between
@@ -24,6 +30,15 @@ class WorkerPool;
 /// the same operation order as the scalar path, so batched results are
 /// bitwise-identical to N scalar calls — with or without a WorkerPool
 /// splitting the rows across threads.
+///
+/// The batched dense kernel is explicitly vectorized (AVX2 on x86-64,
+/// NEON on aarch64, portable scalar fallback; selected once at runtime,
+/// overridable with QRC_SIMD=portable|avx2|neon). Vector lanes run across
+/// *output neurons* over a transposed [in x out] weight cache while each
+/// neuron's k-accumulation stays sequential (mul then add per step, no
+/// FMA), so SIMD results are bitwise-identical to the scalar path.
+/// Activations live in flat per-call arenas reused across calls instead
+/// of per-call vector-of-vectors.
 class Mlp {
  public:
   /// \param sizes layer widths, e.g. {7, 64, 64, 30}.
@@ -88,20 +103,43 @@ class Mlp {
     std::vector<double> gb;
   };
 
-  void forward_rows(std::span<const double> inputs, int batch, int row_begin,
-                    int row_end, std::vector<std::vector<double>>& acts) const;
-  void run_batch(std::span<const double> inputs, int batch,
-                 std::vector<std::vector<double>>& acts,
+  /// Runs rows [row_begin, row_end) through every layer. `levels[k]` is
+  /// the base of the row-major [batch x sizes_[k]] buffer of level k
+  /// (level 0 = input, never written). `wt` is the per-layer transposed
+  /// [in x out] weight array for the vectorized kernel, or nullptr to
+  /// force the portable row-major path.
+  void forward_rows(double* const* levels, const double* const* wt,
+                    int row_begin, int row_end) const;
+  void run_batch(double* const* levels, const double* const* wt, int batch,
                  WorkerPool* pool) const;
+
+  /// Fills `ptrs` with the per-layer transposed weights the vector kernel
+  /// should use and returns ptrs.data(), or nullptr when the portable
+  /// kernel is active. While the optimizer may be mutating weights
+  /// in place (weights_shared_), the transpose is rebuilt into
+  /// thread-local scratch on every call instead of trusting wt_.
+  const double* const* vector_weights(std::vector<const double*>& ptrs) const;
+  void rebuild_transposes();
 
   std::vector<int> sizes_;
   std::vector<Layer> layers_;
+  /// Transposed weights, wt_[li][i * out + o] = w[o * in + i]: lets the
+  /// vector kernel load consecutive output-neuron weights per input step.
+  /// Valid while the optimizer holds no pointers (see weights_shared_).
+  std::vector<std::vector<double>> wt_;
+  /// Set once collect_parameters() hands out raw pointers: weights may
+  /// change at any time afterwards, so wt_ can no longer be trusted.
+  bool weights_shared_ = false;
   // Cached activations: acts_[0] = input, acts_[k] = post-activation of
   // layer k-1; preacts_[k] = pre-activation of layer k.
   std::vector<std::vector<double>> acts_;
-  // Batched activation cache: batch_acts_[k] is row-major
-  // [batch_size_ x width of layer k] (k = 0 is the input).
-  std::vector<std::vector<double>> batch_acts_;
+  // Batched activation cache of forward_batch_cached, reused across
+  // calls: one flat arena holding levels 0..L-1 (input + hidden
+  // activations) at batch_off_[k], and the final output in its own
+  // buffer so the returned reference stays a real vector.
+  std::vector<double> batch_arena_;
+  std::vector<std::size_t> batch_off_;
+  std::vector<double> batch_out_;
   int batch_size_ = 0;
 };
 

@@ -24,10 +24,12 @@ namespace {
 struct BeamEntry {
   core::CompilationState state;
   std::vector<double> obs;
-  double score = 0.0;        ///< cumulative log prior along the path
-  std::vector<int> actions;  ///< attempted actions, no-ops included
-  std::set<core::Fingerprint> visited;  ///< fingerprints along the path
-  std::set<int> exhausted;              ///< actions banned as no-ops
+  double score = 0.0;  ///< cumulative log prior along the path
+  /// PathArena node of this entry: encodes the attempted-action trace and
+  /// the visited-fingerprint set of the whole path in one int, shared
+  /// with the parent instead of copied per child.
+  int path = -1;
+  std::set<int> exhausted;  ///< actions banned as no-ops
   std::string key;  ///< transposition key ("" for stalled survivors)
 };
 
@@ -37,6 +39,7 @@ struct Candidate {
   int action = -1;
   double log_prior = 0.0;
   core::CompilationState child;
+  core::Fingerprint fp;   ///< fingerprint of the stepped child
   bool stalled = false;   ///< child fingerprint already on the path
   bool terminal = false;  ///< child reached MdpState::kDone
   std::vector<double> obs;
@@ -66,10 +69,12 @@ SearchResult beam_search(const ir::Circuit& circuit,
   BatchEvaluator evaluator(context, pool);
   TranspositionTable table;
 
+  PathArena paths;
   std::vector<BeamEntry> frontier(1);
   frontier[0].state.circuit = circuit;
   frontier[0].obs = core::CompilationEnv::observe_state(frontier[0].state);
-  frontier[0].visited.insert(core::fingerprint_of(frontier[0].state));
+  frontier[0].path =
+      paths.add(-1, -1, core::fingerprint_of(frontier[0].state));
   (void)table.lookup_or_insert(state_key(frontier[0].state), 0);
 
   const auto obs_size = static_cast<std::size_t>(frontier[0].obs.size());
@@ -140,7 +145,8 @@ SearchResult beam_search(const ir::Circuit& circuit,
       const auto& entry = frontier[static_cast<std::size_t>(c.entry)];
       c.child = core::CompilationEnv::peek_step(entry.state, c.action,
                                                 step_seed);
-      c.stalled = entry.visited.contains(core::fingerprint_of(c.child));
+      c.fp = core::fingerprint_of(c.child);
+      c.stalled = paths.contains(entry.path, c.fp);
       if (c.stalled) {
         // The fingerprint matched a path state, but the pass may still
         // have rewritten the circuit (the fingerprint is coarse): keep
@@ -179,9 +185,9 @@ SearchResult beam_search(const ir::Circuit& circuit,
         stalled.state = std::move(c.child);  // post-step, like greedy
         stalled.obs = std::move(c.obs);
         stalled.score = entry.score + c.log_prior;
-        stalled.actions = entry.actions;
-        stalled.actions.push_back(c.action);
-        stalled.visited = entry.visited;
+        // The stalled fingerprint is already on the path, so the new node
+        // extends the action trace without changing the visited set.
+        stalled.path = paths.add(entry.path, c.action, c.fp);
         stalled.exhausted = entry.exhausted;
         stalled.exhausted.insert(c.action);
         slot = static_cast<int>(next.size());
@@ -195,7 +201,7 @@ SearchResult beam_search(const ir::Circuit& circuit,
           result.found_terminal = true;
           result.reward = reward;
           result.state = std::move(c.child);
-          result.actions = entry.actions;
+          result.actions = paths.trace(entry.path);
           result.actions.push_back(c.action);
         }
         continue;
@@ -209,10 +215,7 @@ SearchResult beam_search(const ir::Circuit& circuit,
       child.state = std::move(c.child);
       child.obs = std::move(c.obs);
       child.score = entry.score + c.log_prior;
-      child.actions = entry.actions;
-      child.actions.push_back(c.action);
-      child.visited = entry.visited;
-      child.visited.insert(core::fingerprint_of(child.state));
+      child.path = paths.add(entry.path, c.action, c.fp);
       next.push_back(std::move(child));
     }
 

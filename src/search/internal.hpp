@@ -4,6 +4,7 @@
 ///        the deadline clock. Internal to src/search/.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -12,9 +13,59 @@
 #include <vector>
 
 #include "core/compilation_env.hpp"
+#include "core/rollout.hpp"
 #include "search/engine.hpp"
 
 namespace qrc::search::internal {
+
+/// Append-only arena of search-path nodes linked by parent index. A path
+/// (the action trace and the set of fingerprints visited along it) is
+/// identified by one int, so expanding a child shares the whole parent
+/// path instead of copying a std::vector<int> of actions plus a
+/// std::set<Fingerprint> per candidate. Membership checks walk the parent
+/// chain — O(depth), with depth bounded by the step cap.
+class PathArena {
+ public:
+  /// Adds a node; `parent` is -1 for the root, `action` the action taken
+  /// to reach the node (-1 for the root), `fp` the fingerprint of the
+  /// node's state. Returns the node id.
+  int add(int parent, int action, const core::Fingerprint& fp) {
+    nodes_.push_back({fp, parent, action});
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  /// True if `fp` appears on the path from `node` back to the root.
+  [[nodiscard]] bool contains(int node, const core::Fingerprint& fp) const {
+    for (int i = node; i >= 0; i = nodes_[static_cast<std::size_t>(i)].parent) {
+      if (nodes_[static_cast<std::size_t>(i)].fp == fp) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The root-to-node action trace.
+  [[nodiscard]] std::vector<int> trace(int node) const {
+    std::vector<int> out;
+    for (int i = node; i >= 0; i = nodes_[static_cast<std::size_t>(i)].parent) {
+      if (nodes_[static_cast<std::size_t>(i)].action >= 0) {
+        out.push_back(nodes_[static_cast<std::size_t>(i)].action);
+      }
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    core::Fingerprint fp;
+    int parent;
+    int action;
+  };
+  std::vector<Node> nodes_;
+};
 
 /// String-keyed transposition table mapping state_key() to a caller-chosen
 /// id, with hit accounting for SearchStats.

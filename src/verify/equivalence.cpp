@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -494,17 +495,39 @@ FlowMatch clifford_pauli_flow(const Circuit& logical,
       return FlowMatch::kMismatch;
     }
   }
-  for (int a = 0; a < k; ++a) {
-    if (in_fin[static_cast<std::size_t>(a)]) {
-      continue;
-    }
-    const int prow = k + a;
-    if (tp->r(prow)) {
-      return FlowMatch::kMismatch;
-    }
+  // Ancilla condition, word-wide over the bitplane tableau: OR every x
+  // plane (and the z planes of initial-layout columns) into per-row "any"
+  // masks in one sweep, after which each ancilla row is a three-bit probe
+  // (sign, any-X, any-Z-on-init) instead of a per-column bit scan.
+  bool have_output_ancilla = false;
+  for (int a = 0; a < k && !have_output_ancilla; ++a) {
+    have_output_ancilla = !in_fin[static_cast<std::size_t>(a)];
+  }
+  if (have_output_ancilla) {
+    const auto words = static_cast<std::size_t>(tp->num_words());
+    std::vector<std::uint64_t> x_any(words, 0);
+    std::vector<std::uint64_t> z_init_any(words, 0);
     for (int col = 0; col < k; ++col) {
-      if (tp->x(prow, col) ||
-          (tp->z(prow, col) && in_init[static_cast<std::size_t>(col)])) {
+      const auto xp = tp->x_plane(col);
+      for (std::size_t w = 0; w < words; ++w) {
+        x_any[w] |= xp[w];
+      }
+      if (in_init[static_cast<std::size_t>(col)]) {
+        const auto zp = tp->z_plane(col);
+        for (std::size_t w = 0; w < words; ++w) {
+          z_init_any[w] |= zp[w];
+        }
+      }
+    }
+    const auto sgn = tp->signs();
+    for (int a = 0; a < k; ++a) {
+      if (in_fin[static_cast<std::size_t>(a)]) {
+        continue;
+      }
+      const auto prow = static_cast<std::size_t>(k + a);
+      const std::uint64_t probe =
+          sgn[prow / 64] | x_any[prow / 64] | z_init_any[prow / 64];
+      if ((probe >> (prow % 64)) & 1U) {
         return FlowMatch::kMismatch;
       }
     }
