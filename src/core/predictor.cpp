@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/rollout.hpp"
+#include "obs/trace.hpp"
 #include "rl/thread_pool.hpp"
 #include "rl/vec_env.hpp"
 #include "search/engine.hpp"
@@ -168,8 +169,11 @@ std::vector<CompilationResult> Predictor::compile_batch(
       external_pool != nullptr ? *external_pool : local_pool.emplace(workers);
 
   // The shared batched greedy rollout core (also the search baseline).
-  const auto episodes = run_greedy_episodes(agent_->policy(), circuits,
-                                            env_config, feature_index, pool);
+  const auto episodes = [&] {
+    obs::AmbientSpan span("greedy_rollout");
+    return run_greedy_episodes(agent_->policy(), circuits, env_config,
+                               feature_index, pool);
+  }();
 
   for (int c = 0; c < num_circuits; ++c) {
     const auto& ep = episodes[static_cast<std::size_t>(c)];
@@ -194,6 +198,7 @@ std::vector<CompilationResult> Predictor::compile_batch(
   if (verify_options != nullptr) {
     // Post-compile verification gate: independent per circuit, so the
     // checks spread over the same worker pool as the rollout.
+    obs::AmbientSpan span("verify_gate");
     pool.parallel_for(num_circuits, [&](int c) {
       auto& result = results[static_cast<std::size_t>(c)];
       result.verification =
@@ -271,8 +276,11 @@ std::vector<CompilationResult> Predictor::compile_search_all(
         progress(c, snapshot);
       };
     }
-    search::SearchResult searched =
-        search::run_search(circuits[c], context, options, pool, per_circuit);
+    search::SearchResult searched = [&] {
+      obs::AmbientSpan span("search_lookahead");
+      return search::run_search(circuits[c], context, options, pool,
+                                per_circuit);
+    }();
     searched.stats.baseline_reward = result.reward;
     if (searched.found_terminal && searched.reward > result.reward) {
       // The searched sequence strictly beats the greedy baseline.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "reward/reward.hpp"
 #include "rl/categorical.hpp"
 #include "rl/mlp.hpp"
@@ -72,7 +73,10 @@ std::vector<GreedyEpisode> run_greedy_episodes(
       }
       mask_batch[i] = registry.mask(ep.out.state);
     }
-    policy.forward_batch(obs_batch, n_live, logits_batch, &pool);
+    {
+      obs::DetailTimer timer("policy_forward");
+      policy.forward_batch(obs_batch, n_live, logits_batch, &pool);
+    }
     const rl::BatchedMaskedCategorical dist(logits_batch, mask_batch);
 
     // Greedy action per episode among valid, un-exhausted actions.
@@ -103,14 +107,17 @@ std::vector<GreedyEpisode> run_greedy_episodes(
     // Step the chosen actions in parallel — each episode owns its state.
     const std::uint64_t seed =
         CompilationEnv::step_seed(env_config.seed, 1, step);
-    pool.parallel_for(static_cast<int>(stepping.size()), [&](int i) {
-      auto& ep = episodes[static_cast<std::size_t>(
-          stepping[static_cast<std::size_t>(i)])];
-      CompilationEnv::apply_action(ep.out.state, ep.action, seed);
-      if (ep.out.state.state() != MdpState::kDone) {
-        ep.obs = CompilationEnv::observe_state(ep.out.state);
-      }
-    });
+    {
+      obs::DetailTimer timer("env_step");
+      pool.parallel_for(static_cast<int>(stepping.size()), [&](int i) {
+        auto& ep = episodes[static_cast<std::size_t>(
+            stepping[static_cast<std::size_t>(i)])];
+        CompilationEnv::apply_action(ep.out.state, ep.action, seed);
+        if (ep.out.state.state() != MdpState::kDone) {
+          ep.obs = CompilationEnv::observe_state(ep.out.state);
+        }
+      });
+    }
     for (const int c : stepping) {
       auto& ep = episodes[static_cast<std::size_t>(c)];
       if (!ep.visited.insert(fingerprint_of(ep.out.state)).second) {

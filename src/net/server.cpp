@@ -4,17 +4,41 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "ir/qasm.hpp"
+#include "obs/trace.hpp"
 #include "service/jsonl.hpp"
 
 namespace qrc::net {
 
 Server::Server(service::CompileService& service, ServerConfig config)
-    : service_(service), config_(std::move(config)) {}
+    : service_(service), config_(std::move(config)) {
+  obs::MetricsRegistry& reg = service_.metrics();
+  accepted_ = &reg.counter("qrc_net_accepted_total", "Connections accepted");
+  rejected_ = &reg.counter("qrc_net_rejected_total",
+                           "Connections closed at the connection cap");
+  frames_in_ = &reg.counter("qrc_net_frames_in_total",
+                            "Request lines parsed or refused");
+  frames_out_ =
+      &reg.counter("qrc_net_frames_out_total", "Response lines queued");
+  partial_frames_ =
+      &reg.counter("qrc_net_partial_frames_total", "Partial lines queued");
+  error_frames_ =
+      &reg.counter("qrc_net_error_frames_total", "Error lines queued");
+  oversized_frames_ = &reg.counter("qrc_net_oversized_frames_total",
+                                   "Lines over max_frame_bytes");
+  shed_inflight_ = &reg.counter(
+      "qrc_shed_total", "Requests refused by admission control",
+      {{"reason", "conn_inflight"}});
+  metrics_scrapes_ = &reg.counter("qrc_net_metrics_scrapes_total",
+                                  "HTTP GET /metrics requests answered");
+  connections_active_ =
+      &reg.gauge("qrc_net_connections_active", "Open connections");
+}
 
 Server::~Server() { stop(); }
 
@@ -24,6 +48,10 @@ void Server::start() {
   }
   listener_ = listen_tcp(config_.host, config_.port);
   port_ = local_port(listener_.fd());
+  if (config_.metrics_port >= 0) {
+    metrics_listener_ = listen_tcp(config_.metrics_host, config_.metrics_port);
+    metrics_port_ = local_port(metrics_listener_.fd());
+  }
 
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
@@ -36,6 +64,10 @@ void Server::start() {
 
   poller_ = make_poller(config_.poller);
   poller_->set(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
+  if (metrics_listener_.valid()) {
+    poller_->set(metrics_listener_.fd(), /*want_read=*/true,
+                 /*want_write=*/false);
+  }
   poller_->set(wake_read_.fd(), /*want_read=*/true, /*want_write=*/false);
 
   started_.store(true);
@@ -65,8 +97,16 @@ void Server::join() {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServerStats out;
+  out.accepted = accepted_->value();
+  out.rejected = rejected_->value();
+  out.frames_in = frames_in_->value();
+  out.frames_out = frames_out_->value();
+  out.partial_frames = partial_frames_->value();
+  out.error_frames = error_frames_->value();
+  out.oversized_frames = oversized_frames_->value();
+  out.shed_inflight = shed_inflight_->value();
+  return out;
 }
 
 bool Server::drain_complete() const {
@@ -80,6 +120,10 @@ void Server::run_loop() {
       if (listener_.valid()) {
         poller_->remove(listener_.fd());
         listener_.close();
+      }
+      if (metrics_listener_.valid()) {
+        poller_->remove(metrics_listener_.fd());
+        metrics_listener_.close();
       }
       // Close every connection with nothing left to say; the rest are
       // closed as their final frames flush.
@@ -108,7 +152,11 @@ void Server::run_loop() {
         continue;
       }
       if (listener_.valid() && e.fd == listener_.fd()) {
-        accept_ready();
+        accept_ready(listener_, /*http=*/false);
+        continue;
+      }
+      if (metrics_listener_.valid() && e.fd == metrics_listener_.fd()) {
+        accept_ready(metrics_listener_, /*http=*/true);
         continue;
       }
       const auto fd_it = fd_to_conn_.find(e.fd);
@@ -137,9 +185,9 @@ void Server::run_loop() {
   }
 }
 
-void Server::accept_ready() {
+void Server::accept_ready(Socket& listener, bool http) {
   for (;;) {
-    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) {
         continue;
@@ -148,8 +196,7 @@ void Server::accept_ready() {
     }
     if (conns_.size() >= config_.max_connections) {
       ::close(fd);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected;
+      rejected_->inc();
       continue;
     }
     set_nonblocking(fd);
@@ -157,11 +204,12 @@ void Server::accept_ready() {
     Conn conn;
     conn.sock = Socket(fd);
     conn.id = conn_id;
+    conn.http = http;
     conns_.emplace(conn_id, std::move(conn));
     fd_to_conn_[fd] = conn_id;
     poller_->set(fd, /*want_read=*/true, /*want_write=*/false);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.accepted;
+    accepted_->inc();
+    connections_active_->add(1);
   }
 }
 
@@ -187,7 +235,11 @@ void Server::handle_readable(Conn& conn) {
     close_conn(conn_id);
     return;
   }
-  process_lines(conn);
+  if (conn.http) {
+    handle_http(conn);
+  } else {
+    process_lines(conn);
+  }
   if (conns_.count(conn_id) == 0) {
     return;  // process_lines tore the connection down
   }
@@ -250,11 +302,8 @@ void Server::process_lines(Conn& conn) {
         // The line is already over budget with no end in sight: refuse
         // it now and skip bytes until the newline finally shows up. The
         // connection itself survives.
-        {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          ++stats_.frames_in;
-          ++stats_.oversized_frames;
-        }
+        frames_in_->inc();
+        oversized_frames_->inc();
         queue_frame(conn,
                     service::serve_error_line(
                         "", service::ErrorCode::kFrameTooLarge,
@@ -276,11 +325,8 @@ void Server::process_lines(Conn& conn) {
       continue;
     }
     if (line.size() > config_.max_frame_bytes) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.frames_in;
-        ++stats_.oversized_frames;
-      }
+      frames_in_->inc();
+      oversized_frames_->inc();
       // Complete line, so no discard mode needed.
       queue_frame(conn,
                   service::serve_error_line(
@@ -299,11 +345,57 @@ void Server::process_lines(Conn& conn) {
   }
 }
 
-void Server::handle_line(Conn& conn, const std::string& line) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.frames_in;
+void Server::handle_http(Conn& conn) {
+  // One-shot HTTP/1.0: read until the header terminator, answer, close
+  // after the flush (peer_eof doubles as "done reading").
+  const auto end = conn.rbuf.find("\r\n\r\n");
+  const auto lf_end = end == std::string::npos ? conn.rbuf.find("\n\n") : end;
+  if (end == std::string::npos && lf_end == std::string::npos) {
+    if (conn.rbuf.size() > (16u << 10)) {
+      conn.wbuf += "HTTP/1.0 400 Bad Request\r\nConnection: close\r\n\r\n";
+      conn.rbuf.clear();
+      conn.peer_eof = true;
+      update_interest(conn);
+    }
+    return;
   }
+  const std::string::size_type line_end = conn.rbuf.find('\n');
+  std::string request_line = conn.rbuf.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.pop_back();
+  }
+  conn.rbuf.clear();
+  const auto sp1 = request_line.find(' ');
+  const auto sp2 =
+      sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? "" : request_line.substr(0, sp1);
+  const std::string path = sp2 == std::string::npos
+                               ? ""
+                               : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string body;
+  std::string status;
+  if (method == "GET" &&
+      (path == "/metrics" || path.rfind("/metrics?", 0) == 0)) {
+    body = service_.metrics().render_prometheus();
+    status = "200 OK";
+    metrics_scrapes_->inc();
+  } else {
+    body = "not found; try GET /metrics\n";
+    status = "404 Not Found";
+  }
+  conn.wbuf += "HTTP/1.0 " + status +
+               "\r\nContent-Type: text/plain; version=0.0.4; "
+               "charset=utf-8\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+               body;
+  conn.peer_eof = true;
+  update_interest(conn);
+}
+
+void Server::handle_line(Conn& conn, const std::string& line) {
+  const auto decode_start = std::chrono::steady_clock::now();
+  frames_in_->inc();
   service::ServeRequest request;
   try {
     request = service::parse_serve_request(line);
@@ -333,6 +425,13 @@ void Server::handle_line(Conn& conn, const std::string& line) {
                 /*is_error=*/false);
     return;
   }
+  if (request.op == service::ServeOp::kMetrics) {
+    queue_frame(conn,
+                service::serve_metrics_line(
+                    request.id, service_.metrics().render_prometheus()),
+                /*is_error=*/false);
+    return;
+  }
 
   const auto shaped_error = [&request](service::ErrorCode code,
                                        const std::string& message) {
@@ -342,10 +441,7 @@ void Server::handle_line(Conn& conn, const std::string& line) {
   };
 
   if (conn.inflight >= config_.max_inflight_per_conn) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.shed_inflight;
-    }
+    shed_inflight_->inc();
     queue_frame(conn,
                 shaped_error(service::ErrorCode::kOverloaded,
                              "connection is at its in-flight cap (" +
@@ -367,6 +463,17 @@ void Server::handle_line(Conn& conn, const std::string& line) {
     return;
   }
 
+  // Per-request tracing starts at frame decode; the span tree rides back
+  // on the response frame (serve_response_line renders response.trace).
+  std::shared_ptr<obs::TraceContext> trace;
+  if (request.trace) {
+    trace = std::make_shared<obs::TraceContext>(request.id, decode_start);
+    const int span =
+        trace->add_span("decode", obs::TraceContext::kNoParent, 0,
+                        trace->now_us());
+    trace->attr(span, "bytes", static_cast<std::uint64_t>(line.size()));
+  }
+
   const std::uint64_t conn_id = conn.id;
   const std::string id = request.id;
   const int version = request.version;
@@ -382,16 +489,14 @@ void Server::handle_line(Conn& conn, const std::string& line) {
                          ? service::serve_error_line(id, code, msg)
                          : service::serve_error_line(id, msg),
                      /*final_frame=*/true);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.error_frames;
+    error_frames_->inc();
   };
   if (version >= 1 && request.search.has_value()) {
     hooks.on_partial = [this, conn_id,
                         id](const search::SearchProgress& progress) {
       enqueue_outbound(conn_id, service::serve_partial_line(id, progress),
                        /*final_frame=*/false);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.partial_frames;
+      partial_frames_->inc();
     };
   }
 
@@ -403,7 +508,8 @@ void Server::handle_line(Conn& conn, const std::string& line) {
   try {
     service_.submit_with_hooks(request.id, request.model,
                                std::move(circuit), request.verify,
-                               request.search, std::move(hooks));
+                               request.search, std::move(hooks),
+                               std::move(trace));
   } catch (const std::exception& e) {
     // Admission refusals (lane queue bound, shutdown, unknown model)
     // throw before any hook fires, so the rollback cannot double-count.
@@ -417,12 +523,9 @@ void Server::handle_line(Conn& conn, const std::string& line) {
 void Server::queue_frame(Conn& conn, std::string line, bool is_error) {
   conn.wbuf += line;
   conn.wbuf += '\n';
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.frames_out;
-    if (is_error) {
-      ++stats_.error_frames;
-    }
+  frames_out_->inc();
+  if (is_error) {
+    error_frames_->inc();
   }
   update_interest(conn);
 }
@@ -461,10 +564,7 @@ void Server::drain_outbound() {
     }
     conn.wbuf += ob.line;
     conn.wbuf += '\n';
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.frames_out;
-    }
+    frames_out_->inc();
     update_interest(conn);
   }
 }
@@ -495,6 +595,8 @@ void Server::close_conn(std::uint64_t conn_id) {
   // In-flight requests for this connection stay counted in pending_;
   // their final frames are drained and dropped, releasing the count.
   conns_.erase(it);
+  connections_active_->add(-1);
 }
 
 }  // namespace qrc::net
+

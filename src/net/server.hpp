@@ -14,6 +14,13 @@
 /// write buffer pauses reads on that connection (backpressure) instead
 /// of buffering without bound.
 ///
+/// Observability: all counters live in the service's MetricsRegistry
+/// (qrc_net_*); ServerStats is a thin snapshot read. Requests with
+/// "trace":true get a TraceContext allocated at frame decode whose span
+/// tree rides back on the response frame. An optional second listener
+/// (`metrics_host`/`metrics_port`) answers HTTP GET /metrics with the
+/// Prometheus exposition on the same Poller loop.
+///
 /// Graceful drain (`request_drain()`, async-signal-safe) stops accepting,
 /// lets in-flight requests finish, flushes their frames, then exits the
 /// loop — wired to SIGINT/SIGTERM by `qrc serve --listen`.
@@ -30,6 +37,7 @@
 
 #include "net/poller.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "service/compile_service.hpp"
 
 namespace qrc::net {
@@ -50,9 +58,14 @@ struct ServerConfig {
   /// New connections past this are accepted and immediately closed.
   std::size_t max_connections = 256;
   PollerKind poller = PollerKind::kAuto;
+  /// HTTP GET /metrics side listener. metrics_port < 0 (default)
+  /// disables it; 0 picks an ephemeral port (Server::metrics_port()).
+  std::string metrics_host = "127.0.0.1";
+  int metrics_port = -1;
 };
 
-/// Monotonic counters, all since start(). Snapshot via Server::stats().
+/// Monotonic counters, all since start(). Snapshot via Server::stats();
+/// assembled from the service's MetricsRegistry (qrc_net_* families).
 struct ServerStats {
   std::uint64_t accepted = 0;         ///< connections accepted
   std::uint64_t rejected = 0;         ///< closed at the connection cap
@@ -83,6 +96,9 @@ class Server {
   /// The bound port (resolves config.port == 0). Valid after start().
   [[nodiscard]] int port() const { return port_; }
 
+  /// The bound /metrics port, or -1 when disabled. Valid after start().
+  [[nodiscard]] int metrics_port() const { return metrics_port_; }
+
   /// Async-signal-safe graceful-drain request: stop accepting, answer
   /// everything in flight, flush, then exit the loop. Idempotent.
   void request_drain();
@@ -108,6 +124,7 @@ class Server {
     bool discarding = false;  ///< skipping the rest of an oversized line
     bool peer_eof = false;
     bool read_paused = false;
+    bool http = false;  ///< accepted on the /metrics listener
   };
 
   /// A frame produced on a lane thread, destined for one connection.
@@ -119,11 +136,14 @@ class Server {
   };
 
   void run_loop();
-  void accept_ready();
+  void accept_ready(Socket& listener, bool http);
   void handle_readable(Conn& conn);
   void handle_writable(Conn& conn);
   void process_lines(Conn& conn);
   void handle_line(Conn& conn, const std::string& line);
+  /// Minimal HTTP/1.0 handler for the /metrics listener: answers one GET
+  /// and closes after the flush.
+  void handle_http(Conn& conn);
   void queue_frame(Conn& conn, std::string line, bool is_error);
   void enqueue_outbound(std::uint64_t conn_id, std::string line,
                         bool final_frame);
@@ -137,12 +157,26 @@ class Server {
 
   Socket listener_;
   int port_ = 0;
+  Socket metrics_listener_;
+  int metrics_port_ = -1;
   Socket wake_read_;
   Socket wake_write_;
   std::unique_ptr<Poller> poller_;
   std::thread loop_;
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
+
+  // Registry handles (service_.metrics() is the source of truth).
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* frames_out_ = nullptr;
+  obs::Counter* partial_frames_ = nullptr;
+  obs::Counter* error_frames_ = nullptr;
+  obs::Counter* oversized_frames_ = nullptr;
+  obs::Counter* shed_inflight_ = nullptr;
+  obs::Counter* metrics_scrapes_ = nullptr;
+  obs::Gauge* connections_active_ = nullptr;
 
   std::uint64_t next_conn_id_ = 1;
   std::unordered_map<std::uint64_t, Conn> conns_;
@@ -153,9 +187,6 @@ class Server {
 
   mutable std::mutex outbound_mutex_;
   std::vector<Outbound> outbound_;
-
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
 };
 
 }  // namespace qrc::net

@@ -1,0 +1,246 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qrc::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Sorted copy of a label set (the registry keys series on sorted labels
+/// so {a,b} and {b,a} name the same series).
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void append_escaped(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// `{k1="v1",k2="v2"}`, or "" for the empty label set. `extra` appends one
+/// more pair (used for the histogram `le` label).
+std::string render_labels(const Labels& labels,
+                          const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) {
+    return {};
+  }
+  std::string out = "{";
+  bool first = true;
+  const auto emit = [&](const std::string& k, const std::string& v) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped(out, v);
+    out += '"';
+  };
+  for (const auto& [k, v] : labels) emit(k, v);
+  if (extra != nullptr) emit(extra->first, extra->second);
+  out += '}';
+  return out;
+}
+
+/// Shortest faithful rendering of a double: integers without a fraction,
+/// everything else via %g with enough digits to round-trip.
+std::string render_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+// -------------------------------------------------------------- Histogram ---
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]),
+      sum_bits_(std::bit_cast<std::uint64_t>(0.0)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::logic_error("histogram bounds must be ascending");
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+const std::vector<double>& latency_buckets_us() {
+  static const std::vector<double> kBuckets = {
+      100,    250,    500,    1000,    2500,    5000,    10000,   25000,
+      50000,  100000, 250000, 500000,  1000000, 2500000, 5000000, 10000000};
+  return kBuckets;
+}
+
+// -------------------------------------------------------- MetricsRegistry ---
+
+MetricsRegistry::Family& MetricsRegistry::family(std::string_view name,
+                                                 std::string_view help,
+                                                 Kind kind) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_.emplace(std::string(name), Family{}).first;
+    it->second.kind = kind;
+    it->second.help = std::string(help);
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' re-registered with a different type");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, help, Kind::kCounter);
+  auto& slot = fam.counters[sorted(labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, help, Kind::kGauge);
+  auto& slot = fam.gauges[sorted(labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      const std::vector<double>& bounds,
+                                      const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, help, Kind::kHistogram);
+  if (fam.bounds.empty()) fam.bounds = bounds;
+  auto& slot = fam.histograms[sorted(labels)];
+  if (!slot) slot = std::make_unique<Histogram>(fam.bounds);
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name,
+                                             const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return 0;
+  const auto series = it->second.counters.find(sorted(labels));
+  return series == it->second.counters.end() ? 0 : series->second->value();
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name,
+                                          const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return 0;
+  const auto series = it->second.gauges.find(sorted(labels));
+  return series == it->second.gauges.end() ? 0 : series->second->value();
+}
+
+std::vector<std::pair<Labels, std::uint64_t>> MetricsRegistry::counter_series(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<Labels, std::uint64_t>> out;
+  const auto it = families_.find(name);
+  if (it == families_.end()) return out;
+  out.reserve(it->second.counters.size());
+  for (const auto& [labels, counter] : it->second.counters) {
+    out.emplace_back(labels, counter->value());
+  }
+  return out;
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& [labels, value] : counter_series(name)) {
+    (void)labels;
+    total += value;
+  }
+  return total;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (fam.kind) {
+      case Kind::kCounter: out += "counter\n"; break;
+      case Kind::kGauge: out += "gauge\n"; break;
+      case Kind::kHistogram: out += "histogram\n"; break;
+    }
+    for (const auto& [labels, counter] : fam.counters) {
+      out += name + render_labels(labels, nullptr) + " " +
+             std::to_string(counter->value()) + "\n";
+    }
+    for (const auto& [labels, gauge] : fam.gauges) {
+      out += name + render_labels(labels, nullptr) + " " +
+             std::to_string(gauge->value()) + "\n";
+    }
+    for (const auto& [labels, hist] : fam.histograms) {
+      const auto buckets = hist->bucket_counts();
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        const std::pair<std::string, std::string> le = {
+            "le", i < fam.bounds.size() ? render_number(fam.bounds[i]) : "+Inf"};
+        out += name + "_bucket" + render_labels(labels, &le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_sum" + render_labels(labels, nullptr) + " " +
+             render_number(hist->sum()) + "\n";
+      out += name + "_count" + render_labels(labels, nullptr) + " " +
+             std::to_string(hist->count()) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace qrc::obs

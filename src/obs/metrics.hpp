@@ -1,0 +1,162 @@
+/// \file metrics.hpp
+/// \brief Dependency-free metrics registry: named counters, gauges, and
+///        fixed-bucket histograms with label support, a lock-free atomic
+///        hot path, and a Prometheus-style text exposition renderer.
+///
+/// Registration (name + label resolution) takes a mutex; once a handle is
+/// obtained, increments and observations are plain relaxed atomics, safe
+/// from any thread. Handles stay valid for the registry's lifetime (series
+/// are heap-allocated and never moved).
+///
+/// Process-wide kill switch: `set_enabled(false)` turns every counter
+/// increment / histogram observation into a single predictable branch —
+/// bench_obs_overhead uses it to measure the instrumentation floor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qrc::obs {
+
+/// Key/value label pairs identifying one series within a metric family.
+/// Order-insensitive: the registry sorts by key before keying the series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Process-wide instrumentation switch (default on). Off: counter/gauge/
+/// histogram mutations become one branch. Reads still work.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic counter. Hot path: one relaxed fetch_add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Signed instantaneous value with an atomic-max helper (high-water marks).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) {
+    if (!enabled()) return;
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if `v` is larger (never lowers it).
+  void max_of(std::int64_t v) {
+    if (!enabled()) return;
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bound histogram. Buckets are non-cumulative internally and
+/// rendered cumulative (Prometheus `le` convention, implicit +Inf last).
+/// Hot path: one linear bucket scan plus three relaxed atomic ops.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last entry being the +Inf overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;  // ascending, finite
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_;  // double stored as bits, CAS-added
+};
+
+/// Default latency bucket bounds in microseconds: 100us .. 10s, roughly
+/// geometric. Shared by every *_us histogram so exposition lines align.
+[[nodiscard]] const std::vector<double>& latency_buckets_us();
+
+/// Thread-safe named-metric registry. One instance per service (tests spin
+/// up several services in one process and assert per-service counts, so
+/// there is deliberately no process-global registry).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. `help` is recorded on first registration. Throws
+  /// std::logic_error if `name` already exists with a different type.
+  Counter& counter(std::string_view name, std::string_view help,
+                   const Labels& labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               const Labels& labels = {});
+  /// `bounds` is consulted on first registration of the family only.
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       const std::vector<double>& bounds,
+                       const Labels& labels = {});
+
+  /// Point reads for snapshot structs and tests. Missing series read 0.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] std::int64_t gauge_value(std::string_view name,
+                                         const Labels& labels = {}) const;
+  /// Every (labels, value) series of a counter family; empty if absent.
+  [[nodiscard]] std::vector<std::pair<Labels, std::uint64_t>> counter_series(
+      std::string_view name) const;
+  /// Sum of all series of a counter family (0 if absent).
+  [[nodiscard]] std::uint64_t counter_total(std::string_view name) const;
+
+  /// Prometheus text exposition (v0.0.4): families sorted by name, each
+  /// with # HELP / # TYPE headers, series sorted by label key.
+  [[nodiscard]] std::string render_prometheus() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Kind kind;
+    std::string help;
+    std::vector<double> bounds;  // histograms only
+    // Keyed by sorted labels; pointers are stable (never reallocated).
+    std::map<Labels, std::unique_ptr<Counter>> counters;
+    std::map<Labels, std::unique_ptr<Gauge>> gauges;
+    std::map<Labels, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family& family(std::string_view name, std::string_view help, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+}  // namespace qrc::obs

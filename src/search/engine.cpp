@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "ir/qasm.hpp"
+#include "obs/trace.hpp"
 #include "reward/reward.hpp"
 #include "rl/categorical.hpp"
 #include "rl/mlp.hpp"
@@ -53,6 +54,7 @@ void BatchEvaluator::evaluate(const std::vector<double>& observations,
     }
     return;
   }
+  obs::DetailTimer timer("leaf_eval");
   if (probs_out != nullptr) {
     context_.policy->forward_batch(observations, batch, logits_, &pool_);
     const rl::BatchedMaskedCategorical dist(logits_, masks);

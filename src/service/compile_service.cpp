@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ir/qasm.hpp"
+#include "verify/equivalence.hpp"
 
 namespace qrc::service {
 
@@ -21,6 +22,21 @@ std::int64_t elapsed_us(Clock::time_point since) {
              Clock::now() - since)
       .count();
 }
+
+std::int64_t us_between(Clock::time_point from, Clock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count();
+  return us < 0 ? 0 : us;
+}
+
+constexpr std::string_view kHelpRequests = "Requests submitted, per model";
+constexpr std::string_view kHelpLatency =
+    "Submit-to-completion latency in microseconds, per model";
+constexpr std::string_view kHelpQueueWait =
+    "Lane queue wait in microseconds, per model";
+constexpr std::string_view kHelpRollout =
+    "Fused greedy rollout duration in microseconds, per model";
 
 }  // namespace
 
@@ -51,13 +67,36 @@ void CompileService::deliver_error(Pending& pending,
 }
 
 CompileService::CompileService(ServiceConfig config)
-    : config_(std::move(config)), cache_(config_.cache_entries) {
+    : config_(std::move(config)),
+      metrics_(config_.metrics != nullptr
+                   ? config_.metrics
+                   : std::make_shared<obs::MetricsRegistry>()),
+      cache_(config_.cache_entries, metrics_.get()) {
   if (config_.max_batch < 1) {
     throw std::invalid_argument("CompileService: max_batch must be >= 1");
   }
   if (config_.max_wait_us < 0) {
     throw std::invalid_argument("CompileService: max_wait_us must be >= 0");
   }
+  batches_total_ =
+      &metrics_->counter("qrc_batches_total", "Batched rollouts dispatched");
+  batched_requests_total_ = &metrics_->counter(
+      "qrc_batched_requests_total", "Requests fused across all batches");
+  batch_size_max_ =
+      &metrics_->gauge("qrc_batch_size_max", "Largest fused batch so far");
+  shed_total_ = &metrics_->counter(
+      "qrc_shed_total", "Requests refused by admission control",
+      {{"reason", "lane_queue"}});
+  partials_total_ = &metrics_->counter(
+      "qrc_partials_total", "Streamed search-progress events delivered");
+  search_requests_beam_ =
+      &metrics_->counter("qrc_search_requests_total",
+                         "Search requests submitted, per strategy",
+                         {{"strategy", "beam"}});
+  search_requests_mcts_ =
+      &metrics_->counter("qrc_search_requests_total",
+                         "Search requests submitted, per strategy",
+                         {{"strategy", "mcts"}});
 }
 
 CompileService::~CompileService() {
@@ -118,14 +157,36 @@ CompileService::Lane& CompileService::lane_for(
   return ref;
 }
 
+CompileService::ModelMetrics& CompileService::model_metrics(
+    const std::string& model) {
+  std::lock_guard lock(model_metrics_mu_);
+  const auto it = model_metrics_.find(model);
+  if (it != model_metrics_.end()) {
+    return it->second;
+  }
+  const obs::Labels labels = {{"model", model}};
+  ModelMetrics mm;
+  mm.requests = &metrics_->counter("qrc_requests_total", kHelpRequests, labels);
+  mm.latency_us = &metrics_->histogram("qrc_request_latency_us", kHelpLatency,
+                                       obs::latency_buckets_us(), labels);
+  mm.queue_wait_us = &metrics_->histogram(
+      "qrc_queue_wait_us", kHelpQueueWait, obs::latency_buckets_us(), labels);
+  mm.rollout_us = &metrics_->histogram(
+      "qrc_rollout_duration_us", kHelpRollout, obs::latency_buckets_us(),
+      labels);
+  return model_metrics_.emplace(model, mm).first->second;
+}
+
 std::future<ServiceResponse> CompileService::submit(
     std::string id, const std::string& model_name, ir::Circuit circuit,
-    bool verify, std::optional<search::SearchOptions> search) {
+    bool verify, std::optional<search::SearchOptions> search,
+    std::shared_ptr<obs::TraceContext> trace) {
   Pending pending;
   pending.id = std::move(id);
   pending.circuit = std::move(circuit);
   pending.verify = verify;
   pending.search = std::move(search);
+  pending.trace = std::move(trace);
   auto future = pending.promise.get_future();
   submit_impl(model_name, std::move(pending));
   return future;
@@ -134,13 +195,14 @@ std::future<ServiceResponse> CompileService::submit(
 void CompileService::submit_with_hooks(
     std::string id, const std::string& model_name, ir::Circuit circuit,
     bool verify, std::optional<search::SearchOptions> search,
-    SubmitHooks hooks) {
+    SubmitHooks hooks, std::shared_ptr<obs::TraceContext> trace) {
   Pending pending;
   pending.id = std::move(id);
   pending.circuit = std::move(circuit);
   pending.verify = verify;
   pending.search = std::move(search);
   pending.hooks = std::move(hooks);
+  pending.trace = std::move(trace);
   submit_impl(model_name, std::move(pending));
 }
 
@@ -157,14 +219,13 @@ void CompileService::submit_impl(const std::string& model_name,
     throw ServiceError(ErrorCode::kUnknownModel,
                        "unknown model '" + name + "'");
   }
-  {
-    std::lock_guard lock(stats_mu_);
-    ++requests_;
-    if (pending.search.has_value()) {
-      ++(pending.search->strategy == search::Strategy::kBeam
-             ? beam_requests_
-             : mcts_requests_);
-    }
+  ModelMetrics& mm = model_metrics(name);
+  mm.requests->inc();
+  if (pending.search.has_value()) {
+    (pending.search->strategy == search::Strategy::kBeam
+         ? search_requests_beam_
+         : search_requests_mcts_)
+        ->inc();
   }
 
   if (cache_.enabled()) {
@@ -185,6 +246,15 @@ void CompileService::submit_impl(const std::string& model_name,
         response.result = std::move(*hit);
         response.cached = true;
         response.latency_us = elapsed_us(pending.submitted);
+        if (pending.trace != nullptr) {
+          const int span = pending.trace->add_span(
+              "cache_lookup", obs::TraceContext::kNoParent,
+              pending.trace->since_epoch_us(pending.submitted),
+              response.latency_us);
+          pending.trace->attr(span, "hit", true);
+          response.trace = pending.trace;
+        }
+        mm.latency_us->observe(static_cast<double>(response.latency_us));
         deliver_response(pending, std::move(response));
         return;
       }
@@ -202,10 +272,7 @@ void CompileService::submit_impl(const std::string& model_name,
     // under the lane lock so a burst cannot race past the limit.
     if (config_.max_lane_queue > 0 &&
         lane.queue.size() >= config_.max_lane_queue) {
-      {
-        std::lock_guard stats_lock(stats_mu_);
-        ++shed_;
-      }
+      shed_total_->inc();
       throw ServiceError(ErrorCode::kOverloaded,
                          "lane '" + name + "' is at its queue bound (" +
                              std::to_string(config_.max_lane_queue) +
@@ -257,6 +324,33 @@ void CompileService::scheduler_loop(Lane& lane) {
 
 void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
   try {
+    ModelMetrics& mm = model_metrics(lane.name);
+    const auto dequeued = Clock::now();
+
+    // Trace bookkeeping: each traced request gets a queue_wait span plus
+    // an open "batch" span that rollout/search/verify spans hang under.
+    std::vector<int> batch_span(batch.size(), obs::TraceContext::kDropped);
+    bool any_traced_greedy = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::int64_t wait = us_between(batch[i].submitted, dequeued);
+      mm.queue_wait_us->observe(static_cast<double>(wait));
+      if (batch[i].trace == nullptr) {
+        continue;
+      }
+      auto& ctx = *batch[i].trace;
+      ctx.add_span("queue_wait", obs::TraceContext::kNoParent,
+                   ctx.since_epoch_us(batch[i].submitted), wait);
+      batch_span[i] =
+          ctx.begin_span("batch", obs::TraceContext::kNoParent);
+      ctx.attr(batch_span[i], "lane", lane.name);
+      ctx.attr(batch_span[i], "batch_size",
+               static_cast<std::int64_t>(batch.size()));
+      if (!batch[i].cached_result.has_value() &&
+          !batch[i].search.has_value()) {
+        any_traced_greedy = true;
+      }
+    }
+
     // Identical circuits in one batch (or raced past the cache while a
     // twin was in flight) compile once and fan out. Cache hits that ride
     // the lane for verification (cached_result set) never recompile.
@@ -312,19 +406,56 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
     // (verification-only riders and searches never reached it).
     const int greedy_requests = compiled_requests - searched_requests;
     if (greedy_requests > 0) {
-      std::lock_guard lock(stats_mu_);
-      ++batches_;
-      batched_requests_ += static_cast<std::uint64_t>(greedy_requests);
-      max_batch_size_ = std::max(max_batch_size_, greedy_requests);
-      ++batch_size_histogram_[greedy_requests];
+      batches_total_->inc();
+      batched_requests_total_->inc(
+          static_cast<std::uint64_t>(greedy_requests));
+      batch_size_max_->max_of(greedy_requests);
+      metrics_
+          ->counter("qrc_batches_by_size_total",
+                    "Batched rollouts by fused greedy request count",
+                    {{"size", std::to_string(greedy_requests)}})
+          .inc();
     }
 
     std::vector<core::CompilationResult> results(slots.size());
-    auto greedy_results =
-        lane.model->compile_all(greedy_circuits, lane.pool.get());
-    for (std::size_t g = 0; g < greedy_slots.size(); ++g) {
-      results[greedy_slots[g]] = std::move(greedy_results[g]);
+    // Detail collector: while the fused rollout runs, the rollout core's
+    // DetailTimer spans (policy forward / env step) land here and are
+    // re-parented under each traced request's "rollout" span afterwards.
+    std::optional<obs::TraceContext> rollout_detail;
+    if (any_traced_greedy && !greedy_circuits.empty()) {
+      rollout_detail.emplace("rollout");
     }
+    const auto rollout_start = Clock::now();
+    {
+      obs::CurrentTraceScope scope(
+          rollout_detail.has_value() ? &*rollout_detail : nullptr);
+      auto greedy_results =
+          lane.model->compile_all(greedy_circuits, lane.pool.get());
+      for (std::size_t g = 0; g < greedy_slots.size(); ++g) {
+        results[greedy_slots[g]] = std::move(greedy_results[g]);
+      }
+    }
+    const auto rollout_end = Clock::now();
+    if (!greedy_circuits.empty()) {
+      mm.rollout_us->observe(
+          static_cast<double>(us_between(rollout_start, rollout_end)));
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].trace == nullptr || batch[i].cached_result.has_value() ||
+          batch[i].search.has_value()) {
+        continue;
+      }
+      auto& ctx = *batch[i].trace;
+      const int span = ctx.add_span(
+          "rollout", batch_span[i], ctx.since_epoch_us(rollout_start),
+          us_between(rollout_start, rollout_end));
+      ctx.attr(span, "fused_circuits",
+               static_cast<std::int64_t>(greedy_circuits.size()));
+      if (rollout_detail.has_value()) {
+        ctx.adopt(*rollout_detail, span);
+      }
+    }
+
     for (std::size_t s = 0; s < slots.size(); ++s) {
       if (!slots[s].search.has_value()) {
         continue;
@@ -333,10 +464,16 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
       // requester of this slot that armed on_partial (deduped twins all
       // see the shared search progress).
       std::vector<const SubmitHooks*> listeners;
+      std::vector<std::size_t> traced_requesters;
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        if (slot[i] == s && !batch[i].cached_result.has_value() &&
-            batch[i].hooks.on_partial) {
+        if (slot[i] != s || batch[i].cached_result.has_value()) {
+          continue;
+        }
+        if (batch[i].hooks.on_partial) {
           listeners.push_back(&batch[i].hooks);
+        }
+        if (batch[i].trace != nullptr) {
+          traced_requesters.push_back(i);
         }
       }
       core::Predictor::SearchProgressFn progress;
@@ -345,16 +482,48 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
           for (const SubmitHooks* hooks : listeners) {
             hooks->on_partial(snapshot);
           }
-          std::lock_guard lock(stats_mu_);
-          partials_ += listeners.size();
+          partials_total_->inc(listeners.size());
         };
       }
-      results[s] = lane.model
-                       ->compile_search_all(
-                           std::span<const ir::Circuit>(&slots[s].circuit, 1),
-                           *slots[s].search, lane.pool.get(), nullptr,
-                           progress)
-                       .front();
+      std::optional<obs::TraceContext> search_detail;
+      if (!traced_requesters.empty()) {
+        search_detail.emplace("search");
+      }
+      const auto search_start = Clock::now();
+      {
+        obs::CurrentTraceScope scope(
+            search_detail.has_value() ? &*search_detail : nullptr);
+        results[s] =
+            lane.model
+                ->compile_search_all(
+                    std::span<const ir::Circuit>(&slots[s].circuit, 1),
+                    *slots[s].search, lane.pool.get(), nullptr, progress)
+                .front();
+      }
+      const auto search_end = Clock::now();
+      const auto strategy = search::strategy_name(slots[s].search->strategy);
+      metrics_
+          ->histogram("qrc_search_duration_us",
+                      "Search engine wall time in microseconds, per strategy",
+                      obs::latency_buckets_us(),
+                      {{"strategy", std::string(strategy)}})
+          .observe(static_cast<double>(us_between(search_start, search_end)));
+      for (const std::size_t i : traced_requesters) {
+        auto& ctx = *batch[i].trace;
+        const int span = ctx.add_span(
+            "search", batch_span[i], ctx.since_epoch_us(search_start),
+            us_between(search_start, search_end));
+        ctx.attr(span, "strategy", strategy);
+        if (results[s].search_stats.has_value()) {
+          const auto& st = *results[s].search_stats;
+          ctx.attr(span, "nodes_expanded", st.nodes_expanded);
+          ctx.attr(span, "improved", st.improved);
+          ctx.attr(span, "deadline_hit", st.deadline_hit);
+        }
+        if (search_detail.has_value()) {
+          ctx.adopt(*search_detail, span);
+        }
+      }
     }
 
     for (const auto& [key, s] : first_of_key) {
@@ -369,6 +538,8 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
       const ir::Circuit* original = nullptr;
       const core::CompilationResult* result = nullptr;
       verify::VerifyResult verdict;
+      Clock::time_point start;
+      std::int64_t duration_us = 0;
     };
     std::vector<VerifyUnit> units;
     std::vector<std::size_t> unit_of_slot(slots.size(), kNoSlot);
@@ -379,20 +550,34 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
       }
       if (batch[i].cached_result.has_value()) {
         unit_of_request[i] = units.size();
-        units.push_back({&batch[i].circuit, &*batch[i].cached_result, {}});
+        units.push_back({&batch[i].circuit, &*batch[i].cached_result, {},
+                         Clock::time_point{}, 0});
       } else if (unit_of_slot[slot[i]] == kNoSlot) {
         unit_of_slot[slot[i]] = units.size();
         unit_of_request[i] = units.size();
-        units.push_back({&batch[i].circuit, &results[slot[i]], {}});
+        units.push_back({&batch[i].circuit, &results[slot[i]], {},
+                         Clock::time_point{}, 0});
       } else {
         unit_of_request[i] = unit_of_slot[slot[i]];
       }
     }
     lane.pool->parallel_for(static_cast<int>(units.size()), [&](int u) {
       auto& unit = units[static_cast<std::size_t>(u)];
+      unit.start = Clock::now();
       unit.verdict = core::verify_compilation(*unit.original, *unit.result,
                                               config_.verify_options);
+      unit.duration_us = us_between(unit.start, Clock::now());
     });
+    for (const auto& unit : units) {
+      metrics_
+          ->histogram(
+              "qrc_verify_duration_us",
+              "Equivalence check wall time in microseconds, per tier",
+              obs::latency_buckets_us(),
+              {{"method",
+                std::string(verify::method_name(unit.verdict.method))}})
+          .observe(static_cast<double>(unit.duration_us));
+    }
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
       ServiceResponse response;
@@ -404,17 +589,48 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
       if (batch[i].verify) {
         response.result.verification = units[unit_of_request[i]].verdict;
         count_verdict(*response.result.verification);
+        if (batch[i].trace != nullptr) {
+          auto& ctx = *batch[i].trace;
+          const auto& unit = units[unit_of_request[i]];
+          const int span = ctx.add_span(
+              "verify", batch_span[i], ctx.since_epoch_us(unit.start),
+              unit.duration_us);
+          ctx.attr(span, "method",
+                   verify::method_name(unit.verdict.method));
+          ctx.attr(span, "verdict",
+                   verify::verdict_name(unit.verdict.verdict));
+          ctx.attr(span, "confidence", unit.verdict.confidence);
+        }
       }
       if (!response.cached && response.result.search_stats.has_value()) {
         // Improvement/deadline counters share the per-request basis of
         // beam_requests/mcts_requests (deduped twins each count — each
         // response carries the outcome), so their ratios stay meaningful.
         const auto& stats = *response.result.search_stats;
-        std::lock_guard lock(stats_mu_);
-        search_improved_ += stats.improved ? 1 : 0;
-        search_deadline_hits_ += stats.deadline_hit ? 1 : 0;
+        const obs::Labels labels = {
+            {"strategy",
+             std::string(search::strategy_name(batch[i].search->strategy))}};
+        if (stats.improved) {
+          metrics_
+              ->counter("qrc_search_improved_total",
+                        "Fresh searches beating greedy, per strategy",
+                        labels)
+              .inc();
+        }
+        if (stats.deadline_hit) {
+          metrics_
+              ->counter("qrc_search_deadline_hits_total",
+                        "Fresh searches cut by their deadline, per strategy",
+                        labels)
+              .inc();
+        }
       }
       response.latency_us = elapsed_us(batch[i].submitted);
+      mm.latency_us->observe(static_cast<double>(response.latency_us));
+      if (batch[i].trace != nullptr) {
+        batch[i].trace->end_span(batch_span[i]);
+        response.trace = batch[i].trace;
+      }
       deliver_response(batch[i], std::move(response));
     }
   } catch (...) {
@@ -426,39 +642,53 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
 }
 
 void CompileService::count_verdict(const verify::VerifyResult& verdict) {
-  std::lock_guard lock(stats_mu_);
-  switch (verdict.verdict) {
-    case verify::Verdict::kEquivalent:
-      ++verified_;
-      break;
-    case verify::Verdict::kNotEquivalent:
-      ++refuted_;
-      break;
-    case verify::Verdict::kUnknown:
-      ++verify_unknown_;
-      break;
-  }
+  metrics_
+      ->counter("qrc_verify_verdicts_total",
+                "Verification verdicts, per verdict and deciding tier",
+                {{"verdict", std::string(verify::verdict_name(
+                      verdict.verdict))},
+                 {"method",
+                  std::string(verify::method_name(verdict.method))}})
+      .inc();
 }
 
 ServiceStats CompileService::stats() const {
   ServiceStats out;
-  {
-    std::lock_guard lock(stats_mu_);
-    out.requests = requests_;
-    out.batches = batches_;
-    out.batched_requests = batched_requests_;
-    out.max_batch_size = max_batch_size_;
-    out.batch_size_histogram = batch_size_histogram_;
-    out.verified = verified_;
-    out.refuted = refuted_;
-    out.verify_unknown = verify_unknown_;
-    out.beam_requests = beam_requests_;
-    out.mcts_requests = mcts_requests_;
-    out.search_improved = search_improved_;
-    out.search_deadline_hits = search_deadline_hits_;
-    out.shed = shed_;
-    out.partials = partials_;
+  out.requests = metrics_->counter_total("qrc_requests_total");
+  out.batches = batches_total_->value();
+  out.batched_requests = batched_requests_total_->value();
+  out.max_batch_size = static_cast<int>(batch_size_max_->value());
+  for (const auto& [labels, value] :
+       metrics_->counter_series("qrc_batches_by_size_total")) {
+    for (const auto& [k, v] : labels) {
+      if (k == "size") {
+        out.batch_size_histogram[std::stoi(v)] += value;
+      }
+    }
   }
+  for (const auto& [labels, value] :
+       metrics_->counter_series("qrc_verify_verdicts_total")) {
+    for (const auto& [k, v] : labels) {
+      if (k != "verdict") {
+        continue;
+      }
+      if (v == verify::verdict_name(verify::Verdict::kEquivalent)) {
+        out.verified += value;
+      } else if (v ==
+                 verify::verdict_name(verify::Verdict::kNotEquivalent)) {
+        out.refuted += value;
+      } else {
+        out.verify_unknown += value;
+      }
+    }
+  }
+  out.beam_requests = search_requests_beam_->value();
+  out.mcts_requests = search_requests_mcts_->value();
+  out.search_improved = metrics_->counter_total("qrc_search_improved_total");
+  out.search_deadline_hits =
+      metrics_->counter_total("qrc_search_deadline_hits_total");
+  out.shed = shed_total_->value();
+  out.partials = partials_total_->value();
   const auto cache = cache_.stats();
   out.cache_hits = cache.hits;
   out.cache_misses = cache.misses;

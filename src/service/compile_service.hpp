@@ -7,6 +7,12 @@
 ///        cache short-circuits repeat circuits. Micro-batching and caching
 ///        are exact: every request's result is identical to a direct
 ///        Predictor::compile() of the same circuit.
+///
+/// Observability: every counter lives in an obs::MetricsRegistry owned by
+/// (or injected into) the service — ServiceStats is a thin snapshot read
+/// of registry values. Requests submitted with a TraceContext get scoped
+/// spans (queue wait, batch, rollout, search, verify) recorded as they
+/// move through the lane.
 #pragma once
 
 #include <atomic>
@@ -23,6 +29,8 @@
 #include <thread>
 
 #include "core/predictor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rl/thread_pool.hpp"
 #include "service/errors.hpp"
 #include "service/model_registry.hpp"
@@ -52,6 +60,10 @@ struct ServiceConfig {
   /// ServiceError(kOverloaded) instead of growing the queue without
   /// bound. 0 (default) disables shedding.
   std::size_t max_lane_queue = 0;
+  /// Metrics destination. Null (default): the service creates its own
+  /// registry — each service instance counts independently, which the
+  /// service tests rely on. Inject a shared registry to aggregate.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// Outcome of one service request.
@@ -66,9 +78,13 @@ struct ServiceResponse {
   core::CompilationResult result;
   bool cached = false;          ///< served from the LRU, no policy run
   std::int64_t latency_us = 0;  ///< submit-to-completion wall time
+  /// The request's trace, when it was submitted with one; spans recorded
+  /// by the service are complete by the time the response is delivered.
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 /// Counter snapshot; all values monotone over the service lifetime.
+/// Assembled from the MetricsRegistry (the single source of truth).
 struct ServiceStats {
   std::uint64_t requests = 0;          ///< total submitted
   std::uint64_t cache_hits = 0;        ///< served without a policy run
@@ -123,6 +139,10 @@ class CompileService {
   [[nodiscard]] ModelRegistry& registry() { return registry_; }
   [[nodiscard]] const ModelRegistry& registry() const { return registry_; }
 
+  /// The service's metrics registry (see ServiceConfig::metrics). The net
+  /// layer and the /metrics surfaces render from here.
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return *metrics_; }
+
   /// Enqueues one compilation. `model_name` empty selects the default
   /// model (ServiceConfig::default_model, or the sole registered model).
   /// The future completes with the response, or with the exception the
@@ -132,7 +152,8 @@ class CompileService {
   /// lookahead (Predictor::compile_search) instead of the greedy rollout;
   /// the cache key then incorporates the full search configuration, so
   /// searched results never alias greedy ones (or searches under other
-  /// configs).
+  /// configs). `trace`, if set, collects scoped spans for the request —
+  /// tracing is observation-only and never changes the compiled result.
   /// \throws ServiceError(kUnknownModel) if the model cannot be resolved.
   /// \throws ServiceError(kOverloaded) when the lane queue is full
   ///         (ServiceConfig::max_lane_queue).
@@ -140,7 +161,8 @@ class CompileService {
   std::future<ServiceResponse> submit(
       std::string id, const std::string& model_name, ir::Circuit circuit,
       bool verify = false,
-      std::optional<search::SearchOptions> search = std::nullopt);
+      std::optional<search::SearchOptions> search = std::nullopt,
+      std::shared_ptr<obs::TraceContext> trace = nullptr);
 
   /// Hook-based variant for event-loop callers (the socket server): the
   /// response (or processing error) is delivered through `hooks` on the
@@ -150,7 +172,8 @@ class CompileService {
   void submit_with_hooks(std::string id, const std::string& model_name,
                          ir::Circuit circuit, bool verify,
                          std::optional<search::SearchOptions> search,
-                         SubmitHooks hooks);
+                         SubmitHooks hooks,
+                         std::shared_ptr<obs::TraceContext> trace = nullptr);
 
   /// Convenience: submit and wait.
   ServiceResponse compile(const std::string& model_name,
@@ -175,6 +198,8 @@ class CompileService {
     /// submit) or hooks.on_result/on_error (submit_with_hooks).
     std::promise<ServiceResponse> promise;
     SubmitHooks hooks;
+    /// Span sink for the request; null = untraced (the common case).
+    std::shared_ptr<obs::TraceContext> trace;
     std::chrono::steady_clock::time_point submitted;
   };
 
@@ -190,10 +215,19 @@ class CompileService {
     std::thread worker;
   };
 
+  /// Cached registry handles for one model's label set.
+  struct ModelMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Histogram* latency_us = nullptr;
+    obs::Histogram* queue_wait_us = nullptr;
+    obs::Histogram* rollout_us = nullptr;
+  };
+
   [[nodiscard]] std::string resolve_model_name(
       const std::string& model_name) const;
   Lane& lane_for(const std::string& name,
                  std::shared_ptr<const core::Predictor> model);
+  ModelMetrics& model_metrics(const std::string& model);
   /// Shared submit path behind both public variants; `pending` carries
   /// whichever delivery channel the caller armed.
   void submit_impl(const std::string& model_name, Pending pending);
@@ -204,31 +238,28 @@ class CompileService {
                             const std::exception_ptr& error);
   void scheduler_loop(Lane& lane);
   void process_batch(Lane& lane, std::vector<Pending> batch);
-  /// Bumps the verified/refuted/undecided counters for one verdict.
+  /// Bumps the per-(verdict, method) verdict counter.
   void count_verdict(const verify::VerifyResult& verdict);
 
   ServiceConfig config_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   ModelRegistry registry_;
   ResultCache cache_;
+
+  // Registry handles shared across models (registered once in the ctor).
+  obs::Counter* batches_total_ = nullptr;
+  obs::Counter* batched_requests_total_ = nullptr;
+  obs::Gauge* batch_size_max_ = nullptr;
+  obs::Counter* shed_total_ = nullptr;
+  obs::Counter* partials_total_ = nullptr;
+  obs::Counter* search_requests_beam_ = nullptr;
+  obs::Counter* search_requests_mcts_ = nullptr;
 
   mutable std::mutex lanes_mu_;
   std::map<std::string, std::unique_ptr<Lane>> lanes_;
 
-  mutable std::mutex stats_mu_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t batched_requests_ = 0;
-  int max_batch_size_ = 0;
-  std::map<int, std::uint64_t> batch_size_histogram_;
-  std::uint64_t verified_ = 0;
-  std::uint64_t refuted_ = 0;
-  std::uint64_t verify_unknown_ = 0;
-  std::uint64_t beam_requests_ = 0;
-  std::uint64_t mcts_requests_ = 0;
-  std::uint64_t search_improved_ = 0;
-  std::uint64_t search_deadline_hits_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t partials_ = 0;
+  mutable std::mutex model_metrics_mu_;
+  std::map<std::string, ModelMetrics> model_metrics_;
 
   std::atomic<bool> stopping_{false};
 };

@@ -390,6 +390,8 @@ std::string_view serve_op_name(ServeOp op) {
       return "stats";
     case ServeOp::kPing:
       return "ping";
+    case ServeOp::kMetrics:
+      return "metrics";
   }
   return "compile";
 }
@@ -440,9 +442,11 @@ ServeRequest parse_serve_request(std::string_view line) {
       request.op = ServeOp::kStats;
     } else if (op == "ping") {
       request.op = ServeOp::kPing;
+    } else if (op == "metrics") {
+      request.op = ServeOp::kMetrics;
     } else {
       bad_request("unknown op '" + op +
-                  "' (expected compile, stats or ping)");
+                  "' (expected compile, stats, ping or metrics)");
     }
   }
 
@@ -455,12 +459,13 @@ ServeRequest parse_serve_request(std::string_view line) {
       continue;
     }
     if (compile && (key == "model" || key == "qasm" || key == "verify" ||
-                    key == "search" || key == "deadline_ms")) {
+                    key == "search" || key == "deadline_ms" ||
+                    key == "trace")) {
       continue;
     }
     bad_request("unknown request field '" + key +
                 (compile ? "' (expected v, op, id, model, qasm, verify, "
-                           "search, deadline_ms)"
+                           "search, deadline_ms, trace)"
                          : "' (a control op takes only v, op, id)"));
   }
   if (const auto it = obj.find("id"); it != obj.end()) {
@@ -486,6 +491,12 @@ ServeRequest parse_serve_request(std::string_view line) {
       bad_request("'verify' must be a boolean");
     }
     request.verify = it->second.as_bool();
+  }
+  if (const auto it = obj.find("trace"); it != obj.end()) {
+    if (!it->second.is_bool()) {
+      bad_request("'trace' must be a boolean");
+    }
+    request.trace = it->second.as_bool();
   }
   if (const auto it = obj.find("search"); it != obj.end()) {
     if (!it->second.is_string()) {
@@ -597,6 +608,9 @@ std::string serve_response_line(const ServiceResponse& r, int version) {
     out += ",\"search_reward_delta\":" +
            dump_number(r.result.reward - s.baseline_reward);
   }
+  if (r.trace != nullptr) {
+    out += ",\"trace\":" + r.trace->to_json();
+  }
   return out + "}";
 }
 
@@ -657,6 +671,14 @@ std::string serve_stats_line(std::string_view id,
 std::string serve_pong_line(std::string_view id) {
   return "{\"id\":" + json_quote(id) +
          ",\"type\":\"result\",\"op\":\"ping\"}";
+}
+
+std::string serve_metrics_line(std::string_view id,
+                               std::string_view exposition) {
+  return "{\"id\":" + json_quote(id) +
+         ",\"type\":\"result\",\"op\":\"metrics\"" +
+         ",\"content_type\":\"text/plain; version=0.0.4\"" +
+         ",\"body\":" + json_quote(exposition) + "}";
 }
 
 }  // namespace qrc::service

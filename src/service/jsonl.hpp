@@ -84,6 +84,7 @@ enum class ServeOp : std::uint8_t {
   kCompile,  ///< compile a circuit (the only v0 operation)
   kStats,    ///< snapshot the service counters
   kPing,     ///< liveness probe
+  kMetrics,  ///< Prometheus text exposition of the metrics registry
 };
 
 [[nodiscard]] std::string_view serve_op_name(ServeOp op);
@@ -110,7 +111,10 @@ enum class ServeOp : std::uint8_t {
 /// greedy rollout — the response then carries
 /// search/search_nodes/search_reward_delta/... fields; `deadline_ms`
 /// (positive number, requires `search`) bounds the search wall clock,
-/// returning the best sequence found in time.
+/// returning the best sequence found in time. `trace` (bool, default
+/// false) asks the server to record per-request spans and echo the span
+/// tree as a "trace" object on the response — tracing is observation-only
+/// and never changes the compiled result.
 struct ServeRequest {
   int version = 0;  ///< 0 (bare compat line) or 1 (enveloped)
   ServeOp op = ServeOp::kCompile;
@@ -118,6 +122,7 @@ struct ServeRequest {
   std::string model;
   std::string qasm;
   bool verify = false;
+  bool trace = false;
   std::optional<search::SearchOptions> search;
 };
 
@@ -151,7 +156,9 @@ struct ServeRequest {
 /// "verify_confidence" (1.0 for exact tiers). When it asked for search,
 /// five more: "search" (the spec, e.g. "beam:8"), "search_nodes",
 /// "search_improved", "search_deadline_hit" and "search_reward_delta"
-/// (reward gained over the greedy baseline, >= 0 by the clamp).
+/// (reward gained over the greedy baseline, >= 0 by the clamp). When the
+/// request asked for tracing, a final "trace" field carries the span tree
+/// (obs::TraceContext::to_json()).
 /// `version` 1 additionally tags the frame with "type":"result"; 0 keeps
 /// the exact pre-envelope shape for v0 clients.
 [[nodiscard]] std::string serve_response_line(const ServiceResponse& r,
@@ -182,5 +189,10 @@ struct ServeRequest {
 /// Serialises the v1 "ping" result frame: {"id","type":"result",
 /// "op":"ping"}.
 [[nodiscard]] std::string serve_pong_line(std::string_view id);
+
+/// Serialises the v1 "metrics" result frame: {"id","type":"result",
+/// "op":"metrics","content_type":...,"body":<exposition text>}.
+[[nodiscard]] std::string serve_metrics_line(std::string_view id,
+                                             std::string_view exposition);
 
 }  // namespace qrc::service

@@ -2,15 +2,31 @@
 
 namespace qrc::service {
 
+ResultCache::ResultCache(std::size_t capacity, obs::MetricsRegistry* registry)
+    : capacity_(capacity),
+      owned_registry_(registry == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : *owned_registry_;
+  hits_ = &reg.counter("qrc_cache_hits_total", "Result cache hits");
+  misses_ = &reg.counter("qrc_cache_misses_total", "Result cache misses");
+  evictions_ =
+      &reg.counter("qrc_cache_evictions_total", "Result cache LRU evictions");
+  insertions_ =
+      &reg.counter("qrc_cache_insertions_total", "Result cache insertions");
+  entries_ = &reg.gauge("qrc_cache_entries", "Result cache resident entries");
+}
+
 std::optional<core::CompilationResult> ResultCache::get(
     const std::string& key) {
   std::lock_guard lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
-    ++stats_.misses;
+    misses_->inc();
     return std::nullopt;
   }
-  ++stats_.hits;
+  hits_->inc();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -30,12 +46,13 @@ void ResultCache::put(const std::string& key,
   }
   lru_.emplace_front(key, std::move(value));
   index_.emplace(key, lru_.begin());
-  ++stats_.insertions;
+  insertions_->inc();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_->inc();
   }
+  entries_->set(static_cast<std::int64_t>(lru_.size()));
 }
 
 std::size_t ResultCache::size() const {
@@ -44,8 +61,12 @@ std::size_t ResultCache::size() const {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  Stats out;
+  out.hits = hits_->value();
+  out.misses = misses_->value();
+  out.evictions = evictions_->value();
+  out.insertions = insertions_->value();
+  return out;
 }
 
 }  // namespace qrc::service

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -15,11 +16,14 @@
 #include <utility>
 
 #include "core/predictor.hpp"
+#include "obs/metrics.hpp"
 
 namespace qrc::service {
 
 class ResultCache {
  public:
+  /// Legacy snapshot shape; a thin read of the qrc_cache_* registry
+  /// counters (the registry is the single source of truth).
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -28,7 +32,10 @@ class ResultCache {
   };
 
   /// `capacity` 0 disables the cache (every get misses, put is a no-op).
-  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  /// Counters land in `registry` when given (the service passes its own);
+  /// a standalone cache owns a private registry so it still counts.
+  explicit ResultCache(std::size_t capacity,
+                       obs::MetricsRegistry* registry = nullptr);
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
@@ -49,10 +56,15 @@ class ResultCache {
   using Entry = std::pair<std::string, core::CompilationResult>;
 
   const std::size_t capacity_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* insertions_;
+  obs::Gauge* entries_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  Stats stats_;
 };
 
 }  // namespace qrc::service

@@ -12,11 +12,14 @@
 //       stepping threads (default: one per env).
 //   qrc compile --model <model.txt> <circuit.qasm> [--out <compiled.qasm>]
 //             [--verify] [--search beam:8|mcts:400] [--deadline-ms N]
+//             [--trace]
 //       Compiles an OpenQASM 2.0 circuit with a trained model. --verify
 //       runs the QCEC-style equivalence gate on the result. --search
 //       compiles by policy-guided lookahead (beam search or MCTS) instead
 //       of the greedy rollout — never worse than greedy, often better;
 //       --deadline-ms bounds the search wall clock (anytime best-so-far).
+//       --trace records per-phase spans (detail timers included) and
+//       prints the span tree after the result.
 //   qrc verify <a.qasm> <b.qasm> [--stimuli N] [--seed N]
 //              [--max-miter-qubits N] [--max-stimuli-qubits N]
 //       Checks two circuits for functional equivalence with the tiered
@@ -29,6 +32,7 @@
 //             [--listen HOST:PORT] [--max-frame-bytes N]
 //             [--max-inflight N] [--max-connections N]
 //             [--poller auto|epoll|poll]
+//             [--metrics-listen HOST:PORT]
 //       Long-lived compile server speaking line-delimited JSON over
 //       stdin/stdout: {"id","model","qasm","verify","search",
 //       "deadline_ms"} in, {"id","model","qasm","reward","device",
@@ -49,7 +53,9 @@
 //       searches, and overload is shed with typed "overloaded" errors
 //       (--max-lane-queue bounds each model lane, --max-inflight each
 //       connection). SIGINT/SIGTERM drain gracefully: stop accepting,
-//       answer everything in flight, flush, exit.
+//       answer everything in flight, flush, exit. --metrics-listen binds
+//       a second HTTP listener answering GET /metrics with the Prometheus
+//       exposition of the service's registry.
 //   qrc client HOST:PORT
 //       Connects to a --listen server, pipelines request lines from
 //       stdin, and prints every response frame (partials included) to
@@ -81,6 +87,7 @@
 #include "ir/qasm.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "search/search.hpp"
 #include "service/compile_service.hpp"
 #include "service/jsonl.hpp"
@@ -100,6 +107,7 @@ int usage() {
       "  qrc compile --model <model.txt> <circuit.qasm>\n"
       "              [--out <compiled.qasm>] [--verify]\n"
       "              [--search beam:8|mcts:400] [--deadline-ms N]\n"
+      "              [--trace]\n"
       "  qrc verify <a.qasm> <b.qasm> [--stimuli N] [--seed N]\n"
       "             [--max-miter-qubits N] [--max-stimuli-qubits N]\n"
       "  qrc serve --model <name>=<model.txt> [--model <n2>=<m2.txt> ...]\n"
@@ -108,6 +116,7 @@ int usage() {
       "            [--max-lane-queue N] [--listen HOST:PORT]\n"
       "            [--max-frame-bytes N] [--max-inflight N]\n"
       "            [--max-connections N] [--poller auto|epoll|poll]\n"
+      "            [--metrics-listen HOST:PORT]\n"
       "  qrc client HOST:PORT\n");
   return 2;
 }
@@ -297,7 +306,7 @@ ir::Circuit read_qasm_file(const std::string& path) {
 int cmd_compile(int argc, char** argv) {
   const auto args = parse_args(argc, argv, 2,
                                {"model", "out", "search", "deadline-ms"},
-                               {"verify"});
+                               {"verify", "trace"});
   const std::string* model_flag = args.single("model");
   if (model_flag == nullptr || args.positionals.empty()) {
     return usage();
@@ -326,13 +335,34 @@ int cmd_compile(int argc, char** argv) {
     throw std::runtime_error("--deadline-ms requires --search");
   }
 
+  // --trace: make a CLI-local context ambient for the compile (the
+  // predictor's AmbientSpans and the hot-path DetailTimers record into
+  // it), then print the span tree after the result.
+  const bool trace = args.single("trace") != nullptr;
+  std::optional<obs::TraceContext> trace_ctx;
+  int root_span = obs::TraceContext::kNoParent;
+  if (trace) {
+    obs::set_detail_enabled(true);
+    trace_ctx.emplace("cli");
+    root_span = trace_ctx->begin_span("compile");
+    trace_ctx->set_ambient_parent(root_span);
+  }
+
   const verify::VerifyOptions verify_options;
-  const auto result =
-      search_options.has_value()
-          ? predictor.compile_search(circuit, *search_options,
-                                     verify ? &verify_options : nullptr)
-          : (verify ? predictor.compile_verified(circuit)
-                    : predictor.compile(circuit));
+  const auto result = [&] {
+    std::optional<obs::CurrentTraceScope> scope;
+    if (trace_ctx.has_value()) {
+      scope.emplace(&*trace_ctx);
+    }
+    return search_options.has_value()
+               ? predictor.compile_search(circuit, *search_options,
+                                          verify ? &verify_options : nullptr)
+               : (verify ? predictor.compile_verified(circuit)
+                         : predictor.compile(circuit));
+  }();
+  if (trace_ctx.has_value()) {
+    trace_ctx->end_span(root_span);
+  }
   std::printf("target: %s\n", result.device->name().c_str());
   std::printf("reward (%s): %.4f%s\n",
               reward::reward_name(predictor.config().reward).data(),
@@ -365,6 +395,10 @@ int cmd_compile(int argc, char** argv) {
     if (v.verdict != verify::Verdict::kEquivalent) {
       return v.verdict == verify::Verdict::kNotEquivalent ? 1 : 3;
     }
+  }
+
+  if (trace_ctx.has_value()) {
+    std::printf("trace:\n%s", trace_ctx->to_text().c_str());
   }
 
   if (const std::string* out_flag = args.single("out")) {
@@ -450,6 +484,10 @@ int serve_listen(service::CompileService& svc, const std::string& spec,
       std::max(1, args.get_int("max-inflight", 32)));
   config.max_connections = static_cast<std::size_t>(
       std::max(1, args.get_int("max-connections", 256)));
+  if (const std::string* metrics = args.single("metrics-listen")) {
+    std::tie(config.metrics_host, config.metrics_port) =
+        net::parse_host_port(*metrics);
+  }
   if (const std::string* poller = args.single("poller")) {
     if (*poller == "auto") {
       config.poller = net::PollerKind::kAuto;
@@ -470,6 +508,10 @@ int serve_listen(service::CompileService& svc, const std::string& spec,
   std::signal(SIGTERM, handle_drain_signal);
   std::fprintf(stderr, "# listening on %s:%d (SIGINT/SIGTERM drains)\n",
                config.host.c_str(), server.port());
+  if (server.metrics_port() >= 0) {
+    std::fprintf(stderr, "# metrics on http://%s:%d/metrics\n",
+                 config.metrics_host.c_str(), server.metrics_port());
+  }
 
   server.join();  // exits after a signal-triggered graceful drain
   g_listen_server = nullptr;
@@ -508,7 +550,8 @@ int cmd_serve(int argc, char** argv) {
                                 "max-wait-us", "cache-entries",
                                 "max-lane-queue", "listen",
                                 "max-frame-bytes", "max-inflight",
-                                "max-connections", "poller"});
+                                "max-connections", "poller",
+                                "metrics-listen"});
   expect_positionals(args, 0, "serve takes only flags");
   const auto model_it = args.flags.find("model");
   if (model_it == args.flags.end() || model_it->second.empty()) {
@@ -557,6 +600,9 @@ int cmd_serve(int argc, char** argv) {
 
   if (const std::string* listen = args.single("listen")) {
     return serve_listen(svc, *listen, args);
+  }
+  if (args.single("metrics-listen") != nullptr) {
+    throw std::runtime_error("--metrics-listen requires --listen");
   }
 
   // Reader (main thread) parses stdin and submits without waiting, so
@@ -638,10 +684,13 @@ int cmd_serve(int argc, char** argv) {
           : 0.0;
   std::fprintf(stderr,
                "# served %llu request(s) in %llu batch(es), cache hit rate "
-               "%.2f, largest batch %d\n",
+               "%.2f, largest batch %d, %llu shed at lane bounds, %llu "
+               "partial frame(s)\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.batches), hit_rate,
-               stats.max_batch_size);
+               stats.max_batch_size,
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.partials));
   std::fprintf(stderr,
                "# verification: %llu verified, %llu refuted, %llu "
                "undecided\n",
