@@ -290,9 +290,11 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_kernels.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    bench_harness::write_meta(json);
     std::fprintf(
         json,
-        "{\n  \"bench\": \"kernels\",\n"
+        "  \"bench\": \"kernels\",\n"
         "  \"mlp_kernel\": \"%s\",\n"
         "  \"mlp_rows_per_sec_scalar\": %.1f,\n"
         "  \"mlp_rows_per_sec_simd\": %.1f,\n"

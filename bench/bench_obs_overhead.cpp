@@ -7,17 +7,20 @@
 //               mutation short-circuits at the kill switch
 //   obs_on      the production default: registry mutations live,
 //               QRC_OBS_DETAIL off (DetailTimer = one branch)
+//   log_on      obs_on plus the structured logger at info level — the
+//               service's hot-path lines are debug/rate-limited, so this
+//               measures the per-request should_log checks
 //   detail_on   QRC_OBS_DETAIL on plus a per-request TraceContext —
 //               the full span pipeline, reported but not asserted
 //
-// The three modes interleave at request granularity (each request runs
+// The four modes interleave at request granularity (each request runs
 // once per mode, in rotating order, against that mode's persistent
 // service) so machine-load drift over the run cancels out instead of
 // biasing one mode. Every request's submit-to-completion latency is
 // pooled per mode; the compared statistic is the pooled median, which
 // shrugs off scheduler-wakeup spikes that would dominate a wall-clock
-// diff. The bench asserts obs_on within QRC_OBS_BENCH_MAX_PCT (default
-// 2%) of baseline and exits nonzero past it.
+// diff. The bench asserts obs_on AND log_on within QRC_OBS_BENCH_MAX_PCT
+// (default 2%) of baseline and exits nonzero past it.
 //
 // A second section stands up a live server with the /metrics side
 // listener, drives one traced verified search compile over the wire, and
@@ -43,6 +46,7 @@
 #include "ir/qasm.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/compile_service.hpp"
@@ -71,7 +75,7 @@ core::Predictor train_small_model(const std::vector<ir::Circuit>& corpus) {
   return predictor;
 }
 
-enum class Mode { kBaseline, kObsOn, kDetailOn };
+enum class Mode { kBaseline, kObsOn, kLogOn, kDetailOn };
 
 /// Each mode gets one persistent service; requests alternate between the
 /// modes at sub-millisecond granularity so that machine-load drift over
@@ -104,6 +108,9 @@ void run_one(ModeLane& lane, const ir::Circuit& circuit, int i,
              bool record) {
   obs::set_enabled(lane.mode != Mode::kBaseline);
   obs::set_detail_enabled(lane.mode == Mode::kDetailOn);
+  obs::Logger::instance().set_level(lane.mode == Mode::kLogOn
+                                        ? obs::LogLevel::kInfo
+                                        : obs::LogLevel::kOff);
   std::shared_ptr<obs::TraceContext> trace;
   if (lane.mode == Mode::kDetailOn) {
     trace = std::make_shared<obs::TraceContext>("r" + std::to_string(i));
@@ -117,6 +124,7 @@ void run_one(ModeLane& lane, const ir::Circuit& circuit, int i,
   }
   obs::set_enabled(true);
   obs::set_detail_enabled(false);
+  obs::Logger::instance().set_level(obs::LogLevel::kOff);
 }
 
 std::int64_t median_of(std::vector<std::int64_t> samples) {
@@ -213,8 +221,9 @@ int main() {
   const std::vector<ir::Circuit> corpus = bench::benchmark_suite(2, 4, 6);
   const core::Predictor model = train_small_model(corpus);
 
-  ModeLane lanes[3] = {{Mode::kBaseline, make_service(model), {}},
+  ModeLane lanes[4] = {{Mode::kBaseline, make_service(model), {}},
                        {Mode::kObsOn, make_service(model), {}},
+                       {Mode::kLogOn, make_service(model), {}},
                        {Mode::kDetailOn, make_service(model), {}}};
 
   // Warm-up pass so first-touch costs (lane spin-up, allocator) are paid
@@ -232,23 +241,25 @@ int main() {
           corpus[static_cast<std::size_t>(i) % corpus.size()];
       // Rotate which mode goes first so no mode always pays (or always
       // skips) the cache-warming cost of a fresh circuit.
-      for (int m = 0; m < 3; ++m) {
-        run_one(lanes[(m + i + t) % 3], circuit, t * requests + i,
+      for (int m = 0; m < 4; ++m) {
+        run_one(lanes[(m + i + t) % 4], circuit, t * requests + i,
                 /*record=*/true);
       }
     }
     std::printf("# trial %d/%d: pooled medians baseline %lld us, obs_on "
-                "%lld us, detail_on %lld us\n",
+                "%lld us, log_on %lld us, detail_on %lld us\n",
                 t + 1, trials,
                 static_cast<long long>(median_of(lanes[0].samples)),
                 static_cast<long long>(median_of(lanes[1].samples)),
-                static_cast<long long>(median_of(lanes[2].samples)));
+                static_cast<long long>(median_of(lanes[2].samples)),
+                static_cast<long long>(median_of(lanes[3].samples)));
     std::fflush(stdout);
   }
 
   const std::int64_t best_baseline = median_of(lanes[0].samples);
   const std::int64_t best_obs_on = median_of(lanes[1].samples);
-  const std::int64_t best_detail = median_of(lanes[2].samples);
+  const std::int64_t best_log_on = median_of(lanes[2].samples);
+  const std::int64_t best_detail = median_of(lanes[3].samples);
   const auto pct = [&](std::int64_t us) {
     return best_baseline > 0
                ? 100.0 * (static_cast<double>(us - best_baseline) /
@@ -256,10 +267,12 @@ int main() {
                : 0.0;
   };
   const double overhead_on_pct = pct(best_obs_on);
+  const double overhead_log_pct = pct(best_log_on);
   const double overhead_detail_pct = pct(best_detail);
-  std::printf("# obs_on overhead %.3f%% (ceiling %.1f%%), detail_on "
-              "%.3f%% (reported only)\n",
-              overhead_on_pct, max_pct, overhead_detail_pct);
+  std::printf("# obs_on overhead %.3f%%, log_on %.3f%% (ceiling %.1f%%), "
+              "detail_on %.3f%% (reported only)\n",
+              overhead_on_pct, overhead_log_pct, max_pct,
+              overhead_detail_pct);
 
   bool traced_ok = false;
   const std::vector<std::string> found =
@@ -271,22 +284,27 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_obs_overhead.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    bench_harness::write_meta(json);
     std::fprintf(json,
-                 "{\n  \"bench\": \"obs_overhead\",\n"
+                 "  \"bench\": \"obs_overhead\",\n"
                  "  \"requests_per_trial\": %d,\n"
                  "  \"trials\": %d,\n"
                  "  \"baseline_us\": %lld,\n"
                  "  \"obs_on_us\": %lld,\n"
+                 "  \"log_on_us\": %lld,\n"
                  "  \"detail_on_us\": %lld,\n"
                  "  \"overhead_on_pct\": %.4f,\n"
+                 "  \"overhead_log_pct\": %.4f,\n"
                  "  \"overhead_detail_pct\": %.4f,\n"
                  "  \"max_overhead_pct\": %.2f,\n"
                  "  \"traced_response_has_trace\": %s,\n"
                  "  \"snapshot_metrics\": [",
                  requests, trials, static_cast<long long>(best_baseline),
                  static_cast<long long>(best_obs_on),
+                 static_cast<long long>(best_log_on),
                  static_cast<long long>(best_detail), overhead_on_pct,
-                 overhead_detail_pct, max_pct,
+                 overhead_log_pct, overhead_detail_pct, max_pct,
                  traced_ok ? "true" : "false");
     for (std::size_t i = 0; i < found.size(); ++i) {
       std::fprintf(json, "%s\"%s\"", i == 0 ? "" : ", ", found[i].c_str());
@@ -300,6 +318,12 @@ int main() {
     std::fprintf(stderr,
                  "FAIL: obs_on overhead %.3f%% exceeds the %.1f%% ceiling\n",
                  overhead_on_pct, max_pct);
+    return 1;
+  }
+  if (overhead_log_pct > max_pct) {
+    std::fprintf(stderr,
+                 "FAIL: log_on overhead %.3f%% exceeds the %.1f%% ceiling\n",
+                 overhead_log_pct, max_pct);
     return 1;
   }
   if (!traced_ok) {

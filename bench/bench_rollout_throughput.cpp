@@ -215,7 +215,9 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_rollout_throughput.json", "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"bench\": \"rollout_throughput\",\n"
+    std::fprintf(json, "{\n");
+    bench_harness::write_meta(json);
+    std::fprintf(json, "  \"bench\": \"rollout_throughput\",\n"
                        "  \"total_steps\": %d,\n  \"configs\": [\n",
                  total_steps);
     for (std::size_t i = 0; i < results.size(); ++i) {

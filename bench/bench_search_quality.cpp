@@ -158,8 +158,10 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_search_quality.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    bench_harness::write_meta(json);
     std::fprintf(json,
-                 "{\n  \"bench\": \"search_quality\",\n"
+                 "  \"bench\": \"search_quality\",\n"
                  "  \"circuits\": %zu,\n"
                  "  \"beam_width\": %d,\n"
                  "  \"mcts_simulations\": %d,\n"

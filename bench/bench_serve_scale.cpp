@@ -258,8 +258,10 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_serve_scale.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    bench_harness::write_meta(json);
     std::fprintf(json,
-                 "{\n  \"bench\": \"serve_scale\",\n"
+                 "  \"bench\": \"serve_scale\",\n"
                  "  \"requests_per_connection\": %d,\n"
                  "  \"max_lane_queue\": %zu,\n"
                  "  \"sweep\": [",

@@ -218,8 +218,10 @@ int main() {
 
   std::FILE* json = std::fopen("BENCH_service_throughput.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    bench_harness::write_meta(json);
     std::fprintf(json,
-                 "{\n  \"bench\": \"service_throughput\",\n"
+                 "  \"bench\": \"service_throughput\",\n"
                  "  \"num_requests\": %zu,\n"
                  "  \"num_clients\": %d,\n"
                  "  \"max_batch\": %d,\n"

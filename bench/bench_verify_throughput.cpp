@@ -196,8 +196,10 @@ int main() {
                     stimuli_run.checks + mixed;
   std::FILE* json = std::fopen("BENCH_verify_throughput.json", "w");
   if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    bench_harness::write_meta(json);
     std::fprintf(json,
-                 "{\n  \"bench\": \"verify_throughput\",\n"
+                 "  \"bench\": \"verify_throughput\",\n"
                  "  \"total_checks\": %d,\n"
                  "  \"clifford_checks_per_sec\": %.2f,\n"
                  "  \"miter_checks_per_sec\": %.2f,\n"

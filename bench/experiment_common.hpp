@@ -11,18 +11,64 @@
 ///   QRC_ROLLOUT_WORKERS  env-stepping threads    (default: one per env)
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/baselines.hpp"
 #include "bench_suite/benchmarks.hpp"
 #include "core/predictor.hpp"
 #include "device/library.hpp"
+#include "obs/build_info.hpp"
 #include "reward/reward.hpp"
+#include "rl/mlp.hpp"
 
 namespace qrc::bench_harness {
+
+/// Provenance block stamped into every BENCH_*.json: which build, on which
+/// machine, when — so archived result files stay comparable across runs.
+inline std::string meta_json() {
+  const auto info = obs::build_info();
+
+  char timestamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  if (gmtime_r(&now, &tm) != nullptr) {
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  }
+
+  char hostname[256] = "unknown";
+  if (gethostname(hostname, sizeof(hostname)) != 0) {
+    std::strcpy(hostname, "unknown");
+  }
+  hostname[sizeof(hostname) - 1] = '\0';
+
+  char out[512];
+  std::snprintf(out, sizeof(out),
+                "{\"git_sha\": \"%.*s\", \"build_type\": \"%.*s\", "
+                "\"compiler\": \"%.*s\", \"timestamp_utc\": \"%s\", "
+                "\"hostname\": \"%s\", \"hardware_threads\": %u, "
+                "\"simd_kernel\": \"%s\"}",
+                static_cast<int>(info.git_sha.size()), info.git_sha.data(),
+                static_cast<int>(info.build_type.size()),
+                info.build_type.data(),
+                static_cast<int>(info.compiler.size()), info.compiler.data(),
+                timestamp, hostname, std::thread::hardware_concurrency(),
+                rl::simd_kernel_name());
+  return out;
+}
+
+/// Writes the shared `"meta"` member right after a BENCH_*.json writer's
+/// opening brace (callers emit `{\n` first, then this, then their fields).
+inline void write_meta(std::FILE* json) {
+  std::fprintf(json, "  \"meta\": %s,\n", meta_json().c_str());
+}
 
 inline int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);

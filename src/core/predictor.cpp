@@ -68,7 +68,9 @@ Predictor::Predictor(PredictorConfig config) : config_(std::move(config)) {
 }
 
 std::vector<rl::PpoUpdateStats> Predictor::train(
-    const std::vector<ir::Circuit>& circuits) {
+    const std::vector<ir::Circuit>& circuits,
+    const std::function<void(const rl::PpoUpdateStats&)>& progress,
+    obs::MetricsRegistry* metrics) {
   CompilationEnvConfig env_config;
   env_config.reward = config_.reward;
   env_config.max_steps = config_.env_max_steps;
@@ -91,10 +93,11 @@ std::vector<rl::PpoUpdateStats> Predictor::train(
               config_.seed + 7919 * static_cast<std::uint64_t>(i + 1));
         },
         config_.num_envs, workers);
-    agent_.emplace(rl::train_ppo_vec(envs, config_.ppo, &stats));
+    agent_.emplace(
+        rl::train_ppo_vec(envs, config_.ppo, &stats, progress, metrics));
   } else {
     CompilationEnv env(circuits, env_config);
-    agent_.emplace(rl::train_ppo(env, config_.ppo, &stats));
+    agent_.emplace(rl::train_ppo(env, config_.ppo, &stats, progress, metrics));
   }
   return stats;
 }

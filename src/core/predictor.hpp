@@ -72,9 +72,15 @@ class Predictor {
   explicit Predictor(PredictorConfig config);
 
   /// Trains the policy on `circuits` (the paper: 200 MQT Bench circuits).
-  /// Returns per-update statistics.
+  /// Returns per-update statistics. `progress` (optional) observes each
+  /// update as it completes (the CLI's JSONL curve writer rides this);
+  /// `metrics` (optional) receives the qrc_train_* families. Both are
+  /// pure observers — the trained weights are bitwise-identical with or
+  /// without them.
   std::vector<rl::PpoUpdateStats> train(
-      const std::vector<ir::Circuit>& circuits);
+      const std::vector<ir::Circuit>& circuits,
+      const std::function<void(const rl::PpoUpdateStats&)>& progress = {},
+      obs::MetricsRegistry* metrics = nullptr);
 
   [[nodiscard]] bool is_trained() const { return agent_.has_value(); }
 

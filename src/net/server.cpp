@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -10,7 +11,11 @@
 #include <utility>
 
 #include "ir/qasm.hpp"
+#include "obs/build_info.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
+#include "rl/mlp.hpp"
 #include "service/jsonl.hpp"
 
 namespace qrc::net {
@@ -35,9 +40,10 @@ Server::Server(service::CompileService& service, ServerConfig config)
       "qrc_shed_total", "Requests refused by admission control",
       {{"reason", "conn_inflight"}});
   metrics_scrapes_ = &reg.counter("qrc_net_metrics_scrapes_total",
-                                  "HTTP GET /metrics requests answered");
+                                  "HTTP /metrics requests answered");
   connections_active_ =
       &reg.gauge("qrc_net_connections_active", "Open connections");
+  obs::stamp_build_info(reg, rl::simd_kernel_name());
 }
 
 Server::~Server() { stop(); }
@@ -71,6 +77,14 @@ void Server::start() {
   poller_->set(wake_read_.fd(), /*want_read=*/true, /*want_write=*/false);
 
   started_.store(true);
+  started_at_ = std::chrono::steady_clock::now();
+  obs::FlightRecorder::instance().record(
+      obs::FlightEventKind::kLifecycle, "net",
+      "server listening on port " + std::to_string(port_));
+  obs::Logger::instance().logf(
+      obs::LogLevel::kInfo, "net", "%s listening on %s:%d (metrics %d)",
+      obs::build_info_line(rl::simd_kernel_name()).c_str(),
+      config_.host.c_str(), port_, metrics_port_);
   loop_ = std::thread(&Server::run_loop, this);
 }
 
@@ -346,51 +360,156 @@ void Server::process_lines(Conn& conn) {
 }
 
 void Server::handle_http(Conn& conn) {
-  // One-shot HTTP/1.0: read until the header terminator, answer, close
-  // after the flush (peer_eof doubles as "done reading").
-  const auto end = conn.rbuf.find("\r\n\r\n");
-  const auto lf_end = end == std::string::npos ? conn.rbuf.find("\n\n") : end;
-  if (end == std::string::npos && lf_end == std::string::npos) {
-    if (conn.rbuf.size() > (16u << 10)) {
-      conn.wbuf += "HTTP/1.0 400 Bad Request\r\nConnection: close\r\n\r\n";
-      conn.rbuf.clear();
-      conn.peer_eof = true;
-      update_interest(conn);
+  // One-shot HTTP/1.0: read until the header terminator, answer the first
+  // request, close after the flush (peer_eof doubles as "done reading").
+  // Pipelined followers are deterministically dropped by the close, and a
+  // request head truncated by EOF gets a 400 instead of silence.
+  const auto crlf_end = conn.rbuf.find("\r\n\r\n");
+  const auto end =
+      crlf_end == std::string::npos ? conn.rbuf.find("\n\n") : crlf_end;
+  std::string status;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::string extra_headers;
+  bool head_only = false;
+  if (end == std::string::npos) {
+    const bool oversized = conn.rbuf.size() > (16u << 10);
+    const bool truncated = conn.peer_eof && !conn.rbuf.empty();
+    if (!oversized && !truncated) {
+      return;  // wait for the rest of the head
     }
-    return;
-  }
-  const std::string::size_type line_end = conn.rbuf.find('\n');
-  std::string request_line = conn.rbuf.substr(0, line_end);
-  if (!request_line.empty() && request_line.back() == '\r') {
-    request_line.pop_back();
+    status = "400 Bad Request";
+    body = oversized ? "request head exceeds 16KB\n"
+                     : "truncated request head\n";
+  } else {
+    const std::string::size_type line_end = conn.rbuf.find('\n');
+    std::string request_line = conn.rbuf.substr(0, line_end);
+    if (!request_line.empty() && request_line.back() == '\r') {
+      request_line.pop_back();
+    }
+    const auto sp1 = request_line.find(' ');
+    const auto sp2 =
+        sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    const std::string method =
+        sp1 == std::string::npos ? "" : request_line.substr(0, sp1);
+    const std::string path = sp2 == std::string::npos
+                                 ? ""
+                                 : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method.empty() || path.empty() || path[0] != '/') {
+      status = "400 Bad Request";
+      body = "malformed request line\n";
+    } else if (method != "GET" && method != "HEAD") {
+      // POST/PUT/... are well-formed but unsupported: a deterministic
+      // 405 instead of the catch-all 404.
+      status = "405 Method Not Allowed";
+      extra_headers = "Allow: GET, HEAD\r\n";
+      body = "method not allowed; use GET or HEAD\n";
+    } else {
+      head_only = method == "HEAD";
+      route_http(method, path, status, content_type, body);
+    }
   }
   conn.rbuf.clear();
-  const auto sp1 = request_line.find(' ');
-  const auto sp2 =
-      sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
-  const std::string method =
-      sp1 == std::string::npos ? "" : request_line.substr(0, sp1);
-  const std::string path = sp2 == std::string::npos
-                               ? ""
-                               : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  std::string body;
-  std::string status;
-  if (method == "GET" &&
-      (path == "/metrics" || path.rfind("/metrics?", 0) == 0)) {
+  conn.wbuf += "HTTP/1.0 " + status + "\r\nContent-Type: " + content_type +
+               "\r\nContent-Length: " + std::to_string(body.size()) +
+               "\r\n" + extra_headers + "Connection: close\r\n\r\n";
+  if (!head_only) {
+    conn.wbuf += body;
+  }
+  conn.peer_eof = true;
+  update_interest(conn);
+}
+
+void Server::route_http(const std::string& method, const std::string& path,
+                        std::string& status, std::string& content_type,
+                        std::string& body) {
+  (void)method;  // GET and HEAD differ only in body suppression
+  const auto path_is = [&path](std::string_view target) {
+    return path == target ||
+           (path.size() > target.size() &&
+            path.compare(0, target.size(), target) == 0 &&
+            path[target.size()] == '?');
+  };
+  if (path_is("/metrics")) {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = service_.metrics().render_prometheus();
     status = "200 OK";
     metrics_scrapes_->inc();
+  } else if (path_is("/healthz")) {
+    // Liveness: the loop thread is answering — that is the whole check.
+    body = "ok\n";
+    status = "200 OK";
+  } else if (path_is("/readyz")) {
+    const bool has_models = service_.registry().size() > 0;
+    const bool accepting = !draining_.load();
+    if (has_models && accepting) {
+      body = "ready\n";
+      status = "200 OK";
+    } else {
+      body = std::string("not ready: ") +
+             (!has_models ? "no models loaded" : "draining") + "\n";
+      status = "503 Service Unavailable";
+    }
+  } else if (path_is("/statusz")) {
+    body = render_statusz();
+    status = "200 OK";
+  } else if (path_is("/debugz")) {
+    content_type = "application/json";
+    body = obs::FlightRecorder::instance().dump_json();
+    body += '\n';
+    status = "200 OK";
   } else {
-    body = "not found; try GET /metrics\n";
+    body = "not found; try /metrics /healthz /readyz /statusz /debugz\n";
     status = "404 Not Found";
   }
-  conn.wbuf += "HTTP/1.0 " + status +
-               "\r\nContent-Type: text/plain; version=0.0.4; "
-               "charset=utf-8\r\nContent-Length: " +
-               std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
-               body;
-  conn.peer_eof = true;
-  update_interest(conn);
+}
+
+std::string Server::render_statusz() const {
+  std::string out = obs::build_info_line(rl::simd_kernel_name());
+  out += '\n';
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - started_at_);
+  out += "uptime_s: " + std::to_string(uptime.count()) + "\n";
+  out += "draining: " + std::string(draining_.load() ? "true" : "false") +
+         "\n";
+  out += "models:";
+  for (const std::string& name : service_.registry().names()) {
+    out += ' ';
+    out += name;
+  }
+  out += '\n';
+  const service::ServiceStats svc = service_.stats();
+  out += "requests: " + std::to_string(svc.requests) + "\n";
+  out += "cache: " + std::to_string(svc.cache_hits) + " hits / " +
+         std::to_string(svc.cache_misses) + " misses / " +
+         std::to_string(svc.cache_evictions) + " evictions\n";
+  out += "batches: " + std::to_string(svc.batches) + " (max size " +
+         std::to_string(svc.max_batch_size) + ")\n";
+  out += "verify: " + std::to_string(svc.verified) + " equivalent / " +
+         std::to_string(svc.refuted) + " refuted / " +
+         std::to_string(svc.verify_unknown) + " unknown\n";
+  out += "search: " + std::to_string(svc.beam_requests) + " beam / " +
+         std::to_string(svc.mcts_requests) + " mcts, " +
+         std::to_string(svc.search_improved) + " improved, " +
+         std::to_string(svc.search_deadline_hits) + " deadline hits\n";
+  out += "shed: " + std::to_string(svc.shed) + "\n";
+  out += "connections_active: " +
+         std::to_string(connections_active_->value()) + "\n";
+  out += "\nflight recorder (most recent last):\n";
+  const auto events = obs::FlightRecorder::instance().snapshot();
+  const std::size_t tail = std::min<std::size_t>(events.size(), 16);
+  for (std::size_t i = events.size() - tail; i < events.size(); ++i) {
+    const obs::FlightEvent& ev = events[i];
+    out += "#" + std::to_string(ev.seq) + " " +
+           std::string(obs::flight_event_kind_name(ev.kind)) + " [" +
+           ev.tag + "] " + ev.detail + "\n";
+  }
+  out += "\nrecent log lines:\n";
+  for (const std::string& line : obs::Logger::instance().recent(16)) {
+    out += line;
+    out += '\n';
+  }
+  return out;
 }
 
 void Server::handle_line(Conn& conn, const std::string& line) {
@@ -429,6 +548,14 @@ void Server::handle_line(Conn& conn, const std::string& line) {
     queue_frame(conn,
                 service::serve_metrics_line(
                     request.id, service_.metrics().render_prometheus()),
+                /*is_error=*/false);
+    return;
+  }
+  if (request.op == service::ServeOp::kDebugDump) {
+    queue_frame(conn,
+                service::serve_debug_dump_line(
+                    request.id,
+                    obs::FlightRecorder::instance().dump_json()),
                 /*is_error=*/false);
     return;
   }

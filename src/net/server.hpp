@@ -18,8 +18,12 @@
 /// (qrc_net_*); ServerStats is a thin snapshot read. Requests with
 /// "trace":true get a TraceContext allocated at frame decode whose span
 /// tree rides back on the response frame. An optional second listener
-/// (`metrics_host`/`metrics_port`) answers HTTP GET /metrics with the
-/// Prometheus exposition on the same Poller loop.
+/// (`metrics_host`/`metrics_port`) serves the ops endpoints on the same
+/// Poller loop: GET /metrics (Prometheus exposition), /healthz
+/// (liveness), /readyz (models loaded and lanes accepting), /statusz
+/// (build info, uptime, service snapshot, recent flight-recorder and log
+/// tails) and /debugz (flight-recorder dump as JSON). HEAD works on all
+/// of them; other methods get 405.
 ///
 /// Graceful drain (`request_drain()`, async-signal-safe) stops accepting,
 /// lets in-flight requests finish, flushes their frames, then exits the
@@ -27,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -141,9 +146,17 @@ class Server {
   void handle_writable(Conn& conn);
   void process_lines(Conn& conn);
   void handle_line(Conn& conn, const std::string& line);
-  /// Minimal HTTP/1.0 handler for the /metrics listener: answers one GET
-  /// and closes after the flush.
+  /// One-shot HTTP/1.0 handler for the ops listener: answers the first
+  /// complete GET/HEAD deterministically (pipelined extra requests are
+  /// dropped by the close), 405s other methods, 400s garbage and
+  /// truncated request heads, and closes after the flush.
   void handle_http(Conn& conn);
+  /// Routes one parsed (method, path) to a response; fills status, body
+  /// and content type.
+  void route_http(const std::string& method, const std::string& path,
+                  std::string& status, std::string& content_type,
+                  std::string& body);
+  [[nodiscard]] std::string render_statusz() const;
   void queue_frame(Conn& conn, std::string line, bool is_error);
   void enqueue_outbound(std::uint64_t conn_id, std::string line,
                         bool final_frame);
@@ -165,6 +178,7 @@ class Server {
   std::thread loop_;
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point started_at_{};  ///< set by start()
 
   // Registry handles (service_.metrics() is the source of truth).
   obs::Counter* accepted_ = nullptr;

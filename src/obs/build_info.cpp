@@ -1,0 +1,86 @@
+#include "obs/build_info.hpp"
+
+#include "obs/metrics.hpp"
+
+// QRC_GIT_SHA and QRC_BUILD_TYPE are stamped by CMake on this TU only
+// (set_source_files_properties), so a new commit rebuilds one file.
+#ifndef QRC_GIT_SHA
+#define QRC_GIT_SHA "unknown"
+#endif
+#ifndef QRC_BUILD_TYPE
+#define QRC_BUILD_TYPE "unknown"
+#endif
+
+namespace qrc::obs {
+
+namespace {
+
+#define QRC_STR_INNER(x) #x
+#define QRC_STR(x) QRC_STR_INNER(x)
+
+constexpr std::string_view compiler_string() {
+#if defined(__clang__)
+  return "clang " QRC_STR(__clang_major__) "." QRC_STR(
+      __clang_minor__) "." QRC_STR(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " QRC_STR(__GNUC__) "." QRC_STR(__GNUC_MINOR__) "." QRC_STR(
+      __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+constexpr std::string_view cxx_standard_string() {
+#if __cplusplus >= 202302L
+  return "c++23";
+#elif __cplusplus >= 202002L
+  return "c++20";
+#elif __cplusplus >= 201703L
+  return "c++17";
+#else
+  return "pre-c++17";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      .git_sha = QRC_GIT_SHA,
+      .build_type = QRC_BUILD_TYPE,
+      .compiler = compiler_string(),
+      .cxx_standard = cxx_standard_string(),
+  };
+  return info;
+}
+
+std::string build_info_line(std::string_view simd_kernel) {
+  const BuildInfo& info = build_info();
+  std::string out = "qrc ";
+  out += info.git_sha;
+  out += " (";
+  out += info.build_type;
+  out += ", ";
+  out += info.compiler;
+  out += ", ";
+  out += info.cxx_standard;
+  out += ", simd=";
+  out += simd_kernel;
+  out += ')';
+  return out;
+}
+
+void stamp_build_info(MetricsRegistry& registry,
+                      std::string_view simd_kernel) {
+  const BuildInfo& info = build_info();
+  registry
+      .gauge("qrc_build_info",
+             "Build identity as labels; the value is always 1.",
+             {{"git_sha", std::string(info.git_sha)},
+              {"build_type", std::string(info.build_type)},
+              {"compiler", std::string(info.compiler)},
+              {"simd_kernel", std::string(simd_kernel)}})
+      .set(1);
+}
+
+}  // namespace qrc::obs

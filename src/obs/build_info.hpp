@@ -1,0 +1,38 @@
+/// \file build_info.hpp
+/// \brief Identifies the running build: git SHA and build type (stamped
+///        by CMake as compile definitions on this one TU), compiler
+///        version, and C++ standard. Exposed three ways so every surface
+///        agrees on what binary is running: the `qrc_build_info` info
+///        gauge on /metrics, the serve startup log line, and the `meta`
+///        block in BENCH_*.json files.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace qrc::obs {
+
+class MetricsRegistry;
+
+struct BuildInfo {
+  std::string_view git_sha;     ///< short SHA, or "unknown" outside git
+  std::string_view build_type;  ///< CMAKE_BUILD_TYPE, or "unknown"
+  std::string_view compiler;    ///< e.g. "gcc 13.2.0"
+  std::string_view cxx_standard;  ///< e.g. "c++20"
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+/// One-line human summary including the active SIMD kernel, for startup
+/// logs: "qrc <sha> (<build_type>, <compiler>, <std>, simd=<kernel>)".
+/// The kernel is passed in so obs does not depend on rl.
+[[nodiscard]] std::string build_info_line(std::string_view simd_kernel);
+
+/// Registers the Prometheus info-gauge idiom: a constant-1 gauge whose
+/// labels carry the build identity.
+///   qrc_build_info{git_sha="...",build_type="...",compiler="...",
+///                  simd_kernel="..."} 1
+void stamp_build_info(MetricsRegistry& registry,
+                      std::string_view simd_kernel);
+
+}  // namespace qrc::obs

@@ -72,6 +72,17 @@ std::string render_number(double v) {
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
+// ------------------------------------------------------------- FloatGauge ---
+
+void FloatGauge::set(double v) {
+  if (!enabled()) return;
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+double FloatGauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
 // -------------------------------------------------------------- Histogram ---
 
 Histogram::Histogram(std::vector<double> bounds)
@@ -153,6 +164,16 @@ Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
   return *slot;
 }
 
+FloatGauge& MetricsRegistry::float_gauge(std::string_view name,
+                                         std::string_view help,
+                                         const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family(name, help, Kind::kFloatGauge);
+  auto& slot = fam.float_gauges[sorted(labels)];
+  if (!slot) slot = std::make_unique<FloatGauge>();
+  return *slot;
+}
+
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::string_view help,
                                       const std::vector<double>& bounds,
@@ -181,6 +202,30 @@ std::int64_t MetricsRegistry::gauge_value(std::string_view name,
   if (it == families_.end()) return 0;
   const auto series = it->second.gauges.find(sorted(labels));
   return series == it->second.gauges.end() ? 0 : series->second->value();
+}
+
+double MetricsRegistry::float_gauge_value(std::string_view name,
+                                          const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return 0.0;
+  const auto series = it->second.float_gauges.find(sorted(labels));
+  return series == it->second.float_gauges.end() ? 0.0
+                                                 : series->second->value();
+}
+
+std::vector<std::string> MetricsRegistry::family_names(
+    std::string_view prefix) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, fam] : families_) {
+    (void)fam;
+    if (prefix.empty() || std::string_view(name).substr(0, prefix.size()) ==
+                              prefix) {
+      out.push_back(name);
+    }
+  }
+  return out;
 }
 
 std::vector<std::pair<Labels, std::uint64_t>> MetricsRegistry::counter_series(
@@ -214,6 +259,7 @@ std::string MetricsRegistry::render_prometheus() const {
     switch (fam.kind) {
       case Kind::kCounter: out += "counter\n"; break;
       case Kind::kGauge: out += "gauge\n"; break;
+      case Kind::kFloatGauge: out += "gauge\n"; break;
       case Kind::kHistogram: out += "histogram\n"; break;
     }
     for (const auto& [labels, counter] : fam.counters) {
@@ -223,6 +269,10 @@ std::string MetricsRegistry::render_prometheus() const {
     for (const auto& [labels, gauge] : fam.gauges) {
       out += name + render_labels(labels, nullptr) + " " +
              std::to_string(gauge->value()) + "\n";
+    }
+    for (const auto& [labels, gauge] : fam.float_gauges) {
+      out += name + render_labels(labels, nullptr) + " " +
+             render_number(gauge->value()) + "\n";
     }
     for (const auto& [labels, hist] : fam.histograms) {
       const auto buckets = hist->bucket_counts();

@@ -76,6 +76,18 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// Floating-point instantaneous value (losses, ratios, rates) stored as
+/// bit-cast atomic uint64 so set/read stay lock-free. Rendered as a
+/// Prometheus gauge.
+class FloatGauge {
+ public:
+  void set(double v);
+  [[nodiscard]] double value() const;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  // 0 bits == 0.0
+};
+
 /// Fixed-bound histogram. Buckets are non-cumulative internally and
 /// rendered cumulative (Prometheus `le` convention, implicit +Inf last).
 /// Hot path: one linear bucket scan plus three relaxed atomic ops.
@@ -120,6 +132,8 @@ class MetricsRegistry {
                    const Labels& labels = {});
   Gauge& gauge(std::string_view name, std::string_view help,
                const Labels& labels = {});
+  FloatGauge& float_gauge(std::string_view name, std::string_view help,
+                          const Labels& labels = {});
   /// `bounds` is consulted on first registration of the family only.
   Histogram& histogram(std::string_view name, std::string_view help,
                        const std::vector<double>& bounds,
@@ -130,6 +144,11 @@ class MetricsRegistry {
                                             const Labels& labels = {}) const;
   [[nodiscard]] std::int64_t gauge_value(std::string_view name,
                                          const Labels& labels = {}) const;
+  [[nodiscard]] double float_gauge_value(std::string_view name,
+                                         const Labels& labels = {}) const;
+  /// Names of registered families whose name starts with `prefix`, sorted.
+  [[nodiscard]] std::vector<std::string> family_names(
+      std::string_view prefix = {}) const;
   /// Every (labels, value) series of a counter family; empty if absent.
   [[nodiscard]] std::vector<std::pair<Labels, std::uint64_t>> counter_series(
       std::string_view name) const;
@@ -141,7 +160,7 @@ class MetricsRegistry {
   [[nodiscard]] std::string render_prometheus() const;
 
  private:
-  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  enum class Kind : std::uint8_t { kCounter, kGauge, kFloatGauge, kHistogram };
 
   struct Family {
     Kind kind;
@@ -150,6 +169,7 @@ class MetricsRegistry {
     // Keyed by sorted labels; pointers are stable (never reallocated).
     std::map<Labels, std::unique_ptr<Counter>> counters;
     std::map<Labels, std::unique_ptr<Gauge>> gauges;
+    std::map<Labels, std::unique_ptr<FloatGauge>> float_gauges;
     std::map<Labels, std::unique_ptr<Histogram>> histograms;
   };
 

@@ -1,0 +1,57 @@
+#include "obs/training_logger.hpp"
+
+#include <cmath>
+
+namespace qrc::obs {
+
+namespace {
+
+/// Same numeric rendering policy as the Prometheus exposition: integers
+/// bare, everything else with enough digits to round-trip. NaN/Inf are
+/// not valid JSON, so they degrade to null.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+TrainingLogger::TrainingLogger(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+TrainingLogger::~TrainingLogger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TrainingLogger::write(
+    const std::vector<std::pair<std::string, double>>& fields) {
+  if (file_ == nullptr) return;
+  std::string line;
+  line.reserve(32 * fields.size());
+  line += '{';
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += key;  // field names are code-controlled identifiers
+    line += "\":";
+    append_number(line, value);
+  }
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  ++records_;
+}
+
+}  // namespace qrc::obs

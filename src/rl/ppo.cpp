@@ -1,6 +1,7 @@
 #include "rl/ppo.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <istream>
 #include <numeric>
@@ -8,6 +9,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "rl/categorical.hpp"
 #include "rl/thread_pool.hpp"
 #include "rl/vec_env.hpp"
@@ -162,6 +164,12 @@ void run_ppo_epochs(const std::vector<Transition>& buffer,
         stats.policy_loss += -std::min(ratio * adv, clipped * adv);
         stats.value_loss += 0.5 * (v - ret) * (v - ret);
         stats.entropy += dist.entropy(k);
+        // Diagnostics over already-computed per-sample values; nothing
+        // here feeds back into the gradients.
+        stats.approx_kl += tr.log_prob - logp;
+        if (std::fabs(ratio - 1.0) > config.clip_range) {
+          stats.clip_fraction += 1.0;
+        }
         ++loss_samples;
       }
       policy.backward_batch(grad_logits, bsz);
@@ -173,7 +181,67 @@ void run_ppo_epochs(const std::vector<Transition>& buffer,
     stats.policy_loss /= loss_samples;
     stats.value_loss /= loss_samples;
     stats.entropy /= loss_samples;
+    stats.approx_kl /= loss_samples;
+    stats.clip_fraction /= loss_samples;
   }
+}
+
+/// Finalises the timing fields of one update's stats and publishes the
+/// qrc_train_* families. Purely observational — called after the
+/// optimiser has already stepped.
+void finish_update_stats(PpoUpdateStats& stats, int steps_this_update,
+                         std::chrono::steady_clock::time_point update_start,
+                         obs::MetricsRegistry* metrics) {
+  const auto elapsed = std::chrono::steady_clock::now() - update_start;
+  stats.update_duration_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  stats.env_steps_per_sec =
+      stats.update_duration_us > 0
+          ? static_cast<double>(steps_this_update) * 1e6 /
+                static_cast<double>(stats.update_duration_us)
+          : 0.0;
+  if (metrics == nullptr) return;
+  metrics->counter("qrc_train_updates_total", "PPO updates completed.").inc();
+  metrics
+      ->counter("qrc_train_timesteps_total",
+                "Environment steps consumed by training.")
+      .inc(static_cast<std::uint64_t>(steps_this_update));
+  metrics
+      ->counter("qrc_train_episodes_total",
+                "Training episodes ended (done or truncated).")
+      .inc(static_cast<std::uint64_t>(stats.episodes));
+  metrics
+      ->float_gauge("qrc_train_policy_loss",
+                    "Mean clipped-surrogate policy loss, last update.")
+      .set(stats.policy_loss);
+  metrics
+      ->float_gauge("qrc_train_value_loss",
+                    "Mean value-function loss, last update.")
+      .set(stats.value_loss);
+  metrics
+      ->float_gauge("qrc_train_entropy",
+                    "Mean policy entropy, last update.")
+      .set(stats.entropy);
+  metrics
+      ->float_gauge("qrc_train_approx_kl",
+                    "Mean approximate KL(old||new), last update.")
+      .set(stats.approx_kl);
+  metrics
+      ->float_gauge("qrc_train_clip_fraction",
+                    "Fraction of samples with a clipped ratio, last update.")
+      .set(stats.clip_fraction);
+  metrics
+      ->float_gauge("qrc_train_episode_reward_mean",
+                    "Mean reward of episodes ended in the last update.")
+      .set(stats.mean_episode_reward);
+  metrics
+      ->float_gauge("qrc_train_episode_length_mean",
+                    "Mean length of episodes ended in the last update.")
+      .set(stats.mean_episode_length);
+  metrics
+      ->float_gauge("qrc_train_env_steps_per_sec",
+                    "Environment-step throughput of the last update.")
+      .set(stats.env_steps_per_sec);
 }
 
 }  // namespace
@@ -240,7 +308,8 @@ PpoAgent PpoAgent::load(std::istream& is) {
 
 PpoAgent train_ppo(Env& env, const PpoConfig& config,
                    std::vector<PpoUpdateStats>* stats_out,
-                   const std::function<void(const PpoUpdateStats&)>& progress) {
+                   const std::function<void(const PpoUpdateStats&)>& progress,
+                   obs::MetricsRegistry* metrics) {
   PpoAgent agent(env.observation_size(), env.num_actions(), config);
   Mlp& policy = agent.policy();
   Mlp& value_net = agent.value_net();
@@ -256,13 +325,17 @@ PpoAgent train_ppo(Env& env, const PpoConfig& config,
   std::vector<double> obs = env.reset();
   std::vector<bool> mask = env.action_mask();
   double episode_reward = 0.0;
+  int episode_length = 0;
 
   int timesteps_done = 0;
+  int update_index = 0;
   while (timesteps_done < config.total_timesteps) {
+    const auto update_start = std::chrono::steady_clock::now();
     // ---- Rollout collection ----
     std::vector<Transition> buffer;
     buffer.reserve(static_cast<std::size_t>(config.steps_per_update));
     double reward_sum = 0.0;
+    std::int64_t length_sum = 0;
     int episodes = 0;
     for (int t = 0; t < config.steps_per_update; ++t) {
       const auto logits = policy.forward(obs);
@@ -279,6 +352,7 @@ PpoAgent train_ppo(Env& env, const PpoConfig& config,
       const StepResult result = env.step(action);
       tr.reward = result.reward;
       episode_reward += result.reward;
+      ++episode_length;
       tr.episode_end = result.done || result.truncated;
       if (result.truncated && !result.done) {
         tr.bootstrap = value_net.forward(result.observation)[0];
@@ -287,7 +361,9 @@ PpoAgent train_ppo(Env& env, const PpoConfig& config,
 
       if (result.done || result.truncated) {
         reward_sum += episode_reward;
+        length_sum += episode_length;
         episode_reward = 0.0;
+        episode_length = 0;
         ++episodes;
         obs = env.reset();
       } else {
@@ -309,12 +385,18 @@ PpoAgent train_ppo(Env& env, const PpoConfig& config,
 
     // ---- PPO epochs ----
     PpoUpdateStats stats;
+    stats.update_index = update_index++;
     stats.timesteps = timesteps_done;
     stats.episodes = episodes;
     stats.mean_episode_reward =
         episodes > 0 ? reward_sum / static_cast<double>(episodes) : 0.0;
+    stats.mean_episode_length =
+        episodes > 0 ? static_cast<double>(length_sum) /
+                           static_cast<double>(episodes)
+                     : 0.0;
     run_ppo_epochs(buffer, advantages, returns, config, policy, value_net,
                    optimizer, rng, stats);
+    finish_update_stats(stats, config.steps_per_update, update_start, metrics);
     if (stats_out != nullptr) {
       stats_out->push_back(stats);
     }
@@ -328,7 +410,8 @@ PpoAgent train_ppo(Env& env, const PpoConfig& config,
 PpoAgent train_ppo_vec(
     VecEnv& envs, const PpoConfig& config,
     std::vector<PpoUpdateStats>* stats_out,
-    const std::function<void(const PpoUpdateStats&)>& progress) {
+    const std::function<void(const PpoUpdateStats&)>& progress,
+    obs::MetricsRegistry* metrics) {
   const int num_envs = envs.num_envs();
   PpoAgent agent(envs.observation_size(), envs.num_actions(), config);
   Mlp& policy = agent.policy();
@@ -353,6 +436,7 @@ PpoAgent train_ppo_vec(
 
   envs.reset();
   std::vector<double> episode_reward(static_cast<std::size_t>(num_envs), 0.0);
+  std::vector<int> episode_length(static_cast<std::size_t>(num_envs), 0);
 
   const int rounds = std::max(1, config.steps_per_update / num_envs);
   std::vector<std::vector<Transition>> env_buf(
@@ -370,13 +454,16 @@ PpoAgent train_ppo_vec(
   std::vector<int> actions(static_cast<std::size_t>(num_envs), 0);
 
   int timesteps_done = 0;
+  int update_index = 0;
   while (timesteps_done < config.total_timesteps) {
+    const auto update_start = std::chrono::steady_clock::now();
     // ---- Rollout collection: all envs advance in lockstep rounds ----
     for (auto& buf : env_buf) {
       buf.clear();
       buf.reserve(static_cast<std::size_t>(rounds));
     }
     double reward_sum = 0.0;
+    std::int64_t length_sum = 0;
     int episodes = 0;
     for (int r = 0; r < rounds; ++r) {
       // One batched policy forward and one batched value forward over all
@@ -432,9 +519,12 @@ PpoAgent train_ppo_vec(
       for (int e = 0; e < num_envs; ++e) {
         const auto idx = static_cast<std::size_t>(e);
         episode_reward[idx] += results[idx].reward;
+        ++episode_length[idx];
         if (results[idx].done || results[idx].truncated) {
           reward_sum += episode_reward[idx];
+          length_sum += episode_length[idx];
           episode_reward[idx] = 0.0;
+          episode_length[idx] = 0;
           ++episodes;
         }
       }
@@ -487,12 +577,18 @@ PpoAgent train_ppo_vec(
 
     // ---- PPO epochs (identical to the serial path) ----
     PpoUpdateStats stats;
+    stats.update_index = update_index++;
     stats.timesteps = timesteps_done;
     stats.episodes = episodes;
     stats.mean_episode_reward =
         episodes > 0 ? reward_sum / static_cast<double>(episodes) : 0.0;
+    stats.mean_episode_length =
+        episodes > 0 ? static_cast<double>(length_sum) /
+                           static_cast<double>(episodes)
+                     : 0.0;
     run_ppo_epochs(buffer, advantages, returns, config, policy, value_net,
                    optimizer, update_rng, stats, &pool);
+    finish_update_stats(stats, rounds * num_envs, update_start, metrics);
     if (stats_out != nullptr) {
       stats_out->push_back(stats);
     }

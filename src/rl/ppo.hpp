@@ -18,6 +18,10 @@
 #include "rl/env.hpp"
 #include "rl/mlp.hpp"
 
+namespace qrc::obs {
+class MetricsRegistry;
+}  // namespace qrc::obs
+
 namespace qrc::rl {
 
 struct PpoConfig {
@@ -36,13 +40,24 @@ struct PpoConfig {
   std::uint64_t seed = 1;
 };
 
-/// Per-update training statistics.
+/// Per-update training statistics. Every field is a pure observation of
+/// quantities the update computes anyway (or wall-clock timing), so
+/// collecting them never perturbs the trained weights.
 struct PpoUpdateStats {
-  int timesteps = 0;
+  int update_index = 0;  ///< 0-based position in the training run
+  int timesteps = 0;     ///< cumulative env steps after this update
   double mean_episode_reward = 0.0;
+  double mean_episode_length = 0.0;  ///< steps, over episodes ended this update
   double policy_loss = 0.0;
   double value_loss = 0.0;
   double entropy = 0.0;
+  /// Mean of (old_log_prob - new_log_prob) over all epoch samples — the
+  /// usual first-order KL estimate (Schulman's approx_kl).
+  double approx_kl = 0.0;
+  /// Fraction of epoch samples whose ratio left [1-clip, 1+clip].
+  double clip_fraction = 0.0;
+  double env_steps_per_sec = 0.0;  ///< rollout + optimisation wall rate
+  std::int64_t update_duration_us = 0;
   int episodes = 0;
 };
 
@@ -83,11 +98,15 @@ class PpoAgent {
 };
 
 /// Runs PPO on `env` and returns the trained agent plus per-update stats.
-/// `progress` (optional) is invoked after every update.
+/// `progress` (optional) is invoked after every update. `metrics`
+/// (optional) receives the qrc_train_* families after every update;
+/// instrumentation observes values the update already computed, so results
+/// are bitwise-identical with or without it.
 PpoAgent train_ppo(
     Env& env, const PpoConfig& config,
     std::vector<PpoUpdateStats>* stats_out = nullptr,
-    const std::function<void(const PpoUpdateStats&)>& progress = {});
+    const std::function<void(const PpoUpdateStats&)>& progress = {},
+    obs::MetricsRegistry* metrics = nullptr);
 
 class VecEnv;
 
@@ -105,6 +124,7 @@ class VecEnv;
 PpoAgent train_ppo_vec(
     VecEnv& envs, const PpoConfig& config,
     std::vector<PpoUpdateStats>* stats_out = nullptr,
-    const std::function<void(const PpoUpdateStats&)>& progress = {});
+    const std::function<void(const PpoUpdateStats&)>& progress = {},
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace qrc::rl

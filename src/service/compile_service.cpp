@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "ir/qasm.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "verify/equivalence.hpp"
 
 namespace qrc::service {
@@ -51,6 +53,20 @@ void CompileService::deliver_response(Pending& pending,
 
 void CompileService::deliver_error(Pending& pending,
                                    const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::kError, "service",
+        "request '" + pending.id + "' failed: " + e.what());
+    obs::Logger::instance().log_rate_limited(
+        obs::LogLevel::kWarn, "service", "deliver_error", 4,
+        "request '" + pending.id + "' failed: " + std::string(e.what()));
+  } catch (...) {
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::kError, "service",
+        "request '" + pending.id + "' failed: non-standard exception");
+  }
   if (pending.hooks.on_error || pending.hooks.on_result) {
     try {
       std::rethrow_exception(error);
@@ -273,6 +289,14 @@ void CompileService::submit_impl(const std::string& model_name,
     if (config_.max_lane_queue > 0 &&
         lane.queue.size() >= config_.max_lane_queue) {
       shed_total_->inc();
+      obs::FlightRecorder::instance().record(
+          obs::FlightEventKind::kShed, "service",
+          "lane '" + name + "' shed a request at queue bound " +
+              std::to_string(config_.max_lane_queue));
+      // Rate-limited: under sustained overload this fires per request.
+      obs::Logger::instance().log_rate_limited(
+          obs::LogLevel::kWarn, "service", "shed:" + name, 2,
+          "lane '" + name + "' shedding at its queue bound");
       throw ServiceError(ErrorCode::kOverloaded,
                          "lane '" + name + "' is at its queue bound (" +
                              std::to_string(config_.max_lane_queue) +
@@ -623,10 +647,23 @@ void CompileService::process_batch(Lane& lane, std::vector<Pending> batch) {
                         "Fresh searches cut by their deadline, per strategy",
                         labels)
               .inc();
+          obs::FlightRecorder::instance().record(
+              obs::FlightEventKind::kDeadlineHit, "service",
+              "search '" + batch[i].id + "' cut by its deadline after " +
+                  std::to_string(stats.nodes_expanded) + " nodes");
         }
       }
       response.latency_us = elapsed_us(batch[i].submitted);
       mm.latency_us->observe(static_cast<double>(response.latency_us));
+      obs::FlightRecorder::instance().record(
+          obs::FlightEventKind::kRequest, "service",
+          "request '" + batch[i].id + "' model '" + lane.name +
+              "' answered in " + std::to_string(response.latency_us) +
+              "us");
+      obs::Logger::instance().log_rate_limited(
+          obs::LogLevel::kDebug, "service", "answered", 8,
+          "request '" + batch[i].id + "' answered in " +
+              std::to_string(response.latency_us) + "us");
       if (batch[i].trace != nullptr) {
         batch[i].trace->end_span(batch_span[i]);
         response.trace = batch[i].trace;
@@ -650,6 +687,20 @@ void CompileService::count_verdict(const verify::VerifyResult& verdict) {
                  {"method",
                   std::string(verify::method_name(verdict.method))}})
       .inc();
+  if (verdict.verdict == verify::Verdict::kNotEquivalent) {
+    // A refutation means the compiler produced a wrong circuit — the
+    // single most important event the system can record. Log it, note it
+    // in the flight recorder, and dump the recorder immediately so the
+    // surrounding traffic context survives later ring wraparound.
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::kRefutation, "service",
+        std::string("verifier refuted a compiled circuit (method ") +
+            std::string(verify::method_name(verdict.method)) + ")");
+    obs::log_error("service",
+                   "verification REFUTED a compiled circuit; dumping "
+                   "flight recorder");
+    obs::FlightRecorder::instance().dump(2);
+  }
 }
 
 ServiceStats CompileService::stats() const {

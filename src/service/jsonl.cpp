@@ -392,6 +392,8 @@ std::string_view serve_op_name(ServeOp op) {
       return "ping";
     case ServeOp::kMetrics:
       return "metrics";
+    case ServeOp::kDebugDump:
+      return "debug_dump";
   }
   return "compile";
 }
@@ -444,9 +446,12 @@ ServeRequest parse_serve_request(std::string_view line) {
       request.op = ServeOp::kPing;
     } else if (op == "metrics") {
       request.op = ServeOp::kMetrics;
+    } else if (op == "debug_dump") {
+      request.op = ServeOp::kDebugDump;
     } else {
       bad_request("unknown op '" + op +
-                  "' (expected compile, stats, ping or metrics)");
+                  "' (expected compile, stats, ping, metrics or "
+                  "debug_dump)");
     }
   }
 
@@ -679,6 +684,13 @@ std::string serve_metrics_line(std::string_view id,
          ",\"type\":\"result\",\"op\":\"metrics\"" +
          ",\"content_type\":\"text/plain; version=0.0.4\"" +
          ",\"body\":" + json_quote(exposition) + "}";
+}
+
+std::string serve_debug_dump_line(std::string_view id,
+                                  std::string_view events_json) {
+  return "{\"id\":" + json_quote(id) +
+         ",\"type\":\"result\",\"op\":\"debug_dump\",\"events\":" +
+         std::string(events_json) + "}";
 }
 
 }  // namespace qrc::service

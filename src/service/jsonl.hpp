@@ -81,10 +81,11 @@ class JsonValue {
 
 /// Operation carried by a v1 request envelope.
 enum class ServeOp : std::uint8_t {
-  kCompile,  ///< compile a circuit (the only v0 operation)
-  kStats,    ///< snapshot the service counters
-  kPing,     ///< liveness probe
-  kMetrics,  ///< Prometheus text exposition of the metrics registry
+  kCompile,    ///< compile a circuit (the only v0 operation)
+  kStats,      ///< snapshot the service counters
+  kPing,       ///< liveness probe
+  kMetrics,    ///< Prometheus text exposition of the metrics registry
+  kDebugDump,  ///< flight-recorder snapshot (recent notable events)
 };
 
 [[nodiscard]] std::string_view serve_op_name(ServeOp op);
@@ -194,5 +195,11 @@ struct ServeRequest {
 /// "op":"metrics","content_type":...,"body":<exposition text>}.
 [[nodiscard]] std::string serve_metrics_line(std::string_view id,
                                              std::string_view exposition);
+
+/// Serialises the v1 "debug_dump" result frame: {"id","type":"result",
+/// "op":"debug_dump","events":[...]} where `events_json` is an already-
+/// serialised JSON array (obs::FlightRecorder::dump_json()).
+[[nodiscard]] std::string serve_debug_dump_line(std::string_view id,
+                                                std::string_view events_json);
 
 }  // namespace qrc::service

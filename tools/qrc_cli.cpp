@@ -5,11 +5,14 @@
 //   qrc train --reward <fidelity|critical_depth|combination|gate_count|depth>
 //             --out <model.txt> [--steps N] [--count N]
 //             [--min-qubits N] [--max-qubits N] [--seed N]
-//             [--num-envs N] [--workers N]
+//             [--num-envs N] [--workers N] [--log-jsonl <curves.jsonl>]
 //       Trains a model on the built-in benchmark corpus. --num-envs > 1
 //       collects rollouts from that many environments in parallel
 //       (deterministic for a fixed seed/num-envs pair); --workers caps the
-//       stepping threads (default: one per env).
+//       stepping threads (default: one per env). --log-jsonl streams one
+//       JSON record per PPO update (losses, entropy, approx KL, clip
+//       fraction, episode reward/length, env steps/sec) — observation
+//       only, never changes the trained model.
 //   qrc compile --model <model.txt> <circuit.qasm> [--out <compiled.qasm>]
 //             [--verify] [--search beam:8|mcts:400] [--deadline-ms N]
 //             [--trace]
@@ -53,9 +56,15 @@
 //       searches, and overload is shed with typed "overloaded" errors
 //       (--max-lane-queue bounds each model lane, --max-inflight each
 //       connection). SIGINT/SIGTERM drain gracefully: stop accepting,
-//       answer everything in flight, flush, exit. --metrics-listen binds
-//       a second HTTP listener answering GET /metrics with the Prometheus
-//       exposition of the service's registry.
+//       answer everything in flight, flush, exit; SIGQUIT dumps the
+//       flight recorder (recent sheds/errors/refutations) to stderr.
+//       --metrics-listen binds a second HTTP listener answering
+//       GET /metrics (Prometheus exposition), /healthz, /readyz,
+//       /statusz and /debugz.
+//
+//   Every subcommand honours QRC_LOG=debug|info|warn|error|off and
+//   QRC_LOG_JSON=1; train and serve also take --log-level/--log-json.
+//   Diagnostics go to stderr, stdout stays machine-readable.
 //   qrc client HOST:PORT
 //       Connects to a --listen server, pipelines request lines from
 //       stdin, and prints every response frame (partials included) to
@@ -87,7 +96,13 @@
 #include "ir/qasm.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/build_info.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/training_logger.hpp"
+#include "rl/mlp.hpp"
 #include "search/search.hpp"
 #include "service/compile_service.hpp"
 #include "service/jsonl.hpp"
@@ -104,6 +119,7 @@ int usage() {
       "  qrc train --reward <kind> --out <model.txt> [--steps N]\n"
       "            [--count N] [--min-qubits N] [--max-qubits N]\n"
       "            [--seed N] [--num-envs N] [--workers N]\n"
+      "            [--log-jsonl <curves.jsonl>] [--log-level L] [--log-json]\n"
       "  qrc compile --model <model.txt> <circuit.qasm>\n"
       "              [--out <compiled.qasm>] [--verify]\n"
       "              [--search beam:8|mcts:400] [--deadline-ms N]\n"
@@ -117,7 +133,12 @@ int usage() {
       "            [--max-frame-bytes N] [--max-inflight N]\n"
       "            [--max-connections N] [--poller auto|epoll|poll]\n"
       "            [--metrics-listen HOST:PORT]\n"
-      "  qrc client HOST:PORT\n");
+      "            [--log-level L] [--log-json]\n"
+      "  qrc client HOST:PORT\n"
+      "\n"
+      "logging: --log-level debug|info|warn|error|off (default info);\n"
+      "         --log-json switches stderr lines to JSON. QRC_LOG and\n"
+      "         QRC_LOG_JSON=1 set the same knobs for every subcommand.\n");
   return 2;
 }
 
@@ -207,6 +228,23 @@ void expect_positionals(const ParsedArgs& args, std::size_t count,
   }
 }
 
+/// Applies the shared logging knobs (--log-level, --log-json) on top of
+/// whatever QRC_LOG / QRC_LOG_JSON already configured in main().
+void apply_log_flags(const ParsedArgs& args) {
+  if (const std::string* level = args.single("log-level")) {
+    const auto parsed = obs::parse_log_level(*level);
+    if (!parsed.has_value()) {
+      throw std::runtime_error(
+          "--log-level expects debug|info|warn|error|off, got '" + *level +
+          "'");
+    }
+    obs::Logger::instance().set_level(*parsed);
+  }
+  if (args.single("log-json") != nullptr) {
+    obs::Logger::instance().set_json(true);
+  }
+}
+
 reward::RewardKind parse_reward(const std::string& name) {
   for (const auto kind :
        {reward::RewardKind::kFidelity, reward::RewardKind::kCriticalDepth,
@@ -252,8 +290,10 @@ int cmd_train(int argc, char** argv) {
   const auto args = parse_args(
       argc, argv, 2,
       {"reward", "out", "steps", "count", "min-qubits", "max-qubits",
-       "seed", "num-envs", "workers"});
+       "seed", "num-envs", "workers", "log-jsonl", "log-level"},
+      {"log-json"});
   expect_positionals(args, 0, "train takes only flags");
+  apply_log_flags(args);
   const std::string* reward_flag = args.single("reward");
   const std::string* out_flag = args.single("out");
   if (reward_flag == nullptr || out_flag == nullptr) {
@@ -276,10 +316,45 @@ int cmd_train(int argc, char** argv) {
               config.ppo.total_timesteps, count, min_q, max_q,
               config.num_envs);
   core::Predictor predictor(config);
-  const auto stats =
-      predictor.train(bench::benchmark_suite(min_q, max_q, count));
+
+  // --log-jsonl PATH streams one JSON object per PPO update to disk; the
+  // local registry mirrors the same numbers as qrc_train_* families so a
+  // final scrape (or a test) can inspect them. Both are observation-only.
+  std::optional<obs::TrainingLogger> jsonl;
+  if (const std::string* jsonl_flag = args.single("log-jsonl")) {
+    jsonl.emplace(*jsonl_flag);
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "cannot write %s\n", jsonl_flag->c_str());
+      return 1;
+    }
+  }
+  obs::MetricsRegistry train_registry;
+  const auto progress = [&](const rl::PpoUpdateStats& u) {
+    if (!jsonl.has_value()) {
+      return;
+    }
+    jsonl->write(
+        {{"update", static_cast<double>(u.update_index)},
+         {"timesteps", static_cast<double>(u.timesteps)},
+         {"episodes", static_cast<double>(u.episodes)},
+         {"mean_episode_reward", u.mean_episode_reward},
+         {"mean_episode_length", u.mean_episode_length},
+         {"policy_loss", u.policy_loss},
+         {"value_loss", u.value_loss},
+         {"entropy", u.entropy},
+         {"approx_kl", u.approx_kl},
+         {"clip_fraction", u.clip_fraction},
+         {"env_steps_per_sec", u.env_steps_per_sec},
+         {"update_duration_us", static_cast<double>(u.update_duration_us)}});
+  };
+  const auto stats = predictor.train(
+      bench::benchmark_suite(min_q, max_q, count), progress, &train_registry);
   std::printf("done: %zu updates, final mean episode reward %.3f\n",
               stats.size(), stats.back().mean_episode_reward);
+  if (jsonl.has_value()) {
+    std::printf("training curves: %zu update record(s) written to %s\n",
+                jsonl->records(), jsonl->path().c_str());
+  }
 
   std::ofstream os(*out_flag);
   if (!os) {
@@ -506,41 +581,47 @@ int serve_listen(service::CompileService& svc, const std::string& spec,
   g_listen_server = &server;
   std::signal(SIGINT, handle_drain_signal);
   std::signal(SIGTERM, handle_drain_signal);
-  std::fprintf(stderr, "# listening on %s:%d (SIGINT/SIGTERM drains)\n",
-               config.host.c_str(), server.port());
+  obs::install_sigquit_dump(2);  // SIGQUIT dumps the flight recorder
+  auto& log = obs::Logger::instance();
+  log.logf(obs::LogLevel::kInfo, "serve",
+           "listening on %s:%d (SIGINT/SIGTERM drains, SIGQUIT dumps "
+           "flight recorder)",
+           config.host.c_str(), server.port());
   if (server.metrics_port() >= 0) {
-    std::fprintf(stderr, "# metrics on http://%s:%d/metrics\n",
-                 config.metrics_host.c_str(), server.metrics_port());
+    log.logf(obs::LogLevel::kInfo, "serve",
+             "metrics on http://%s:%d/metrics (plus /healthz /readyz "
+             "/statusz /debugz)",
+             config.metrics_host.c_str(), server.metrics_port());
   }
 
   server.join();  // exits after a signal-triggered graceful drain
   g_listen_server = nullptr;
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGQUIT, SIG_DFL);
 
   const auto net_stats = server.stats();
-  std::fprintf(stderr,
-               "# connections: %llu accepted, %llu rejected at cap\n",
-               static_cast<unsigned long long>(net_stats.accepted),
-               static_cast<unsigned long long>(net_stats.rejected));
-  std::fprintf(
-      stderr,
-      "# frames: %llu in, %llu out (%llu partial, %llu error, "
-      "%llu oversized), %llu shed at the connection cap\n",
-      static_cast<unsigned long long>(net_stats.frames_in),
-      static_cast<unsigned long long>(net_stats.frames_out),
-      static_cast<unsigned long long>(net_stats.partial_frames),
-      static_cast<unsigned long long>(net_stats.error_frames),
-      static_cast<unsigned long long>(net_stats.oversized_frames),
-      static_cast<unsigned long long>(net_stats.shed_inflight));
+  log.logf(obs::LogLevel::kInfo, "serve",
+           "connections: %llu accepted, %llu rejected at cap",
+           static_cast<unsigned long long>(net_stats.accepted),
+           static_cast<unsigned long long>(net_stats.rejected));
+  log.logf(obs::LogLevel::kInfo, "serve",
+           "frames: %llu in, %llu out (%llu partial, %llu error, "
+           "%llu oversized), %llu shed at the connection cap",
+           static_cast<unsigned long long>(net_stats.frames_in),
+           static_cast<unsigned long long>(net_stats.frames_out),
+           static_cast<unsigned long long>(net_stats.partial_frames),
+           static_cast<unsigned long long>(net_stats.error_frames),
+           static_cast<unsigned long long>(net_stats.oversized_frames),
+           static_cast<unsigned long long>(net_stats.shed_inflight));
   const auto stats = svc.stats();
-  std::fprintf(stderr,
-               "# served %llu request(s) in %llu batch(es), %llu shed at "
-               "lane bounds, %llu partial frame(s) streamed\n",
-               static_cast<unsigned long long>(stats.requests),
-               static_cast<unsigned long long>(stats.batches),
-               static_cast<unsigned long long>(stats.shed),
-               static_cast<unsigned long long>(stats.partials));
+  log.logf(obs::LogLevel::kInfo, "serve",
+           "served %llu request(s) in %llu batch(es), %llu shed at "
+           "lane bounds, %llu partial frame(s) streamed",
+           static_cast<unsigned long long>(stats.requests),
+           static_cast<unsigned long long>(stats.batches),
+           static_cast<unsigned long long>(stats.shed),
+           static_cast<unsigned long long>(stats.partials));
   return stats.refuted > 0 ? 1 : 0;
 }
 
@@ -551,8 +632,10 @@ int cmd_serve(int argc, char** argv) {
                                 "max-lane-queue", "listen",
                                 "max-frame-bytes", "max-inflight",
                                 "max-connections", "poller",
-                                "metrics-listen"});
+                                "metrics-listen", "log-level"},
+                               {"log-json"});
   expect_positionals(args, 0, "serve takes only flags");
+  apply_log_flags(args);
   const auto model_it = args.flags.find("model");
   if (model_it == args.flags.end() || model_it->second.empty()) {
     std::fprintf(stderr,
@@ -582,21 +665,23 @@ int cmd_serve(int argc, char** argv) {
     const std::string path = spec.substr(eq + 1);
     svc.registry().add_from_file(name, path);
     const auto model = svc.registry().at(name);
-    std::fprintf(stderr, "# model '%s' <- %s (objective: %s)\n",
-                 name.c_str(), path.c_str(),
-                 reward::reward_name(model->config().reward).data());
+    obs::Logger::instance().logf(
+        obs::LogLevel::kInfo, "serve", "model '%s' <- %s (objective: %s)",
+        name.c_str(), path.c_str(),
+        reward::reward_name(model->config().reward).data());
   }
   if (!config.default_model.empty() &&
       svc.registry().find(config.default_model) == nullptr) {
     throw std::runtime_error("--default-model '" + config.default_model +
                              "' was not loaded via --model");
   }
-  std::fprintf(stderr,
-               "# serving %zu model(s): max_batch=%d max_wait_us=%lld "
-               "cache_entries=%zu max_lane_queue=%zu\n",
-               svc.registry().size(), config.max_batch,
-               static_cast<long long>(config.max_wait_us),
-               config.cache_entries, config.max_lane_queue);
+  obs::Logger::instance().logf(
+      obs::LogLevel::kInfo, "serve",
+      "serving %zu model(s): max_batch=%d max_wait_us=%lld "
+      "cache_entries=%zu max_lane_queue=%zu",
+      svc.registry().size(), config.max_batch,
+      static_cast<long long>(config.max_wait_us), config.cache_entries,
+      config.max_lane_queue);
 
   if (const std::string* listen = args.single("listen")) {
     return serve_listen(svc, *listen, args);
@@ -682,29 +767,28 @@ int cmd_serve(int argc, char** argv) {
           ? static_cast<double>(stats.cache_hits) /
                 static_cast<double>(stats.requests)
           : 0.0;
-  std::fprintf(stderr,
-               "# served %llu request(s) in %llu batch(es), cache hit rate "
-               "%.2f, largest batch %d, %llu shed at lane bounds, %llu "
-               "partial frame(s)\n",
-               static_cast<unsigned long long>(stats.requests),
-               static_cast<unsigned long long>(stats.batches), hit_rate,
-               stats.max_batch_size,
-               static_cast<unsigned long long>(stats.shed),
-               static_cast<unsigned long long>(stats.partials));
-  std::fprintf(stderr,
-               "# verification: %llu verified, %llu refuted, %llu "
-               "undecided\n",
-               static_cast<unsigned long long>(stats.verified),
-               static_cast<unsigned long long>(stats.refuted),
-               static_cast<unsigned long long>(stats.verify_unknown));
+  auto& log = obs::Logger::instance();
+  log.logf(obs::LogLevel::kInfo, "serve",
+           "served %llu request(s) in %llu batch(es), cache hit rate "
+           "%.2f, largest batch %d, %llu shed at lane bounds, %llu "
+           "partial frame(s)",
+           static_cast<unsigned long long>(stats.requests),
+           static_cast<unsigned long long>(stats.batches), hit_rate,
+           stats.max_batch_size, static_cast<unsigned long long>(stats.shed),
+           static_cast<unsigned long long>(stats.partials));
+  log.logf(obs::LogLevel::kInfo, "serve",
+           "verification: %llu verified, %llu refuted, %llu undecided",
+           static_cast<unsigned long long>(stats.verified),
+           static_cast<unsigned long long>(stats.refuted),
+           static_cast<unsigned long long>(stats.verify_unknown));
   if (stats.beam_requests + stats.mcts_requests > 0) {
-    std::fprintf(stderr,
-                 "# search: %llu beam, %llu mcts, %llu improved on "
-                 "greedy, %llu deadline hit(s)\n",
-                 static_cast<unsigned long long>(stats.beam_requests),
-                 static_cast<unsigned long long>(stats.mcts_requests),
-                 static_cast<unsigned long long>(stats.search_improved),
-                 static_cast<unsigned long long>(stats.search_deadline_hits));
+    log.logf(obs::LogLevel::kInfo, "serve",
+             "search: %llu beam, %llu mcts, %llu improved on greedy, "
+             "%llu deadline hit(s)",
+             static_cast<unsigned long long>(stats.beam_requests),
+             static_cast<unsigned long long>(stats.mcts_requests),
+             static_cast<unsigned long long>(stats.search_improved),
+             static_cast<unsigned long long>(stats.search_deadline_hits));
   }
   return stats.refuted > 0 ? 1 : 0;
 }
@@ -717,7 +801,8 @@ int cmd_client(int argc, char** argv) {
   }
   const auto [host, port] = net::parse_host_port(args.positionals.front());
   const net::Socket sock = net::connect_tcp(host, port);
-  std::fprintf(stderr, "# connected to %s:%d\n", host.c_str(), port);
+  obs::Logger::instance().logf(obs::LogLevel::kInfo, "client",
+                               "connected to %s:%d", host.c_str(), port);
 
   // Printer thread: every frame the server sends (results, partials,
   // typed errors) goes straight to stdout in arrival order.
@@ -750,12 +835,12 @@ int cmd_client(int argc, char** argv) {
   }
   ::shutdown(sock.fd(), SHUT_WR);
   printer.join();
-  std::fprintf(stderr,
-               "# sent %llu request(s), received %llu frame(s) "
-               "(%llu partial)\n",
-               static_cast<unsigned long long>(sent),
-               static_cast<unsigned long long>(frames),
-               static_cast<unsigned long long>(partials));
+  obs::Logger::instance().logf(
+      obs::LogLevel::kInfo, "client",
+      "sent %llu request(s), received %llu frame(s) (%llu partial)",
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(frames),
+      static_cast<unsigned long long>(partials));
   return 0;
 }
 
@@ -765,6 +850,9 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return usage();
   }
+  // QRC_LOG / QRC_LOG_JSON configure logging before any subcommand runs;
+  // --log-level / --log-json (where accepted) override them afterwards.
+  obs::Logger::instance().configure_from_env();
   try {
     if (std::strcmp(argv[1], "info") == 0) {
       return cmd_info(argc, argv);
