@@ -12,15 +12,20 @@
 //               measures the per-request should_log checks
 //   detail_on   QRC_OBS_DETAIL on plus a per-request TraceContext —
 //               the full span pipeline, reported but not asserted
+//   profile_on  obs_on plus a live 97 Hz SIGPROF sampling session over
+//               the request — measures the cost of taking profiles in
+//               production (signal delivery + fp-walk per tick)
 //
-// The four modes interleave at request granularity (each request runs
+// The five modes interleave at request granularity (each request runs
 // once per mode, in rotating order, against that mode's persistent
 // service) so machine-load drift over the run cancels out instead of
 // biasing one mode. Every request's submit-to-completion latency is
 // pooled per mode; the compared statistic is the pooled median, which
 // shrugs off scheduler-wakeup spikes that would dominate a wall-clock
 // diff. The bench asserts obs_on AND log_on within QRC_OBS_BENCH_MAX_PCT
-// (default 2%) of baseline and exits nonzero past it.
+// (default 2%) of baseline, and profile_on within
+// QRC_OBS_BENCH_MAX_PROFILE_PCT (default 5%), exiting nonzero past
+// either ceiling.
 //
 // A second section stands up a live server with the /metrics side
 // listener, drives one traced verified search compile over the wire, and
@@ -30,7 +35,8 @@
 // Knobs: QRC_TRAIN_STEPS (default 2000) sizes model training,
 // QRC_OBS_BENCH_REQUESTS (default 48) requests per trial,
 // QRC_OBS_BENCH_TRIALS (default 5) trials per mode,
-// QRC_OBS_BENCH_MAX_PCT (default 2.0) the asserted overhead ceiling.
+// QRC_OBS_BENCH_MAX_PCT (default 2.0) the asserted overhead ceiling,
+// QRC_OBS_BENCH_MAX_PROFILE_PCT (default 5.0) the profile_on ceiling.
 
 #include <sys/socket.h>
 
@@ -48,6 +54,7 @@
 #include "net/socket.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "service/compile_service.hpp"
 #include "service/jsonl.hpp"
@@ -75,7 +82,7 @@ core::Predictor train_small_model(const std::vector<ir::Circuit>& corpus) {
   return predictor;
 }
 
-enum class Mode { kBaseline, kObsOn, kLogOn, kDetailOn };
+enum class Mode { kBaseline, kObsOn, kLogOn, kDetailOn, kProfileOn };
 
 /// Each mode gets one persistent service; requests alternate between the
 /// modes at sub-millisecond granularity so that machine-load drift over
@@ -115,10 +122,18 @@ void run_one(ModeLane& lane, const ir::Circuit& circuit, int i,
   if (lane.mode == Mode::kDetailOn) {
     trace = std::make_shared<obs::TraceContext>("r" + std::to_string(i));
   }
+  // profile_on: the sampling session brackets the submission, so every
+  // SIGPROF tick lands while the rollout runs; the setitimer start/stop
+  // syscalls themselves stay outside the measured latency_us.
+  const bool profiling =
+      lane.mode == Mode::kProfileOn && obs::Profiler::start(97);
   const auto response =
       lane.svc->submit("r" + std::to_string(i), "fidelity", circuit,
                        /*verify=*/false, std::nullopt, trace)
           .get();
+  if (profiling) {
+    obs::Profiler::stop();
+  }
   if (record) {
     lane.samples.push_back(response.latency_us);
   }
@@ -217,14 +232,23 @@ int main() {
     const char* v = std::getenv("QRC_OBS_BENCH_MAX_PCT");
     return v != nullptr && *v != '\0' ? std::atof(v) : 2.0;
   }();
+  const double max_profile_pct = [] {
+    const char* v = std::getenv("QRC_OBS_BENCH_MAX_PROFILE_PCT");
+    return v != nullptr && *v != '\0' ? std::atof(v) : 5.0;
+  }();
 
   const std::vector<ir::Circuit> corpus = bench::benchmark_suite(2, 4, 6);
   const core::Predictor model = train_small_model(corpus);
 
-  ModeLane lanes[4] = {{Mode::kBaseline, make_service(model), {}},
+  // The main thread participates in rollouts via the pool's
+  // caller-runs path, so enroll it before any profile_on request.
+  obs::Profiler::enroll_current_thread();
+
+  ModeLane lanes[5] = {{Mode::kBaseline, make_service(model), {}},
                        {Mode::kObsOn, make_service(model), {}},
                        {Mode::kLogOn, make_service(model), {}},
-                       {Mode::kDetailOn, make_service(model), {}}};
+                       {Mode::kDetailOn, make_service(model), {}},
+                       {Mode::kProfileOn, make_service(model), {}}};
 
   // Warm-up pass so first-touch costs (lane spin-up, allocator) are paid
   // before any timed request.
@@ -241,18 +265,20 @@ int main() {
           corpus[static_cast<std::size_t>(i) % corpus.size()];
       // Rotate which mode goes first so no mode always pays (or always
       // skips) the cache-warming cost of a fresh circuit.
-      for (int m = 0; m < 4; ++m) {
-        run_one(lanes[(m + i + t) % 4], circuit, t * requests + i,
+      for (int m = 0; m < 5; ++m) {
+        run_one(lanes[(m + i + t) % 5], circuit, t * requests + i,
                 /*record=*/true);
       }
     }
     std::printf("# trial %d/%d: pooled medians baseline %lld us, obs_on "
-                "%lld us, log_on %lld us, detail_on %lld us\n",
+                "%lld us, log_on %lld us, detail_on %lld us, profile_on "
+                "%lld us\n",
                 t + 1, trials,
                 static_cast<long long>(median_of(lanes[0].samples)),
                 static_cast<long long>(median_of(lanes[1].samples)),
                 static_cast<long long>(median_of(lanes[2].samples)),
-                static_cast<long long>(median_of(lanes[3].samples)));
+                static_cast<long long>(median_of(lanes[3].samples)),
+                static_cast<long long>(median_of(lanes[4].samples)));
     std::fflush(stdout);
   }
 
@@ -260,6 +286,7 @@ int main() {
   const std::int64_t best_obs_on = median_of(lanes[1].samples);
   const std::int64_t best_log_on = median_of(lanes[2].samples);
   const std::int64_t best_detail = median_of(lanes[3].samples);
+  const std::int64_t best_profile = median_of(lanes[4].samples);
   const auto pct = [&](std::int64_t us) {
     return best_baseline > 0
                ? 100.0 * (static_cast<double>(us - best_baseline) /
@@ -269,10 +296,12 @@ int main() {
   const double overhead_on_pct = pct(best_obs_on);
   const double overhead_log_pct = pct(best_log_on);
   const double overhead_detail_pct = pct(best_detail);
+  const double overhead_profile_pct = pct(best_profile);
   std::printf("# obs_on overhead %.3f%%, log_on %.3f%% (ceiling %.1f%%), "
-              "detail_on %.3f%% (reported only)\n",
+              "detail_on %.3f%% (reported only), profile_on %.3f%% "
+              "(ceiling %.1f%%)\n",
               overhead_on_pct, overhead_log_pct, max_pct,
-              overhead_detail_pct);
+              overhead_detail_pct, overhead_profile_pct, max_profile_pct);
 
   bool traced_ok = false;
   const std::vector<std::string> found =
@@ -294,17 +323,22 @@ int main() {
                  "  \"obs_on_us\": %lld,\n"
                  "  \"log_on_us\": %lld,\n"
                  "  \"detail_on_us\": %lld,\n"
+                 "  \"profile_on_us\": %lld,\n"
                  "  \"overhead_on_pct\": %.4f,\n"
                  "  \"overhead_log_pct\": %.4f,\n"
                  "  \"overhead_detail_pct\": %.4f,\n"
+                 "  \"overhead_profile_pct\": %.4f,\n"
                  "  \"max_overhead_pct\": %.2f,\n"
+                 "  \"max_profile_pct\": %.2f,\n"
                  "  \"traced_response_has_trace\": %s,\n"
                  "  \"snapshot_metrics\": [",
                  requests, trials, static_cast<long long>(best_baseline),
                  static_cast<long long>(best_obs_on),
                  static_cast<long long>(best_log_on),
-                 static_cast<long long>(best_detail), overhead_on_pct,
-                 overhead_log_pct, overhead_detail_pct, max_pct,
+                 static_cast<long long>(best_detail),
+                 static_cast<long long>(best_profile), overhead_on_pct,
+                 overhead_log_pct, overhead_detail_pct,
+                 overhead_profile_pct, max_pct, max_profile_pct,
                  traced_ok ? "true" : "false");
     for (std::size_t i = 0; i < found.size(); ++i) {
       std::fprintf(json, "%s\"%s\"", i == 0 ? "" : ", ", found[i].c_str());
@@ -324,6 +358,13 @@ int main() {
     std::fprintf(stderr,
                  "FAIL: log_on overhead %.3f%% exceeds the %.1f%% ceiling\n",
                  overhead_log_pct, max_pct);
+    return 1;
+  }
+  if (overhead_profile_pct > max_profile_pct) {
+    std::fprintf(stderr,
+                 "FAIL: profile_on overhead %.3f%% exceeds the %.1f%% "
+                 "ceiling\n",
+                 overhead_profile_pct, max_profile_pct);
     return 1;
   }
   if (!traced_ok) {

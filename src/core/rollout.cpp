@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "reward/reward.hpp"
 #include "rl/categorical.hpp"
@@ -75,6 +76,7 @@ std::vector<GreedyEpisode> run_greedy_episodes(
     }
     {
       obs::DetailTimer timer("policy_forward");
+      obs::PerfScope perf(obs::PerfKernel::kMlpForward);
       policy.forward_batch(obs_batch, n_live, logits_batch, &pool);
     }
     const rl::BatchedMaskedCategorical dist(logits_batch, mask_batch);
@@ -109,6 +111,7 @@ std::vector<GreedyEpisode> run_greedy_episodes(
         CompilationEnv::step_seed(env_config.seed, 1, step);
     {
       obs::DetailTimer timer("env_step");
+      obs::PerfScope perf(obs::PerfKernel::kSearchExpand);
       pool.parallel_for(static_cast<int>(stepping.size()), [&](int i) {
         auto& ep = episodes[static_cast<std::size_t>(
             stepping[static_cast<std::size_t>(i)])];

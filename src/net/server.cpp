@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -14,11 +16,77 @@
 #include "obs/build_info.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/process_stats.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "rl/mlp.hpp"
 #include "service/jsonl.hpp"
 
 namespace qrc::net {
+
+namespace {
+
+/// Parses the /profilez query string. Accepts only `seconds` (number in
+/// (0, 60]) and `hz` (integer in [1, 1000]); anything else — unknown
+/// keys, non-numeric values, zero/negative/oversized ranges — fills
+/// `error` with a deterministic one-line message and returns false.
+bool parse_profilez_query(const std::string& path, double& seconds, int& hz,
+                          std::string& error) {
+  const auto qmark = path.find('?');
+  if (qmark == std::string::npos) {
+    return true;  // defaults
+  }
+  std::string query = path.substr(qmark + 1);
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) {
+      amp = query.size();
+    }
+    const std::string pair = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    if (pair.empty()) {
+      continue;
+    }
+    const auto eq = pair.find('=');
+    const std::string key = pair.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : pair.substr(eq + 1);
+    if (key == "seconds") {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        error = "bad 'seconds': not a number\n";
+        return false;
+      }
+      if (!(v > 0.0) || v > obs::Profiler::kMaxSeconds) {
+        error = "bad 'seconds': must be in (0, 60]\n";
+        return false;
+      }
+      seconds = v;
+    } else if (key == "hz") {
+      char* end = nullptr;
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        error = "bad 'hz': not an integer\n";
+        return false;
+      }
+      if (v < obs::Profiler::kMinHz || v > obs::Profiler::kMaxHz) {
+        error = "bad 'hz': must be in [1, 1000]\n";
+        return false;
+      }
+      hz = static_cast<int>(v);
+    } else {
+      error = "unknown query parameter '" + key +
+              "' (expected seconds, hz)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 Server::Server(service::CompileService& service, ServerConfig config)
     : service_(service), config_(std::move(config)) {
@@ -39,8 +107,18 @@ Server::Server(service::CompileService& service, ServerConfig config)
   shed_inflight_ = &reg.counter(
       "qrc_shed_total", "Requests refused by admission control",
       {{"reason", "conn_inflight"}});
-  metrics_scrapes_ = &reg.counter("qrc_net_metrics_scrapes_total",
-                                  "HTTP /metrics requests answered");
+  metrics_scrapes_ = &reg.counter(
+      "qrc_net_metrics_scrapes_total",
+      "HTTP metrics-family scrapes answered (/metrics and /profilez)");
+  profilez_requests_ = &reg.counter(
+      "qrc_net_profilez_requests_total",
+      "HTTP /profilez requests answered (any status)");
+  // The obs layer observing itself: how long each ops-endpoint scrape
+  // takes to assemble its response body.
+  scrape_seconds_ = &reg.histogram(
+      "qrc_obs_scrape_seconds",
+      "Ops-endpoint response assembly time in seconds",
+      {1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0});
   connections_active_ =
       &reg.gauge("qrc_net_connections_active", "Open connections");
   obs::stamp_build_info(reg, rl::simd_kernel_name());
@@ -108,6 +186,19 @@ void Server::join() {
   if (loop_.joinable()) {
     loop_.join();
   }
+  // The loop only exits once pending_ hit zero, which requires every
+  // profile worker's final frame to have been drained — so these joins
+  // are immediate; they just reclaim the handles.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(profile_threads_mutex_);
+    workers.swap(profile_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
 }
 
 ServerStats Server::stats() const {
@@ -128,6 +219,9 @@ bool Server::drain_complete() const {
 }
 
 void Server::run_loop() {
+  // The loop thread can appear in sampled stacks; give the profiler its
+  // stack bounds so fp-walks are validated rather than PC-only.
+  obs::Profiler::enroll_current_thread();
   std::vector<PollEvent> events;
   for (;;) {
     if (draining_.load()) {
@@ -406,7 +500,36 @@ void Server::handle_http(Conn& conn) {
       body = "method not allowed; use GET or HEAD\n";
     } else {
       head_only = method == "HEAD";
-      route_http(method, path, status, content_type, body);
+      const bool is_profilez =
+          path == "/profilez" || path.rfind("/profilez?", 0) == 0;
+      if (is_profilez && !head_only) {
+        // Sampling for N seconds must not stall the event loop (every
+        // other connection shares it), so valid requests hand off to a
+        // worker thread and the response returns through the outbound
+        // queue, accounted like an in-flight compile.
+        profilez_requests_->inc();
+        metrics_scrapes_->inc();
+        double seconds = 2.0;
+        int hz = 97;
+        std::string error;
+        if (!parse_profilez_query(path, seconds, hz, error)) {
+          status = "400 Bad Request";
+          body = error;
+        } else if (obs::Profiler::active()) {
+          status = "409 Conflict";
+          body = "profiler busy; one session at a time\n";
+        } else {
+          ++conn.inflight;
+          ++pending_;
+          start_profile_job(conn.id, seconds, hz, /*http=*/true, "", 0);
+          conn.rbuf.clear();
+          conn.peer_eof = true;  // one-shot: nothing further is read
+          update_interest(conn);
+          return;
+        }
+      } else {
+        route_http(method, path, status, content_type, body);
+      }
     }
   }
   conn.rbuf.clear();
@@ -424,6 +547,7 @@ void Server::route_http(const std::string& method, const std::string& path,
                         std::string& status, std::string& content_type,
                         std::string& body) {
   (void)method;  // GET and HEAD differ only in body suppression
+  const auto scrape_start = std::chrono::steady_clock::now();
   const auto path_is = [&path](std::string_view target) {
     return path == target ||
            (path.size() > target.size() &&
@@ -432,9 +556,25 @@ void Server::route_http(const std::string& method, const std::string& path,
   };
   if (path_is("/metrics")) {
     content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = service_.metrics().render_prometheus();
+    body = render_metrics();
     status = "200 OK";
     metrics_scrapes_->inc();
+  } else if (path_is("/profilez")) {
+    // Only HEAD reaches here (GET is diverted to the worker path in
+    // handle_http): validate the params so a HEAD probe still gets the
+    // deterministic 400, but never start a session for it.
+    profilez_requests_->inc();
+    metrics_scrapes_->inc();
+    double seconds = 2.0;
+    int hz = 97;
+    std::string error;
+    if (!parse_profilez_query(path, seconds, hz, error)) {
+      status = "400 Bad Request";
+      body = error;
+    } else {
+      status = "200 OK";
+      body = "profilez: GET /profilez?seconds=N&hz=H for folded stacks\n";
+    }
   } else if (path_is("/healthz")) {
     // Liveness: the loop thread is answering — that is the whole check.
     body = "ok\n";
@@ -459,9 +599,68 @@ void Server::route_http(const std::string& method, const std::string& path,
     body += '\n';
     status = "200 OK";
   } else {
-    body = "not found; try /metrics /healthz /readyz /statusz /debugz\n";
+    body = "not found; try /metrics /healthz /readyz /statusz /debugz "
+           "/profilez\n";
     status = "404 Not Found";
   }
+  scrape_seconds_->observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scrape_start)
+          .count());
+}
+
+std::string Server::render_metrics() {
+  // Scrape-time families: cheap point reads published on demand so the
+  // exposition always reflects the current process and kernel counters.
+  obs::publish_process_metrics(service_.metrics());
+  obs::publish_perf_metrics(service_.metrics());
+  return service_.metrics().render_prometheus();
+}
+
+void Server::start_profile_job(std::uint64_t conn_id, double seconds, int hz,
+                               bool http, std::string id, int version) {
+  std::lock_guard<std::mutex> lock(profile_threads_mutex_);
+  profile_threads_.emplace_back([this, conn_id, seconds, hz, http,
+                                 id = std::move(id), version] {
+    obs::Profiler::enroll_current_thread();
+    const std::optional<std::string> folded =
+        obs::Profiler::collect_folded(seconds, hz);
+    const std::uint64_t samples = obs::Profiler::stats().retained;
+    if (http) {
+      std::string body;
+      std::string status;
+      if (folded.has_value()) {
+        status = "200 OK";
+        body = *folded;
+      } else {
+        // Params were validated before the handoff, so a refusal means
+        // another session won the exclusivity race meanwhile.
+        status = "409 Conflict";
+        body = "profiler busy; one session at a time\n";
+      }
+      std::string response = "HTTP/1.0 " + status +
+                             "\r\nContent-Type: text/plain; charset=utf-8" +
+                             "\r\nContent-Length: " +
+                             std::to_string(body.size()) +
+                             "\r\nConnection: close\r\n\r\n" + body;
+      enqueue_outbound(conn_id, std::move(response), /*final_frame=*/true,
+                       /*raw=*/true);
+    } else if (folded.has_value()) {
+      enqueue_outbound(conn_id,
+                       service::serve_profile_line(id, *folded, samples),
+                       /*final_frame=*/true);
+    } else {
+      enqueue_outbound(
+          conn_id,
+          version >= 1
+              ? service::serve_error_line(
+                    id, service::ErrorCode::kOverloaded,
+                    "profiler session already active; retry later")
+              : service::serve_error_line(
+                    id, "profiler session already active; retry later"),
+          /*final_frame=*/true);
+    }
+  });
 }
 
 std::string Server::render_statusz() const {
@@ -495,6 +694,32 @@ std::string Server::render_statusz() const {
   out += "shed: " + std::to_string(svc.shed) + "\n";
   out += "connections_active: " +
          std::to_string(connections_active_->value()) + "\n";
+  const obs::ProfilerStats prof = obs::Profiler::stats();
+  out += "profiler: " + std::string(prof.active ? "active" : "idle") + ", " +
+         std::to_string(prof.sessions) + " sessions, " +
+         std::to_string(prof.samples) + " samples (" +
+         std::to_string(prof.dropped) + " dropped, " +
+         std::to_string(prof.pc_only) + " pc-only), " +
+         std::to_string(profilez_requests_->value()) +
+         " profilez requests\n";
+  out += "perf_counters: " +
+         std::string(obs::perf_enabled() ? "enabled" : "disabled") +
+         std::string(obs::perf_available() ? ", hardware available"
+                                           : ", hardware unavailable");
+  const auto mlp = obs::perf_kernel_totals(obs::PerfKernel::kMlpForward);
+  if (mlp.cycles > 0) {
+    char ipc[32];
+    std::snprintf(ipc, sizeof(ipc), "%.2f",
+                  static_cast<double>(mlp.instructions) /
+                      static_cast<double>(mlp.cycles));
+    out += std::string(", mlp_forward ipc ") + ipc;
+  }
+  out += "\n";
+  const obs::ProcessStats proc = obs::sample_process_stats();
+  out += "process: rss " + std::to_string(proc.rss_bytes / (1 << 20)) +
+         " MiB, cpu " + std::to_string(proc.user_cpu_seconds) + "s user / " +
+         std::to_string(proc.sys_cpu_seconds) + "s sys, " +
+         std::to_string(proc.open_fds) + " fds\n";
   out += "\nflight recorder (most recent last):\n";
   const auto events = obs::FlightRecorder::instance().snapshot();
   const std::size_t tail = std::min<std::size_t>(events.size(), 16);
@@ -546,8 +771,7 @@ void Server::handle_line(Conn& conn, const std::string& line) {
   }
   if (request.op == service::ServeOp::kMetrics) {
     queue_frame(conn,
-                service::serve_metrics_line(
-                    request.id, service_.metrics().render_prometheus()),
+                service::serve_metrics_line(request.id, render_metrics()),
                 /*is_error=*/false);
     return;
   }
@@ -557,6 +781,25 @@ void Server::handle_line(Conn& conn, const std::string& line) {
                     request.id,
                     obs::FlightRecorder::instance().dump_json()),
                 /*is_error=*/false);
+    return;
+  }
+  if (request.op == service::ServeOp::kProfile) {
+    // Same off-loop handoff as HTTP /profilez: the sampling window runs
+    // on a worker; the result frame (or a typed busy error) crosses
+    // back through the outbound queue. Params were validated at parse.
+    if (obs::Profiler::active()) {
+      queue_frame(conn,
+                  service::serve_error_line(
+                      request.id, service::ErrorCode::kOverloaded,
+                      "profiler session already active; retry later"),
+                  /*is_error=*/true);
+      return;
+    }
+    profilez_requests_->inc();
+    ++conn.inflight;
+    ++pending_;
+    start_profile_job(conn.id, request.profile_seconds, request.profile_hz,
+                      /*http=*/false, request.id, request.version);
     return;
   }
 
@@ -658,11 +901,11 @@ void Server::queue_frame(Conn& conn, std::string line, bool is_error) {
 }
 
 void Server::enqueue_outbound(std::uint64_t conn_id, std::string line,
-                              bool final_frame) {
+                              bool final_frame, bool raw) {
   {
     std::lock_guard<std::mutex> lock(outbound_mutex_);
     outbound_.push_back(
-        Outbound{conn_id, std::move(line), final_frame});
+        Outbound{conn_id, std::move(line), final_frame, raw});
   }
   if (wake_write_.valid()) {
     const char byte = 'o';
@@ -690,7 +933,9 @@ void Server::drain_outbound() {
       --conn.inflight;
     }
     conn.wbuf += ob.line;
-    conn.wbuf += '\n';
+    if (!ob.raw) {
+      conn.wbuf += '\n';  // raw payloads are complete HTTP responses
+    }
     frames_out_->inc();
     update_interest(conn);
   }

@@ -21,9 +21,12 @@
 /// (`metrics_host`/`metrics_port`) serves the ops endpoints on the same
 /// Poller loop: GET /metrics (Prometheus exposition), /healthz
 /// (liveness), /readyz (models loaded and lanes accepting), /statusz
-/// (build info, uptime, service snapshot, recent flight-recorder and log
-/// tails) and /debugz (flight-recorder dump as JSON). HEAD works on all
-/// of them; other methods get 405.
+/// (build info, uptime, service snapshot, profiler/process counters,
+/// recent flight-recorder and log tails), /debugz (flight-recorder dump
+/// as JSON) and /profilez?seconds=N&hz=H (sampling-profiler session;
+/// folded stacks, collected off-loop so other connections keep being
+/// served, deterministic 400s on bad params). HEAD works on all of
+/// them; other methods get 405.
 ///
 /// Graceful drain (`request_drain()`, async-signal-safe) stops accepting,
 /// lets in-flight requests finish, flushes their frames, then exits the
@@ -138,6 +141,9 @@ class Server {
     std::string line;
     /// Final frames release one in-flight slot (partials do not).
     bool final_frame = false;
+    /// Raw payloads (complete HTTP responses from the /profilez worker)
+    /// are appended verbatim — no newline framing.
+    bool raw = false;
   };
 
   void run_loop();
@@ -157,9 +163,19 @@ class Server {
                   std::string& status, std::string& content_type,
                   std::string& body);
   [[nodiscard]] std::string render_statusz() const;
+  /// Publishes scrape-time families (qrc_process_*, qrc_profile_*) into
+  /// the service registry and renders the exposition.
+  [[nodiscard]] std::string render_metrics();
+  /// Spawns the worker thread backing one profiling request (HTTP
+  /// /profilez or the v1 "profile" op). The sampling window runs off the
+  /// event loop; the finished frame crosses back via enqueue_outbound
+  /// and is accounted like an in-flight compile, so graceful drain waits
+  /// for it. Params must already be validated.
+  void start_profile_job(std::uint64_t conn_id, double seconds, int hz,
+                         bool http, std::string id, int version);
   void queue_frame(Conn& conn, std::string line, bool is_error);
   void enqueue_outbound(std::uint64_t conn_id, std::string line,
-                        bool final_frame);
+                        bool final_frame, bool raw = false);
   void drain_outbound();
   void update_interest(Conn& conn);
   void close_conn(std::uint64_t conn_id);
@@ -190,6 +206,8 @@ class Server {
   obs::Counter* oversized_frames_ = nullptr;
   obs::Counter* shed_inflight_ = nullptr;
   obs::Counter* metrics_scrapes_ = nullptr;
+  obs::Counter* profilez_requests_ = nullptr;
+  obs::Histogram* scrape_seconds_ = nullptr;
   obs::Gauge* connections_active_ = nullptr;
 
   std::uint64_t next_conn_id_ = 1;
@@ -201,6 +219,12 @@ class Server {
 
   mutable std::mutex outbound_mutex_;
   std::vector<Outbound> outbound_;
+
+  /// Profiling workers in flight; joined after the loop exits (their
+  /// final frames hold pending_ up, so the drain already waited for
+  /// them — the join only reclaims the thread handles).
+  std::mutex profile_threads_mutex_;
+  std::vector<std::thread> profile_threads_;
 };
 
 }  // namespace qrc::net

@@ -1,0 +1,87 @@
+/// \file bench_diff.hpp
+/// \brief The bench regression sentinel: compares the current
+///        `BENCH_*.json` metrics against rolling baselines derived from
+///        `BENCH_history.jsonl` (the per-run rows CI appends) using
+///        noise-aware thresholds — median-of-history baseline, a
+///        per-metric direction + tolerance table, and an advisory mode
+///        until enough history exists to gate on.
+///
+/// Library form so tests can drive it synthetically; `tools/qrc_bench_diff`
+/// is the thin CLI that CI runs as the gate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qrc::obs {
+
+enum class DiffStatus : unsigned char {
+  kOk,          ///< within tolerance of the baseline
+  kImproved,    ///< beyond tolerance in the good direction
+  kRegressed,   ///< beyond tolerance in the bad direction
+  kAdvisory,    ///< regressed, but history is too shallow to gate
+  kNoBaseline,  ///< no (or not enough) history rows carry this metric
+};
+
+[[nodiscard]] const char* diff_status_name(DiffStatus status);
+
+/// One tracked metric: where it lives, which way is good, and how much
+/// run-to-run noise to absorb before calling a change real. A change
+/// must clear BOTH the relative and the absolute tolerance to count.
+struct DiffRule {
+  const char* bench;
+  const char* key;
+  bool higher_is_better;
+  double rel_tol;  ///< fraction of the baseline (0.25 = 25%)
+  double abs_tol;  ///< absolute slack in the metric's own unit
+};
+
+/// The built-in table covering every metric CI appends to
+/// BENCH_history.jsonl. Tolerances are sized for shared-runner noise.
+[[nodiscard]] const std::vector<DiffRule>& default_diff_rules();
+
+struct DiffResult {
+  std::string bench;
+  std::string key;
+  DiffStatus status = DiffStatus::kNoBaseline;
+  double current = 0.0;
+  double baseline = 0.0;   ///< median of the history window
+  double change_pct = 0.0; ///< signed, relative to baseline (0 if baseline=0)
+  int history_n = 0;       ///< history rows that carried this metric
+};
+
+struct DiffReport {
+  std::vector<DiffResult> results;
+  int history_rows = 0;   ///< parsed history lines (malformed lines skipped)
+  int min_history = 3;    ///< gate threshold the run was configured with
+  bool regressed = false; ///< any metric regressed with enough history
+  bool advisory = false;  ///< any regression observed below the threshold
+
+  /// Fixed-width human table plus a one-line verdict.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Numeric metrics of one bench run, keyed by metric name.
+using BenchMetrics = std::map<std::string, double>;
+
+/// Extracts the comparable metrics from one parsed BENCH_*.json document:
+/// every top-level numeric field, plus the derived
+/// `peak_requests_per_sec` / `peak_connections` for serve_scale sweeps
+/// (matching what CI's history appender records). Returns the bench name
+/// via `bench_name` ("" when the doc has no "bench" field).
+[[nodiscard]] BenchMetrics extract_bench_metrics(const std::string& json_text,
+                                                 std::string& bench_name);
+
+/// Runs the sentinel: for each rule whose metric appears in `current`,
+/// computes the median baseline from the newest `window` history rows of
+/// that bench and classifies the change. Gate semantics: `regressed` is
+/// only set once a metric has at least `min_history` history samples —
+/// below that the same finding is `kAdvisory` (CI stays green on young
+/// history). Unparseable history lines are skipped, not fatal.
+[[nodiscard]] DiffReport diff_benches(
+    const std::string& history_jsonl,
+    const std::map<std::string, BenchMetrics>& current, int min_history = 3,
+    int window = 10);
+
+}  // namespace qrc::obs

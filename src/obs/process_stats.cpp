@@ -1,0 +1,166 @@
+#include "obs/process_stats.hpp"
+
+#include <sys/resource.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <dirent.h>
+#endif
+
+namespace qrc::obs {
+namespace {
+
+/// Fallback uptime anchor: latched on the first sample (services sample
+/// in their constructor, so this is within milliseconds of start).
+const std::chrono::steady_clock::time_point g_first_sample =
+    std::chrono::steady_clock::now();
+
+#if defined(__linux__)
+
+long long read_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "re");
+  if (f == nullptr) {
+    return -1;
+  }
+  long long size_pages = 0;
+  long long rss_pages = 0;
+  const int got = std::fscanf(f, "%lld %lld", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) {
+    return -1;
+  }
+  return rss_pages * static_cast<long long>(sysconf(_SC_PAGESIZE));
+}
+
+long long count_open_fds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return -1;
+  }
+  long long count = 0;
+  while (readdir(dir) != nullptr) {
+    ++count;
+  }
+  closedir(dir);
+  // Drop ".", ".." and the descriptor opendir itself holds.
+  return count >= 3 ? count - 3 : 0;
+}
+
+/// Uptime from /proc: field 22 of /proc/self/stat is the process start
+/// time in clock ticks since boot; /proc/uptime gives seconds since
+/// boot. Negative on any parse trouble (caller falls back).
+double read_proc_uptime_seconds() {
+  std::FILE* f = std::fopen("/proc/self/stat", "re");
+  if (f == nullptr) {
+    return -1;
+  }
+  char buf[1024];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  // comm (field 2) may contain spaces; skip past its closing paren.
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) {
+    return -1;
+  }
+  ++p;
+  long long start_ticks = -1;
+  int field = 2;
+  while (*p != '\0' && field < 22) {
+    while (*p == ' ') {
+      ++p;
+    }
+    ++field;
+    if (field == 22) {
+      std::sscanf(p, "%lld", &start_ticks);
+      break;
+    }
+    while (*p != '\0' && *p != ' ') {
+      ++p;
+    }
+  }
+  if (start_ticks < 0) {
+    return -1;
+  }
+  std::FILE* up = std::fopen("/proc/uptime", "re");
+  if (up == nullptr) {
+    return -1;
+  }
+  double boot_seconds = -1;
+  const int got = std::fscanf(up, "%lf", &boot_seconds);
+  std::fclose(up);
+  if (got != 1 || boot_seconds < 0) {
+    return -1;
+  }
+  const double ticks_per_s = static_cast<double>(sysconf(_SC_CLK_TCK));
+  const double up_s =
+      boot_seconds - static_cast<double>(start_ticks) / ticks_per_s;
+  return up_s >= 0 ? up_s : -1;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+ProcessStats sample_process_stats() {
+  ProcessStats s;
+
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    s.user_cpu_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                         static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    s.sys_cpu_seconds = static_cast<double>(ru.ru_stime.tv_sec) +
+                        static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    // ru_maxrss is KiB on Linux — used only as the portable fallback.
+    s.rss_bytes = static_cast<long long>(ru.ru_maxrss) * 1024;
+  }
+
+#if defined(__linux__)
+  const long long rss = read_rss_bytes();
+  if (rss >= 0) {
+    s.rss_bytes = rss;  // current RSS beats the rusage high-water mark
+  }
+  s.open_fds = count_open_fds();
+  s.uptime_seconds = read_proc_uptime_seconds();
+#endif
+  if (s.uptime_seconds < 0) {
+    s.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      g_first_sample)
+            .count();
+  }
+  return s;
+}
+
+void publish_process_metrics(MetricsRegistry& registry) {
+  const ProcessStats s = sample_process_stats();
+  registry
+      .gauge("qrc_process_resident_memory_bytes",
+             "resident set size in bytes (-1 if unmeasurable)")
+      .set(s.rss_bytes);
+  registry
+      .float_gauge("qrc_process_cpu_user_seconds_total",
+                   "cumulative user-mode CPU seconds")
+      .set(s.user_cpu_seconds);
+  registry
+      .float_gauge("qrc_process_cpu_sys_seconds_total",
+                   "cumulative kernel-mode CPU seconds")
+      .set(s.sys_cpu_seconds);
+  registry
+      .gauge("qrc_process_open_fds",
+             "open file descriptors (-1 if unmeasurable)")
+      .set(s.open_fds);
+  registry
+      .float_gauge("qrc_process_uptime_seconds",
+                   "wall seconds since process start")
+      .set(s.uptime_seconds);
+}
+
+}  // namespace qrc::obs

@@ -1,0 +1,28 @@
+/// \file process_stats.hpp
+/// \brief Process self-metrics (`qrc_process_*`): resident set size,
+///        user/system CPU time, open file descriptors and uptime,
+///        sourced from /proc/self on Linux with a getrusage/steady-clock
+///        fallback elsewhere. Sampled at scrape time — the values are
+///        cheap point reads, so no background collector thread exists.
+#pragma once
+
+namespace qrc::obs {
+
+class MetricsRegistry;
+
+/// One point-in-time sample. Fields that could not be measured on this
+/// platform are negative (and their gauges publish -1).
+struct ProcessStats {
+  long long rss_bytes = -1;     ///< resident set size
+  double user_cpu_seconds = -1; ///< cumulative user-mode CPU time
+  double sys_cpu_seconds = -1;  ///< cumulative kernel-mode CPU time
+  long long open_fds = -1;      ///< currently open descriptors
+  double uptime_seconds = -1;   ///< wall time since process start
+};
+
+[[nodiscard]] ProcessStats sample_process_stats();
+
+/// Publishes the sample as `qrc_process_*` gauges into `registry`.
+void publish_process_metrics(MetricsRegistry& registry);
+
+}  // namespace qrc::obs

@@ -1,0 +1,397 @@
+#include "obs/profiler.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <ucontext.h>
+#endif
+
+namespace qrc::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sample ring. Writers (the signal handler) claim a slot with one
+// fetch_add and publish with an odd/even seqlock marker, exactly like
+// FlightRecorder; the renderer rejects slots whose marker changed
+// mid-copy, so rendering while a stale signal is still in flight is safe.
+
+struct SampleSlot {
+  std::atomic<std::uint64_t> marker{0};  // 0 empty, odd mid-write, even done
+  std::uint16_t depth = 0;
+  void* frames[Profiler::kMaxDepth] = {};
+};
+
+SampleSlot g_ring[Profiler::kCapacity];
+std::atomic<std::uint64_t> g_write_pos{0};   // slots claimed this session
+std::atomic<std::uint64_t> g_seq{0};         // marker sequence, never reset
+
+std::atomic<bool> g_sampling{false};  // handler gate: true only mid-session
+std::atomic<bool> g_busy{false};      // session exclusivity (start..stop)
+std::atomic<bool> g_handler_installed{false};
+
+std::atomic<std::uint64_t> g_sessions{0};
+std::atomic<std::uint64_t> g_samples{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::uint64_t> g_pc_only{0};
+
+// Per-thread stack bounds, cached outside signal context. Plain POD with
+// zero-init so TLS access from the handler is a raw load (no lazy
+// construction, no __tls_get_addr surprises in the main executable).
+struct ThreadBounds {
+  std::uintptr_t lo;
+  std::uintptr_t hi;
+  bool enrolled;
+};
+
+thread_local ThreadBounds t_bounds;
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe capture.
+
+struct RegSnapshot {
+  std::uintptr_t pc = 0;
+  std::uintptr_t fp = 0;
+  std::uintptr_t sp = 0;
+  bool ok = false;
+};
+
+RegSnapshot read_regs(void* uctx_raw) {
+  RegSnapshot r;
+#if defined(__linux__) && defined(__x86_64__)
+  const auto* uc = static_cast<const ucontext_t*>(uctx_raw);
+  r.pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  r.fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+  r.sp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RSP]);
+  r.ok = true;
+#elif defined(__linux__) && defined(__aarch64__)
+  const auto* uc = static_cast<const ucontext_t*>(uctx_raw);
+  r.pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+  r.fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+  r.sp = static_cast<std::uintptr_t>(uc->uc_mcontext.sp);
+  r.ok = true;
+#else
+  (void)uctx_raw;
+#endif
+  return r;
+}
+
+// Under AddressSanitizer the stack is laced with poisoned redzones; a
+// frame pointer that passed range validation but was repurposed by a
+// leaf function could read one and fire a false positive. Sanitized
+// builds therefore capture PC-only samples — the signal-safety tests
+// still exercise the full handler path.
+#if defined(__SANITIZE_ADDRESS__)
+#define QRC_PROFILER_NO_FP_WALK 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define QRC_PROFILER_NO_FP_WALK 1
+#endif
+#endif
+
+void sigprof_handler(int /*signo*/, siginfo_t* /*info*/, void* uctx_raw) {
+  if (!g_sampling.load(std::memory_order_relaxed)) {
+    return;  // stale delivery after stop(): drop on the floor
+  }
+  const RegSnapshot regs = read_regs(uctx_raw);
+  if (!regs.ok || regs.pc == 0) {
+    return;
+  }
+
+  void* frames[Profiler::kMaxDepth];
+  std::size_t depth = 0;
+  frames[depth++] = reinterpret_cast<void*>(regs.pc);
+
+  const ThreadBounds bounds = t_bounds;
+#if defined(QRC_PROFILER_NO_FP_WALK)
+  const bool walk = false;
+#else
+  const bool walk = true;
+#endif
+  if (walk && bounds.enrolled && regs.fp != 0) {
+    // Frame layout on x86-64 and aarch64 alike: [fp] = caller's fp,
+    // [fp + 8] = return address. Every hop is validated (alignment,
+    // inside this thread's stack, strictly growing toward the stack
+    // base) before the dereference, so an interrupted leaf that
+    // repurposed the fp register just terminates the walk early.
+    std::uintptr_t fp = regs.fp;
+    const std::uintptr_t lo =
+        regs.sp >= bounds.lo && regs.sp < bounds.hi ? regs.sp : bounds.lo;
+    while (depth < Profiler::kMaxDepth) {
+      if (fp < lo || fp + 2 * sizeof(void*) > bounds.hi ||
+          (fp & (sizeof(void*) - 1)) != 0) {
+        break;
+      }
+      const auto* frame = reinterpret_cast<const std::uintptr_t*>(fp);
+      const std::uintptr_t ret = frame[1];
+      const std::uintptr_t next_fp = frame[0];
+      if (ret == 0) {
+        break;
+      }
+      frames[depth++] = reinterpret_cast<void*>(ret);
+      if (next_fp <= fp) {
+        break;  // chain must move strictly toward the stack base
+      }
+      fp = next_fp;
+    }
+    if (depth == 1) {
+      g_pc_only.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    g_pc_only.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::uint64_t pos = g_write_pos.fetch_add(1, std::memory_order_relaxed);
+  if (pos >= Profiler::kCapacity) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SampleSlot& slot = g_ring[pos];
+  const std::uint64_t seq = g_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  slot.marker.store(seq * 2 + 1, std::memory_order_release);  // odd: writing
+  slot.depth = static_cast<std::uint16_t>(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    slot.frames[i] = frames[i];
+  }
+  slot.marker.store(seq * 2 + 2, std::memory_order_release);  // even: done
+  g_samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Symbolization (dump time only, normal context).
+
+std::string symbolize(void* addr) {
+  Dl_info info{};
+  if (dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // Folded format delimiters are ';' and ' '; scrub them from symbols.
+    for (char& c : name) {
+      if (c == ';' || c == ' ' || c == '\n') {
+        c = '_';
+      }
+    }
+    return name;
+  }
+  char buf[64];
+  if (dladdr(addr, &info) != 0 && info.dli_fname != nullptr &&
+      info.dli_fbase != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    base = base != nullptr ? base + 1 : info.dli_fname;
+    std::snprintf(buf, sizeof(buf), "%.32s+0x%zx", base,
+                  reinterpret_cast<std::uintptr_t>(addr) -
+                      reinterpret_cast<std::uintptr_t>(info.dli_fbase));
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%zx",
+                  reinterpret_cast<std::uintptr_t>(addr));
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Profiler::enroll_current_thread() {
+  if (t_bounds.enrolled) {
+    return;
+  }
+#if defined(__linux__)
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* stack_addr = nullptr;
+    std::size_t stack_size = 0;
+    if (pthread_attr_getstack(&attr, &stack_addr, &stack_size) == 0 &&
+        stack_addr != nullptr && stack_size > 0) {
+      t_bounds.lo = reinterpret_cast<std::uintptr_t>(stack_addr);
+      t_bounds.hi = t_bounds.lo + stack_size;
+      t_bounds.enrolled = true;
+    }
+    pthread_attr_destroy(&attr);
+  }
+#endif
+}
+
+bool Profiler::start(int hz) {
+  if (hz < kMinHz || hz > kMaxHz) {
+    return false;
+  }
+  bool expected = false;
+  if (!g_busy.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+    return false;  // a session is already running
+  }
+  enroll_current_thread();
+
+  // Fresh session: empty the ring so render_folded() covers exactly the
+  // window between this start and the next stop.
+  for (SampleSlot& slot : g_ring) {
+    slot.marker.store(0, std::memory_order_relaxed);
+  }
+  g_write_pos.store(0, std::memory_order_relaxed);
+
+  if (!g_handler_installed.load(std::memory_order_relaxed)) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = &sigprof_handler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+      g_busy.store(false, std::memory_order_release);
+      return false;
+    }
+    g_handler_installed.store(true, std::memory_order_relaxed);
+  }
+
+  g_sampling.store(true, std::memory_order_release);
+
+  itimerval timer{};
+  const long interval_us = 1000000L / hz;
+  timer.it_interval.tv_sec = interval_us / 1000000L;
+  timer.it_interval.tv_usec = interval_us % 1000000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_sampling.store(false, std::memory_order_release);
+    g_busy.store(false, std::memory_order_release);
+    return false;
+  }
+  g_sessions.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Profiler::stop() {
+  if (!g_busy.load(std::memory_order_acquire)) {
+    return;
+  }
+  itimerval off{};
+  setitimer(ITIMER_PROF, &off, nullptr);
+  g_sampling.store(false, std::memory_order_release);
+  g_busy.store(false, std::memory_order_release);
+}
+
+bool Profiler::active() { return g_busy.load(std::memory_order_acquire); }
+
+std::optional<std::string> Profiler::collect_folded(double seconds, int hz) {
+  if (!(seconds > 0.0) || seconds > kMaxSeconds) {
+    return std::nullopt;
+  }
+  if (!start(hz)) {
+    return std::nullopt;
+  }
+  // ITIMER_PROF counts CPU time, so an idle process yields few samples —
+  // that is intended (the profile answers "where do cycles go").
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(seconds);
+  ts.tv_nsec = static_cast<long>((seconds - static_cast<double>(ts.tv_sec)) *
+                                 1e9);
+  timespec rem{};
+  while (nanosleep(&ts, &rem) != 0 && errno == EINTR) {
+    ts = rem;  // SIGPROF interrupts the sleep; resume the remainder
+  }
+  stop();
+  return render_folded();
+}
+
+std::string Profiler::render_folded() {
+  const std::uint64_t claimed = g_write_pos.load(std::memory_order_acquire);
+  const std::uint64_t used = claimed < kCapacity ? claimed : kCapacity;
+
+  std::map<std::string, std::uint64_t> folded;
+  std::map<void*, std::string> symbol_cache;
+  const auto symbol_of = [&](void* addr) -> const std::string& {
+    auto it = symbol_cache.find(addr);
+    if (it == symbol_cache.end()) {
+      it = symbol_cache.emplace(addr, symbolize(addr)).first;
+    }
+    return it->second;
+  };
+
+  for (std::uint64_t i = 0; i < used; ++i) {
+    SampleSlot& slot = g_ring[i];
+    const std::uint64_t before = slot.marker.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) {
+      continue;  // empty or mid-write
+    }
+    std::uint16_t depth = slot.depth;
+    void* frames[kMaxDepth];
+    if (depth > kMaxDepth) {
+      continue;
+    }
+    for (std::uint16_t f = 0; f < depth; ++f) {
+      frames[f] = slot.frames[f];
+    }
+    if (slot.marker.load(std::memory_order_acquire) != before) {
+      continue;  // overwritten while copying
+    }
+    // Folded lines are caller-first, leaf-last. frames[0] is the leaf
+    // PC; frames[1..] are return addresses, nudged back one byte so the
+    // symbol is the call site's function, not whatever follows the call.
+    std::string line;
+    for (std::size_t f = depth; f-- > 0;) {
+      void* addr = frames[f];
+      if (f != 0) {
+        addr = reinterpret_cast<void*>(
+            reinterpret_cast<std::uintptr_t>(addr) - 1);
+      }
+      if (!line.empty()) {
+        line += ';';
+      }
+      line += symbol_of(addr);
+    }
+    ++folded[line];
+  }
+
+  std::string out;
+  for (const auto& [stack, count] : folded) {
+    out += stack;
+    out += ' ';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+ProfilerStats Profiler::stats() {
+  ProfilerStats s;
+  s.sessions = g_sessions.load(std::memory_order_relaxed);
+  s.samples = g_samples.load(std::memory_order_relaxed);
+  s.dropped = g_dropped.load(std::memory_order_relaxed);
+  s.pc_only = g_pc_only.load(std::memory_order_relaxed);
+  const std::uint64_t claimed = g_write_pos.load(std::memory_order_relaxed);
+  s.retained = claimed < kCapacity ? claimed : kCapacity;
+  s.active = g_busy.load(std::memory_order_acquire);
+  return s;
+}
+
+void Profiler::reset() {
+  stop();
+  for (SampleSlot& slot : g_ring) {
+    slot.marker.store(0, std::memory_order_relaxed);
+  }
+  g_write_pos.store(0, std::memory_order_relaxed);
+  g_sessions.store(0, std::memory_order_relaxed);
+  g_samples.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_pc_only.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace qrc::obs

@@ -1,0 +1,92 @@
+/// \file profiler.hpp
+/// \brief Dependency-free, signal-safe sampling profiler. A SIGPROF
+///        handler driven by `setitimer(ITIMER_PROF)` captures frame
+///        pointer chains into a lock-free seqlock sample ring (same
+///        publish discipline as obs::FlightRecorder); symbolization is
+///        deferred to dump time, where samples collapse into the folded
+///        stack format consumed by standard flamegraph tooling.
+///
+/// Signal-safety contract: the handler never allocates, never takes a
+/// lock, and never calls glibc `backtrace()` (which can touch
+/// dl_load_lock and deadlock if the signal lands mid-dlopen/unwind).
+/// Instead it walks frame pointers manually — the build compiles the qrc
+/// library with `-fno-omit-frame-pointer` to keep the chain intact — and
+/// validates every hop against the interrupted thread's enrolled stack
+/// bounds before dereferencing. Threads that never called
+/// `enroll_current_thread()` still get PC-only samples.
+///
+/// Sessions are process-wide (the interval timer and the signal
+/// disposition are global resources), so at most one session can be
+/// active; concurrent starts are rejected deterministically rather than
+/// queued.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace qrc::obs {
+
+/// Point-in-time profiler counters for /statusz and tests. Counters are
+/// cumulative across sessions; `retained` is the current ring occupancy.
+struct ProfilerStats {
+  std::uint64_t sessions = 0;   ///< sessions ever started
+  std::uint64_t samples = 0;    ///< samples ever captured (all sessions)
+  std::uint64_t dropped = 0;    ///< samples lost to a full ring
+  std::uint64_t pc_only = 0;    ///< samples from unenrolled threads
+  std::uint64_t retained = 0;   ///< samples currently in the ring
+  bool active = false;          ///< a session is sampling right now
+};
+
+/// Static-only facade over the process-wide sampling state (the signal
+/// handler has to reach it through globals anyway).
+class Profiler {
+ public:
+  static constexpr int kMinHz = 1;
+  static constexpr int kMaxHz = 1000;
+  static constexpr double kMaxSeconds = 60.0;
+  static constexpr std::size_t kMaxDepth = 64;   ///< frames per sample
+  static constexpr std::size_t kCapacity = 8192; ///< ring slots
+
+  Profiler() = delete;
+
+  /// Caches the calling thread's stack bounds in TLS (via
+  /// pthread_getattr_np) so the SIGPROF handler can validate frame
+  /// pointer hops. Must be called from normal (non-signal) context;
+  /// idempotent and cheap after the first call. Worker pools, the net
+  /// event loop, and service schedulers enroll at thread entry.
+  static void enroll_current_thread();
+
+  /// Starts a process-wide sampling session at `hz`. Returns false if a
+  /// session is already active or `hz` is outside [kMinHz, kMaxHz].
+  /// Clears the ring, so render_folded() after stop() covers exactly
+  /// this session.
+  [[nodiscard]] static bool start(int hz);
+
+  /// Stops the active session (timer disarmed, handler quiesced). Safe
+  /// to call when idle. Samples stay in the ring for render_folded().
+  static void stop();
+
+  [[nodiscard]] static bool active();
+
+  /// Blocking convenience used by /profilez and the CLI: start, sample
+  /// the process for `seconds` of wall time, stop, render. Returns
+  /// std::nullopt if a session was already active or params are out of
+  /// range (seconds must be in (0, kMaxSeconds]).
+  [[nodiscard]] static std::optional<std::string> collect_folded(
+      double seconds, int hz);
+
+  /// Collapses the retained samples into folded stacks: one
+  /// `outer;...;leaf count` line per unique stack, sorted by stack
+  /// string. Symbolizes via dladdr + __cxa_demangle (the build links
+  /// with -rdynamic so static-binary symbols resolve), falling back to
+  /// `module+0xoff`. Call after stop(); not async-signal-safe.
+  [[nodiscard]] static std::string render_folded();
+
+  [[nodiscard]] static ProfilerStats stats();
+
+  /// Drops retained samples and zeroes cumulative counters (tests).
+  static void reset();
+};
+
+}  // namespace qrc::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace qrc::rl {
 
 WorkerPool::WorkerPool(int num_threads)
@@ -41,6 +43,10 @@ void WorkerPool::run_indices() {
 }
 
 void WorkerPool::worker_loop() {
+  // Pool threads run the hot kernels, so they dominate sampled stacks;
+  // enrolling caches the stack bounds the SIGPROF fp-walk validates
+  // against (unenrolled threads degrade to PC-only samples).
+  obs::Profiler::enroll_current_thread();
   std::uint64_t seen_generation = 0;
   while (true) {
     {

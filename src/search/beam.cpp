@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "core/rollout.hpp"
+#include "obs/perf_counters.hpp"
 #include "rl/thread_pool.hpp"
 #include "search/internal.hpp"
 
@@ -140,28 +141,31 @@ SearchResult beam_search(const ir::Circuit& circuit,
     // too (index-parallel, so the pool size cannot change anything).
     const std::uint64_t step_seed =
         core::CompilationEnv::step_seed(seed, 1, depth);
-    pool.parallel_for(static_cast<int>(candidates.size()), [&](int ci) {
-      auto& c = candidates[static_cast<std::size_t>(ci)];
-      const auto& entry = frontier[static_cast<std::size_t>(c.entry)];
-      c.child = core::CompilationEnv::peek_step(entry.state, c.action,
-                                                step_seed);
-      c.fp = core::fingerprint_of(c.child);
-      c.stalled = paths.contains(entry.path, c.fp);
-      if (c.stalled) {
-        // The fingerprint matched a path state, but the pass may still
-        // have rewritten the circuit (the fingerprint is coarse): keep
-        // the post-step observation so the survivor carries the stepped
-        // state, exactly like the greedy core does. A stalled child is
-        // never Done (Done changes the fingerprint's MDP phase).
-        c.obs = core::CompilationEnv::observe_state(c.child);
-        return;
-      }
-      c.terminal = c.child.state() == core::MdpState::kDone;
-      if (!c.terminal) {
-        c.obs = core::CompilationEnv::observe_state(c.child);
-        c.key = state_key(c.child);
-      }
-    });
+    {
+      obs::PerfScope perf(obs::PerfKernel::kSearchExpand);
+      pool.parallel_for(static_cast<int>(candidates.size()), [&](int ci) {
+        auto& c = candidates[static_cast<std::size_t>(ci)];
+        const auto& entry = frontier[static_cast<std::size_t>(c.entry)];
+        c.child = core::CompilationEnv::peek_step(entry.state, c.action,
+                                                  step_seed);
+        c.fp = core::fingerprint_of(c.child);
+        c.stalled = paths.contains(entry.path, c.fp);
+        if (c.stalled) {
+          // The fingerprint matched a path state, but the pass may still
+          // have rewritten the circuit (the fingerprint is coarse): keep
+          // the post-step observation so the survivor carries the stepped
+          // state, exactly like the greedy core does. A stalled child is
+          // never Done (Done changes the fingerprint's MDP phase).
+          c.obs = core::CompilationEnv::observe_state(c.child);
+          return;
+        }
+        c.terminal = c.child.state() == core::MdpState::kDone;
+        if (!c.terminal) {
+          c.obs = core::CompilationEnv::observe_state(c.child);
+          c.key = state_key(c.child);
+        }
+      });
+    }
     result.stats.nodes_expanded += candidates.size();
     result.stats.depth_reached = depth + 1;
 

@@ -11,6 +11,7 @@
 #include "ir/qasm.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
+#include "obs/profiler.hpp"
 #include "verify/equivalence.hpp"
 
 namespace qrc::service {
@@ -313,6 +314,9 @@ ServiceResponse CompileService::compile(const std::string& model_name,
 }
 
 void CompileService::scheduler_loop(Lane& lane) {
+  // Lane threads drive every compile, so sampled stacks mostly land
+  // here; enrollment lets the profiler's fp-walk validate them.
+  obs::Profiler::enroll_current_thread();
   for (;;) {
     std::vector<Pending> batch;
     {

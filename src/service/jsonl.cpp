@@ -394,6 +394,8 @@ std::string_view serve_op_name(ServeOp op) {
       return "metrics";
     case ServeOp::kDebugDump:
       return "debug_dump";
+    case ServeOp::kProfile:
+      return "profile";
   }
   return "compile";
 }
@@ -448,10 +450,12 @@ ServeRequest parse_serve_request(std::string_view line) {
       request.op = ServeOp::kMetrics;
     } else if (op == "debug_dump") {
       request.op = ServeOp::kDebugDump;
+    } else if (op == "profile") {
+      request.op = ServeOp::kProfile;
     } else {
       bad_request("unknown op '" + op +
-                  "' (expected compile, stats, ping, metrics or "
-                  "debug_dump)");
+                  "' (expected compile, stats, ping, metrics, "
+                  "debug_dump or profile)");
     }
   }
 
@@ -459,6 +463,7 @@ ServeRequest parse_serve_request(std::string_view line) {
   // surface as an error line, not silently change behaviour. Control
   // ops accept the envelope fields only.
   const bool compile = request.op == ServeOp::kCompile;
+  const bool profile = request.op == ServeOp::kProfile;
   for (const auto& [key, value] : obj) {
     if (key == "id" || key == "v" || key == "op") {
       continue;
@@ -468,10 +473,15 @@ ServeRequest parse_serve_request(std::string_view line) {
                     key == "trace")) {
       continue;
     }
+    if (profile && (key == "seconds" || key == "hz")) {
+      continue;
+    }
     bad_request("unknown request field '" + key +
                 (compile ? "' (expected v, op, id, model, qasm, verify, "
                            "search, deadline_ms, trace)"
-                         : "' (a control op takes only v, op, id)"));
+                 : profile
+                     ? "' (a profile op takes only v, op, id, seconds, hz)"
+                     : "' (a control op takes only v, op, id)"));
   }
   if (const auto it = obj.find("id"); it != obj.end()) {
     if (it->second.is_string()) {
@@ -481,6 +491,26 @@ ServeRequest parse_serve_request(std::string_view line) {
     } else {
       bad_request("'id' must be a string or number");
     }
+  }
+  if (profile) {
+    // Bounds mirror obs::Profiler's: the wire surface must fail loudly
+    // (typed bad_request) before a session ever starts.
+    if (const auto it = obj.find("seconds"); it != obj.end()) {
+      if (!it->second.is_number() || !(it->second.as_number() > 0.0) ||
+          it->second.as_number() > 60.0) {
+        bad_request("'seconds' must be a number in (0, 60]");
+      }
+      request.profile_seconds = it->second.as_number();
+    }
+    if (const auto it = obj.find("hz"); it != obj.end()) {
+      if (!it->second.is_number() || it->second.as_number() < 1.0 ||
+          it->second.as_number() > 1000.0 ||
+          it->second.as_number() != std::floor(it->second.as_number())) {
+        bad_request("'hz' must be an integer in [1, 1000]");
+      }
+      request.profile_hz = static_cast<int>(it->second.as_number());
+    }
+    return request;
   }
   if (!compile) {
     return request;
@@ -691,6 +721,13 @@ std::string serve_debug_dump_line(std::string_view id,
   return "{\"id\":" + json_quote(id) +
          ",\"type\":\"result\",\"op\":\"debug_dump\",\"events\":" +
          std::string(events_json) + "}";
+}
+
+std::string serve_profile_line(std::string_view id, std::string_view folded,
+                               std::uint64_t samples) {
+  return "{\"id\":" + json_quote(id) +
+         ",\"type\":\"result\",\"op\":\"profile\",\"samples\":" +
+         std::to_string(samples) + ",\"folded\":" + json_quote(folded) + "}";
 }
 
 }  // namespace qrc::service

@@ -86,6 +86,7 @@ enum class ServeOp : std::uint8_t {
   kPing,       ///< liveness probe
   kMetrics,    ///< Prometheus text exposition of the metrics registry
   kDebugDump,  ///< flight-recorder snapshot (recent notable events)
+  kProfile,    ///< sampling-profiler session; folded stacks on the result
 };
 
 [[nodiscard]] std::string_view serve_op_name(ServeOp op);
@@ -125,6 +126,10 @@ struct ServeRequest {
   bool verify = false;
   bool trace = false;
   std::optional<search::SearchOptions> search;
+  /// kProfile only: sampling window and rate. Validated at parse time
+  /// (seconds in (0, 60], hz an integer in [1, 1000]).
+  double profile_seconds = 2.0;
+  int profile_hz = 97;
 };
 
 /// Parses and validates one request line (either version). Unknown
@@ -201,5 +206,12 @@ struct ServeRequest {
 /// serialised JSON array (obs::FlightRecorder::dump_json()).
 [[nodiscard]] std::string serve_debug_dump_line(std::string_view id,
                                                 std::string_view events_json);
+
+/// Serialises the v1 "profile" result frame: {"id","type":"result",
+/// "op":"profile","samples":N,"folded":<collapsed stacks, one
+/// "frame;frame count" line per unique stack>}.
+[[nodiscard]] std::string serve_profile_line(std::string_view id,
+                                             std::string_view folded,
+                                             std::uint64_t samples);
 
 }  // namespace qrc::service

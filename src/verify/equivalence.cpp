@@ -10,6 +10,7 @@
 #include "clifford/tableau.hpp"
 #include "ir/gate.hpp"
 #include "ir/sim.hpp"
+#include "obs/perf_counters.hpp"
 #include "verify/sparse_state.hpp"
 
 namespace qrc::verify {
@@ -666,6 +667,7 @@ VerifyResult EquivalenceChecker::check(
   // ---- tier 1: Clifford Pauli flow (any width) --------------------------
   if (clifford::is_clifford_circuit(a_n) &&
       clifford::is_clifford_circuit(b_n)) {
+    obs::PerfScope perf(obs::PerfKernel::kVerifyClifford);
     std::vector<int> identity(static_cast<std::size_t>(n));
     std::iota(identity.begin(), identity.end(), 0);
     // Same width and no ancillas: the flow conditions are necessary and
@@ -701,6 +703,7 @@ VerifyResult EquivalenceChecker::check(
 
   // ---- tier 2: alternating miter (exact, <= max_miter_qubits) -----------
   if (n <= options_.max_miter_qubits) {
+    obs::PerfScope perf(obs::PerfKernel::kVerifyMiter);
     double divergence = -1.0;
     if (alternating_miter_equivalent(a_n, b_n, n, options_.atol,
                                      &divergence)) {
@@ -735,6 +738,7 @@ VerifyResult EquivalenceChecker::check(
 
   // ---- tier 3: random stimuli (w.h.p., <= max_stimuli_qubits) -----------
   if (n <= options_.max_stimuli_qubits) {
+    obs::PerfScope perf(obs::PerfKernel::kVerifyStimuli);
     const int stimuli = effective_stimuli(n, options_);
     int bad_trial = 0;
     if (stimuli_equivalent(job, stimuli, options_.seed, options_.atol,

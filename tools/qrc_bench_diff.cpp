@@ -1,0 +1,133 @@
+/// \file qrc_bench_diff.cpp
+/// \brief CLI for the bench regression sentinel (src/obs/bench_diff.hpp):
+///        loads BENCH_*.json files and a BENCH_history.jsonl, prints a
+///        per-metric comparison table and exits non-zero on a gated
+///        regression.
+///
+/// Usage:
+///   qrc_bench_diff --history BENCH_history.jsonl BENCH_a.json BENCH_b.json...
+///
+/// Flags:
+///   --history PATH       rolling history file (required; CI appends one
+///                        row per bench per run)
+///   --min-history N      rows a metric needs before regressions gate
+///                        (default 3; below that they are advisory)
+///   --window N           newest history rows forming the median baseline
+///                        (default 10)
+///
+/// Exit codes: 0 = pass (including advisory-only and no-baseline),
+/// 1 = at least one gated regression, 2 = usage or I/O error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_diff.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --history BENCH_history.jsonl [--min-history N] "
+               "[--window N] BENCH_*.json...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string history_path;
+  int min_history = 3;
+  int window = 10;
+  std::vector<std::string> bench_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--history") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage(argv[0]);
+      }
+      history_path = v;
+    } else if (arg == "--min-history") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) {
+        return usage(argv[0]);
+      }
+      min_history = std::atoi(v);
+    } else if (arg == "--window") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) {
+        return usage(argv[0]);
+      }
+      window = std::atoi(v);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      bench_paths.push_back(arg);
+    }
+  }
+  if (history_path.empty() || bench_paths.empty()) {
+    return usage(argv[0]);
+  }
+
+  // A missing history file is a young repo, not an error: everything
+  // comes out no-baseline and the gate passes (CI's first run).
+  std::string history;
+  if (!read_file(history_path, history)) {
+    std::fprintf(stderr, "note: no history at %s (first run? gate passes)\n",
+                 history_path.c_str());
+  }
+
+  std::map<std::string, qrc::obs::BenchMetrics> current;
+  for (const std::string& path : bench_paths) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::string bench_name;
+    try {
+      qrc::obs::BenchMetrics metrics =
+          qrc::obs::extract_bench_metrics(text, bench_name);
+      if (bench_name.empty()) {
+        std::fprintf(stderr, "note: %s has no \"bench\" field, skipped\n",
+                     path.c_str());
+        continue;
+      }
+      current[bench_name] = std::move(metrics);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  const qrc::obs::DiffReport report =
+      qrc::obs::diff_benches(history, current, min_history, window);
+  std::fputs(report.render().c_str(), stdout);
+  return report.regressed ? 1 : 0;
+}

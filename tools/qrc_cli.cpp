@@ -15,14 +15,17 @@
 //       only, never changes the trained model.
 //   qrc compile --model <model.txt> <circuit.qasm> [--out <compiled.qasm>]
 //             [--verify] [--search beam:8|mcts:400] [--deadline-ms N]
-//             [--trace]
+//             [--trace] [--profile] [--profile-hz N]
 //       Compiles an OpenQASM 2.0 circuit with a trained model. --verify
 //       runs the QCEC-style equivalence gate on the result. --search
 //       compiles by policy-guided lookahead (beam search or MCTS) instead
 //       of the greedy rollout — never worse than greedy, often better;
 //       --deadline-ms bounds the search wall clock (anytime best-so-far).
 //       --trace records per-phase spans (detail timers included) and
-//       prints the span tree after the result.
+//       prints the span tree after the result. --profile samples the
+//       compile with the in-process SIGPROF profiler (default 97 Hz,
+//       override with --profile-hz) and dumps folded flamegraph stacks
+//       plus per-kernel hardware-counter summaries to stderr.
 //   qrc verify <a.qasm> <b.qasm> [--stimuli N] [--seed N]
 //              [--max-miter-qubits N] [--max-stimuli-qubits N]
 //       Checks two circuits for functional equivalence with the tiered
@@ -35,7 +38,7 @@
 //             [--listen HOST:PORT] [--max-frame-bytes N]
 //             [--max-inflight N] [--max-connections N]
 //             [--poller auto|epoll|poll]
-//             [--metrics-listen HOST:PORT]
+//             [--metrics-listen HOST:PORT] [--profile-hz N]
 //       Long-lived compile server speaking line-delimited JSON over
 //       stdin/stdout: {"id","model","qasm","verify","search",
 //       "deadline_ms"} in, {"id","model","qasm","reward","device",
@@ -60,7 +63,10 @@
 //       flight recorder (recent sheds/errors/refutations) to stderr.
 //       --metrics-listen binds a second HTTP listener answering
 //       GET /metrics (Prometheus exposition), /healthz, /readyz,
-//       /statusz and /debugz.
+//       /statusz, /debugz and /profilez?seconds=N&hz=H (on-demand
+//       sampling session, folded stacks in the response body).
+//       --profile-hz samples the whole serve lifetime instead and dumps
+//       the folded stacks to stderr at shutdown.
 //
 //   Every subcommand honours QRC_LOG=debug|info|warn|error|off and
 //   QRC_LOG_JSON=1; train and serve also take --log-level/--log-json.
@@ -100,6 +106,8 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "obs/training_logger.hpp"
 #include "rl/mlp.hpp"
@@ -123,7 +131,7 @@ int usage() {
       "  qrc compile --model <model.txt> <circuit.qasm>\n"
       "              [--out <compiled.qasm>] [--verify]\n"
       "              [--search beam:8|mcts:400] [--deadline-ms N]\n"
-      "              [--trace]\n"
+      "              [--trace] [--profile] [--profile-hz N]\n"
       "  qrc verify <a.qasm> <b.qasm> [--stimuli N] [--seed N]\n"
       "             [--max-miter-qubits N] [--max-stimuli-qubits N]\n"
       "  qrc serve --model <name>=<model.txt> [--model <n2>=<m2.txt> ...]\n"
@@ -132,7 +140,7 @@ int usage() {
       "            [--max-lane-queue N] [--listen HOST:PORT]\n"
       "            [--max-frame-bytes N] [--max-inflight N]\n"
       "            [--max-connections N] [--poller auto|epoll|poll]\n"
-      "            [--metrics-listen HOST:PORT]\n"
+      "            [--metrics-listen HOST:PORT] [--profile-hz N]\n"
       "            [--log-level L] [--log-json]\n"
       "  qrc client HOST:PORT\n"
       "\n"
@@ -379,9 +387,9 @@ ir::Circuit read_qasm_file(const std::string& path) {
 }
 
 int cmd_compile(int argc, char** argv) {
-  const auto args = parse_args(argc, argv, 2,
-                               {"model", "out", "search", "deadline-ms"},
-                               {"verify", "trace"});
+  const auto args = parse_args(
+      argc, argv, 2, {"model", "out", "search", "deadline-ms", "profile-hz"},
+      {"verify", "trace", "profile"});
   const std::string* model_flag = args.single("model");
   if (model_flag == nullptr || args.positionals.empty()) {
     return usage();
@@ -423,6 +431,25 @@ int cmd_compile(int argc, char** argv) {
     trace_ctx->set_ambient_parent(root_span);
   }
 
+  // --profile: sample the whole compile with the in-process SIGPROF
+  // profiler and dump the folded stacks to stderr afterwards (stdout
+  // stays the human-readable report). Hardware counters are armed too,
+  // so the seams accumulate cycles/instructions while the compile runs.
+  const bool profile = args.single("profile") != nullptr ||
+                       args.single("profile-hz") != nullptr;
+  const int profile_hz = args.get_int("profile-hz", 97);
+  if (profile) {
+    if (profile_hz < obs::Profiler::kMinHz ||
+        profile_hz > obs::Profiler::kMaxHz) {
+      throw std::runtime_error("--profile-hz must be in [1, 1000]");
+    }
+    obs::Profiler::enroll_current_thread();
+    obs::set_perf_enabled(true);
+    if (!obs::Profiler::start(profile_hz)) {
+      std::fprintf(stderr, "profiler: could not start (busy?)\n");
+    }
+  }
+
   const verify::VerifyOptions verify_options;
   const auto result = [&] {
     std::optional<obs::CurrentTraceScope> scope;
@@ -437,6 +464,45 @@ int cmd_compile(int argc, char** argv) {
   }();
   if (trace_ctx.has_value()) {
     trace_ctx->end_span(root_span);
+  }
+  if (profile && obs::Profiler::active()) {
+    obs::Profiler::stop();
+    const auto pstats = obs::Profiler::stats();
+    std::fprintf(stderr,
+                 "# profile: %llu samples at %d Hz (%llu dropped, %llu "
+                 "pc-only) — folded stacks follow\n",
+                 static_cast<unsigned long long>(pstats.retained), profile_hz,
+                 static_cast<unsigned long long>(pstats.dropped),
+                 static_cast<unsigned long long>(pstats.pc_only));
+    std::fputs(obs::Profiler::render_folded().c_str(), stderr);
+    if (obs::perf_available()) {
+      for (int k = 0; k < static_cast<int>(obs::PerfKernel::kCount); ++k) {
+        const auto kernel = static_cast<obs::PerfKernel>(k);
+        const auto totals = obs::perf_kernel_totals(kernel);
+        if (totals.scopes == 0 || totals.cycles == 0) {
+          continue;
+        }
+        std::fprintf(
+            stderr,
+            "# perf %-16s %llu scopes, %.2f ipc, %.4f cache miss rate, "
+            "%.4f branch miss rate\n",
+            obs::perf_kernel_name(kernel).data(),
+            static_cast<unsigned long long>(totals.scopes),
+            static_cast<double>(totals.instructions) /
+                static_cast<double>(totals.cycles),
+            totals.cache_refs > 0
+                ? static_cast<double>(totals.cache_misses) /
+                      static_cast<double>(totals.cache_refs)
+                : 0.0,
+            totals.branches > 0
+                ? static_cast<double>(totals.branch_misses) /
+                      static_cast<double>(totals.branches)
+                : 0.0);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "# perf counters unavailable (perf_event_open denied)\n");
+    }
   }
   std::printf("target: %s\n", result.device->name().c_str());
   std::printf("reward (%s): %.4f%s\n",
@@ -632,10 +698,53 @@ int cmd_serve(int argc, char** argv) {
                                 "max-lane-queue", "listen",
                                 "max-frame-bytes", "max-inflight",
                                 "max-connections", "poller",
-                                "metrics-listen", "log-level"},
+                                "metrics-listen", "profile-hz",
+                                "log-level"},
                                {"log-json"});
   expect_positionals(args, 0, "serve takes only flags");
   apply_log_flags(args);
+
+  // --profile-hz N: sample the whole serve lifetime and dump folded
+  // stacks to stderr at shutdown. While a startup session is running,
+  // GET /profilez and the v1 "profile" op report busy (the interval
+  // timer is a process-wide resource). Also arms the per-kernel
+  // hardware counters so /metrics carries qrc_profile_* totals.
+  struct ServeProfile {
+    bool started = false;
+    int hz = 0;
+    ~ServeProfile() {
+      if (!started) {
+        return;
+      }
+      obs::Profiler::stop();
+      const auto pstats = obs::Profiler::stats();
+      std::fprintf(stderr,
+                   "# serve profile: %llu samples at %d Hz (%llu dropped, "
+                   "%llu pc-only)\n",
+                   static_cast<unsigned long long>(pstats.retained), hz,
+                   static_cast<unsigned long long>(pstats.dropped),
+                   static_cast<unsigned long long>(pstats.pc_only));
+      std::fputs(obs::Profiler::render_folded().c_str(), stderr);
+    }
+  } serve_profile;
+  if (args.single("profile-hz") != nullptr) {
+    const int hz = args.get_int("profile-hz", 97);
+    if (hz < obs::Profiler::kMinHz || hz > obs::Profiler::kMaxHz) {
+      throw std::runtime_error("--profile-hz must be in [1, 1000]");
+    }
+    obs::Profiler::enroll_current_thread();
+    obs::set_perf_enabled(true);
+    if (obs::Profiler::start(hz)) {
+      serve_profile.started = true;
+      serve_profile.hz = hz;
+      obs::Logger::instance().logf(obs::LogLevel::kInfo, "serve",
+                                   "profiling at %d Hz for the serve "
+                                   "lifetime (folded dump at shutdown)",
+                                   hz);
+    } else {
+      std::fprintf(stderr, "profiler: could not start (busy?)\n");
+    }
+  }
   const auto model_it = args.flags.find("model");
   if (model_it == args.flags.end() || model_it->second.empty()) {
     std::fprintf(stderr,
